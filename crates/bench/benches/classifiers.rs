@@ -1,0 +1,56 @@
+//! Criterion bench: fit/predict cost of the four Table VI algorithms on a
+//! deployed-scale training set — the computational side of the §V-F2
+//! algorithm choice (KRR picked over SVM largely on cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smarteryou_linalg::Matrix;
+use smarteryou_ml::Algorithm;
+
+fn dataset(n: usize, m: usize) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let class = if i % 2 == 0 { 1.0 } else { -1.0 };
+            (0..m)
+                .map(|j| class * ((j % 5) as f64 * 0.3 + 0.5) + rng.random::<f64>() - 0.5)
+                .collect()
+        })
+        .collect();
+    let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let (x, y) = dataset(720, 28);
+    let mut group = c.benchmark_group("fit_720x28");
+    // SMO is orders of magnitude slower; keep sample counts workable.
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                alg.fit(&x, &y, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let models: Vec<_> = Algorithm::ALL
+        .iter()
+        .map(|a| (a.name(), a.fit(&x, &y, &mut rng).unwrap()))
+        .collect();
+    let probe = x.row(0).to_vec();
+    let mut group = c.benchmark_group("predict_one");
+    for (name, model) in &models {
+        group.bench_function(*name, |b| {
+            b.iter(|| model.decision(std::hint::black_box(&probe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

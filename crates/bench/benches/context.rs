@@ -1,0 +1,51 @@
+//! Criterion bench: context detection (random-forest predict) — must stay
+//! far under the paper's reported <3 ms per window (§V-E).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou_core::{ContextDetector, ContextDetectorConfig, FeatureExtractor};
+use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+
+fn bench_context(c: &mut Criterion) {
+    let population = Population::generate(6, 11);
+    let extractor = FeatureExtractor::paper_default(50.0);
+    let spec = WindowSpec::from_seconds(2.0, 50.0);
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for user in population.iter() {
+        let mut gen = TraceGenerator::new(user.clone(), 13);
+        for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+            for w in gen.generate_windows(ctx, spec, 20) {
+                features.push(extractor.context_features(&w));
+                labels.push(ctx.coarse());
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    let detector = ContextDetector::train(
+        extractor.clone(),
+        &features,
+        &labels,
+        ContextDetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+
+    let probe = features[0].clone();
+    c.bench_function("context_detect_from_features", |b| {
+        b.iter(|| detector.detect_from_features(std::hint::black_box(&probe)))
+    });
+
+    let mut gen = TraceGenerator::new(population.users()[0].clone(), 19);
+    let window = gen
+        .generate_windows(RawContext::MovingAround, WindowSpec::default(), 1)
+        .pop()
+        .unwrap();
+    c.bench_function("context_detect_full_window", |b| {
+        b.iter(|| detector.detect(std::hint::black_box(&window)))
+    });
+}
+
+criterion_group!(benches, bench_context);
+criterion_main!(benches);

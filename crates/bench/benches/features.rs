@@ -1,0 +1,29 @@
+//! Criterion bench: per-window feature extraction (Eqs. 1–4) — the cost
+//! the phone pays every 6 seconds during continuous authentication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smarteryou_core::{DeviceSet, FeatureExtractor};
+use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+
+fn bench_features(c: &mut Criterion) {
+    let owner = Population::generate(1, 7).users()[0].clone();
+    let mut gen = TraceGenerator::new(owner, 3);
+    let window = gen
+        .generate_windows(RawContext::MovingAround, WindowSpec::default(), 1)
+        .pop()
+        .unwrap();
+    let extractor = FeatureExtractor::paper_default(50.0);
+
+    c.bench_function("auth_features_combined_6s", |b| {
+        b.iter(|| extractor.auth_features(std::hint::black_box(&window), DeviceSet::Combined))
+    });
+    c.bench_function("auth_features_phone_6s", |b| {
+        b.iter(|| extractor.auth_features(std::hint::black_box(&window), DeviceSet::PhoneOnly))
+    });
+    c.bench_function("context_features_6s", |b| {
+        b.iter(|| extractor.context_features(std::hint::black_box(&window)))
+    });
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

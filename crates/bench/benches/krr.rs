@@ -1,0 +1,58 @@
+//! Criterion bench: KRR training in primal (Eq. 7) vs dual (Eq. 6) form at
+//! the paper's deployed scale (N = 720, M = 28), plus prediction cost.
+//! This is the §V-H1 complexity claim as a benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smarteryou_linalg::Matrix;
+use smarteryou_ml::{BinaryClassifier, KernelRidge, KrrSolver};
+
+/// Synthetic but realistically scaled binary dataset.
+fn dataset(n: usize, m: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let class = if i % 2 == 0 { 1.0 } else { -1.0 };
+            (0..m)
+                .map(|j| class * (j as f64 * 0.1 + 1.0) + rng.random::<f64>() * 2.0 - 1.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn bench_krr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("krr_train");
+    for &n in &[200usize, 720] {
+        let (x, y) = dataset(n, 28, 42);
+        group.bench_with_input(BenchmarkId::new("primal_m28", n), &n, |b, _| {
+            b.iter(|| {
+                KernelRidge::new(1.0)
+                    .with_solver(KrrSolver::Primal)
+                    .fit(&x, &y)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dual_m28", n), &n, |b, _| {
+            b.iter(|| {
+                KernelRidge::new(1.0)
+                    .with_solver(KrrSolver::Dual)
+                    .fit(&x, &y)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let (x, y) = dataset(720, 28, 42);
+    let model = KernelRidge::new(1.0).fit(&x, &y).unwrap();
+    let probe: Vec<f64> = x.row(0).to_vec();
+    c.bench_function("krr_predict_one_window", |b| {
+        b.iter(|| model.decision(std::hint::black_box(&probe)))
+    });
+}
+
+criterion_group!(benches, bench_krr);
+criterion_main!(benches);

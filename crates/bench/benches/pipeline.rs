@@ -1,0 +1,86 @@
+//! Criterion bench: the full per-window authentication path — feature
+//! extraction → context detection → KRR decision. The paper reports the
+//! whole chain at <21 ms on a Nexus 5 (§V-F4).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou_core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, SmarterYou,
+    SystemConfig, SystemPhase, TrainingServer,
+};
+use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+
+fn build_system() -> (SmarterYou, TraceGenerator, WindowSpec) {
+    let population = Population::generate(8, 5);
+    let owner = population.users()[0].clone();
+    let cfg = SystemConfig::paper_default().with_data_size(120);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[1..] {
+        let mut gen = TraceGenerator::new(user.clone(), 9);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+            let windows = gen.generate_windows(raw, spec, 25);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let mut system = SmarterYou::new(cfg, detector, Arc::new(Mutex::new(server)), 1).unwrap();
+
+    // Enroll the owner.
+    let mut gen = TraceGenerator::new(owner, 21);
+    let mut s = 0;
+    while system.phase() == SystemPhase::Enrollment {
+        let ctx = if s % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
+        s += 1;
+        for w in gen.generate_windows(ctx, spec, 10) {
+            system.process_window(&w).unwrap();
+        }
+    }
+    (system, gen, spec)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (mut system, mut gen, spec) = build_system();
+    gen.begin_session(RawContext::SittingStanding);
+    let window = gen.next_window(spec);
+
+    c.bench_function("pipeline_authenticate_one_window", |b| {
+        b.iter(|| system.process_window(std::hint::black_box(&window)).unwrap())
+    });
+
+    c.bench_function("generator_one_window_6s", |b| {
+        b.iter(|| gen.next_window(spec))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Calibration probe: prints the headline numbers (Table VII cells, per-
+//! context error rates, masquerade survival) at a configurable scale so the
+//! simulator's noise knobs can be tuned against the paper's bands.
+//!
+//! Not part of the repro suite — a development tool.
+
+use smarteryou_bench::{header, pct};
+use smarteryou_core::experiment::{
+    collect_population_features, evaluate_authentication, evaluate_per_context,
+    masquerade_experiment, ExperimentConfig, MasqueradeConfig,
+};
+use smarteryou_core::{ContextMode, DeviceSet};
+use smarteryou_ml::Algorithm;
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper_default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--users" => cfg.num_users = args.next().unwrap().parse().unwrap(),
+            "--windows" => cfg.windows_per_context = args.next().unwrap().parse().unwrap(),
+            "--noise" => cfg.generator.noise_scale = args.next().unwrap().parse().unwrap(),
+            "--threshold" => cfg.accept_threshold = args.next().unwrap().parse().unwrap(),
+            "--repeats" => cfg.repeats = args.next().unwrap().parse().unwrap(),
+            "--drift" => cfg.generator.drift_scale = args.next().unwrap().parse().unwrap(),
+            "--outliers" => cfg.generator.outlier_prob = args.next().unwrap().parse().unwrap(),
+            "--skip-table6" | "--per-user" | "--skip-fig6" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let skip_table6 = std::env::args().any(|a| a == "--skip-table6");
+    println!("config: {cfg:?}");
+
+    let t0 = std::time::Instant::now();
+    let data = collect_population_features(&cfg);
+    println!("collected features in {:?}", t0.elapsed());
+
+    header("Table VII", "context x device ablation (KRR)");
+    for mode in ContextMode::ALL {
+        for device in [DeviceSet::PhoneOnly, DeviceSet::Combined] {
+            let t = std::time::Instant::now();
+            let perf = evaluate_authentication(&data, &cfg, device, mode, Algorithm::Krr);
+            println!(
+                "{:<12} {:<12} FRR {:>6} FAR {:>6} acc {:>6}   ({:?})",
+                mode.name(),
+                device.name(),
+                pct(perf.frr),
+                pct(perf.far),
+                pct(perf.accuracy()),
+                t.elapsed()
+            );
+        }
+    }
+
+    header("per-context", "KRR per context & device");
+    for device in DeviceSet::ALL {
+        let per_ctx = evaluate_per_context(&data, &cfg, device);
+        println!(
+            "{:<12} stationary: {}   moving: {}",
+            device.name(),
+            per_ctx[0],
+            per_ctx[1]
+        );
+    }
+
+    if !skip_table6 {
+        header("Table VI", "algorithms at deployed config");
+        for alg in Algorithm::ALL {
+            let t = std::time::Instant::now();
+            let perf =
+                evaluate_authentication(&data, &cfg, DeviceSet::Combined, ContextMode::PerContext, alg);
+            println!(
+                "{:<18} FRR {:>6} FAR {:>6} acc {:>6}  ({:?})",
+                alg.name(),
+                pct(perf.frr),
+                pct(perf.far),
+                pct(perf.accuracy()),
+                t.elapsed()
+            );
+        }
+    }
+
+    if std::env::args().any(|a| a == "--per-user") {
+        header("diag", "per-target-user performance (combined, per-context)");
+        let mut one = cfg.clone();
+        one.repeats = 1;
+        for target in 0..cfg.num_users {
+            let mut sub = data.clone();
+            // Rotate: evaluate with each user as the sole target by keeping
+            // the full pool but reporting only this target's CV outcome.
+            let users = std::mem::take(&mut sub.users);
+            sub.users = users;
+            let perf = smarteryou_core::experiment::evaluate_single_user(
+                &sub,
+                &one,
+                DeviceSet::Combined,
+                ContextMode::PerContext,
+                Algorithm::Krr,
+                target,
+            );
+            println!(
+                "user{target:02}: FRR {:>6} FAR {:>6} acc {:>6}",
+                pct(perf.frr),
+                pct(perf.far),
+                pct(perf.accuracy())
+            );
+        }
+    }
+
+    header("Fig 6", "masquerade survival");
+    let mcfg = MasqueradeConfig::default();
+    let report = masquerade_experiment(&cfg, &mcfg);
+    println!("survival: {:?}", report.survival);
+    println!(
+        "90% detected by: {:?}s, all by {:?}s",
+        report.detection_time(0.9),
+        report.detection_time(1.0)
+    );
+    println!("total {:?}", t0.elapsed());
+}

@@ -1,0 +1,183 @@
+//! Diagnostic probe (development tool): for a handful of target users,
+//! compares training-set vs held-out error of linear KRR against RBF KRR,
+//! to distinguish "not linearly separable" from "generalisation gap".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou_bench::pct;
+use smarteryou_core::experiment::{collect_population_features, ExperimentConfig};
+use smarteryou_core::DeviceSet;
+use smarteryou_ml::{
+    evaluate_binary, stratified_k_fold, Dataset, Kernel, KernelRidge, Scaler,
+};
+use smarteryou_sensors::UsageContext;
+#[allow(unused_imports)]
+use smarteryou_stats as _stats_link;
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper_default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--noise" => cfg.generator.noise_scale = args.next().unwrap().parse().unwrap(),
+            "--rho" => cfg.rho = args.next().unwrap().parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let data = collect_population_features(&cfg);
+    let per_class = cfg.data_size / 2;
+
+    // Per-feature Fisher scores over users, per context.
+    let names = data.extractor.feature_names(DeviceSet::Combined);
+    for ctx in [UsageContext::Stationary, UsageContext::Moving] {
+        println!("--- Fisher scores, {} ---", ctx.name());
+        let per_user: Vec<Vec<Vec<f64>>> = data
+            .users
+            .iter()
+            .map(|u| u.features(Some(ctx), DeviceSet::Combined))
+            .collect();
+        for col in 0..28 {
+            let groups: Vec<Vec<f64>> = per_user
+                .iter()
+                .map(|rows| rows.iter().map(|r| r[col]).collect())
+                .collect();
+            let fs = smarteryou_stats::fisher_score(&groups);
+            println!("{:<22} FS {:.2}", names[col], fs);
+        }
+    }
+
+    // Sitting-only clean probe: what does a single-raw-context dataset give?
+    {
+        use smarteryou_sensors::{Population, RawContext, TraceGenerator};
+        let population = Population::generate(cfg.num_users, cfg.seed);
+        let spec = cfg.window_spec();
+        let per_user: Vec<Vec<Vec<f64>>> = population
+            .users()
+            .iter()
+            .map(|u| {
+                let mut gen =
+                    TraceGenerator::with_config(u.clone(), cfg.seed ^ 0xAB, cfg.generator);
+                let mut rows = Vec::new();
+                for _ in 0..50 {
+                    gen.advance_days(0.25);
+                    gen.begin_session(RawContext::SittingStanding);
+                    for _ in 0..8 {
+                        let w = gen.next_window(spec);
+                        rows.push(data.extractor.auth_features(&w, DeviceSet::Combined));
+                    }
+                }
+                rows
+            })
+            .collect();
+        println!("--- sitting-only Fisher ---");
+        for col in [1usize, 4, 5, 9, 12, 21] {
+            let groups: Vec<Vec<f64>> = per_user
+                .iter()
+                .map(|rows| rows.iter().map(|r| r[col]).collect())
+                .collect();
+            println!("{:<22} FS {:.2}", names[col], smarteryou_stats::fisher_score(&groups));
+        }
+        for target in [0usize, 9, 30] {
+            let pos: Vec<Vec<f64>> = per_user[target].iter().take(per_class).cloned().collect();
+            let mut negatives = Vec::new();
+            let mut idx = 0;
+            'outer2: loop {
+                let mut any = false;
+                for (i, u) in per_user.iter().enumerate() {
+                    if i == target {
+                        continue;
+                    }
+                    if let Some(v) = u.get(idx) {
+                        negatives.push(v.clone());
+                        any = true;
+                        if negatives.len() == per_class {
+                            break 'outer2;
+                        }
+                    }
+                }
+                if !any {
+                    break;
+                }
+                idx += 1;
+            }
+            let dataset = Dataset::from_classes(&pos, &negatives).unwrap();
+            let scaler = Scaler::fit(dataset.x());
+            let xs = scaler.transform(dataset.x());
+            let lin = KernelRidge::new(cfg.rho).fit(&xs, dataset.y()).unwrap();
+            let out = evaluate_binary(&lin, &xs, dataset.y(), cfg.accept_threshold);
+            println!(
+                "sitting-only user{target:02} train(lin): FRR {} FAR {}",
+                pct(out.frr()),
+                pct(out.far())
+            );
+        }
+    }
+
+    for target in [0usize, 7, 9, 17, 30] {
+        let positives = data.users[target].features(Some(UsageContext::Stationary), DeviceSet::Combined);
+        let mut negatives = Vec::new();
+        let mut idx = 0;
+        'outer: loop {
+            let mut any = false;
+            for (i, u) in data.users.iter().enumerate() {
+                if i == target {
+                    continue;
+                }
+                let f = u.features(Some(UsageContext::Stationary), DeviceSet::Combined);
+                if let Some(v) = f.get(idx) {
+                    negatives.push(v.clone());
+                    any = true;
+                    if negatives.len() == per_class {
+                        break 'outer;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            idx += 1;
+        }
+        let pos: Vec<Vec<f64>> = positives.into_iter().take(per_class).collect();
+        let dataset = Dataset::from_classes(&pos, &negatives).unwrap();
+        let scaler = Scaler::fit(dataset.x());
+        let xs = scaler.transform(dataset.x());
+        let scaled = Dataset::new(xs, dataset.y().to_vec()).unwrap();
+
+        // Train-set error of linear KRR (is it separable at all?).
+        let lin = KernelRidge::new(cfg.rho).fit(scaled.x(), scaled.y()).unwrap();
+        let train_out = evaluate_binary(&lin, scaled.x(), scaled.y(), cfg.accept_threshold);
+        // CV error, linear.
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = stratified_k_fold(scaled.y(), 10, &mut rng);
+        let cv = |kernel: Kernel, rho: f64| {
+            let mut pooled = smarteryou_stats::BinaryOutcomes::default();
+            for (i, test_idx) in folds.iter().enumerate() {
+                let train_idx: Vec<usize> = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .flat_map(|(_, f)| f.iter().copied())
+                    .collect();
+                let tr = scaled.subset(&train_idx);
+                let te = scaled.subset(test_idx);
+                let m = KernelRidge::new(rho)
+                    .with_kernel(kernel)
+                    .fit(tr.x(), tr.y())
+                    .unwrap();
+                pooled.merge(&evaluate_binary(&m, te.x(), te.y(), cfg.accept_threshold));
+            }
+            pooled
+        };
+        let lin_cv = cv(Kernel::Linear, cfg.rho);
+        let rbf_cv = cv(Kernel::Rbf { gamma: 1.0 / 28.0 }, 0.5);
+        println!(
+            "user{target:02}  train(lin): FRR {} FAR {}   cv(lin): FRR {} FAR {}   cv(rbf): FRR {} FAR {}",
+            pct(train_out.frr()),
+            pct(train_out.far()),
+            pct(lin_cv.frr()),
+            pct(lin_cv.far()),
+            pct(rbf_cv.frr()),
+            pct(rbf_cv.far()),
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Reproduces **Figure 2**: demographics of the 35 simulated participants.
+
+use smarteryou_bench::{compare_row, header, repro_config};
+use smarteryou_sensors::{AgeBand, Population, AGE_COUNTS, GENDER_COUNTS};
+
+fn main() {
+    let cfg = repro_config();
+    header("Figure 2", "participant demographics");
+    let population = Population::generate(cfg.num_users, cfg.seed);
+    let (female, male) = population.gender_counts();
+    compare_row("female participants", GENDER_COUNTS.0, female);
+    compare_row("male participants", GENDER_COUNTS.1, male);
+    let hist = population.age_histogram();
+    for ((band, &paper), measured) in AgeBand::ALL.iter().zip(&AGE_COUNTS).zip(hist) {
+        compare_row(&format!("age {}", band.label()), paper, measured);
+    }
+}

@@ -1,0 +1,82 @@
+//! Reproduces **Table IV**: Pearson correlations between smartphone and
+//! smartwatch features. The paper's conclusion: cross-device correlations
+//! are weak, so the watch contributes *new* information and both devices'
+//! features are kept (§V-D).
+
+use smarteryou_bench::{candidate_feature_matrices, collect_raw_windows_spaced, header, repro_config};
+use smarteryou_core::selection::mean_feature_correlation;
+use smarteryou_core::FeatureKind;
+use smarteryou_sensors::{DeviceKind, RawContext};
+
+fn main() {
+    let cfg = repro_config();
+    header(
+        "Table IV",
+        "cross-device feature correlations (rows: watch, cols: phone)",
+    );
+    let (sessions, per_session) = if smarteryou_bench::quick_mode() {
+        (6, 4)
+    } else {
+        (12, 6)
+    };
+    // Within one coarse context: mixing contexts makes *both* devices'
+    // features flip modes together (the same window is stationary or moving
+    // on both wrists), which would read as spurious cross-device
+    // correlation.
+    let windows =
+        collect_raw_windows_spaced(&cfg, RawContext::SittingStanding, 2 * sessions, per_session, 0.01);
+
+    // Table IV uses the 7 surviving features per sensor (Ran and Peak2 f
+    // both dropped): 14 columns per device.
+    let keep: Vec<usize> = (0..18)
+        .filter(|&c| {
+            let kind = FeatureKind::ALL[c % 9];
+            kind != FeatureKind::Peak2Freq && kind != FeatureKind::Range
+        })
+        .collect();
+    let labels: Vec<String> = keep
+        .iter()
+        .map(|&c| {
+            let sensor = if c < 9 { "acc" } else { "gyr" };
+            format!("{sensor}{}", FeatureKind::ALL[c % 9].name())
+        })
+        .collect();
+    let select = |m: &smarteryou_linalg::Matrix| {
+        let rows: Vec<Vec<f64>> = m
+            .iter_rows()
+            .map(|r| keep.iter().map(|&c| r[c]).collect())
+            .collect();
+        smarteryou_linalg::Matrix::from_rows(&rows).expect("uniform")
+    };
+    let phone: Vec<_> = candidate_feature_matrices(&windows, DeviceKind::Smartphone, cfg.sample_rate)
+        .iter()
+        .map(select)
+        .collect();
+    let watch: Vec<_> = candidate_feature_matrices(&windows, DeviceKind::Smartwatch, cfg.sample_rate)
+        .iter()
+        .map(select)
+        .collect();
+    let corr = mean_feature_correlation(&watch, &phone);
+
+    print!("{:>10}", "");
+    for l in &labels {
+        print!("{l:>9}");
+    }
+    println!();
+    let mut max_abs = 0.0f64;
+    for i in 0..labels.len() {
+        print!("{:>10}", labels[i]);
+        for j in 0..labels.len() {
+            let v = corr[(i, j)];
+            max_abs = max_abs.max(v.abs());
+            print!("{v:>9.2}");
+        }
+        println!();
+    }
+    println!(
+        "\npaper: all |ρ| ≤ ~0.42 (no strong cross-device correlation)\n\
+         measured max |ρ|: {max_abs:.2}\n\
+         conclusion: the smartwatch measures *different* aspects of the\n\
+         user's behaviour, so both devices' features are kept (§V-D)."
+    );
+}

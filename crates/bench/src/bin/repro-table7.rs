@@ -1,0 +1,41 @@
+//! Reproduces **Table VII**: FRR, FAR and accuracy under two contexts with
+//! different devices (the context × device ablation).
+
+use smarteryou_bench::{compare_row, header, pct, repro_config};
+use smarteryou_core::experiment::{collect_population_features, evaluate_authentication};
+use smarteryou_core::{ContextMode, DeviceSet};
+use smarteryou_ml::Algorithm;
+
+fn main() {
+    let cfg = repro_config();
+    header("Table VII", "FRR/FAR/accuracy: context x device (KRR)");
+    let data = collect_population_features(&cfg);
+
+    // (mode, device, paper FRR, paper FAR, paper accuracy)
+    let rows = [
+        (ContextMode::Unified, DeviceSet::PhoneOnly, 15.4, 17.4, 83.6),
+        (ContextMode::Unified, DeviceSet::Combined, 7.3, 9.3, 91.7),
+        (ContextMode::PerContext, DeviceSet::PhoneOnly, 5.1, 8.3, 93.3),
+        (ContextMode::PerContext, DeviceSet::Combined, 0.9, 2.8, 98.1),
+    ];
+    for (mode, device, p_frr, p_far, p_acc) in rows {
+        let perf = evaluate_authentication(&data, &cfg, device, mode, Algorithm::Krr);
+        let label = format!("{} / {}", mode.name(), device.name());
+        compare_row(
+            &format!("{label} FRR"),
+            format!("{p_frr:.1}%"),
+            pct(perf.frr),
+        );
+        compare_row(
+            &format!("{label} FAR"),
+            format!("{p_far:.1}%"),
+            pct(perf.far),
+        );
+        compare_row(
+            &format!("{label} accuracy"),
+            format!("{p_acc:.1}%"),
+            pct(perf.accuracy()),
+        );
+        println!();
+    }
+}

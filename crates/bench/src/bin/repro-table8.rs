@@ -1,0 +1,38 @@
+//! Reproduces **Table VIII**: battery consumption under four scenarios
+//! (§V-H3), using the calibrated component-level power model, plus the
+//! sampling-rate scaling prediction of §V-H2.
+
+use smarteryou_bench::{compare_row, header, num};
+use smarteryou_sensors::{PowerModel, PowerScenario};
+
+fn main() {
+    header("Table VIII", "battery consumption by scenario");
+    let model = PowerModel::default();
+    for scenario in PowerScenario::ALL {
+        compare_row(
+            scenario.label(),
+            format!("{:.1}%", scenario.paper_value()),
+            format!("{:.1}%", model.drain(scenario)),
+        );
+    }
+    compare_row(
+        "SmarterYou overhead, idle 12 h",
+        "2.1%",
+        format!("{:.1}%", model.monitor_overhead(false)),
+    );
+    compare_row(
+        "SmarterYou overhead, in-use 1 h",
+        "< 2.4%",
+        format!("{:.1}%", model.monitor_overhead(true)),
+    );
+
+    println!("\nsampling-rate scaling (§V-H2: cost scales with rate):");
+    for rate in [25.0, 50.0, 100.0] {
+        let drain = model.drain_for(PowerScenario::LockedMonitorOn, 12.0, rate);
+        println!(
+            "  {} Hz sampling, locked 12 h: {}%",
+            rate as u32,
+            num(drain, 2)
+        );
+    }
+}

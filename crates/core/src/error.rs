@@ -1,0 +1,56 @@
+use std::fmt;
+
+use smarteryou_ml::MlError;
+
+/// Error type for the SmarterYou core pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model-training step failed.
+    Training(MlError),
+    /// The pipeline was asked to authenticate before enrollment finished.
+    NotEnrolled,
+    /// Not enough data to perform the requested operation.
+    InsufficientData(String),
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Training(e) => write!(f, "training failed: {e}"),
+            CoreError::NotEnrolled => write!(f, "authenticator not yet enrolled"),
+            CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Training(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Training(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::NotEnrolled;
+        assert!(format!("{e}").contains("enrolled"));
+        let e: CoreError = MlError::InvalidParameter("rho".into()).into();
+        assert!(matches!(e, CoreError::Training(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

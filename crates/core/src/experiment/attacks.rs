@@ -1,0 +1,215 @@
+//! Masquerading (mimicry) attack evaluation — Figure 6 (§V-G).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use smarteryou_sensors::{
+    MimicryAttacker, Population, RawContext, TraceGenerator, UsageContext,
+};
+
+use super::data::collect_population_features;
+use super::{parallel_map, ExperimentConfig};
+use crate::features::DeviceSet;
+use crate::server::TrainingServer;
+
+/// Parameters of the masquerade experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasqueradeConfig {
+    /// Attack trials per victim (the paper ran 20).
+    pub trials_per_victim: usize,
+    /// Maximum attack duration in windows (10 × 6 s = 60 s, Figure 6's
+    /// x-axis).
+    pub horizon_windows: usize,
+}
+
+impl Default for MasqueradeConfig {
+    fn default() -> Self {
+        MasqueradeConfig {
+            trials_per_victim: 20,
+            horizon_windows: 10,
+        }
+    }
+}
+
+/// Result of the masquerade experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MasqueradeReport {
+    /// `survival[k]` = fraction of attack trials still authenticated after
+    /// `k` windows (`survival[0] == 1`). Figure 6 plots this against
+    /// `k × window_secs` seconds.
+    pub survival: Vec<f64>,
+    /// Window length in seconds (x-axis scale).
+    pub window_secs: f64,
+    /// Total trials run.
+    pub trials: usize,
+}
+
+impl MasqueradeReport {
+    /// Time (seconds) by which at least `fraction` of attackers have been
+    /// de-authenticated; `None` if never reached within the horizon.
+    pub fn detection_time(&self, fraction: f64) -> Option<f64> {
+        self.survival
+            .iter()
+            .position(|&s| s <= 1.0 - fraction + 1e-9)
+            .map(|k| k as f64 * self.window_secs)
+    }
+}
+
+/// Runs the §V-G mimicry attack: every user takes a turn as the victim;
+/// attackers are drawn from the rest of the population, watch the victim
+/// (modelled by [`MimicryAttacker`]) and then use the victim's phone while
+/// imitating them. A trial survives while every window so far was accepted
+/// (the response module de-authenticates on the first rejection).
+pub fn masquerade_experiment(
+    cfg: &ExperimentConfig,
+    mcfg: &MasqueradeConfig,
+) -> MasqueradeReport {
+    let population = Population::generate(cfg.num_users, cfg.seed);
+    let data = collect_population_features(cfg);
+    let spec = cfg.window_spec();
+    let system_cfg = cfg.system_config();
+
+    let targets: Vec<usize> = (0..cfg.num_users).collect();
+    let per_victim: Vec<Vec<usize>> = parallel_map(&targets, |&victim_idx| {
+        // Train the victim's deployed model (combined devices, per-context)
+        // exactly the way the pipeline's training server would.
+        let mut server = TrainingServer::new();
+        for (i, u) in data.users.iter().enumerate() {
+            if i == victim_idx {
+                continue;
+            }
+            for ctx in UsageContext::ALL {
+                server.contribute(ctx, u.features(Some(ctx), DeviceSet::Combined));
+            }
+        }
+        let positives = [
+            data.users[victim_idx].features(Some(UsageContext::Stationary), DeviceSet::Combined),
+            data.users[victim_idx].features(Some(UsageContext::Moving), DeviceSet::Combined),
+        ];
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77 ^ victim_idx as u64);
+        let authenticator = server
+            .train_authenticator(&positives, &system_cfg, &mut rng)
+            .expect("victim model trains");
+
+        // Run the attack trials.
+        let victim = population.users()[victim_idx].clone();
+        let mut survivals = Vec::with_capacity(mcfg.trials_per_victim);
+        for trial in 0..mcfg.trials_per_victim {
+            let mut trial_rng =
+                StdRng::seed_from_u64(cfg.seed ^ 0xBAD ^ ((victim_idx * 1000 + trial) as u64));
+            // Attacker: any other user, with a practised skill level.
+            let attacker_idx = {
+                let mut i = trial_rng.random_range(0..cfg.num_users - 1);
+                if i >= victim_idx {
+                    i += 1;
+                }
+                i
+            };
+            let mimic = MimicryAttacker::with_random_skill(
+                population.users()[attacker_idx].clone(),
+                &mut trial_rng,
+            );
+            let masq = mimic.masquerade_profile(&victim, &mut trial_rng);
+            let mut gen = TraceGenerator::with_config(
+                masq,
+                cfg.seed ^ (trial as u64) << 4 ^ victim_idx as u64,
+                cfg.generator,
+            );
+            // The attacker performs the victim's tasks; trials split across
+            // the two coarse contexts like real usage.
+            let raw_ctx = if trial % 2 == 0 {
+                RawContext::SittingStanding
+            } else {
+                RawContext::MovingAround
+            };
+            gen.begin_session(raw_ctx);
+            let mut survived = 0usize;
+            for _ in 0..mcfg.horizon_windows {
+                let w = gen.next_window(spec);
+                let features = data.extractor.auth_features(&w, DeviceSet::Combined);
+                let decision = authenticator.authenticate(raw_ctx.coarse(), &features);
+                if decision.accepted {
+                    survived += 1;
+                } else {
+                    break;
+                }
+            }
+            survivals.push(survived);
+        }
+        survivals
+    });
+
+    let all: Vec<usize> = per_victim.into_iter().flatten().collect();
+    let trials = all.len();
+    let survival: Vec<f64> = (0..=mcfg.horizon_windows)
+        .map(|k| all.iter().filter(|&&s| s >= k).count() as f64 / trials.max(1) as f64)
+        .collect();
+    MasqueradeReport {
+        survival,
+        window_secs: cfg.window_secs,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_is_monotone_and_starts_at_one() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.num_users = 4;
+        cfg.windows_per_context = 40;
+        cfg.data_size = 60;
+        let mcfg = MasqueradeConfig {
+            trials_per_victim: 4,
+            horizon_windows: 5,
+        };
+        let report = masquerade_experiment(&cfg, &mcfg);
+        assert_eq!(report.trials, 16);
+        assert_eq!(report.survival.len(), 6);
+        assert_eq!(report.survival[0], 1.0);
+        for pair in report.survival.windows(2) {
+            assert!(pair[0] >= pair[1], "survival must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn most_attackers_rejected_within_a_few_windows() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.num_users = 5;
+        cfg.windows_per_context = 50;
+        cfg.data_size = 80;
+        let mcfg = MasqueradeConfig {
+            trials_per_victim: 8,
+            horizon_windows: 6,
+        };
+        let report = masquerade_experiment(&cfg, &mcfg);
+        // Shape check (full calibration asserted at paper scale in the
+        // integration tests): well under half survive three windows.
+        assert!(
+            report.survival[3] < 0.5,
+            "survival at 3 windows {}",
+            report.survival[3]
+        );
+    }
+
+    #[test]
+    fn detection_time_reads_the_curve() {
+        let report = MasqueradeReport {
+            survival: vec![1.0, 0.4, 0.1, 0.0],
+            window_secs: 6.0,
+            trials: 10,
+        };
+        assert_eq!(report.detection_time(0.6), Some(6.0));
+        assert_eq!(report.detection_time(0.9), Some(12.0));
+        assert_eq!(report.detection_time(1.0), Some(18.0));
+        let never = MasqueradeReport {
+            survival: vec![1.0, 0.9],
+            window_secs: 6.0,
+            trials: 10,
+        };
+        assert_eq!(never.detection_time(0.5), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Authentication-accuracy experiments: Table VI (algorithms), Table VII
+//! (context × device ablation), Figure 4 (window-size sweep) and Figure 5
+//! (training-set-size sweep).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use smarteryou_ml::{
+    cross_validate, stratified_k_fold, Algorithm, BinaryClassifier, Dataset, MlError, Scaler,
+};
+use smarteryou_sensors::UsageContext;
+use smarteryou_stats::BinaryOutcomes;
+
+use super::data::{collect_population_features, PopulationFeatures};
+use super::{parallel_map, ExperimentConfig};
+use crate::config::ContextMode;
+use crate::features::DeviceSet;
+
+/// FRR / FAR / balanced accuracy of an authentication configuration — the
+/// cell format of Tables I, VI and VII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuthPerformance {
+    /// False reject rate (fraction).
+    pub frr: f64,
+    /// False accept rate (fraction).
+    pub far: f64,
+}
+
+impl AuthPerformance {
+    /// Balanced accuracy `1 − (FAR + FRR)/2`.
+    pub fn accuracy(&self) -> f64 {
+        1.0 - (self.far + self.frr) / 2.0
+    }
+
+    fn from_outcomes(o: &BinaryOutcomes) -> Self {
+        AuthPerformance {
+            frr: o.frr(),
+            far: o.far(),
+        }
+    }
+}
+
+impl fmt::Display for AuthPerformance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FRR {:5.1}%  FAR {:5.1}%  accuracy {:5.1}%",
+            100.0 * self.frr,
+            100.0 * self.far,
+            100.0 * self.accuracy()
+        )
+    }
+}
+
+/// A classifier that applies the training fold's z-score scaler before the
+/// wrapped model — keeps test-fold statistics out of training.
+struct ScaledModel {
+    scaler: Scaler,
+    inner: Box<dyn BinaryClassifier>,
+}
+
+impl BinaryClassifier for ScaledModel {
+    fn decision(&self, x: &[f64]) -> f64 {
+        self.inner.decision(&self.scaler.transform_vec(x))
+    }
+
+    fn num_features(&self) -> usize {
+        self.scaler.num_features()
+    }
+}
+
+/// Decision threshold per algorithm: the deployed KRR system runs at the
+/// configured operating point (slightly accept-biased, §V-F3); the Table VI
+/// baselines are evaluated at their natural zero threshold.
+fn threshold_for(algorithm: Algorithm, cfg: &ExperimentConfig) -> f64 {
+    match algorithm {
+        Algorithm::Krr => cfg.accept_threshold,
+        _ => 0.0,
+    }
+}
+
+/// Builds the per-target-user dataset: the target's windows as positives
+/// and a balanced, user-interleaved sample of everyone else's windows as
+/// negatives (the anonymized pool of §IV-A3). `most_recent` caps both
+/// classes to the latest windows when set (used by the data-size sweep).
+fn build_dataset(
+    data: &PopulationFeatures,
+    target: usize,
+    context: Option<UsageContext>,
+    device: DeviceSet,
+    per_class: usize,
+) -> Option<Dataset> {
+    let mut positives = data.users[target].features_with_days(context, device);
+    // Most recent first, then cap.
+    positives.sort_by(|a, b| b.0.total_cmp(&a.0));
+    positives.truncate(per_class);
+    let positives: Vec<Vec<f64>> = positives.into_iter().map(|(_, f)| f).collect();
+
+    // Interleave other users round-robin so negatives cover the population
+    // evenly (up to per_class windows).
+    let others: Vec<Vec<Vec<f64>>> = data
+        .users
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != target)
+        .map(|(_, u)| u.features(context, device))
+        .collect();
+    let mut negatives = Vec::with_capacity(per_class);
+    let mut idx = 0usize;
+    'outer: loop {
+        let mut any = false;
+        for other in &others {
+            if let Some(f) = other.get(idx) {
+                negatives.push(f.clone());
+                any = true;
+                if negatives.len() == per_class {
+                    break 'outer;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        idx += 1;
+    }
+    Dataset::from_classes(&positives, &negatives).ok()
+}
+
+/// Cross-validates one dataset with the given algorithm, pooling outcomes
+/// over `cfg.repeats` repetitions.
+fn cross_validate_dataset(
+    dataset: &Dataset,
+    algorithm: Algorithm,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> BinaryOutcomes {
+    let threshold = threshold_for(algorithm, cfg);
+    let mut pooled = BinaryOutcomes::default();
+    for rep in 0..cfg.repeats.max(1) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0x9E37));
+        let folds = stratified_k_fold(dataset.y(), cfg.folds, &mut rng);
+        let mut fit_rng = StdRng::seed_from_u64(seed ^ 0xF17 ^ rep as u64);
+        let report = cross_validate(dataset, &folds, threshold, |train| {
+            let scaler = Scaler::fit(train.x());
+            let xs = scaler.transform(train.x());
+            let inner = algorithm.fit(&xs, train.y(), &mut fit_rng)?;
+            Ok(Box::new(ScaledModel { scaler, inner }) as Box<dyn BinaryClassifier>)
+        })
+        .unwrap_or_else(|e: MlError| panic!("cross-validation failed: {e}"));
+        pooled.merge(&report.aggregate);
+    }
+    pooled
+}
+
+/// Evaluates one authentication configuration over the whole population
+/// (every user takes a turn as the legitimate owner; outcomes are pooled).
+///
+/// This is the generator of Table VII cells (vary `device` × `mode` with
+/// [`Algorithm::Krr`]) and Table VI rows (vary `algorithm` at the deployed
+/// `Combined` + `PerContext` configuration).
+pub fn evaluate_authentication(
+    data: &PopulationFeatures,
+    cfg: &ExperimentConfig,
+    device: DeviceSet,
+    mode: ContextMode,
+    algorithm: Algorithm,
+) -> AuthPerformance {
+    let per_class = cfg.data_size / 2;
+    let targets: Vec<usize> = (0..data.users.len()).collect();
+    let outcomes = parallel_map(&targets, |&target| {
+        let mut pooled = BinaryOutcomes::default();
+        let contexts: &[Option<UsageContext>] = match mode {
+            ContextMode::Unified => &[None],
+            ContextMode::PerContext => &[
+                Some(UsageContext::Stationary),
+                Some(UsageContext::Moving),
+            ],
+        };
+        for (c, context) in contexts.iter().enumerate() {
+            if let Some(dataset) = build_dataset(data, target, *context, device, per_class) {
+                let seed = cfg.seed ^ ((target as u64) << 8) ^ c as u64;
+                pooled.merge(&cross_validate_dataset(&dataset, algorithm, cfg, seed));
+            }
+        }
+        pooled
+    });
+    let mut total = BinaryOutcomes::default();
+    for o in &outcomes {
+        total.merge(o);
+    }
+    AuthPerformance::from_outcomes(&total)
+}
+
+/// Cross-validated performance with a single user as the legitimate owner —
+/// the per-user breakdown behind the pooled numbers (diagnostics).
+pub fn evaluate_single_user(
+    data: &PopulationFeatures,
+    cfg: &ExperimentConfig,
+    device: DeviceSet,
+    mode: ContextMode,
+    algorithm: Algorithm,
+    target: usize,
+) -> AuthPerformance {
+    let per_class = cfg.data_size / 2;
+    let mut pooled = BinaryOutcomes::default();
+    let contexts: &[Option<UsageContext>] = match mode {
+        ContextMode::Unified => &[None],
+        ContextMode::PerContext => &[
+            Some(UsageContext::Stationary),
+            Some(UsageContext::Moving),
+        ],
+    };
+    for (c, context) in contexts.iter().enumerate() {
+        if let Some(dataset) = build_dataset(data, target, *context, device, per_class) {
+            let seed = cfg.seed ^ ((target as u64) << 8) ^ c as u64;
+            pooled.merge(&cross_validate_dataset(&dataset, algorithm, cfg, seed));
+        }
+    }
+    AuthPerformance::from_outcomes(&pooled)
+}
+
+/// Like [`evaluate_authentication`] with per-context models, but reports
+/// the two contexts separately — the split Figure 4 plots.
+pub fn evaluate_per_context(
+    data: &PopulationFeatures,
+    cfg: &ExperimentConfig,
+    device: DeviceSet,
+) -> [AuthPerformance; 2] {
+    let per_class = cfg.data_size / 2;
+    let targets: Vec<usize> = (0..data.users.len()).collect();
+    let outcomes = parallel_map(&targets, |&target| {
+        let mut per_ctx = [BinaryOutcomes::default(), BinaryOutcomes::default()];
+        for ctx in UsageContext::ALL {
+            if let Some(dataset) =
+                build_dataset(data, target, Some(ctx), device, per_class)
+            {
+                let seed = cfg.seed ^ ((target as u64) << 8) ^ ctx.index() as u64;
+                per_ctx[ctx.index()] =
+                    cross_validate_dataset(&dataset, Algorithm::Krr, cfg, seed);
+            }
+        }
+        per_ctx
+    });
+    let mut total = [BinaryOutcomes::default(), BinaryOutcomes::default()];
+    for o in &outcomes {
+        total[0].merge(&o[0]);
+        total[1].merge(&o[1]);
+    }
+    [
+        AuthPerformance::from_outcomes(&total[0]),
+        AuthPerformance::from_outcomes(&total[1]),
+    ]
+}
+
+/// One point of the Figure 4 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSizePoint {
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// Per-context performance for each of [`DeviceSet::ALL`]
+    /// (`[context][device]`, contexts in [`UsageContext::ALL`] order).
+    pub performance: [[AuthPerformance; 3]; 2],
+}
+
+/// Figure 4: FRR/FAR versus window size, per context and device set.
+/// Regenerates the population at every window size (window length changes
+/// the features themselves).
+pub fn window_size_sweep(cfg: &ExperimentConfig, sizes: &[f64]) -> Vec<WindowSizePoint> {
+    sizes
+        .iter()
+        .map(|&secs| {
+            let mut sweep_cfg = cfg.clone();
+            sweep_cfg.window_secs = secs;
+            let data = collect_population_features(&sweep_cfg);
+            let mut performance =
+                [[AuthPerformance { frr: 0.0, far: 0.0 }; 3]; 2];
+            for (d, device) in DeviceSet::ALL.iter().enumerate() {
+                let per_ctx = evaluate_per_context(&data, &sweep_cfg, *device);
+                performance[0][d] = per_ctx[0];
+                performance[1][d] = per_ctx[1];
+            }
+            WindowSizePoint {
+                window_secs: secs,
+                performance,
+            }
+        })
+        .collect()
+}
+
+/// One point of the Figure 5 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSizePoint {
+    /// Training-set size (windows, both classes).
+    pub data_size: usize,
+    /// `[context][device]` accuracy, contexts in [`UsageContext::ALL`]
+    /// order, devices in [`DeviceSet::ALL`] order.
+    pub performance: [[AuthPerformance; 3]; 2],
+}
+
+/// Figure 5: accuracy versus training-set size. Uses the *most recent*
+/// `n/2` windows per class, so growing `n` reaches further into the past —
+/// with behavioural drift, training sets beyond the drift horizon get
+/// stale, reproducing the paper's decline past ≈800.
+///
+/// `cfg.windows_per_context` must cover `max(sizes)/2`.
+pub fn data_size_sweep(cfg: &ExperimentConfig, sizes: &[usize]) -> Vec<DataSizePoint> {
+    let data = collect_population_features(cfg);
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut point_cfg = cfg.clone();
+            point_cfg.data_size = n;
+            let mut performance =
+                [[AuthPerformance { frr: 0.0, far: 0.0 }; 3]; 2];
+            for (d, device) in DeviceSet::ALL.iter().enumerate() {
+                let per_ctx = evaluate_per_context(&data, &point_cfg, *device);
+                performance[0][d] = per_ctx[0];
+                performance[1][d] = per_ctx[1];
+            }
+            DataSizePoint {
+                data_size: n,
+                performance,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_data() -> (ExperimentConfig, PopulationFeatures) {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.num_users = 5;
+        cfg.windows_per_context = 50;
+        cfg.data_size = 60;
+        let data = collect_population_features(&cfg);
+        (cfg, data)
+    }
+
+    #[test]
+    fn deployed_configuration_beats_chance_by_a_wide_margin() {
+        let (cfg, data) = quick_data();
+        let perf = evaluate_authentication(
+            &data,
+            &cfg,
+            DeviceSet::Combined,
+            ContextMode::PerContext,
+            Algorithm::Krr,
+        );
+        assert!(perf.accuracy() > 0.8, "accuracy {}", perf.accuracy());
+        assert!(perf.frr < 0.3 && perf.far < 0.3);
+    }
+
+    #[test]
+    fn per_context_split_reports_both_contexts() {
+        let (cfg, data) = quick_data();
+        let per_ctx = evaluate_per_context(&data, &cfg, DeviceSet::PhoneOnly);
+        for p in per_ctx {
+            assert!(p.frr.is_finite() && p.far.is_finite());
+            assert!(p.accuracy() > 0.6);
+        }
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let p = AuthPerformance {
+            frr: 0.009,
+            far: 0.028,
+        };
+        let s = format!("{p}");
+        assert!(s.contains("0.9"));
+        assert!(s.contains("2.8"));
+        assert!((p.accuracy() - 0.9815).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_builder_balances_classes() {
+        let (_, data) = quick_data();
+        let d = build_dataset(
+            &data,
+            0,
+            Some(UsageContext::Stationary),
+            DeviceSet::Combined,
+            30,
+        )
+        .unwrap();
+        let pos = d.y().iter().filter(|&&l| l > 0.0).count();
+        let neg = d.y().len() - pos;
+        assert_eq!(pos, 30);
+        assert_eq!(neg, 30);
+    }
+}

@@ -1,0 +1,153 @@
+//! KRR complexity measurement — §V-H1: the primal form (Eq. 7, O(M³-ish))
+//! versus the dual form (Eq. 6, O(N³-ish)) at the deployed scale
+//! N = 720 training windows, M = 28 features.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use smarteryou_ml::{Algorithm, BinaryClassifier, KernelRidge, KrrSolver, Scaler};
+use smarteryou_sensors::UsageContext;
+
+use super::data::PopulationFeatures;
+use super::ExperimentConfig;
+use crate::features::DeviceSet;
+
+/// Timing results of the complexity experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComplexityReport {
+    /// Training samples used (the paper's N×9/10 = 720).
+    pub n: usize,
+    /// Feature dimension (the paper's M = 28).
+    pub m: usize,
+    /// Median primal-form training time (Eq. 7).
+    pub train_primal: Duration,
+    /// Median dual-form training time (Eq. 6).
+    pub train_dual: Duration,
+    /// Median single-window classification time.
+    pub test_time: Duration,
+    /// Median SVM (SMO) training time on the same data — the baseline whose
+    /// cost §V-F2 contrasts against KRR.
+    pub train_svm: Duration,
+}
+
+impl ComplexityReport {
+    /// Primal speed-up factor over the dual form.
+    pub fn speedup(&self) -> f64 {
+        self.train_dual.as_secs_f64() / self.train_primal.as_secs_f64().max(1e-12)
+    }
+}
+
+fn median_duration(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Times the two KRR formulations (and the SVM baseline) on a real
+/// user-vs-rest dataset drawn from `data`, at the deployed N and M.
+pub fn complexity_experiment(data: &PopulationFeatures, cfg: &ExperimentConfig) -> ComplexityReport {
+    // Build one representative training set: user 0, stationary context,
+    // 9/10 of data_size (the CV training share).
+    let per_class = cfg.data_size / 2;
+    let positives = data.users[0].features(Some(UsageContext::Stationary), DeviceSet::Combined);
+    let mut negatives = Vec::new();
+    'fill: for u in &data.users[1..] {
+        for f in u.features(Some(UsageContext::Stationary), DeviceSet::Combined) {
+            negatives.push(f);
+            if negatives.len() >= per_class {
+                break 'fill;
+            }
+        }
+    }
+    let take = |v: &[Vec<f64>], n: usize| v.iter().take(n).cloned().collect::<Vec<_>>();
+    let n_train = (cfg.data_size * 9 / 10).min(positives.len() + negatives.len());
+    let per_side = n_train / 2;
+    let dataset = smarteryou_ml::Dataset::from_classes(
+        &take(&positives, per_side),
+        &take(&negatives, per_side),
+    )
+    .expect("complexity dataset");
+    let scaler = Scaler::fit(dataset.x());
+    let xs = scaler.transform(dataset.x());
+    let y = dataset.y();
+
+    let time_fit = |solver: KrrSolver, reps: usize| {
+        let times: Vec<Duration> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let model = KernelRidge::new(cfg.rho)
+                    .with_solver(solver)
+                    .fit(&xs, y)
+                    .expect("krr fits");
+                std::hint::black_box(&model);
+                t0.elapsed()
+            })
+            .collect();
+        median_duration(times)
+    };
+    let train_primal = time_fit(KrrSolver::Primal, 15);
+    let train_dual = time_fit(KrrSolver::Dual, 5);
+
+    let train_svm = {
+        let times: Vec<Duration> = (0..3)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ i);
+                let t0 = Instant::now();
+                let model = Algorithm::Svm.fit(&xs, y, &mut rng).expect("svm fits");
+                std::hint::black_box(&model);
+                t0.elapsed()
+            })
+            .collect();
+        median_duration(times)
+    };
+
+    // Per-window classification latency.
+    let model = KernelRidge::new(cfg.rho).fit(&xs, y).expect("krr fits");
+    let probe = xs.row(0).to_vec();
+    let test_time = {
+        let reps = 1000;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(model.decision(std::hint::black_box(&probe)));
+        }
+        t0.elapsed() / reps
+    };
+
+    ComplexityReport {
+        n: xs.rows(),
+        m: xs.cols(),
+        train_primal,
+        train_dual,
+        test_time,
+        train_svm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::collect_population_features;
+
+    #[test]
+    fn primal_is_faster_than_dual_at_paper_scale_ratio() {
+        // Shrunk version: N = 180, M = 28 still shows the asymmetry.
+        let mut cfg = ExperimentConfig::quick();
+        cfg.num_users = 5;
+        cfg.windows_per_context = 110;
+        cfg.data_size = 200;
+        let data = collect_population_features(&cfg);
+        let report = complexity_experiment(&data, &cfg);
+        assert_eq!(report.m, 28);
+        assert!(report.n >= 150, "n = {}", report.n);
+        assert!(
+            report.speedup() > 2.0,
+            "primal {:?} vs dual {:?}",
+            report.train_primal,
+            report.train_dual
+        );
+        // Classification is far below the 6-second window budget.
+        assert!(report.test_time < Duration::from_millis(1));
+    }
+}

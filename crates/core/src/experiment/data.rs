@@ -1,0 +1,222 @@
+//! Free-form data collection: simulates the §V-A study (N users carrying
+//! both devices for two weeks) and reduces every window to its combined
+//! 28-dimensional authentication feature vector immediately, so experiments
+//! never hold raw sensor streams for the whole population.
+
+use serde::{Deserialize, Serialize};
+
+use smarteryou_sensors::{RawContext, TraceGenerator, UsageContext, UserId};
+
+use super::{parallel_map, ExperimentConfig};
+use crate::features::{DeviceSet, FeatureExtractor};
+
+/// One user's collected windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserFeatureData {
+    /// Who the windows belong to.
+    pub user: UserId,
+    /// `(day, coarse context, combined feature vector)` in chronological
+    /// order. The combined vector is `[phone(14), watch(14)]`; use
+    /// [`project_features`] for device ablations.
+    pub windows: Vec<(f64, UsageContext, Vec<f64>)>,
+}
+
+impl UserFeatureData {
+    /// Feature vectors matching `context` (all when `None`), projected onto
+    /// `device`, in chronological order.
+    pub fn features(&self, context: Option<UsageContext>, device: DeviceSet) -> Vec<Vec<f64>> {
+        self.windows
+            .iter()
+            .filter(|(_, c, _)| context.map_or(true, |want| *c == want))
+            .map(|(_, _, f)| project_features(f, device))
+            .collect()
+    }
+
+    /// Like [`UserFeatureData::features`] but keeps the day stamp.
+    pub fn features_with_days(
+        &self,
+        context: Option<UsageContext>,
+        device: DeviceSet,
+    ) -> Vec<(f64, Vec<f64>)> {
+        self.windows
+            .iter()
+            .filter(|(_, c, _)| context.map_or(true, |want| *c == want))
+            .map(|(d, _, f)| (*d, project_features(f, device)))
+            .collect()
+    }
+}
+
+/// The whole population's collected features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationFeatures {
+    /// Extractor the features were computed with (defines layout).
+    pub extractor: FeatureExtractor,
+    /// Per-user data, indexed by `UserId`.
+    pub users: Vec<UserFeatureData>,
+}
+
+impl PopulationFeatures {
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no users were collected.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Projects a combined `[phone, watch]` feature vector onto a device
+/// ablation.
+///
+/// # Panics
+///
+/// Panics if the vector length is odd (not a phone+watch concatenation).
+pub fn project_features(combined: &[f64], device: DeviceSet) -> Vec<f64> {
+    let half = combined.len() / 2;
+    assert_eq!(half * 2, combined.len(), "expected [phone, watch] layout");
+    match device {
+        DeviceSet::PhoneOnly => combined[..half].to_vec(),
+        DeviceSet::WatchOnly => combined[half..].to_vec(),
+        DeviceSet::Combined => combined.to_vec(),
+    }
+}
+
+/// Simulates the §V-A collection for the whole population (parallel over
+/// users): every user contributes at least `windows_per_context` windows of
+/// each coarse context, spread over `cfg.days` days of drifting behaviour
+/// and changing sessions.
+pub fn collect_population_features(cfg: &ExperimentConfig) -> PopulationFeatures {
+    let population = smarteryou_sensors::Population::generate(cfg.num_users, cfg.seed);
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate);
+    let spec = cfg.window_spec();
+
+    let users = parallel_map(population.users(), |profile| {
+        let mut gen = TraceGenerator::with_config(
+            profile.clone(),
+            cfg.seed ^ 0x5EED,
+            cfg.generator,
+        );
+        // Session plan: round-robin over contexts so both coarse classes
+        // fill evenly; stationary-like sessions rotate through the three
+        // stationary raw contexts the way free-form usage would.
+        // Mix mirrors free-form usage: mostly seated in-hand use, some
+        // on-table typing, occasional transit. (Vehicle sessions bury the
+        // behavioural signal under cabin vibration, so their share matters:
+        // 1 in 10 stationary sessions.)
+        const PLAN: [RawContext; 20] = [
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::OnTable,
+            RawContext::MovingAround,
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::OnTable,
+            RawContext::MovingAround,
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::OnTable,
+            RawContext::MovingAround,
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::Vehicle,
+            RawContext::MovingAround,
+        ];
+        let windows_per_session = 8usize;
+        // 10 stationary + 10 moving sessions per plan cycle; sessions needed
+        // to fill both quotas, plus slack.
+        let sessions_needed =
+            (cfg.windows_per_context as f64 / (10.0 * windows_per_session as f64) * 21.0).ceil()
+                as usize;
+        let day_step = cfg.days / sessions_needed.max(1) as f64;
+
+        let mut windows = Vec::with_capacity(2 * cfg.windows_per_context);
+        let mut counts = [0usize; 2];
+        let mut session = 0usize;
+        while (counts[0] < cfg.windows_per_context || counts[1] < cfg.windows_per_context)
+            && session < sessions_needed * 3
+        {
+            let ctx = PLAN[session % PLAN.len()];
+            session += 1;
+            gen.advance_days(day_step);
+            let coarse = ctx.coarse();
+            if counts[coarse.index()] >= cfg.windows_per_context {
+                continue;
+            }
+            gen.begin_session(ctx);
+            let take = windows_per_session
+                .min(cfg.windows_per_context - counts[coarse.index()]);
+            for _ in 0..take {
+                let w = gen.next_window(spec);
+                let f = extractor.auth_features(&w, DeviceSet::Combined);
+                windows.push((gen.day(), coarse, f));
+                counts[coarse.index()] += 1;
+            }
+        }
+        UserFeatureData {
+            user: profile.id,
+            windows,
+        }
+    });
+
+    PopulationFeatures { extractor, users }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_data() -> PopulationFeatures {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.num_users = 3;
+        cfg.windows_per_context = 20;
+        collect_population_features(&cfg)
+    }
+
+    #[test]
+    fn collection_fills_both_context_quotas() {
+        let data = quick_data();
+        assert_eq!(data.len(), 3);
+        for u in &data.users {
+            let st = u.features(Some(UsageContext::Stationary), DeviceSet::Combined);
+            let mv = u.features(Some(UsageContext::Moving), DeviceSet::Combined);
+            assert_eq!(st.len(), 20, "stationary quota");
+            assert_eq!(mv.len(), 20, "moving quota");
+            assert!(st.iter().all(|f| f.len() == 28));
+        }
+    }
+
+    #[test]
+    fn windows_are_chronological_and_span_days() {
+        let data = quick_data();
+        let u = &data.users[0];
+        for pair in u.windows.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+        let first = u.windows.first().unwrap().0;
+        let last = u.windows.last().unwrap().0;
+        assert!(last - first > 1.0, "collection spans multiple days");
+    }
+
+    #[test]
+    fn projection_slices_devices() {
+        let combined: Vec<f64> = (0..28).map(|i| i as f64).collect();
+        assert_eq!(project_features(&combined, DeviceSet::PhoneOnly).len(), 14);
+        assert_eq!(project_features(&combined, DeviceSet::WatchOnly)[0], 14.0);
+        assert_eq!(project_features(&combined, DeviceSet::Combined).len(), 28);
+    }
+
+    #[test]
+    fn features_with_days_aligns() {
+        let data = quick_data();
+        let u = &data.users[1];
+        let with_days = u.features_with_days(None, DeviceSet::PhoneOnly);
+        assert_eq!(with_days.len(), u.windows.len());
+        assert_eq!(with_days[0].1.len(), 14);
+    }
+}

@@ -1,0 +1,205 @@
+//! Behavioural-drift and automatic-retraining evaluation — Figure 7 (§V-I).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use smarteryou_sensors::{GeneratorConfig, Population, RawContext, TraceGenerator};
+
+use super::ExperimentConfig;
+use crate::context_detect::{ContextDetector, ContextDetectorConfig};
+use crate::features::{DeviceSet, FeatureExtractor};
+use crate::pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase};
+use crate::response::ResponsePolicy;
+use crate::retrain::RetrainPolicy;
+use crate::server::TrainingServer;
+
+/// Result of the drift/retraining simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Mean confidence score per simulated day — the Figure 7 series.
+    pub daily_confidence: Vec<(u32, f64)>,
+    /// Day of the first automatic retrain, if one was triggered.
+    pub retrain_day: Option<f64>,
+    /// All pipeline events.
+    pub events: Vec<SystemEvent>,
+}
+
+/// Simulates `days` of post-enrollment usage for one owner whose behaviour
+/// drifts at `drift_scale` × the nominal rate, running the full SmarterYou
+/// pipeline (context detection, per-context KRR, confidence tracking,
+/// automatic retraining).
+///
+/// With `drift_scale ≈ 2` (a user whose habits change noticeably within a
+/// week — the case Figure 7 illustrates) the confidence score sags below
+/// ε = 0.2 around the end of the first week, triggers a retrain, and
+/// recovers.
+pub fn drift_experiment(cfg: &ExperimentConfig, days: usize, drift_scale: f64) -> DriftReport {
+    let population = Population::generate(cfg.num_users, cfg.seed);
+    let owner = population.users()[0].clone();
+    let spec = cfg.window_spec();
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate);
+
+    // --- context detector + anonymized pool from the *other* users -------
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[1..] {
+        let mut gen = TraceGenerator::with_config(user.clone(), cfg.seed ^ 0xD1, cfg.generator);
+        for raw in [
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::OnTable,
+        ] {
+            let windows = gen.generate_windows(raw, spec, 30);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD2);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig::default(),
+        &mut rng,
+    )
+    .expect("context detector trains");
+
+    // --- the owner's pipeline --------------------------------------------
+    let mut system = SmarterYou::new(
+        cfg.system_config(),
+        detector,
+        Arc::new(Mutex::new(server)),
+        cfg.seed ^ 0xD3,
+    )
+    .expect("valid config")
+    // Figure 7 tracks the legitimate user across misclassifications, so the
+    // device must not hard-lock on the occasional false reject.
+    .with_response_policy(ResponsePolicy {
+        rejects_to_lock: usize::MAX,
+    })
+    .with_retrain_policy(RetrainPolicy::default());
+
+    let owner_gen_cfg = GeneratorConfig {
+        drift_scale,
+        ..cfg.generator
+    };
+    let mut gen = TraceGenerator::with_config(owner, cfg.seed ^ 0xD4, owner_gen_cfg);
+
+    // Enrollment first: ~800 windows is only a couple of hours of usage
+    // (§V-B "about 800 measurements"), so it completes within day 0.
+    let mut enroll_sessions = 0usize;
+    while system.phase() == SystemPhase::Enrollment {
+        assert!(
+            enroll_sessions < 2000,
+            "enrollment did not converge (data_size {})",
+            cfg.data_size
+        );
+        let raw = if enroll_sessions % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
+        enroll_sessions += 1;
+        gen.advance_days(0.002);
+        gen.begin_session(raw);
+        system.set_clock(gen.day());
+        for _ in 0..10 {
+            let w = gen.next_window(spec);
+            system.process_window(&w).expect("pipeline processes");
+        }
+    }
+
+    // Simulated usage: `sessions_per_day` sessions alternating contexts.
+    let sessions_per_day = 10usize;
+    let windows_per_session = 6usize;
+    let mut retrain_day = None;
+    for day in 0..days {
+        for s in 0..sessions_per_day {
+            gen.advance_days(1.0 / sessions_per_day as f64);
+            let raw = if s % 2 == 0 {
+                RawContext::SittingStanding
+            } else {
+                RawContext::MovingAround
+            };
+            gen.begin_session(raw);
+            system.set_clock(day as f64 + s as f64 / sessions_per_day as f64);
+            for _ in 0..windows_per_session {
+                let w = gen.next_window(spec);
+                if let Ok(ProcessOutcome::Decision { retrained, .. }) = system.process_window(&w)
+                {
+                    if retrained && retrain_day.is_none() {
+                        retrain_day = Some(gen.day());
+                    }
+                }
+            }
+        }
+    }
+
+    DriftReport {
+        daily_confidence: system.confidence_tracker().daily_medians(),
+        retrain_day,
+        events: system.events().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.num_users = 4;
+        cfg.data_size = 40;
+        cfg
+    }
+
+    #[test]
+    fn no_drift_keeps_confidence_high() {
+        let mut cfg = quick_cfg();
+        cfg.generator.drift_scale = 0.0;
+        let report = drift_experiment(&cfg, 3, 0.0);
+        assert!(report.retrain_day.is_none(), "no drift → no retrain");
+        // After the enrollment day, confidence stays comfortably positive.
+        let last = report.daily_confidence.last().unwrap();
+        assert!(last.1 > 0.3, "day {} mean CS {}", last.0, last.1);
+    }
+
+    #[test]
+    fn strong_drift_triggers_retraining_and_recovery() {
+        let cfg = quick_cfg();
+        let report = drift_experiment(&cfg, 14, 8.0);
+        assert!(
+            report.retrain_day.is_some(),
+            "strong drift should trigger a retrain; daily CS: {:?}",
+            report.daily_confidence
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SystemEvent::Retrained { .. })));
+    }
+
+    #[test]
+    fn daily_series_covers_the_horizon() {
+        let mut cfg = quick_cfg();
+        cfg.generator.drift_scale = 0.5;
+        let report = drift_experiment(&cfg, 4, 0.5);
+        assert!(report.daily_confidence.len() >= 3);
+        for (_, cs) in &report.daily_confidence {
+            assert!(cs.is_finite());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Experiment harness: the code behind every table and figure of the
+//! paper's evaluation (§V). The `repro-*` binaries in `smarteryou-bench`
+//! are thin wrappers over these functions.
+
+mod attacks;
+mod auth_eval;
+mod complexity;
+mod context_eval;
+mod data;
+mod drift_eval;
+
+pub use attacks::{masquerade_experiment, MasqueradeConfig, MasqueradeReport};
+pub use auth_eval::{
+    data_size_sweep, evaluate_authentication, evaluate_per_context, evaluate_single_user,
+    window_size_sweep, AuthPerformance, DataSizePoint, WindowSizePoint,
+};
+pub use complexity::{complexity_experiment, ComplexityReport};
+pub use context_eval::{context_detection_experiment, ContextDetectionReport};
+pub use data::{collect_population_features, project_features, PopulationFeatures, UserFeatureData};
+pub use drift_eval::{drift_experiment, DriftReport};
+
+use serde::{Deserialize, Serialize};
+use smarteryou_sensors::GeneratorConfig;
+
+use crate::config::SystemConfig;
+
+/// Shared knobs for the evaluation experiments.
+///
+/// [`ExperimentConfig::paper_default`] mirrors §V-A (35 users, two weeks of
+/// free-form usage, 6-second windows, 800-sample training sets, 10-fold
+/// cross-validation); [`ExperimentConfig::quick`] is a down-scaled variant
+/// for tests and smoke runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of simulated participants.
+    pub num_users: usize,
+    /// Master seed; every derived RNG stream is a function of it.
+    pub seed: u64,
+    /// Days of free-form usage the collection spans.
+    pub days: f64,
+    /// Windows collected per user per coarse context.
+    pub windows_per_context: usize,
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// Sensor sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Training-set size (positives + negatives) per model.
+    pub data_size: usize,
+    /// Ridge parameter ρ.
+    pub rho: f64,
+    /// KRR acceptance threshold (see [`SystemConfig::accept_threshold`]).
+    pub accept_threshold: f64,
+    /// Cross-validation folds (the paper uses 10).
+    pub folds: usize,
+    /// Cross-validation repetitions averaged over (the paper uses 1000; we
+    /// default lower since the simulator can generate fresh data at will).
+    pub repeats: usize,
+    /// Sensor-generator tunables (noise, outliers, drift).
+    pub generator: GeneratorConfig,
+}
+
+impl ExperimentConfig {
+    /// The paper's evaluation scale.
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            num_users: 35,
+            seed: 42,
+            days: 14.0,
+            windows_per_context: 450,
+            window_secs: 6.0,
+            sample_rate: 50.0,
+            data_size: 800,
+            rho: 1.0,
+            accept_threshold: 0.2,
+            folds: 10,
+            repeats: 2,
+            generator: GeneratorConfig::default(),
+        }
+    }
+
+    /// A small configuration that keeps unit/integration tests fast while
+    /// exercising the full code path.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            num_users: 8,
+            seed: 42,
+            days: 6.0,
+            windows_per_context: 60,
+            window_secs: 2.0,
+            sample_rate: 50.0,
+            data_size: 80,
+            rho: 1.0,
+            accept_threshold: 0.2,
+            folds: 5,
+            repeats: 1,
+            generator: GeneratorConfig::default(),
+        }
+    }
+
+    /// The [`SystemConfig`] equivalent of this experiment configuration.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig::paper_default()
+            .with_window_secs(self.window_secs)
+            .with_sample_rate(self.sample_rate)
+            .with_data_size(self.data_size)
+            .with_rho(self.rho)
+            .with_accept_threshold(self.accept_threshold)
+    }
+
+    /// Window spec for the sensor generator.
+    pub fn window_spec(&self) -> smarteryou_sensors::WindowSpec {
+        smarteryou_sensors::WindowSpec::from_seconds(self.window_secs, self.sample_rate)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper_default()
+    }
+}
+
+/// Order-preserving parallel map over a slice using scoped threads.
+pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move |_| c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    })
+    .expect("experiment scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_v() {
+        let cfg = ExperimentConfig::paper_default();
+        assert_eq!(cfg.num_users, 35);
+        assert_eq!(cfg.data_size, 800);
+        assert_eq!(cfg.folds, 10);
+        assert_eq!(cfg.window_spec().samples, 300);
+        assert_eq!(cfg.system_config().data_size(), 800);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_small_inputs() {
+        assert_eq!(parallel_map(&[1], |&x: &i32| x + 1), vec![2]);
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &i32| x).is_empty());
+    }
+}

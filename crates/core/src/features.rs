@@ -1,0 +1,441 @@
+use serde::{Deserialize, Serialize};
+
+use smarteryou_dsp::{magnitude_spectrum, spectral_peaks};
+use smarteryou_sensors::{DualDeviceWindow, SensorKind, SensorWindow};
+use smarteryou_stats as stats;
+
+/// The nine candidate statistical features of §V-C, computed per sensor
+/// magnitude stream per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Average value of the stream.
+    Mean,
+    /// Variance of the stream.
+    Var,
+    /// Maximum value.
+    Max,
+    /// Minimum value.
+    Min,
+    /// Range (max − min) — dropped by the correlation screening
+    /// (redundant with `Var`, Table III).
+    Range,
+    /// Amplitude of the main spectral peak.
+    Peak,
+    /// Frequency of the main spectral peak.
+    PeakFreq,
+    /// Amplitude of the secondary spectral peak.
+    Peak2,
+    /// Frequency of the secondary spectral peak — dropped by the KS
+    /// screening (indistinguishable across users, Figure 3).
+    Peak2Freq,
+}
+
+impl FeatureKind {
+    /// All nine candidates, in the paper's listing order.
+    pub const ALL: [FeatureKind; 9] = [
+        FeatureKind::Mean,
+        FeatureKind::Var,
+        FeatureKind::Max,
+        FeatureKind::Min,
+        FeatureKind::Range,
+        FeatureKind::Peak,
+        FeatureKind::PeakFreq,
+        FeatureKind::Peak2,
+        FeatureKind::Peak2Freq,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureKind::Mean => "Mean",
+            FeatureKind::Var => "Var",
+            FeatureKind::Max => "Max",
+            FeatureKind::Min => "Min",
+            FeatureKind::Range => "Ran",
+            FeatureKind::Peak => "Peak",
+            FeatureKind::PeakFreq => "Peak f",
+            FeatureKind::Peak2 => "Peak2",
+            FeatureKind::Peak2Freq => "Peak2 f",
+        }
+    }
+
+    /// Whether this is a time-domain feature (`SPᵗ` in Eq. 2).
+    pub fn is_time_domain(&self) -> bool {
+        matches!(
+            self,
+            FeatureKind::Mean
+                | FeatureKind::Var
+                | FeatureKind::Max
+                | FeatureKind::Min
+                | FeatureKind::Range
+        )
+    }
+}
+
+/// An ordered selection of features to extract per sensor stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    kinds: Vec<FeatureKind>,
+}
+
+impl FeatureSet {
+    /// The deployed 7-feature set (Eq. 2): all nine candidates minus
+    /// `Range` (redundant, Table III) and `Peak2 f` ("bad", Figure 3).
+    pub fn paper_default() -> Self {
+        FeatureSet {
+            kinds: vec![
+                FeatureKind::Mean,
+                FeatureKind::Var,
+                FeatureKind::Max,
+                FeatureKind::Min,
+                FeatureKind::Peak,
+                FeatureKind::PeakFreq,
+                FeatureKind::Peak2,
+            ],
+        }
+    }
+
+    /// All nine candidates — used by the selection studies (§V-C).
+    pub fn all_candidates() -> Self {
+        FeatureSet {
+            kinds: FeatureKind::ALL.to_vec(),
+        }
+    }
+
+    /// A custom selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty or contains duplicates.
+    pub fn custom(kinds: Vec<FeatureKind>) -> Self {
+        assert!(!kinds.is_empty(), "feature set must be non-empty");
+        for (i, k) in kinds.iter().enumerate() {
+            assert!(
+                !kinds[..i].contains(k),
+                "duplicate feature {k:?} in feature set"
+            );
+        }
+        FeatureSet { kinds }
+    }
+
+    /// Features per sensor stream.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when no features are selected (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The selected kinds, in extraction order.
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// Extracts the features from one magnitude stream.
+    ///
+    /// Frequency features need at least 3 spectrum bins; degenerate windows
+    /// yield zeros there rather than NaNs so downstream classifiers stay
+    /// finite.
+    pub fn extract(&self, magnitude: &[f64], sample_rate: f64) -> Vec<f64> {
+        let summary = stats::Summary::from_slice(magnitude);
+        let needs_spectrum = self.kinds.iter().any(|k| !k.is_time_domain());
+        let peaks = if needs_spectrum {
+            let spectrum = magnitude_spectrum(magnitude);
+            spectral_peaks(&spectrum, sample_rate)
+        } else {
+            None
+        };
+        self.kinds
+            .iter()
+            .map(|k| match k {
+                FeatureKind::Mean => summary.mean,
+                FeatureKind::Var => summary.variance,
+                FeatureKind::Max => summary.max,
+                FeatureKind::Min => summary.min,
+                FeatureKind::Range => summary.range(),
+                FeatureKind::Peak => peaks.map_or(0.0, |p| p.main_amplitude),
+                FeatureKind::PeakFreq => peaks.map_or(0.0, |p| p.main_frequency),
+                FeatureKind::Peak2 => peaks.map_or(0.0, |p| p.secondary_amplitude),
+                FeatureKind::Peak2Freq => peaks.map_or(0.0, |p| p.secondary_frequency),
+            })
+            .collect()
+    }
+}
+
+/// Which devices contribute to the authentication feature vector — the
+/// device ablation axis of Table VII and Figures 4/5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceSet {
+    /// Smartphone sensors only (14 features with the default set).
+    PhoneOnly,
+    /// Smartwatch sensors only.
+    WatchOnly,
+    /// Both devices (28 features — Eq. 4).
+    Combined,
+}
+
+impl DeviceSet {
+    /// The three ablation configurations in the figures' legend order.
+    pub const ALL: [DeviceSet; 3] = [
+        DeviceSet::Combined,
+        DeviceSet::PhoneOnly,
+        DeviceSet::WatchOnly,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceSet::PhoneOnly => "Smartphone",
+            DeviceSet::WatchOnly => "Smartwatch",
+            DeviceSet::Combined => "Combination",
+        }
+    }
+}
+
+/// Extracts authentication and context feature vectors from sensor windows
+/// (Eqs. 1–4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_core::{DeviceSet, FeatureExtractor};
+/// use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+///
+/// let owner = Population::generate(1, 7).users()[0].clone();
+/// let mut gen = TraceGenerator::new(owner, 1);
+/// let window = gen.generate_windows(RawContext::MovingAround, WindowSpec::default(), 1)
+///     .pop()
+///     .unwrap();
+///
+/// let extractor = FeatureExtractor::paper_default(50.0);
+/// let combined = extractor.auth_features(&window, DeviceSet::Combined);
+/// assert_eq!(combined.len(), 28); // 7 features × 2 sensors × 2 devices
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    set: FeatureSet,
+    sample_rate: f64,
+}
+
+impl FeatureExtractor {
+    /// Extractor with the deployed 7-feature set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive.
+    pub fn paper_default(sample_rate: f64) -> Self {
+        FeatureExtractor::new(FeatureSet::paper_default(), sample_rate)
+    }
+
+    /// Extractor with a custom feature set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is not positive.
+    pub fn new(set: FeatureSet, sample_rate: f64) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        FeatureExtractor { set, sample_rate }
+    }
+
+    /// The per-stream feature selection.
+    pub fn feature_set(&self) -> &FeatureSet {
+        &self.set
+    }
+
+    /// Sampling rate used for frequency features.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Features of one sensor on one device — `SPᵢ(k)` of Eq. 1/2.
+    pub fn sensor_features(&self, window: &SensorWindow, sensor: SensorKind) -> Vec<f64> {
+        self.set.extract(&window.magnitude(sensor), self.sample_rate)
+    }
+
+    /// Features of one device — `SP(k)` of Eq. 3: accelerometer features
+    /// followed by gyroscope features.
+    pub fn device_features(&self, window: &SensorWindow) -> Vec<f64> {
+        let mut out = self.sensor_features(window, SensorKind::Accelerometer);
+        out.extend(self.sensor_features(window, SensorKind::Gyroscope));
+        out
+    }
+
+    /// The authentication feature vector of Eq. 4 for the chosen device
+    /// ablation: `[SP(k)]`, `[SW(k)]`, or `[SP(k), SW(k)]`.
+    pub fn auth_features(&self, dual: &DualDeviceWindow, devices: DeviceSet) -> Vec<f64> {
+        match devices {
+            DeviceSet::PhoneOnly => self.device_features(&dual.phone),
+            DeviceSet::WatchOnly => self.device_features(&dual.watch),
+            DeviceSet::Combined => {
+                let mut out = self.device_features(&dual.phone);
+                out.extend(self.device_features(&dual.watch));
+                out
+            }
+        }
+    }
+
+    /// The context feature vector (§V-E): the paper reuses the smartphone
+    /// feature vector of Eq. 3 for user-agnostic context detection.
+    pub fn context_features(&self, dual: &DualDeviceWindow) -> Vec<f64> {
+        self.device_features(&dual.phone)
+    }
+
+    /// Number of features per device (`|SP(k)|`).
+    pub fn features_per_device(&self) -> usize {
+        2 * self.set.len()
+    }
+
+    /// Length of [`FeatureExtractor::auth_features`] output.
+    pub fn auth_vector_len(&self, devices: DeviceSet) -> usize {
+        match devices {
+            DeviceSet::Combined => 2 * self.features_per_device(),
+            _ => self.features_per_device(),
+        }
+    }
+
+    /// Human-readable names of the authentication vector entries, e.g.
+    /// `"phone.Acc.Mean"`, matching extraction order.
+    pub fn feature_names(&self, devices: DeviceSet) -> Vec<String> {
+        let per_device = |dev: &str| -> Vec<String> {
+            let mut out = Vec::new();
+            for sensor in [SensorKind::Accelerometer, SensorKind::Gyroscope] {
+                for kind in self.set.kinds() {
+                    out.push(format!("{dev}.{}.{}", sensor.name(), kind.name()));
+                }
+            }
+            out
+        };
+        match devices {
+            DeviceSet::PhoneOnly => per_device("phone"),
+            DeviceSet::WatchOnly => per_device("watch"),
+            DeviceSet::Combined => {
+                let mut out = per_device("phone");
+                out.extend(per_device("watch"));
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+
+    fn sample_window() -> DualDeviceWindow {
+        let owner = Population::generate(1, 3).users()[0].clone();
+        let mut gen = TraceGenerator::new(owner, 5);
+        gen.generate_windows(RawContext::MovingAround, WindowSpec::from_seconds(4.0, 50.0), 1)
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_default_has_seven_features() {
+        let set = FeatureSet::paper_default();
+        assert_eq!(set.len(), 7);
+        assert!(!set.kinds().contains(&FeatureKind::Range));
+        assert!(!set.kinds().contains(&FeatureKind::Peak2Freq));
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn vector_lengths_match_the_paper() {
+        // §V-F1: 7×2 = 14 for the phone, 7×2×2 = 28 combined.
+        let e = FeatureExtractor::paper_default(50.0);
+        assert_eq!(e.features_per_device(), 14);
+        assert_eq!(e.auth_vector_len(DeviceSet::PhoneOnly), 14);
+        assert_eq!(e.auth_vector_len(DeviceSet::Combined), 28);
+        let w = sample_window();
+        assert_eq!(e.auth_features(&w, DeviceSet::PhoneOnly).len(), 14);
+        assert_eq!(e.auth_features(&w, DeviceSet::WatchOnly).len(), 14);
+        assert_eq!(e.auth_features(&w, DeviceSet::Combined).len(), 28);
+        assert_eq!(e.context_features(&w).len(), 14);
+    }
+
+    #[test]
+    fn combined_vector_is_phone_then_watch() {
+        let e = FeatureExtractor::paper_default(50.0);
+        let w = sample_window();
+        let combined = e.auth_features(&w, DeviceSet::Combined);
+        let phone = e.auth_features(&w, DeviceSet::PhoneOnly);
+        let watch = e.auth_features(&w, DeviceSet::WatchOnly);
+        assert_eq!(&combined[..14], phone.as_slice());
+        assert_eq!(&combined[14..], watch.as_slice());
+    }
+
+    #[test]
+    fn features_are_finite_on_real_windows() {
+        let e = FeatureExtractor::new(FeatureSet::all_candidates(), 50.0);
+        let w = sample_window();
+        for v in e.auth_features(&w, DeviceSet::Combined) {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn known_signal_features() {
+        // Constant magnitude stream: var 0, peak amplitudes ~0.
+        let set = FeatureSet::all_candidates();
+        let stream = vec![2.0; 100];
+        let f = set.extract(&stream, 50.0);
+        let by = |k: FeatureKind| {
+            f[FeatureKind::ALL.iter().position(|x| *x == k).unwrap()]
+        };
+        assert_eq!(by(FeatureKind::Mean), 2.0);
+        assert_eq!(by(FeatureKind::Var), 0.0);
+        assert_eq!(by(FeatureKind::Max), 2.0);
+        assert_eq!(by(FeatureKind::Min), 2.0);
+        assert_eq!(by(FeatureKind::Range), 0.0);
+        assert!(by(FeatureKind::Peak) < 1e-9);
+    }
+
+    #[test]
+    fn peak_frequency_tracks_tone() {
+        let set = FeatureSet::paper_default();
+        let fs = 50.0;
+        let stream: Vec<f64> = (0..300)
+            .map(|i| 5.0 + (2.0 * std::f64::consts::PI * 2.5 * i as f64 / fs).sin())
+            .collect();
+        let f = set.extract(&stream, fs);
+        let idx = set
+            .kinds()
+            .iter()
+            .position(|k| *k == FeatureKind::PeakFreq)
+            .unwrap();
+        assert!((f[idx] - 2.5).abs() < 0.2, "peak f {}", f[idx]);
+    }
+
+    #[test]
+    fn degenerate_window_yields_finite_features() {
+        let set = FeatureSet::paper_default();
+        let f = set.extract(&[1.0, 2.0], 50.0);
+        assert!(f.iter().all(|v| v.is_finite() || v.is_nan()));
+        // Frequency features fall back to zero.
+        assert_eq!(f[4], 0.0);
+    }
+
+    #[test]
+    fn feature_names_align_with_vector() {
+        let e = FeatureExtractor::paper_default(50.0);
+        let names = e.feature_names(DeviceSet::Combined);
+        assert_eq!(names.len(), 28);
+        assert_eq!(names[0], "phone.Acc.Mean");
+        assert_eq!(names[14], "watch.Acc.Mean");
+        assert!(names[7].starts_with("phone.Gyr"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn custom_set_rejects_duplicates() {
+        FeatureSet::custom(vec![FeatureKind::Mean, FeatureKind::Mean]);
+    }
+
+    #[test]
+    fn device_set_names() {
+        assert_eq!(DeviceSet::Combined.name(), "Combination");
+        assert_eq!(DeviceSet::ALL.len(), 3);
+    }
+}

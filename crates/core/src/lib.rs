@@ -1,0 +1,50 @@
+//! # SmarterYou core
+//!
+//! The primary contribution of *“Implicit Smartphone User Authentication
+//! with Sensors and Contextual Machine Learning”* (Lee & Lee, DSN 2017):
+//! an implicit, continuous re-authentication system that
+//!
+//! 1. extracts time- and frequency-domain features from smartphone and
+//!    smartwatch accelerometer/gyroscope windows ([`FeatureExtractor`],
+//!    Eqs. 1–4),
+//! 2. detects the coarse usage context with a user-agnostic random forest
+//!    ([`ContextDetector`], §V-E),
+//! 3. authenticates each window with a per-context kernel ridge regression
+//!    model trained by a cloud server against an anonymized population pool
+//!    ([`Authenticator`], [`TrainingServer`]),
+//! 4. responds to rejections ([`ResponseModule`]) and retrains
+//!    automatically on behavioural drift ([`ConfidenceTracker`], §V-I).
+//!
+//! [`SmarterYou`] ties these together into the deployable on-device runtime
+//! of Figure 1, and [`experiment`] hosts the harness that regenerates every
+//! table and figure of §V.
+//!
+//! # Example
+//!
+//! See `examples/quickstart.rs` at the workspace root for an end-to-end
+//! enrollment + continuous-authentication session; unit-level examples live
+//! on the individual types.
+
+mod auth;
+mod config;
+mod context_detect;
+mod error;
+pub mod experiment;
+mod features;
+mod pipeline;
+mod power;
+mod response;
+mod retrain;
+pub mod selection;
+mod server;
+
+pub use auth::{AuthDecision, AuthModel, Authenticator};
+pub use config::{ContextMode, SystemConfig};
+pub use context_detect::{ContextDetector, ContextDetectorConfig};
+pub use error::CoreError;
+pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
+pub use pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase};
+pub use power::{BatteryRow, OverheadReport};
+pub use response::{ResponseAction, ResponseModule, ResponsePolicy};
+pub use retrain::{ConfidenceTracker, RetrainPolicy};
+pub use server::TrainingServer;

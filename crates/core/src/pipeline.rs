@@ -1,0 +1,443 @@
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use smarteryou_sensors::DualDeviceWindow;
+
+use crate::auth::{AuthDecision, Authenticator};
+use crate::config::{ContextMode, SystemConfig};
+use crate::context_detect::ContextDetector;
+use crate::features::FeatureExtractor;
+use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
+use crate::retrain::{ConfidenceTracker, RetrainPolicy};
+use crate::server::TrainingServer;
+use crate::CoreError;
+
+/// Lifecycle phase of the on-device system (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemPhase {
+    /// Collecting the owner's windows until the enrollment buffers are full.
+    Enrollment,
+    /// Models trained; every window is authenticated.
+    ContinuousAuth,
+}
+
+/// Notable events emitted by the pipeline, with the simulated day they
+/// occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystemEvent {
+    /// Enrollment buffers filled and the first models were trained.
+    EnrollmentComplete {
+        /// Simulated day.
+        day: f64,
+    },
+    /// Behavioural drift triggered an automatic retrain (§V-I).
+    Retrained {
+        /// Simulated day.
+        day: f64,
+    },
+    /// The response module locked the device.
+    Locked {
+        /// Simulated day.
+        day: f64,
+    },
+}
+
+/// Result of feeding one window through [`SmarterYou::process_window`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProcessOutcome {
+    /// Still enrolling; counts of buffered windows per context.
+    Enrolling {
+        /// Windows buffered in the stationary context.
+        stationary: usize,
+        /// Windows buffered in the moving context.
+        moving: usize,
+    },
+    /// An authentication decision was made.
+    Decision {
+        /// Classifier verdict and confidence.
+        decision: AuthDecision,
+        /// Response-module action.
+        action: ResponseAction,
+        /// Whether this window triggered an automatic retrain.
+        retrained: bool,
+    },
+}
+
+/// The on-device SmarterYou runtime: feature extraction → context detection
+/// → per-context authentication → response, plus enrollment buffering and
+/// confidence-score-driven retraining (Figure 1's testing module).
+///
+/// The [`TrainingServer`] is shared behind a mutex, modelling the cloud
+/// service that many devices talk to.
+#[derive(Debug, Clone)]
+pub struct SmarterYou {
+    cfg: SystemConfig,
+    extractor: FeatureExtractor,
+    detector: ContextDetector,
+    server: Arc<Mutex<TrainingServer>>,
+    authenticator: Option<Authenticator>,
+    response: ResponseModule,
+    tracker: ConfidenceTracker,
+    /// Enrollment buffers per context index.
+    buffers: [Vec<Vec<f64>>; 2],
+    /// Ring buffers of recently accepted windows, used for retraining.
+    recent: [Vec<Vec<f64>>; 2],
+    events: Vec<SystemEvent>,
+    day: f64,
+    rng: StdRng,
+}
+
+impl SmarterYou {
+    /// Creates a pipeline in the enrollment phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid configurations.
+    pub fn new(
+        cfg: SystemConfig,
+        detector: ContextDetector,
+        server: Arc<Mutex<TrainingServer>>,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+        Ok(SmarterYou {
+            cfg,
+            extractor,
+            detector,
+            server,
+            authenticator: None,
+            response: ResponseModule::new(ResponsePolicy::default()),
+            tracker: ConfidenceTracker::new(RetrainPolicy::default()),
+            buffers: [Vec::new(), Vec::new()],
+            recent: [Vec::new(), Vec::new()],
+            events: Vec::new(),
+            day: 0.0,
+            rng: rand::SeedableRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Overrides the response policy (default: lock on first rejection).
+    pub fn with_response_policy(mut self, policy: ResponsePolicy) -> Self {
+        self.response = ResponseModule::new(policy);
+        self
+    }
+
+    /// Overrides the retraining policy (default: ε = 0.2 over 30 windows).
+    pub fn with_retrain_policy(mut self, policy: RetrainPolicy) -> Self {
+        self.tracker = ConfidenceTracker::new(policy);
+        self
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> SystemPhase {
+        if self.authenticator.is_some() {
+            SystemPhase::ContinuousAuth
+        } else {
+            SystemPhase::Enrollment
+        }
+    }
+
+    /// Advances the pipeline's notion of time (fractional days).
+    pub fn set_clock(&mut self, day: f64) {
+        self.day = day;
+    }
+
+    /// The trained authenticator, once enrollment completed.
+    pub fn authenticator(&self) -> Option<&Authenticator> {
+        self.authenticator.as_ref()
+    }
+
+    /// Events emitted so far.
+    pub fn events(&self) -> &[SystemEvent] {
+        &self.events
+    }
+
+    /// The confidence-score tracker (Figure 7's time series).
+    pub fn confidence_tracker(&self) -> &ConfidenceTracker {
+        &self.tracker
+    }
+
+    /// Whether the response module has locked the device.
+    pub fn is_locked(&self) -> bool {
+        self.response.is_locked()
+    }
+
+    /// Models a successful explicit login, unlocking the device.
+    pub fn unlock_with_explicit_auth(&mut self) {
+        self.response.unlock_with_explicit_auth();
+    }
+
+    /// Windows needed per context before enrollment can finish.
+    fn enrollment_target(&self) -> usize {
+        self.cfg.data_size() / 2
+    }
+
+    /// Feeds one captured window through the pipeline.
+    ///
+    /// During enrollment the window is buffered (and contributed,
+    /// anonymized, to the training server's pool for *other* users' models).
+    /// Once both context buffers reach `data_size/2`, the authenticator is
+    /// trained and the system switches to continuous authentication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures at the enrollment→auth transition.
+    pub fn process_window(&mut self, window: &DualDeviceWindow) -> Result<ProcessOutcome, CoreError> {
+        let context = self.detector.detect(window);
+        let features = self
+            .extractor
+            .auth_features(window, self.cfg.device_set());
+
+        match self.phase() {
+            SystemPhase::Enrollment => {
+                self.buffers[context.index()].push(features);
+                let target = self.enrollment_target();
+                let (st, mv) = (self.buffers[0].len(), self.buffers[1].len());
+                let ready = match self.cfg.context_mode() {
+                    ContextMode::PerContext => st >= target && mv >= target,
+                    ContextMode::Unified => st + mv >= 2 * target,
+                };
+                if ready {
+                    self.train_from_buffers()?;
+                    self.events.push(SystemEvent::EnrollmentComplete { day: self.day });
+                }
+                Ok(ProcessOutcome::Enrolling {
+                    stationary: st,
+                    moving: mv,
+                })
+            }
+            SystemPhase::ContinuousAuth => {
+                let auth = self.authenticator.as_ref().expect("phase checked");
+                let decision = auth.authenticate(context, &features);
+                let action = self.response.on_decision(decision.accepted);
+                if action == ResponseAction::Lock
+                    && !matches!(self.events.last(), Some(SystemEvent::Locked { .. }))
+                {
+                    self.events.push(SystemEvent::Locked { day: self.day });
+                }
+                let mut retrained = false;
+                if decision.accepted {
+                    // Keep a bounded buffer of fresh behaviour per context.
+                    let cap = self.enrollment_target();
+                    let buf = &mut self.recent[context.index()];
+                    buf.push(features);
+                    if buf.len() > cap {
+                        buf.remove(0);
+                    }
+                    if self.tracker.record(self.day, decision.confidence) {
+                        self.retrain()?;
+                        retrained = true;
+                        self.events.push(SystemEvent::Retrained { day: self.day });
+                    }
+                } else {
+                    // Rejected windows still inform the tracker (they reset
+                    // the low-confidence run, per §V-I).
+                    self.tracker.record(self.day, decision.confidence);
+                }
+                Ok(ProcessOutcome::Decision {
+                    decision,
+                    action,
+                    retrained,
+                })
+            }
+        }
+    }
+
+    /// Trains the initial authenticator from the enrollment buffers.
+    fn train_from_buffers(&mut self) -> Result<(), CoreError> {
+        let positives = [self.buffers[0].clone(), self.buffers[1].clone()];
+        let auth = self
+            .server
+            .lock()
+            .train_authenticator(&positives, &self.cfg, &mut self.rng)?;
+        // Seed the retraining buffers with the enrollment data.
+        self.recent = positives;
+        self.authenticator = Some(auth);
+        Ok(())
+    }
+
+    /// Retrains from the most recent accepted windows (§V-I: "upload the
+    /// legitimate user's latest authentication feature vectors").
+    fn retrain(&mut self) -> Result<(), CoreError> {
+        let positives = [self.recent[0].clone(), self.recent[1].clone()];
+        let auth = self
+            .server
+            .lock()
+            .train_authenticator(&positives, &self.cfg, &mut self.rng)?;
+        self.authenticator = Some(auth);
+        self.tracker.mark_retrained();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context_detect::ContextDetectorConfig;
+    use rand::SeedableRng;
+    use smarteryou_sensors::{
+        Population, RawContext, TraceGenerator, UsageContext, UserProfile, WindowSpec,
+    };
+
+    /// Small end-to-end fixture: 2 s windows, small data size, 4 users'
+    /// negatives in the server pool.
+    struct Fixture {
+        cfg: SystemConfig,
+        detector: ContextDetector,
+        server: Arc<Mutex<TrainingServer>>,
+        spec: WindowSpec,
+        owner: UserProfile,
+        impostor: UserProfile,
+    }
+
+    fn fixture() -> Fixture {
+        let cfg = SystemConfig::paper_default()
+            .with_window_secs(2.0)
+            .with_data_size(40);
+        let spec = WindowSpec::from_seconds(2.0, 50.0);
+        let population = Population::generate(6, 17);
+        let extractor = FeatureExtractor::paper_default(50.0);
+
+        // Train a context detector on users 2..6 (user-agnostic wrt 0/1).
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for user in &population.users()[2..] {
+            let mut gen = TraceGenerator::new(user.clone(), 23);
+            for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+                for w in gen.generate_windows(ctx, spec, 10) {
+                    feats.push(extractor.context_features(&w));
+                    labels.push(ctx.coarse());
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let detector = ContextDetector::train(
+            extractor.clone(),
+            &feats,
+            &labels,
+            ContextDetectorConfig {
+                num_trees: 20,
+                max_depth: 8,
+            },
+            &mut rng,
+        )
+        .unwrap();
+
+        // Fill the server pool with users 2..6 as anonymized negatives.
+        let mut server = TrainingServer::new();
+        for user in &population.users()[2..] {
+            let mut gen = TraceGenerator::new(user.clone(), 29);
+            for (raw, ctx) in [
+                (RawContext::SittingStanding, UsageContext::Stationary),
+                (RawContext::MovingAround, UsageContext::Moving),
+            ] {
+                let f: Vec<Vec<f64>> = gen
+                    .generate_windows(raw, spec, 30)
+                    .iter()
+                    .map(|w| extractor.auth_features(w, cfg.device_set()))
+                    .collect();
+                server.contribute(ctx, f);
+            }
+        }
+
+        Fixture {
+            cfg,
+            detector,
+            server: Arc::new(Mutex::new(server)),
+            spec,
+            owner: population.users()[0].clone(),
+            impostor: population.users()[1].clone(),
+        }
+    }
+
+    fn enroll(sys: &mut SmarterYou, owner: &UserProfile, spec: WindowSpec) {
+        let mut gen = TraceGenerator::new(owner.clone(), 31);
+        let mut guard = 0;
+        while sys.phase() == SystemPhase::Enrollment && guard < 500 {
+            guard += 1;
+            let ctx = if guard % 2 == 0 {
+                RawContext::SittingStanding
+            } else {
+                RawContext::MovingAround
+            };
+            for w in gen.generate_windows(ctx, spec, 5) {
+                sys.process_window(&w).unwrap();
+            }
+        }
+        assert_eq!(sys.phase(), SystemPhase::ContinuousAuth, "enrollment stuck");
+    }
+
+    #[test]
+    fn enrollment_transitions_to_continuous_auth() {
+        let f = fixture();
+        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 1)
+            .unwrap();
+        assert_eq!(sys.phase(), SystemPhase::Enrollment);
+        enroll(&mut sys, &f.owner, f.spec);
+        assert!(matches!(
+            sys.events()[0],
+            SystemEvent::EnrollmentComplete { .. }
+        ));
+        assert!(sys.authenticator().is_some());
+    }
+
+    #[test]
+    fn owner_mostly_accepted_impostor_mostly_rejected() {
+        let f = fixture();
+        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 2)
+            .unwrap()
+            .with_response_policy(ResponsePolicy { rejects_to_lock: usize::MAX });
+        enroll(&mut sys, &f.owner, f.spec);
+
+        let count_accepts = |sys: &mut SmarterYou, user: &UserProfile, seed: u64| {
+            let mut gen = TraceGenerator::new(user.clone(), seed);
+            let mut accepted = 0;
+            let mut total = 0;
+            for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+                for w in gen.generate_windows(ctx, f.spec, 15) {
+                    if let ProcessOutcome::Decision { decision, .. } =
+                        sys.process_window(&w).unwrap()
+                    {
+                        total += 1;
+                        if decision.accepted {
+                            accepted += 1;
+                        }
+                    }
+                }
+            }
+            accepted as f64 / total as f64
+        };
+        let owner_rate = count_accepts(&mut sys, &f.owner, 41);
+        let impostor_rate = count_accepts(&mut sys, &f.impostor, 43);
+        assert!(owner_rate > 0.7, "owner accept rate {owner_rate}");
+        assert!(impostor_rate < 0.3, "impostor accept rate {impostor_rate}");
+    }
+
+    #[test]
+    fn impostor_gets_locked_quickly() {
+        let f = fixture();
+        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 3)
+            .unwrap();
+        enroll(&mut sys, &f.owner, f.spec);
+        let mut gen = TraceGenerator::new(f.impostor.clone(), 47);
+        let mut windows_until_lock = 0;
+        'outer: for _ in 0..10 {
+            for w in gen.generate_windows(RawContext::SittingStanding, f.spec, 5) {
+                windows_until_lock += 1;
+                sys.process_window(&w).unwrap();
+                if sys.is_locked() {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(sys.is_locked(), "impostor never locked");
+        assert!(windows_until_lock <= 10, "took {windows_until_lock} windows");
+        // Explicit auth restores access.
+        sys.unlock_with_explicit_auth();
+        assert!(!sys.is_locked());
+    }
+}

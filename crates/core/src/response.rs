@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+/// What the response module does with one authentication decision
+/// (§IV-A2 "Response Module").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResponseAction {
+    /// Access to sensitive data/services continues.
+    Allow,
+    /// This window is rejected; access to security-critical data is refused
+    /// but the device is not yet locked.
+    Deny,
+    /// The device locks and requires explicit (multi-factor) authentication.
+    Lock,
+}
+
+/// Policy of the response module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponsePolicy {
+    /// Consecutive rejected windows that escalate a [`ResponseAction::Deny`]
+    /// into a [`ResponseAction::Lock`]. The paper de-authenticates on
+    /// detection, i.e. 1.
+    pub rejects_to_lock: usize,
+}
+
+impl Default for ResponsePolicy {
+    fn default() -> Self {
+        ResponsePolicy { rejects_to_lock: 1 }
+    }
+}
+
+/// Stateful response module: tracks consecutive rejections and the lock
+/// state, and requires explicit re-authentication to unlock.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseModule {
+    policy: ResponsePolicy,
+    consecutive_rejects: usize,
+    locked: bool,
+}
+
+impl ResponseModule {
+    /// Creates a module with the given policy.
+    pub fn new(policy: ResponsePolicy) -> Self {
+        ResponseModule {
+            policy,
+            consecutive_rejects: 0,
+            locked: false,
+        }
+    }
+
+    /// Applies one authentication verdict. While locked, everything is
+    /// denied until [`ResponseModule::unlock_with_explicit_auth`].
+    pub fn on_decision(&mut self, accepted: bool) -> ResponseAction {
+        if self.locked {
+            return ResponseAction::Lock;
+        }
+        if accepted {
+            self.consecutive_rejects = 0;
+            ResponseAction::Allow
+        } else {
+            self.consecutive_rejects += 1;
+            if self.consecutive_rejects >= self.policy.rejects_to_lock {
+                self.locked = true;
+                ResponseAction::Lock
+            } else {
+                ResponseAction::Deny
+            }
+        }
+    }
+
+    /// Whether the device is currently locked out.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Models a successful explicit (e.g. password/biometric, possibly
+    /// multi-factor) login: unlocks and clears the rejection run.
+    pub fn unlock_with_explicit_auth(&mut self) {
+        self.locked = false;
+        self.consecutive_rejects = 0;
+    }
+}
+
+impl Default for ResponseModule {
+    fn default() -> Self {
+        ResponseModule::new(ResponsePolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_locks_on_first_reject() {
+        let mut m = ResponseModule::default();
+        assert_eq!(m.on_decision(true), ResponseAction::Allow);
+        assert_eq!(m.on_decision(false), ResponseAction::Lock);
+        assert!(m.is_locked());
+        // Locked stays locked even for "accepted" windows.
+        assert_eq!(m.on_decision(true), ResponseAction::Lock);
+    }
+
+    #[test]
+    fn lenient_policy_denies_before_locking() {
+        let mut m = ResponseModule::new(ResponsePolicy { rejects_to_lock: 3 });
+        assert_eq!(m.on_decision(false), ResponseAction::Deny);
+        assert_eq!(m.on_decision(false), ResponseAction::Deny);
+        assert_eq!(m.on_decision(false), ResponseAction::Lock);
+    }
+
+    #[test]
+    fn accept_resets_the_run() {
+        let mut m = ResponseModule::new(ResponsePolicy { rejects_to_lock: 2 });
+        assert_eq!(m.on_decision(false), ResponseAction::Deny);
+        assert_eq!(m.on_decision(true), ResponseAction::Allow);
+        assert_eq!(m.on_decision(false), ResponseAction::Deny);
+    }
+
+    #[test]
+    fn explicit_auth_unlocks() {
+        let mut m = ResponseModule::default();
+        m.on_decision(false);
+        assert!(m.is_locked());
+        m.unlock_with_explicit_auth();
+        assert!(!m.is_locked());
+        assert_eq!(m.on_decision(true), ResponseAction::Allow);
+    }
+}

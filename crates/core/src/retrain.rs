@@ -1,0 +1,227 @@
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// When to retrain the authentication models (§V-I).
+///
+/// The paper's rule: retrain when the confidence score of an authenticated
+/// user stays below a threshold `ε_CS` for a period of time. We implement
+/// the "period of low scores" test robustly as a **rolling median** over the
+/// last `period` windows: occasional outlier windows (a bump produces an
+/// extreme score) neither trigger nor suppress retraining.
+///
+/// Attacker safety (§V-I): a trigger additionally requires the rolling
+/// median to be non-negative *and* rejections to be rare within the window.
+/// An attacker's windows are overwhelmingly rejected (negative scores), so
+/// he cannot steer the system into retraining on his data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrainPolicy {
+    /// The confidence threshold `ε_CS` (the paper uses 0.2).
+    pub threshold: f64,
+    /// Rolling-window length in windows.
+    pub period: usize,
+    /// Maximum fraction of rejected (negative-score) windows tolerated
+    /// inside the rolling window.
+    pub max_reject_fraction: f64,
+}
+
+impl Default for RetrainPolicy {
+    fn default() -> Self {
+        RetrainPolicy {
+            threshold: 0.2,
+            period: 30,
+            max_reject_fraction: 0.4,
+        }
+    }
+}
+
+/// Tracks the time series of confidence scores and decides when retraining
+/// is warranted (the right-hand plot of Figure 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceTracker {
+    policy: RetrainPolicy,
+    recent: VecDeque<f64>,
+    since_retrain: usize,
+    history: Vec<(f64, f64)>,
+}
+
+impl ConfidenceTracker {
+    /// Creates a tracker with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy period is zero.
+    pub fn new(policy: RetrainPolicy) -> Self {
+        assert!(policy.period > 0, "retrain period must be positive");
+        ConfidenceTracker {
+            policy,
+            recent: VecDeque::with_capacity(policy.period),
+            since_retrain: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetrainPolicy {
+        &self.policy
+    }
+
+    /// Records the confidence score of one window at simulated `day`.
+    /// Returns `true` when the rolling window signals sustained low-but-
+    /// legitimate confidence — the caller should retrain and then call
+    /// [`ConfidenceTracker::mark_retrained`].
+    pub fn record(&mut self, day: f64, confidence: f64) -> bool {
+        self.history.push((day, confidence));
+        if self.recent.len() == self.policy.period {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(confidence);
+        self.since_retrain += 1;
+        if self.recent.len() < self.policy.period || self.since_retrain < self.policy.period {
+            return false;
+        }
+        let vals: Vec<f64> = self.recent.iter().copied().collect();
+        let med = smarteryou_stats::median(&vals);
+        let reject_fraction =
+            vals.iter().filter(|&&v| v < 0.0).count() as f64 / vals.len() as f64;
+        med >= 0.0 && med < self.policy.threshold
+            && reject_fraction <= self.policy.max_reject_fraction
+    }
+
+    /// Resets the rolling window after a retrain (history is kept).
+    pub fn mark_retrained(&mut self) {
+        self.recent.clear();
+        self.since_retrain = 0;
+    }
+
+    /// Number of below-threshold scores currently in the rolling window.
+    pub fn below_count(&self) -> usize {
+        self.recent
+            .iter()
+            .filter(|&&v| v < self.policy.threshold)
+            .count()
+    }
+
+    /// Full `(day, confidence)` history, in arrival order.
+    pub fn history(&self) -> &[(f64, f64)] {
+        &self.history
+    }
+
+    /// Mean confidence per integer day.
+    pub fn daily_means(&self) -> Vec<(u32, f64)> {
+        let mut sums: std::collections::BTreeMap<u32, (f64, usize)> = Default::default();
+        for &(day, cs) in &self.history {
+            let e = sums.entry(day.floor() as u32).or_insert((0.0, 0));
+            e.0 += cs;
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(d, (sum, n))| (d, sum / n as f64))
+            .collect()
+    }
+
+    /// Median confidence per integer day — the series plotted in Figure 7.
+    /// (Median, not mean: the occasional bump/drop window produces an
+    /// extreme score that would dominate a daily mean.)
+    pub fn daily_medians(&self) -> Vec<(u32, f64)> {
+        let mut by_day: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+        for &(day, cs) in &self.history {
+            by_day.entry(day.floor() as u32).or_default().push(cs);
+        }
+        by_day
+            .into_iter()
+            .map(|(d, vals)| (d, smarteryou_stats::median(&vals)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(period: usize) -> ConfidenceTracker {
+        ConfidenceTracker::new(RetrainPolicy {
+            threshold: 0.2,
+            period,
+            max_reject_fraction: 0.2,
+        })
+    }
+
+    #[test]
+    fn healthy_scores_never_trigger() {
+        let mut t = tracker(3);
+        for i in 0..20 {
+            assert!(!t.record(i as f64 * 0.1, 0.8));
+        }
+        assert_eq!(t.below_count(), 0);
+    }
+
+    #[test]
+    fn sustained_low_scores_trigger() {
+        let mut t = tracker(3);
+        assert!(!t.record(0.0, 0.1));
+        assert!(!t.record(0.1, 0.15));
+        assert!(t.record(0.2, 0.05), "window full of low scores triggers");
+        t.mark_retrained();
+        // After retraining the window must refill before triggering again.
+        assert!(!t.record(0.3, 0.1));
+        assert!(!t.record(0.4, 0.1));
+        assert!(t.record(0.5, 0.1));
+    }
+
+    #[test]
+    fn single_outlier_does_not_mask_the_trend() {
+        let mut t = tracker(5);
+        // Four low scores and one huge outlier: median still low → trigger.
+        t.record(0.0, 0.1);
+        t.record(0.1, 0.12);
+        t.record(0.2, 40.0);
+        t.record(0.3, 0.08);
+        assert!(t.record(0.4, 0.1));
+    }
+
+    #[test]
+    fn recovery_keeps_the_median_high() {
+        let mut t = tracker(3);
+        t.record(0.0, 0.1);
+        // Majority-healthy window: median 0.9 → no trigger.
+        assert!(!t.record(0.1, 0.9));
+        assert!(!t.record(0.2, 0.9));
+    }
+
+    #[test]
+    fn attacker_rejections_cannot_trigger_retraining() {
+        // Mostly-negative scores: median negative → blocked.
+        let mut t = tracker(4);
+        for i in 0..40 {
+            assert!(!t.record(i as f64, -0.5), "attacker window {i}");
+        }
+        // Mixed accept/reject: reject fraction 50% > 20% → still blocked.
+        let mut t = tracker(4);
+        for i in 0..40 {
+            let cs = if i % 2 == 0 { 0.1 } else { -0.4 };
+            assert!(!t.record(i as f64, cs), "alternating window {i}");
+        }
+    }
+
+    #[test]
+    fn daily_series_aggregate_by_day() {
+        let mut t = tracker(100);
+        t.record(0.2, 1.0);
+        t.record(0.8, 0.5);
+        t.record(1.1, 0.3);
+        let means = t.daily_means();
+        assert_eq!(means.len(), 2);
+        assert!((means[0].1 - 0.75).abs() < 1e-12);
+        let medians = t.daily_medians();
+        assert!((medians[0].1 - 0.75).abs() < 1e-12);
+        assert!((medians[1].1 - 0.3).abs() < 1e-12);
+        assert_eq!(t.history().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_is_rejected() {
+        tracker(0);
+    }
+}

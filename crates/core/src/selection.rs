@@ -1,0 +1,358 @@
+//! The design-alternatives toolkit of §V-B/C/D: sensor selection by Fisher
+//! score (Table II), feature-quality screening by KS test (Figure 3), and
+//! redundancy screening by Pearson correlation (Tables III and IV).
+//!
+//! These functions consume generated sensor windows grouped by user and
+//! emit the tables the paper reports; the benchmark binaries print them side
+//! by side with the paper's values.
+
+use serde::{Deserialize, Serialize};
+
+use smarteryou_linalg::Matrix;
+use smarteryou_sensors::{DeviceKind, DualDeviceWindow, SensorKind};
+use smarteryou_stats::{fisher_score, ks_test, pearson, BoxStats};
+
+use crate::features::{FeatureKind, FeatureSet};
+
+/// Significance level used by the paper's KS screening.
+pub const KS_ALPHA: f64 = 0.05;
+
+/// One row of Table II: a sensor axis and its Fisher scores on both devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FisherRow {
+    /// Axis label, e.g. `"Acc(x)"` or `"Light"`.
+    pub label: String,
+    /// Fisher score over the smartphone population data.
+    pub phone: f64,
+    /// Fisher score over the smartwatch population data.
+    pub watch: f64,
+}
+
+/// Computes Table II: per-axis Fisher scores of every candidate sensor.
+///
+/// The per-window statistic is the axis RMS (root mean square), which
+/// captures both static posture (accelerometer: gravity projection) and
+/// oscillation energy (gyroscope: gesture/gait rotation) in one number.
+/// `windows_by_user[u]` holds user `u`'s windows.
+///
+/// Two requirements on the input, or the scores are meaningless:
+///
+/// * windows must span **multiple sessions** per user, otherwise the
+///   environment-dominated sensors (magnetometer/orientation/light) show no
+///   within-user variance and score spuriously high;
+/// * windows should come from **one coarse context** — cross-context
+///   behaviour differences are not "within-class noise" (that observation
+///   is the whole argument for per-context models, §IV-B). Call once per
+///   context and average, as `repro-table2` does.
+///
+/// # Panics
+///
+/// Panics if fewer than two users are provided.
+pub fn sensor_fisher_scores(windows_by_user: &[Vec<DualDeviceWindow>]) -> Vec<FisherRow> {
+    assert!(windows_by_user.len() >= 2, "need at least two users");
+    let mut rows = Vec::new();
+    for sensor in SensorKind::ALL {
+        for axis in 0..sensor.num_axes() {
+            let label = if sensor.num_axes() == 1 {
+                sensor.name().to_string()
+            } else {
+                format!("{}({})", sensor.name(), ["x", "y", "z"][axis])
+            };
+            let mut scores = [0.0f64; 2];
+            for (d, device) in DeviceKind::ALL.iter().enumerate() {
+                let groups: Vec<Vec<f64>> = windows_by_user
+                    .iter()
+                    .map(|windows| {
+                        windows
+                            .iter()
+                            .map(|w| rms(w.device(*device).sensor_axes(sensor)[axis]))
+                            .collect()
+                    })
+                    .collect();
+                scores[d] = fisher_score(&groups);
+            }
+            rows.push(FisherRow {
+                label,
+                phone: scores[0],
+                watch: scores[1],
+            });
+        }
+    }
+    rows
+}
+
+fn rms(stream: &[f64]) -> f64 {
+    if stream.is_empty() {
+        return 0.0;
+    }
+    (stream.iter().map(|v| v * v).sum::<f64>() / stream.len() as f64).sqrt()
+}
+
+/// KS-screening result for one feature on one device (one box of Figure 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KsFeatureQuality {
+    /// Feature label, e.g. `"accPeak2 f"`.
+    pub label: String,
+    /// Box-plot summary of the p-values over all user pairs.
+    pub p_values: BoxStats,
+    /// Fraction of user pairs significantly different at α = 0.05.
+    pub fraction_significant: f64,
+}
+
+impl KsFeatureQuality {
+    /// The paper's drop rule: a feature is "bad" when most user pairs are
+    /// *not* significantly different (median p-value above α).
+    pub fn is_bad(&self) -> bool {
+        self.p_values.median > KS_ALPHA
+    }
+}
+
+/// Computes Figure 3 for one device: per candidate feature, the KS-test
+/// p-values across all user pairs.
+///
+/// `features_by_user[u]` holds one feature matrix per user, rows = windows,
+/// columns = the 18 per-sensor candidate features (9 kinds × accel, gyro) in
+/// [`FeatureSet::all_candidates`] order.
+///
+/// # Panics
+///
+/// Panics if fewer than two users are provided or widths differ.
+pub fn ks_feature_quality(features_by_user: &[Matrix]) -> Vec<KsFeatureQuality> {
+    assert!(features_by_user.len() >= 2, "need at least two users");
+    let width = features_by_user[0].cols();
+    assert!(
+        features_by_user.iter().all(|m| m.cols() == width),
+        "feature width mismatch"
+    );
+    let labels = candidate_labels();
+    assert_eq!(labels.len(), width, "expected candidate-feature layout");
+
+    let mut out = Vec::with_capacity(width);
+    for col in 0..width {
+        let columns: Vec<Vec<f64>> = features_by_user.iter().map(|m| m.col(col)).collect();
+        let mut p_values = Vec::new();
+        for i in 0..columns.len() {
+            for j in (i + 1)..columns.len() {
+                p_values.push(ks_test(&columns[i], &columns[j]).p_value);
+            }
+        }
+        out.push(KsFeatureQuality {
+            label: labels[col].clone(),
+            p_values: BoxStats::from_slice(&p_values).expect("non-empty pairs"),
+            fraction_significant: BoxStats::fraction_below(&p_values, KS_ALPHA),
+        });
+    }
+    out
+}
+
+/// Labels of the 18 per-device candidate features, sensor-major
+/// (`accMean … accPeak2 f`, then `gyrMean … gyrPeak2 f`).
+pub fn candidate_labels() -> Vec<String> {
+    let mut out = Vec::new();
+    for sensor in ["acc", "gyr"] {
+        for kind in FeatureKind::ALL {
+            out.push(format!("{sensor}{}", kind.name().replace(' ', " ")));
+        }
+    }
+    out
+}
+
+/// Average (over users) within-user Pearson correlation between every pair
+/// of feature columns — Table III (one device) when `a == b`, Table IV
+/// (cross-device) when `a` and `b` come from different devices.
+///
+/// `a_by_user[u]` and `b_by_user[u]` are the same user's windows × features
+/// matrices; rows must align (same windows).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn mean_feature_correlation(a_by_user: &[Matrix], b_by_user: &[Matrix]) -> Matrix {
+    assert_eq!(a_by_user.len(), b_by_user.len(), "user count mismatch");
+    assert!(!a_by_user.is_empty(), "need at least one user");
+    let (wa, wb) = (a_by_user[0].cols(), b_by_user[0].cols());
+    let mut acc = Matrix::zeros(wa, wb);
+    let mut counts = Matrix::zeros(wa, wb);
+    for (ma, mb) in a_by_user.iter().zip(b_by_user) {
+        assert_eq!(ma.rows(), mb.rows(), "window count mismatch within user");
+        for i in 0..wa {
+            let ci = ma.col(i);
+            for j in 0..wb {
+                let cj = mb.col(j);
+                let r = pearson(&ci, &cj);
+                if r.is_finite() {
+                    acc[(i, j)] += r;
+                    counts[(i, j)] += 1.0;
+                }
+            }
+        }
+    }
+    for i in 0..wa {
+        for j in 0..wb {
+            acc[(i, j)] = if counts[(i, j)] > 0.0 {
+                acc[(i, j)] / counts[(i, j)]
+            } else {
+                f64::NAN
+            };
+        }
+    }
+    acc
+}
+
+/// Data-driven reproduction of the paper's feature selection: start from
+/// all nine candidates, drop features whose KS screening marks them bad
+/// (Figure 3 ⇒ `Peak2 f`), then drop one of every feature pair whose mean
+/// within-device correlation exceeds `corr_threshold` (Table III ⇒ `Range`,
+/// redundant with `Var`).
+///
+/// `quality` must cover one device's 18 candidate columns; `corr` is the
+/// 18×18 within-device correlation matrix from
+/// [`mean_feature_correlation`].
+pub fn recommended_feature_set(
+    quality: &[KsFeatureQuality],
+    corr: &Matrix,
+    corr_threshold: f64,
+) -> FeatureSet {
+    let n_kinds = FeatureKind::ALL.len();
+    // A feature kind is dropped if it is bad on either sensor stream.
+    let mut dropped = [false; 9];
+    for (idx, q) in quality.iter().enumerate() {
+        if q.is_bad() {
+            dropped[idx % n_kinds] = true;
+        }
+    }
+    // Correlation screening: consider each kind pair (averaged across the
+    // two sensors and both orders) and drop the later kind of a redundant
+    // pair, mirroring the paper's "drop Ran, keep Var/Max" choice.
+    for i in 0..n_kinds {
+        for j in (i + 1)..n_kinds {
+            if dropped[i] || dropped[j] {
+                continue;
+            }
+            let mut worst: f64 = 0.0;
+            for s in [0, n_kinds] {
+                worst = worst.max(corr[(s + i, s + j)].abs());
+            }
+            if worst > corr_threshold {
+                dropped[j] = true;
+            }
+        }
+    }
+    let kinds: Vec<FeatureKind> = FeatureKind::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !dropped[*i])
+        .map(|(_, k)| k)
+        .collect();
+    FeatureSet::custom(kinds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+
+    /// Multi-session, single-context windows (see the function docs for why
+    /// both properties matter).
+    fn windows_for(n_users: usize, sessions: usize, per_session: usize) -> Vec<Vec<DualDeviceWindow>> {
+        let population = Population::generate(n_users, 13);
+        population
+            .iter()
+            .map(|u| {
+                let mut gen = TraceGenerator::new(u.clone(), 19);
+                let spec = WindowSpec::from_seconds(2.0, 50.0);
+                let mut ws = Vec::new();
+                for _ in 0..sessions {
+                    gen.advance_days(0.25);
+                    ws.extend(gen.generate_windows(RawContext::SittingStanding, spec, per_session));
+                }
+                ws
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fisher_scores_rank_motion_sensors_above_environmental() {
+        let windows = windows_for(8, 14, 3);
+        let rows = sensor_fisher_scores(&windows);
+        assert_eq!(rows.len(), 13); // 4 three-axis sensors + light
+        let get = |label: &str| rows.iter().find(|r| r.label == label).unwrap();
+        // Motion sensors carry user identity…
+        let acc_x = get("Acc(x)");
+        // …environmental sensors do not.
+        let mag_x = get("Mag(x)");
+        let light = get("Light");
+        assert!(
+            acc_x.phone > 4.0 * mag_x.phone.max(1e-9),
+            "Acc(x) {} vs Mag(x) {}",
+            acc_x.phone,
+            mag_x.phone
+        );
+        assert!(acc_x.phone > 4.0 * light.phone.max(1e-9));
+        assert!(acc_x.phone > 1.5, "Acc(x) carries identity: {}", acc_x.phone);
+        assert!(mag_x.phone < 1.0, "Mag(x) is environmental: {}", mag_x.phone);
+    }
+
+    #[test]
+    fn rms_of_constant_stream() {
+        assert!((rms(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn candidate_labels_cover_both_sensors() {
+        let labels = candidate_labels();
+        assert_eq!(labels.len(), 18);
+        assert_eq!(labels[0], "accMean");
+        assert!(labels[17].starts_with("gyr"));
+    }
+
+    #[test]
+    fn correlation_matrix_shape_and_diagonal() {
+        // Build tiny per-user feature matrices with known structure.
+        let mk = |seed: f64| {
+            let rows: Vec<Vec<f64>> = (0..30)
+                .map(|i| {
+                    let v = (i as f64 * 0.7 + seed).sin();
+                    vec![v, 2.0 * v, (i as f64 * 1.3).cos()]
+                })
+                .collect();
+            Matrix::from_rows(&rows).unwrap()
+        };
+        let users = vec![mk(0.0), mk(1.0)];
+        let corr = mean_feature_correlation(&users, &users);
+        assert_eq!(corr.shape(), (3, 3));
+        // Column 1 = 2 × column 0 → correlation 1.
+        assert!((corr[(0, 1)] - 1.0).abs() < 1e-9);
+        assert!((corr[(0, 0)] - 1.0).abs() < 1e-9);
+        assert!(corr[(0, 2)].abs() < 0.6);
+    }
+
+    #[test]
+    fn recommended_set_drops_bad_and_redundant_features() {
+        // Synthesize screening outputs that mirror the paper's findings:
+        // Peak2 f bad on both sensors, Range ~ Var correlation 0.9.
+        let labels = candidate_labels();
+        let quality: Vec<KsFeatureQuality> = labels
+            .iter()
+            .map(|l| {
+                let bad = l.contains("Peak2 f");
+                let p = if bad { 0.4 } else { 0.001 };
+                KsFeatureQuality {
+                    label: l.clone(),
+                    p_values: BoxStats::from_slice(&[p, p, p]).unwrap(),
+                    fraction_significant: if bad { 0.2 } else { 0.99 },
+                }
+            })
+            .collect();
+        let mut corr = Matrix::identity(18);
+        let var = 1usize; // FeatureKind::Var index
+        let ran = 4usize; // FeatureKind::Range index
+        for s in [0usize, 9] {
+            corr[(s + var, s + ran)] = 0.9;
+            corr[(s + ran, s + var)] = 0.9;
+        }
+        let set = recommended_feature_set(&quality, &corr, 0.85);
+        assert_eq!(set, FeatureSet::paper_default());
+    }
+}

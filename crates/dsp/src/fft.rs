@@ -1,0 +1,185 @@
+use std::f64::consts::PI;
+
+use crate::Complex;
+
+/// Discrete Fourier transform by direct summation: O(n²).
+///
+/// Used as the reference implementation and as the fallback for lengths that
+/// are not powers of two (the paper's 6 s × 50 Hz = 300-sample windows are
+/// one such length).
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let step = -2.0 * PI / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &x) in input.iter().enumerate() {
+                acc += x * Complex::cis(step * (k * t % n) as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Forward Fourier transform.
+///
+/// Uses an in-place iterative radix-2 Cooley–Tukey FFT (O(n log n)) when the
+/// length is a power of two, and falls back to the direct [`dft`] otherwise.
+/// Returns the empty vector for empty input.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if !n.is_power_of_two() {
+        return dft(input);
+    }
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Inverse Fourier transform, normalised by `1/n` so `ifft(fft(x)) == x`.
+///
+/// Same radix-2/direct strategy as [`fft`].
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scale = 1.0 / n as f64;
+    if !n.is_power_of_two() {
+        // Inverse DFT via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
+        let conj: Vec<Complex> = input.iter().map(|z| z.conj()).collect();
+        return dft(&conj).into_iter().map(|z| z.conj().scale(scale)).collect();
+    }
+    let mut buf = input.to_vec();
+    fft_in_place(&mut buf, true);
+    for z in &mut buf {
+        *z = z.scale(scale);
+    }
+    buf
+}
+
+/// Iterative radix-2 Cooley–Tukey. `inverse` flips the twiddle sign; the
+/// caller applies the 1/n normalisation.
+fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 2.0 * PI } else { -2.0 * PI };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let even = buf[start + k];
+                let odd = buf[start + k + len / 2] * w;
+                buf[start + k] = even + odd;
+                buf[start + k + len / 2] = even - odd;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real_signal(n: usize, f: impl Fn(usize) -> f64) -> Vec<Complex> {
+        (0..n).map(|i| Complex::from_real(f(i))).collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} != {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+        assert!(dft(&[]).is_empty());
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let x = real_signal(8, |_| 1.0);
+        let y = fft(&x);
+        assert!((y[0].re - 8.0).abs() < 1e-9);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_on_power_of_two() {
+        let x = real_signal(64, |i| (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.7).cos());
+        assert_close(&fft(&x), &dft(&x), 1e-8);
+    }
+
+    #[test]
+    fn non_power_of_two_falls_back_to_dft() {
+        let x = real_signal(300, |i| (i as f64 * 0.21).sin());
+        assert_close(&fft(&x), &dft(&x), 1e-7);
+    }
+
+    #[test]
+    fn ifft_inverts_fft_power_of_two() {
+        let x = real_signal(128, |i| (i as f64).sin() * 0.5 + (i % 7) as f64);
+        let back = ifft(&fft(&x));
+        assert_close(&back, &x, 1e-9);
+    }
+
+    #[test]
+    fn ifft_inverts_fft_arbitrary_length() {
+        let x = real_signal(150, |i| (i as f64 * 0.11).cos());
+        let back = ifft(&fft(&x));
+        assert_close(&back, &x, 1e-7);
+    }
+
+    #[test]
+    fn single_tone_lands_in_expected_bin() {
+        // 8 cycles over 64 samples -> bin 8 (and its mirror 56).
+        let n = 64;
+        let x = real_signal(n, |i| (2.0 * PI * 8.0 * i as f64 / n as f64).cos());
+        let y = fft(&x);
+        let mags: Vec<f64> = y.iter().map(|z| z.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(peak == 8 || peak == n - 8);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let x = real_signal(n, |i| ((i * i) as f64 * 0.01).sin());
+        let y = fft(&x);
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let freq_energy: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Small streaming filters used by the sensor simulator (to shape noise
+//! spectra) and available for context-detection pre-processing.
+
+/// Fixed-length moving-average (boxcar) filter.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_dsp::MovingAverage;
+///
+/// let mut ma = MovingAverage::new(2);
+/// assert_eq!(ma.push(1.0), 1.0);
+/// assert_eq!(ma.push(3.0), 2.0);
+/// assert_eq!(ma.push(5.0), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    buf: Vec<f64>,
+    next: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "moving average length must be positive");
+        MovingAverage {
+            buf: vec![0.0; len],
+            next: 0,
+            filled: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a sample and returns the current average (over the samples
+    /// seen so far while the buffer warms up).
+    pub fn push(&mut self, x: f64) -> f64 {
+        if self.filled == self.buf.len() {
+            self.sum -= self.buf[self.next];
+        } else {
+            self.filled += 1;
+        }
+        self.buf[self.next] = x;
+        self.sum += x;
+        self.next = (self.next + 1) % self.buf.len();
+        self.sum / self.filled as f64
+    }
+
+    /// Applies the filter over a whole slice, returning the filtered signal.
+    pub fn filter(mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.push(x)).collect()
+    }
+}
+
+/// Single-pole IIR low-pass filter: `y[n] = α·x[n] + (1−α)·y[n−1]`.
+///
+/// The simulator uses this to turn white noise into the low-frequency
+/// environmental wander that dominates magnetometer/orientation/light
+/// readings (giving them their near-zero Fisher scores in Table II).
+#[derive(Debug, Clone)]
+pub struct SinglePoleLowPass {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl SinglePoleLowPass {
+    /// Creates a filter with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        SinglePoleLowPass { alpha, state: None }
+    }
+
+    /// Creates a filter whose −3 dB cutoff is `cutoff_hz` at `sample_rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is non-positive.
+    pub fn with_cutoff(cutoff_hz: f64, sample_rate: f64) -> Self {
+        assert!(cutoff_hz > 0.0 && sample_rate > 0.0);
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * cutoff_hz);
+        let dt = 1.0 / sample_rate;
+        SinglePoleLowPass::new(dt / (rc + dt))
+    }
+
+    /// Pushes a sample, returning the filtered value.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let y = match self.state {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.state = Some(y);
+        y
+    }
+
+    /// Applies the filter over a whole slice.
+    pub fn filter(mut self, signal: &[f64]) -> Vec<f64> {
+        signal.iter().map(|&x| self.push(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_warms_up() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.push(3.0), 3.0);
+        assert_eq!(ma.push(6.0), 4.5);
+        assert_eq!(ma.push(9.0), 6.0);
+        assert_eq!(ma.push(0.0), 5.0); // (6+9+0)/3
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let out = MovingAverage::new(4).filter(&[2.0; 10]);
+        assert!(out.iter().all(|&y| (y - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn lowpass_tracks_step_input() {
+        let mut lp = SinglePoleLowPass::new(0.5);
+        let mut y = 0.0;
+        lp.push(0.0);
+        for _ in 0..30 {
+            y = lp.push(1.0);
+        }
+        assert!((y - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lowpass_attenuates_alternating_signal() {
+        let lp = SinglePoleLowPass::new(0.1);
+        let signal: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let out = lp.filter(&signal);
+        // Steady-state oscillation is strongly attenuated.
+        let tail_amp = out[150..].iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+        assert!(tail_amp < 0.2, "tail amplitude {tail_amp}");
+    }
+
+    #[test]
+    fn with_cutoff_produces_valid_alpha() {
+        let lp = SinglePoleLowPass::with_cutoff(1.0, 50.0);
+        assert!(lp.alpha > 0.0 && lp.alpha < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        SinglePoleLowPass::new(0.0);
+    }
+}

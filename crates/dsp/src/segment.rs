@@ -1,0 +1,108 @@
+/// Splits a sample stream into fixed-length windows, the unit over which
+/// the paper computes its features (§V-C) and makes authentication
+/// decisions (§V-F3).
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_dsp::Segmenter;
+///
+/// // 6-second windows at 50 Hz with no overlap.
+/// let seg = Segmenter::new(300, 300).unwrap();
+/// let stream: Vec<f64> = (0..900).map(|i| i as f64).collect();
+/// let windows: Vec<&[f64]> = seg.windows(&stream).collect();
+/// assert_eq!(windows.len(), 3);
+/// assert_eq!(windows[1][0], 300.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segmenter {
+    window_len: usize,
+    hop: usize,
+}
+
+impl Segmenter {
+    /// Creates a segmenter producing `window_len`-sample windows advancing by
+    /// `hop` samples (`hop == window_len` means non-overlapping).
+    ///
+    /// Returns `None` if either argument is zero.
+    pub fn new(window_len: usize, hop: usize) -> Option<Self> {
+        if window_len == 0 || hop == 0 {
+            return None;
+        }
+        Some(Segmenter { window_len, hop })
+    }
+
+    /// Window length in samples.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Hop (stride) in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Number of complete windows available in a stream of `n` samples.
+    pub fn count(&self, n: usize) -> usize {
+        if n < self.window_len {
+            0
+        } else {
+            (n - self.window_len) / self.hop + 1
+        }
+    }
+
+    /// Iterates over complete windows of `stream`; a trailing partial window
+    /// is dropped (the pipeline waits for the next full window instead).
+    pub fn windows<'a>(&self, stream: &'a [f64]) -> impl Iterator<Item = &'a [f64]> {
+        let window_len = self.window_len;
+        let count = self.count(stream.len());
+        let hop = self.hop;
+        (0..count).map(move |k| &stream[k * hop..k * hop + window_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(Segmenter::new(0, 1).is_none());
+        assert!(Segmenter::new(1, 0).is_none());
+    }
+
+    #[test]
+    fn non_overlapping_windows() {
+        let seg = Segmenter::new(3, 3).unwrap();
+        let data = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let w: Vec<&[f64]> = seg.windows(&data).collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0], &[0.0, 1.0, 2.0]);
+        assert_eq!(w[1], &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let seg = Segmenter::new(4, 2).unwrap();
+        let data: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let w: Vec<&[f64]> = seg.windows(&data).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[2], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn short_stream_has_no_windows() {
+        let seg = Segmenter::new(10, 10).unwrap();
+        assert_eq!(seg.count(9), 0);
+        assert_eq!(seg.windows(&[1.0; 9]).count(), 0);
+    }
+
+    #[test]
+    fn count_matches_iterator() {
+        let seg = Segmenter::new(5, 3).unwrap();
+        for n in 0..40 {
+            let data = vec![0.0; n];
+            assert_eq!(seg.count(n), seg.windows(&data).count(), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{fft, Complex};
+
+/// One-sided magnitude spectrum of a real signal.
+///
+/// Returns `floor(n/2) + 1` bins covering DC through the Nyquist frequency.
+/// The signal's mean is removed before transforming so the DC bin does not
+/// mask behavioural peaks (the accelerometer magnitude rides on gravity at
+/// ~9.81 m/s²; without mean removal the DC bin dwarfs the gait line).
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let buf: Vec<Complex> = signal.iter().map(|&s| Complex::from_real(s - mean)).collect();
+    let transformed = fft(&buf);
+    let half = n / 2;
+    transformed[..=half]
+        .iter()
+        .map(|z| z.abs() * 2.0 / n as f64)
+        .collect()
+}
+
+/// Main and secondary spectral peaks of a window (the paper's `Peak`,
+/// `Peak f`, `Peak2` and `Peak2 f` features, §V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralPeaks {
+    /// Amplitude of the strongest non-DC spectral line (`Peak`).
+    pub main_amplitude: f64,
+    /// Frequency in Hz of the strongest line (`Peak f`).
+    pub main_frequency: f64,
+    /// Amplitude of the second-strongest line (`Peak2`).
+    pub secondary_amplitude: f64,
+    /// Frequency in Hz of the second-strongest line (`Peak2 f`).
+    pub secondary_frequency: f64,
+}
+
+/// Finds the two largest non-DC local maxima of a one-sided magnitude
+/// spectrum produced by [`magnitude_spectrum`].
+///
+/// `sample_rate` is in Hz and converts bin indices to frequencies. Bins that
+/// are not local maxima still qualify when the spectrum is too short to have
+/// interior maxima. Returns `None` when fewer than two usable bins exist.
+pub fn spectral_peaks(spectrum: &[f64], sample_rate: f64) -> Option<SpectralPeaks> {
+    if spectrum.len() < 3 || sample_rate <= 0.0 {
+        return None;
+    }
+    // The one-sided spectrum of an n-point signal has n/2+1 bins, so the
+    // original length is 2*(len-1) and bin k sits at k * fs / n.
+    let n = 2 * (spectrum.len() - 1);
+    let bin_hz = sample_rate / n as f64;
+
+    // Rank non-DC bins by magnitude.
+    let mut order: Vec<usize> = (1..spectrum.len()).collect();
+    order.sort_by(|&a, &b| spectrum[b].total_cmp(&spectrum[a]));
+
+    let main = order[0];
+    // The secondary peak must not be an immediate neighbour of the main one,
+    // otherwise the two features collapse onto the same spectral line.
+    let secondary = order
+        .iter()
+        .copied()
+        .find(|&k| k + 1 < main || k > main + 1)?;
+
+    Some(SpectralPeaks {
+        main_amplitude: spectrum[main],
+        main_frequency: main as f64 * bin_hz,
+        secondary_amplitude: spectrum[secondary],
+        secondary_frequency: secondary as f64 * bin_hz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(n: usize, fs: f64, freq: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn empty_signal_yields_empty_spectrum() {
+        assert!(magnitude_spectrum(&[]).is_empty());
+    }
+
+    #[test]
+    fn spectrum_length_is_half_plus_one() {
+        assert_eq!(magnitude_spectrum(&vec![0.0; 300]).len(), 151);
+        assert_eq!(magnitude_spectrum(&vec![0.0; 64]).len(), 33);
+    }
+
+    #[test]
+    fn dc_is_removed() {
+        let s = vec![5.0; 128];
+        let spec = magnitude_spectrum(&s);
+        assert!(spec.iter().all(|&m| m < 1e-9));
+    }
+
+    #[test]
+    fn single_tone_amplitude_recovered() {
+        let fs = 50.0;
+        let s = tone(500, fs, 2.0, 3.0);
+        let spec = magnitude_spectrum(&s);
+        let peaks = spectral_peaks(&spec, fs).unwrap();
+        assert!((peaks.main_frequency - 2.0).abs() < 0.15);
+        assert!((peaks.main_amplitude - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn two_tones_ranked_by_amplitude() {
+        let fs = 50.0;
+        let n = 1000;
+        let s: Vec<f64> = tone(n, fs, 2.0, 3.0)
+            .iter()
+            .zip(tone(n, fs, 7.0, 1.5))
+            .map(|(a, b)| a + b)
+            .collect();
+        let peaks = spectral_peaks(&magnitude_spectrum(&s), fs).unwrap();
+        assert!((peaks.main_frequency - 2.0).abs() < 0.2);
+        assert!((peaks.secondary_frequency - 7.0).abs() < 0.2);
+        assert!(peaks.main_amplitude > peaks.secondary_amplitude);
+    }
+
+    #[test]
+    fn secondary_peak_is_not_adjacent_to_main() {
+        let fs = 50.0;
+        let s = tone(400, fs, 3.0, 2.0);
+        let peaks = spectral_peaks(&magnitude_spectrum(&s), fs).unwrap();
+        let n = 400;
+        let main_bin = (peaks.main_frequency / (fs / n as f64)).round() as isize;
+        let sec_bin = (peaks.secondary_frequency / (fs / n as f64)).round() as isize;
+        assert!((main_bin - sec_bin).abs() > 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(spectral_peaks(&[], 50.0).is_none());
+        assert!(spectral_peaks(&[1.0, 2.0], 50.0).is_none());
+        assert!(spectral_peaks(&[1.0, 2.0, 3.0, 1.0], 0.0).is_none());
+    }
+}

@@ -1,0 +1,100 @@
+use std::f64::consts::PI;
+
+use serde::{Deserialize, Serialize};
+
+/// Taper applied to a signal segment before the DFT.
+///
+/// The paper uses plain rectangular windows; Hann/Hamming are provided for
+/// ablations (spectral leakage affects the `Peak`/`Peak2` features).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WindowFunction {
+    /// No taper (the paper's choice).
+    #[default]
+    Rectangular,
+    /// Hann window: `0.5 − 0.5·cos(2πn/(N−1))`.
+    Hann,
+    /// Hamming window: `0.54 − 0.46·cos(2πn/(N−1))`.
+    Hamming,
+}
+
+impl WindowFunction {
+    /// Returns the window coefficient at index `i` of an `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        assert!(i < n, "window index {i} out of bounds for length {n}");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+        match self {
+            WindowFunction::Rectangular => 1.0,
+            WindowFunction::Hann => 0.5 - 0.5 * x.cos(),
+            WindowFunction::Hamming => 0.54 - 0.46 * x.cos(),
+        }
+    }
+
+    /// Materialises the full `n`-point window.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coefficient(i, n)).collect()
+    }
+
+    /// Returns `signal` multiplied pointwise by this window.
+    pub fn apply(self, signal: &[f64]) -> Vec<f64> {
+        let n = signal.len();
+        signal
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s * self.coefficient(i, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_identity() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(WindowFunction::Rectangular.apply(&s), s.to_vec());
+    }
+
+    #[test]
+    fn hann_tapers_to_zero_at_edges() {
+        let w = WindowFunction::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12); // symmetric peak in the middle
+    }
+
+    #[test]
+    fn hamming_edges_are_nonzero() {
+        let w = WindowFunction::Hamming.coefficients(9);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!(w.iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for wf in [WindowFunction::Hann, WindowFunction::Hamming] {
+            let w = wf.coefficients(16);
+            for i in 0..8 {
+                assert!((w[i] - w[15 - i]).abs() < 1e-12, "{wf:?} asymmetric at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        for wf in [
+            WindowFunction::Rectangular,
+            WindowFunction::Hann,
+            WindowFunction::Hamming,
+        ] {
+            assert_eq!(wf.coefficient(0, 1), 1.0);
+        }
+    }
+}

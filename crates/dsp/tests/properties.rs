@@ -1,0 +1,97 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use smarteryou_dsp::{dft, fft, ifft, magnitude_spectrum, Complex, Segmenter, WindowFunction};
+
+fn real_buf(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(-100.0..100.0f64, len)
+        .prop_map(|v| v.into_iter().map(Complex::from_real).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ifft_fft_roundtrip_pow2(x in real_buf(64)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a.re - b.re).abs() < 1e-7);
+            prop_assert!(a.im.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn ifft_fft_roundtrip_arbitrary(x in real_buf(75)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft(x in real_buf(32)) {
+        let a = fft(&x);
+        let b = dft(&x);
+        for (l, r) in a.iter().zip(&b) {
+            prop_assert!((l.re - r.re).abs() < 1e-6);
+            prop_assert!((l.im - r.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(x in real_buf(32), y in real_buf(32), k in -5.0..5.0f64) {
+        let combined: Vec<Complex> = x.iter().zip(&y)
+            .map(|(a, b)| *a + b.scale(k))
+            .collect();
+        let lhs = fft(&combined);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for i in 0..32 {
+            let rhs = fx[i] + fy[i].scale(k);
+            prop_assert!((lhs[i].re - rhs.re).abs() < 1e-6);
+            prop_assert!((lhs[i].im - rhs.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spectrum_is_nonnegative_and_sized(signal in prop::collection::vec(-50.0..50.0f64, 10..200)) {
+        let spec = magnitude_spectrum(&signal);
+        prop_assert_eq!(spec.len(), signal.len() / 2 + 1);
+        prop_assert!(spec.iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn spectrum_invariant_to_dc_offset(
+        signal in prop::collection::vec(-10.0..10.0f64, 64),
+        offset in -100.0..100.0f64,
+    ) {
+        let shifted: Vec<f64> = signal.iter().map(|&s| s + offset).collect();
+        let a = magnitude_spectrum(&signal);
+        let b = magnitude_spectrum(&shifted);
+        for (l, r) in a.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn window_coefficients_bounded(n in 2usize..64) {
+        for wf in [WindowFunction::Rectangular, WindowFunction::Hann, WindowFunction::Hamming] {
+            for c in wf.coefficients(n) {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn segmenter_count_is_consistent(
+        window in 1usize..50,
+        hop in 1usize..50,
+        n in 0usize..500,
+    ) {
+        let seg = Segmenter::new(window, hop).unwrap();
+        let data = vec![0.0; n];
+        prop_assert_eq!(seg.count(n), seg.windows(&data).count());
+        // Every produced window has the full length.
+        prop_assert!(seg.windows(&data).all(|w| w.len() == window));
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Error type for all fallible linear-algebra operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. multiplying a 3×2 by a 3×2).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorisation encountered a (numerically) singular matrix.
+    Singular,
+    /// Cholesky factorisation was asked for on a matrix that is not
+    /// symmetric positive definite.
+    NotPositiveDefinite,
+    /// A constructor was given data whose length does not match the
+    /// requested shape, or an empty/ragged row set.
+    InvalidShape(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            LinalgError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,29 @@
+//! Dense linear-algebra substrate for the SmarterYou reproduction.
+//!
+//! The paper's classifiers (kernel ridge regression in particular) reduce to
+//! solving small dense symmetric systems. This crate provides exactly what
+//! they need — a row-major [`Matrix`], LU and Cholesky factorisations, and
+//! a handful of vector helpers — implemented from scratch so the workspace
+//! has no external numerical dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use smarteryou_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), smarteryou_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let x = a.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod matrix;
+mod solve;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use solve::{Cholesky, Lu};

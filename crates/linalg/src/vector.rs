@@ -1,0 +1,110 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! Feature vectors flow through the pipeline as plain slices; these helpers
+//! keep that code free of ad-hoc loops.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise mean of a set of equal-length vectors; `None` when empty.
+pub fn mean_vector<'a, I>(vectors: I) -> Option<Vec<f64>>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut iter = vectors.into_iter();
+    let first = iter.next()?;
+    let mut acc = first.to_vec();
+    let mut count = 1usize;
+    for v in iter {
+        assert_eq!(v.len(), acc.len(), "mean_vector: length mismatch");
+        axpy(1.0, v, &mut acc);
+        count += 1;
+    }
+    let k = 1.0 / count as f64;
+    for a in &mut acc {
+        *a *= k;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_vector_averages() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let m = mean_vector([a.as_slice(), b.as_slice()]).unwrap();
+        assert_eq!(m, vec![2.0, 3.0]);
+        assert!(mean_vector(std::iter::empty::<&[f64]>()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

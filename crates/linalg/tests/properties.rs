@@ -1,0 +1,102 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use smarteryou_linalg::{vector, Matrix};
+
+/// Strategy: a well-conditioned SPD matrix built as `A Aᵀ + n·I` from a
+/// random square matrix with bounded entries.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+        let a = Matrix::from_vec(n, n, data).expect("sized data");
+        let mut g = a.gram();
+        g.add_diagonal(n as f64);
+        g
+    })
+}
+
+fn vec_n(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0..10.0f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_satisfies_system(a in spd_matrix(6), b in vec_n(6)) {
+        let x = a.solve(&b).expect("SPD is nonsingular");
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6, "residual {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn cholesky_agrees_with_lu(a in spd_matrix(5), b in vec_n(5)) {
+        let x_lu = a.solve(&b).unwrap();
+        let x_ch = a.cholesky().unwrap().solve(&b).unwrap();
+        for (l, r) in x_lu.iter().zip(&x_ch) {
+            prop_assert!((l - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity(a in spd_matrix(4)) {
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(data in prop::collection::vec(-100.0..100.0f64, 12)) {
+        let a = Matrix::from_vec(3, 4, data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in prop::collection::vec(-3.0..3.0f64, 6),
+        b in prop::collection::vec(-3.0..3.0f64, 6),
+        c in prop::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        let a = Matrix::from_vec(2, 3, a).unwrap();
+        let b = Matrix::from_vec(3, 2, b).unwrap();
+        let c = Matrix::from_vec(2, 2, c).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrices_are_psd_on_diagonal(data in prop::collection::vec(-5.0..5.0f64, 12)) {
+        let a = Matrix::from_vec(4, 3, data).unwrap();
+        let g = a.gram();
+        for i in 0..4 {
+            prop_assert!(g[(i, i)] >= -1e-12);
+        }
+        prop_assert!(g.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in vec_n(8), b in vec_n(8)) {
+        let lhs = vector::dot(&a, &b).abs();
+        let rhs = vector::norm(&a) * vector::norm(&b);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in vec_n(5), b in vec_n(5), c in vec_n(5)) {
+        let ab = vector::distance(&a, &b);
+        let bc = vector::distance(&b, &c);
+        let ac = vector::distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt;
+
+use smarteryou_linalg::LinalgError;
+
+/// Error type for training and evaluation in the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// The training set is unusable (empty, single class, label/row count
+    /// mismatch, non-±1 labels for a binary trainer, …).
+    InvalidTrainingData(String),
+    /// A hyperparameter is out of its valid range.
+    InvalidParameter(String),
+    /// The underlying linear system could not be solved.
+    Linalg(LinalgError),
+    /// Prediction input has the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Provided feature count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MlError {
+    fn from(e: LinalgError) -> Self {
+        MlError::Linalg(e)
+    }
+}
+
+/// Validates a binary training set: rows match labels, labels are ±1, both
+/// classes present, at least one feature.
+pub(crate) fn validate_binary(
+    x: &smarteryou_linalg::Matrix,
+    y: &[f64],
+) -> Result<(), MlError> {
+    if x.rows() != y.len() {
+        return Err(MlError::InvalidTrainingData(format!(
+            "{} rows but {} labels",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(MlError::InvalidTrainingData("empty design matrix".into()));
+    }
+    let mut pos = false;
+    let mut neg = false;
+    for &l in y {
+        if l == 1.0 {
+            pos = true;
+        } else if l == -1.0 {
+            neg = true;
+        } else {
+            return Err(MlError::InvalidTrainingData(format!(
+                "labels must be +1 or -1, got {l}"
+            )));
+        }
+    }
+    if !(pos && neg) {
+        return Err(MlError::InvalidTrainingData(
+            "both classes must be present".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarteryou_linalg::Matrix;
+
+    #[test]
+    fn validate_accepts_good_data() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(validate_binary(&x, &[1.0, -1.0]).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_labels() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(validate_binary(&x, &[1.0, 0.5]).is_err());
+        assert!(validate_binary(&x, &[1.0, 1.0]).is_err());
+        assert!(validate_binary(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = MlError::DimensionMismatch {
+            expected: 28,
+            got: 14,
+        };
+        assert!(format!("{e}").contains("28"));
+    }
+}

@@ -1,0 +1,150 @@
+use serde::{Deserialize, Serialize};
+
+use smarteryou_linalg::{vector, Matrix};
+
+use crate::MlError;
+
+/// k-nearest-neighbour classifier over `usize` class labels.
+///
+/// Provided as the baseline used by Nickel et al. (Table I row: gait
+/// authentication with k-NN) and for ablation against the random-forest
+/// context detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Knn {
+    k: usize,
+}
+
+impl Knn {
+    /// Creates a classifier that votes over the `k` nearest neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Knn { k }
+    }
+
+    /// "Trains" by storing the reference set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] when shapes mismatch, data
+    /// is empty, or a label is out of range.
+    pub fn fit(&self, x: &Matrix, y: &[usize], num_classes: usize) -> Result<KnnModel, MlError> {
+        if x.rows() != y.len() || x.rows() == 0 {
+            return Err(MlError::InvalidTrainingData(format!(
+                "{} rows vs {} labels",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= num_classes) {
+            return Err(MlError::InvalidTrainingData(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(KnnModel {
+            k: self.k.min(x.rows()),
+            x: x.clone(),
+            y: y.to_vec(),
+            num_classes,
+        })
+    }
+}
+
+/// A fitted k-NN model (stores the training set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnModel {
+    k: usize,
+    x: Matrix,
+    y: Vec<usize>,
+    num_classes: usize,
+}
+
+impl KnnModel {
+    /// Number of features expected.
+    pub fn num_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Effective `k` (clamped to the training-set size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Majority class among the `k` nearest training rows; distance ties
+    /// broken by training order, vote ties by the smaller class index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` has the wrong width.
+    pub fn predict(&self, q: &[f64]) -> usize {
+        assert_eq!(q.len(), self.x.cols(), "feature width mismatch");
+        let mut dist: Vec<(f64, usize)> = (0..self.x.rows())
+            .map(|i| (vector::squared_distance(self.x.row(i), q), self.y[i]))
+            .collect();
+        dist.select_nth_unstable_by(self.k - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut votes = vec![0u32; self.num_classes];
+        for &(_, label) in &dist[..self.k] {
+            votes[label] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let d = (i as f64) * 0.01;
+            rows.push(vec![0.0 + d, 0.0 - d]);
+            y.push(0);
+            rows.push(vec![5.0 - d, 5.0 + d]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let (x, y) = clusters();
+        let model = Knn::new(5).fit(&x, &y, 2).unwrap();
+        assert_eq!(model.predict(&[0.2, 0.2]), 0);
+        assert_eq!(model.predict(&[4.8, 4.9]), 1);
+    }
+
+    #[test]
+    fn k_one_memorises_training_points() {
+        let (x, y) = clusters();
+        let model = Knn::new(1).fit(&x, &y, 2).unwrap();
+        for (row, &label) in x.iter_rows().zip(&y) {
+            assert_eq!(model.predict(row), label);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+        let model = Knn::new(10).fit(&x, &[0, 1], 2).unwrap();
+        assert_eq!(model.k(), 2);
+        // Tie between the two classes resolves to the smaller index.
+        assert_eq!(model.predict(&[0.5]), 0);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let x = Matrix::from_rows(&[&[0.0]]).unwrap();
+        assert!(Knn::new(1).fit(&x, &[3], 2).is_err());
+        assert!(Knn::new(1).fit(&x, &[], 1).is_err());
+    }
+}

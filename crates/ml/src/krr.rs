@@ -1,0 +1,361 @@
+use serde::{Deserialize, Serialize};
+
+use smarteryou_linalg::{vector, Matrix};
+
+use crate::error::validate_binary;
+use crate::{BinaryClassifier, BinaryTrainer, Kernel, MlError};
+
+/// Which of the two mathematically equivalent KRR solutions to compute.
+///
+/// The paper's appendix proves Eq. 6 (dual) ≡ Eq. 7 (primal); §V-H1 builds
+/// on that to reduce training complexity from `O(N^2.373)` to `O(M^2.373)`
+/// (N = training samples ≈ 720, M = features = 28). Both paths are kept so
+/// the claim is testable and benchmarkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KrrSolver {
+    /// Solve the M×M system `[S + ρI_J]⁻¹ Φy` (Eq. 7). Identity kernel only.
+    Primal,
+    /// Solve the N×N system `Φ[K + ρI_N]⁻¹ y` (Eq. 6). Any kernel.
+    Dual,
+    /// Primal when the kernel is linear and M < N, dual otherwise.
+    #[default]
+    Auto,
+}
+
+/// Kernel ridge regression trainer — the paper's authentication classifier
+/// (§V-F2).
+///
+/// Fits `w* = argmin_w ρ‖w‖² + Σ (wᵀxₖ − yₖ)²` (Eq. 5) on ±1 labels.
+/// Features and labels are centred internally, which provides the intercept.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_linalg::Matrix;
+/// use smarteryou_ml::{BinaryClassifier, KernelRidge, KrrSolver};
+///
+/// # fn main() -> Result<(), smarteryou_ml::MlError> {
+/// let x = Matrix::from_rows(&[&[0.0, 1.0], &[0.2, 0.8], &[1.0, 0.0], &[0.9, 0.1]]).unwrap();
+/// let y = [1.0, 1.0, -1.0, -1.0];
+/// let primal = KernelRidge::new(0.5).with_solver(KrrSolver::Primal).fit(&x, &y)?;
+/// let dual = KernelRidge::new(0.5).with_solver(KrrSolver::Dual).fit(&x, &y)?;
+/// // Appendix equivalence: both forms give the same classifier.
+/// let q = [0.3, 0.7];
+/// assert!((primal.decision(&q) - dual.decision(&q)).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelRidge {
+    rho: f64,
+    kernel: Kernel,
+    solver: KrrSolver,
+}
+
+impl KernelRidge {
+    /// Creates a trainer with ridge parameter `rho > 0`, linear (identity)
+    /// kernel and automatic solver choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not strictly positive and finite.
+    pub fn new(rho: f64) -> Self {
+        assert!(rho.is_finite() && rho > 0.0, "rho must be positive, got {rho}");
+        KernelRidge {
+            rho,
+            kernel: Kernel::Linear,
+            solver: KrrSolver::Auto,
+        }
+    }
+
+    /// Selects the kernel (non-linear kernels force the dual solver).
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Forces a particular solver.
+    pub fn with_solver(mut self, solver: KrrSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Ridge parameter ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Trains on rows of `x` with ±1 labels.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidTrainingData`] for malformed inputs;
+    /// * [`MlError::InvalidParameter`] if [`KrrSolver::Primal`] is requested
+    ///   with a non-linear kernel;
+    /// * [`MlError::Linalg`] if the ridge system cannot be solved.
+    pub fn fit(&self, x: &Matrix, y: &[f64]) -> Result<KrrModel, MlError> {
+        validate_binary(x, y)?;
+        let n = x.rows();
+        let m = x.cols();
+
+        // Centre features and labels; the label mean acts as the intercept.
+        let x_mean: Vec<f64> = (0..m)
+            .map(|c| x.col(c).iter().sum::<f64>() / n as f64)
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let mut xc = x.clone();
+        for r in 0..n {
+            let row = xc.row_mut(r);
+            for (v, mu) in row.iter_mut().zip(&x_mean) {
+                *v -= mu;
+            }
+        }
+        let yc: Vec<f64> = y.iter().map(|&l| l - y_mean).collect();
+
+        let solver = match (self.solver, self.kernel) {
+            (KrrSolver::Primal, Kernel::Linear) => KrrSolver::Primal,
+            (KrrSolver::Primal, _) => {
+                return Err(MlError::InvalidParameter(
+                    "primal KRR solver requires the linear (identity) kernel".into(),
+                ))
+            }
+            (KrrSolver::Dual, _) => KrrSolver::Dual,
+            (KrrSolver::Auto, Kernel::Linear) if m < n => KrrSolver::Primal,
+            (KrrSolver::Auto, _) => KrrSolver::Dual,
+        };
+
+        let kind = match solver {
+            KrrSolver::Primal | KrrSolver::Auto => {
+                // Eq. 7: w* = [S + ρ I_M]⁻¹ X y with S = Σ xₖxₖᵀ (M×M).
+                let mut s = xc.gram_columns();
+                s.add_diagonal(self.rho);
+                let xty = xc.transpose().matvec(&yc)?;
+                let w = s.cholesky()?.solve(&xty)?;
+                KrrKind::Linear { w }
+            }
+            KrrSolver::Dual => {
+                // Eq. 6: α = [K + ρ I_N]⁻¹ y; for the linear kernel collapse
+                // to explicit weights w = Xᵀα so prediction cost matches.
+                let mut k = self.kernel.gram(&xc);
+                k.add_diagonal(self.rho);
+                let alphas = k.cholesky()?.solve(&yc)?;
+                match self.kernel {
+                    Kernel::Linear => {
+                        let w = xc.transpose().matvec(&alphas)?;
+                        KrrKind::Linear { w }
+                    }
+                    kernel => KrrKind::Kernelized {
+                        kernel,
+                        train: xc,
+                        alphas,
+                    },
+                }
+            }
+        };
+
+        Ok(KrrModel {
+            kind,
+            x_mean,
+            y_mean,
+            rho: self.rho,
+        })
+    }
+}
+
+impl BinaryTrainer for KernelRidge {
+    type Model = KrrModel;
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<KrrModel, MlError> {
+        KernelRidge::fit(self, x, y)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum KrrKind {
+    Linear {
+        w: Vec<f64>,
+    },
+    Kernelized {
+        kernel: Kernel,
+        train: Matrix,
+        alphas: Vec<f64>,
+    },
+}
+
+/// A trained KRR classifier.
+///
+/// For the linear kernel the model is an explicit weight vector `w*`; the
+/// paper's confidence score `CS(k) = xₖᵀ w*` (§V-I) is [`KrrModel::decision`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KrrModel {
+    kind: KrrKind,
+    x_mean: Vec<f64>,
+    y_mean: f64,
+    rho: f64,
+}
+
+impl KrrModel {
+    /// Explicit weight vector for linear-kernel models, `None` for
+    /// kernelized ones.
+    pub fn weights(&self) -> Option<&[f64]> {
+        match &self.kind {
+            KrrKind::Linear { w } => Some(w),
+            KrrKind::Kernelized { .. } => None,
+        }
+    }
+
+    /// Ridge parameter the model was trained with.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+}
+
+impl BinaryClassifier for KrrModel {
+    fn decision(&self, x: &[f64]) -> f64 {
+        let xc: Vec<f64> = x
+            .iter()
+            .zip(&self.x_mean)
+            .map(|(&v, &mu)| v - mu)
+            .collect();
+        match &self.kind {
+            KrrKind::Linear { w } => vector::dot(w, &xc) + self.y_mean,
+            KrrKind::Kernelized {
+                kernel,
+                train,
+                alphas,
+            } => {
+                let k = kernel.against(train, &xc);
+                vector::dot(&k, alphas) + self.y_mean
+            }
+        }
+    }
+
+    fn num_features(&self) -> usize {
+        self.x_mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_rows(&[
+            &[0.0, 1.0],
+            &[0.2, 0.9],
+            &[-0.1, 1.1],
+            &[1.0, 0.0],
+            &[0.9, -0.1],
+            &[1.1, 0.2],
+        ])
+        .unwrap();
+        let y = vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        (x, y)
+    }
+
+    #[test]
+    fn separates_toy_clusters() {
+        let (x, y) = toy();
+        let model = KernelRidge::new(0.1).fit(&x, &y).unwrap();
+        assert!(model.decision(&[0.0, 1.0]) > 0.0);
+        assert!(model.decision(&[1.0, 0.0]) < 0.0);
+        assert!(model.predict(&[0.1, 0.95]));
+        assert!(!model.predict(&[1.05, 0.0]));
+    }
+
+    #[test]
+    fn primal_and_dual_weights_agree() {
+        let (x, y) = toy();
+        let p = KernelRidge::new(0.7)
+            .with_solver(KrrSolver::Primal)
+            .fit(&x, &y)
+            .unwrap();
+        let d = KernelRidge::new(0.7)
+            .with_solver(KrrSolver::Dual)
+            .fit(&x, &y)
+            .unwrap();
+        let wp = p.weights().unwrap();
+        let wd = d.weights().unwrap();
+        for (a, b) in wp.iter().zip(wd) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn primal_rejects_nonlinear_kernel() {
+        let (x, y) = toy();
+        let err = KernelRidge::new(0.5)
+            .with_kernel(Kernel::Rbf { gamma: 1.0 })
+            .with_solver(KrrSolver::Primal)
+            .fit(&x, &y)
+            .unwrap_err();
+        assert!(matches!(err, MlError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn rbf_kernel_solves_xor() {
+        // XOR is not linearly separable; RBF-KRR handles it.
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+        ])
+        .unwrap();
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let model = KernelRidge::new(0.01)
+            .with_kernel(Kernel::Rbf { gamma: 3.0 })
+            .fit(&x, &y)
+            .unwrap();
+        assert!(model.decision(&[0.05, 0.05]) > 0.0);
+        assert!(model.decision(&[0.95, 0.95]) > 0.0);
+        assert!(model.decision(&[0.05, 0.95]) < 0.0);
+        assert!(model.decision(&[0.95, 0.05]) < 0.0);
+        assert!(model.weights().is_none());
+    }
+
+    #[test]
+    fn larger_rho_shrinks_weights() {
+        let (x, y) = toy();
+        let small = KernelRidge::new(0.01).fit(&x, &y).unwrap();
+        let large = KernelRidge::new(100.0).fit(&x, &y).unwrap();
+        let norm_small = vector::norm(small.weights().unwrap());
+        let norm_large = vector::norm(large.weights().unwrap());
+        assert!(norm_large < norm_small);
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(KernelRidge::new(1.0).fit(&x, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn imbalanced_labels_keep_intercept_sane() {
+        // 1 positive vs 5 negatives: centring keeps the positive sample on
+        // the positive side of its own decision.
+        let x = Matrix::from_rows(&[
+            &[5.0, 5.0],
+            &[0.0, 0.1],
+            &[0.1, 0.0],
+            &[-0.1, 0.1],
+            &[0.0, -0.1],
+            &[0.1, 0.1],
+        ])
+        .unwrap();
+        let y = vec![1.0, -1.0, -1.0, -1.0, -1.0, -1.0];
+        let model = KernelRidge::new(0.1).fit(&x, &y).unwrap();
+        assert!(model.decision(&[5.0, 5.0]) > 0.0);
+        assert!(model.decision(&[0.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn model_serde_roundtrip() {
+        let (x, y) = toy();
+        let model = KernelRidge::new(0.5).fit(&x, &y).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: KrrModel = serde_json::from_str(&json).unwrap();
+        let q = [0.4, 0.6];
+        assert!((model.decision(&q) - back.decision(&q)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,155 @@
+use serde::{Deserialize, Serialize};
+
+use smarteryou_linalg::Matrix;
+use smarteryou_stats::BinaryOutcomes;
+
+use crate::{BinaryClassifier, Dataset, MlError};
+
+/// Evaluates a binary classifier over rows of `x` with ±1 labels, accepting
+/// samples whose decision score is at least `threshold`.
+///
+/// The paper's security/convenience trade-off (§V-F3: "a large FAR is more
+/// harmful than a large FRR") is tuned exactly through this threshold.
+///
+/// # Panics
+///
+/// Panics if `x.rows() != y.len()`.
+pub fn evaluate_binary<C: BinaryClassifier + ?Sized>(
+    model: &C,
+    x: &Matrix,
+    y: &[f64],
+    threshold: f64,
+) -> BinaryOutcomes {
+    assert_eq!(x.rows(), y.len(), "rows/labels mismatch");
+    let mut out = BinaryOutcomes::default();
+    for (row, &label) in x.iter_rows().zip(y) {
+        let accepted = model.decision(row) >= threshold;
+        out.record(label > 0.0, accepted);
+    }
+    out
+}
+
+/// Aggregated result of a repeated k-fold cross-validation run (the paper
+/// uses 10-fold CV averaged over many iterations, §V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossValidationReport {
+    /// Outcomes of every individual fold, across repeats.
+    pub folds: Vec<BinaryOutcomes>,
+    /// Pooled outcome counts over all folds.
+    pub aggregate: BinaryOutcomes,
+}
+
+impl CrossValidationReport {
+    /// Builds a report from per-fold outcomes.
+    pub fn from_folds(folds: Vec<BinaryOutcomes>) -> Self {
+        let mut aggregate = BinaryOutcomes::default();
+        for f in &folds {
+            aggregate.merge(f);
+        }
+        CrossValidationReport { folds, aggregate }
+    }
+
+    /// Pooled false reject rate.
+    pub fn frr(&self) -> f64 {
+        self.aggregate.frr()
+    }
+
+    /// Pooled false accept rate.
+    pub fn far(&self) -> f64 {
+        self.aggregate.far()
+    }
+
+    /// Pooled balanced accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.aggregate.accuracy()
+    }
+}
+
+/// Runs k-fold cross-validation: for each fold, `train` receives the
+/// training subset and must return a fitted classifier, which is then scored
+/// on the held-out fold at `threshold`.
+///
+/// # Errors
+///
+/// Propagates the first training error.
+pub fn cross_validate<F>(
+    data: &Dataset,
+    folds: &[Vec<usize>],
+    threshold: f64,
+    mut train: F,
+) -> Result<CrossValidationReport, MlError>
+where
+    F: FnMut(&Dataset) -> Result<Box<dyn BinaryClassifier>, MlError>,
+{
+    let mut outcomes = Vec::with_capacity(folds.len());
+    for (i, test_idx) in folds.iter().enumerate() {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        let train_set = data.subset(&train_idx);
+        let test_set = data.subset(test_idx);
+        let model = train(&train_set)?;
+        outcomes.push(evaluate_binary(
+            model.as_ref(),
+            test_set.x(),
+            test_set.y(),
+            threshold,
+        ));
+    }
+    Ok(CrossValidationReport::from_folds(outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stratified_k_fold, KernelRidge};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable() -> Dataset {
+        let pos: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0 + 0.01 * i as f64, 1.0]).collect();
+        let neg: Vec<Vec<f64>> = (0..20).map(|i| vec![-1.0 - 0.01 * i as f64, -1.0]).collect();
+        Dataset::from_classes(&pos, &neg).unwrap()
+    }
+
+    #[test]
+    fn evaluate_counts_correctly() {
+        let data = separable();
+        let model = KernelRidge::new(0.1).fit(data.x(), data.y()).unwrap();
+        let out = evaluate_binary(&model, data.x(), data.y(), 0.0);
+        assert_eq!(out.total(), 40);
+        assert_eq!(out.frr(), 0.0);
+        assert_eq!(out.far(), 0.0);
+        assert_eq!(out.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn threshold_trades_far_for_frr() {
+        let data = separable();
+        let model = KernelRidge::new(0.1).fit(data.x(), data.y()).unwrap();
+        let strict = evaluate_binary(&model, data.x(), data.y(), 10.0);
+        // Impossible threshold: everything rejected.
+        assert_eq!(strict.far(), 0.0);
+        assert_eq!(strict.frr(), 1.0);
+        let lax = evaluate_binary(&model, data.x(), data.y(), -10.0);
+        assert_eq!(lax.far(), 1.0);
+        assert_eq!(lax.frr(), 0.0);
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_perfect() {
+        let data = separable();
+        let mut rng = StdRng::seed_from_u64(3);
+        let folds = stratified_k_fold(data.y(), 5, &mut rng);
+        let report = cross_validate(&data, &folds, 0.0, |train| {
+            Ok(Box::new(KernelRidge::new(0.1).fit(train.x(), train.y())?))
+        })
+        .unwrap();
+        assert_eq!(report.folds.len(), 5);
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.aggregate.total(), 40);
+    }
+}

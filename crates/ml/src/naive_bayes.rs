@@ -1,0 +1,220 @@
+use serde::{Deserialize, Serialize};
+
+use smarteryou_linalg::Matrix;
+
+use crate::error::validate_binary;
+use crate::{BinaryClassifier, BinaryTrainer, MlError};
+
+/// Gaussian naive Bayes — one of the Table VI baselines.
+///
+/// Models each feature independently as a per-class Gaussian. The
+/// independence assumption is exactly what the sensor features violate
+/// (Table III shows strong correlations, e.g. Var↔Max), which is why the
+/// paper measures it well behind KRR (87.6% vs 98.1%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    _private: (),
+}
+
+impl GaussianNaiveBayes {
+    /// Creates the trainer (no hyperparameters).
+    pub fn new() -> Self {
+        GaussianNaiveBayes::default()
+    }
+
+    /// Trains on rows of `x` with ±1 labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for malformed inputs.
+    pub fn fit(&self, x: &Matrix, y: &[f64]) -> Result<GaussianNaiveBayesModel, MlError> {
+        validate_binary(x, y)?;
+        let m = x.cols();
+        let mut stats = [ClassStats::new(m), ClassStats::new(m)];
+        for (row, &label) in x.iter_rows().zip(y) {
+            let idx = usize::from(label > 0.0);
+            stats[idx].add(row);
+        }
+        let total = x.rows() as f64;
+        // Variance floor relative to the largest feature variance, protecting
+        // against zero-variance features (standard "var smoothing").
+        let max_var = stats
+            .iter()
+            .flat_map(|s| s.variances())
+            .fold(0.0f64, f64::max);
+        let eps = (1e-9 * max_var).max(1e-12);
+
+        let classes = stats.map(|s| {
+            let prior = s.count as f64 / total;
+            let variances = s.variances().iter().map(|&v| v + eps).collect();
+            ClassModel {
+                log_prior: prior.ln(),
+                means: s.means(),
+                variances,
+            }
+        });
+        Ok(GaussianNaiveBayesModel {
+            neg: classes[0].clone(),
+            pos: classes[1].clone(),
+        })
+    }
+}
+
+impl BinaryTrainer for GaussianNaiveBayes {
+    type Model = GaussianNaiveBayesModel;
+
+    fn fit(&self, x: &Matrix, y: &[f64]) -> Result<GaussianNaiveBayesModel, MlError> {
+        GaussianNaiveBayes::fit(self, x, y)
+    }
+}
+
+/// Accumulates per-feature mean/variance for one class (Welford-free,
+/// two-pass-free sum/sum-of-squares form is fine at these magnitudes once
+/// features are standardized).
+#[derive(Debug, Clone)]
+struct ClassStats {
+    count: usize,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl ClassStats {
+    fn new(m: usize) -> Self {
+        ClassStats {
+            count: 0,
+            sum: vec![0.0; m],
+            sum_sq: vec![0.0; m],
+        }
+    }
+
+    fn add(&mut self, row: &[f64]) {
+        self.count += 1;
+        for ((s, q), &v) in self.sum.iter_mut().zip(&mut self.sum_sq).zip(row) {
+            *s += v;
+            *q += v * v;
+        }
+    }
+
+    fn means(&self) -> Vec<f64> {
+        let n = self.count.max(1) as f64;
+        self.sum.iter().map(|&s| s / n).collect()
+    }
+
+    fn variances(&self) -> Vec<f64> {
+        let n = self.count.max(1) as f64;
+        self.sum
+            .iter()
+            .zip(&self.sum_sq)
+            .map(|(&s, &q)| (q / n - (s / n) * (s / n)).max(0.0))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClassModel {
+    log_prior: f64,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+impl ClassModel {
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let mut ll = self.log_prior;
+        for ((&v, &mu), &var) in x.iter().zip(&self.means).zip(&self.variances) {
+            let d = v - mu;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+        }
+        ll
+    }
+}
+
+/// A trained Gaussian naive Bayes classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianNaiveBayesModel {
+    neg: ClassModel,
+    pos: ClassModel,
+}
+
+impl BinaryClassifier for GaussianNaiveBayesModel {
+    /// Log-posterior odds `log P(+1|x) − log P(−1|x)`; positive ⇒ accept.
+    fn decision(&self, x: &[f64]) -> f64 {
+        self.pos.log_likelihood(x) - self.neg.log_likelihood(x)
+    }
+
+    fn num_features(&self) -> usize {
+        self.pos.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussians(n: usize, mu_pos: f64, mu_neg: f64, spread: f64) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            // Low-discrepancy jitter in [-0.5, 0.5).
+            let u = (((i as u64 * 2654435761) % 997) as f64 / 997.0) - 0.5;
+            rows.push(vec![mu_pos + u * spread, mu_pos - u * spread]);
+            y.push(1.0);
+            rows.push(vec![mu_neg - u * spread, mu_neg + u * spread]);
+            y.push(-1.0);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_gaussian_classes() {
+        let (x, y) = gaussians(50, 2.0, -2.0, 1.0);
+        let model = GaussianNaiveBayes::new().fit(&x, &y).unwrap();
+        assert!(model.decision(&[2.0, 2.0]) > 0.0);
+        assert!(model.decision(&[-2.0, -2.0]) < 0.0);
+    }
+
+    #[test]
+    fn decision_is_log_odds_scaled_by_distance() {
+        let (x, y) = gaussians(50, 1.0, -1.0, 0.5);
+        let model = GaussianNaiveBayes::new().fit(&x, &y).unwrap();
+        let near = model.decision(&[0.2, 0.2]);
+        let far = model.decision(&[3.0, 3.0]);
+        assert!(far > near, "confidence grows with distance from boundary");
+    }
+
+    #[test]
+    fn priors_reflect_imbalance() {
+        // 3 positives, 9 negatives around the same point: prior favours
+        // negative at the shared mean.
+        let mut rows = vec![vec![0.0, 0.1], vec![0.1, 0.0], vec![-0.1, 0.05]];
+        let mut y = vec![1.0; 3];
+        for i in 0..9 {
+            rows.push(vec![0.05 * i as f64 - 0.2, -0.05 * i as f64 + 0.2]);
+            y.push(-1.0);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let model = GaussianNaiveBayes::new().fit(&x, &y).unwrap();
+        assert!(model.decision(&[0.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn zero_variance_feature_does_not_nan() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 7.0],
+            &[1.2, 7.0],
+            &[-1.0, 7.0],
+            &[-1.2, 7.0],
+        ])
+        .unwrap();
+        let y = [1.0, 1.0, -1.0, -1.0];
+        let model = GaussianNaiveBayes::new().fit(&x, &y).unwrap();
+        let d = model.decision(&[1.1, 7.0]);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(GaussianNaiveBayes::new().fit(&x, &[2.0, -1.0]).is_err());
+    }
+}

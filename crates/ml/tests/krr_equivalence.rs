@@ -1,0 +1,96 @@
+//! Property test for the paper's appendix theorem: the dual KRR solution
+//! `w* = Φ[K + ρI_N]⁻¹y` (Eq. 6) equals the primal solution
+//! `w* = [S + ρI_J]⁻¹Φy` (Eq. 7) for the identity kernel.
+//!
+//! This equivalence is what licenses the complexity reduction from
+//! O(N^2.373) to O(M^2.373) claimed in §V-H1.
+
+use proptest::prelude::*;
+use smarteryou_linalg::Matrix;
+use smarteryou_ml::{BinaryClassifier, KernelRidge, KrrSolver};
+
+/// Random binary dataset with `n` samples and `m` features; labels are
+/// derived from a random hyperplane with noise so both classes exist.
+fn dataset(n: usize, m: usize) -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (
+        prop::collection::vec(-5.0..5.0f64, n * m),
+        prop::collection::vec(-1.0..1.0f64, m),
+    )
+        .prop_map(move |(data, plane)| {
+            let x = Matrix::from_vec(n, m, data).expect("sized");
+            let mut y: Vec<f64> = x
+                .iter_rows()
+                .map(|row| {
+                    let s: f64 = row.iter().zip(&plane).map(|(a, b)| a * b).sum();
+                    if s >= 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            // Guarantee both classes.
+            y[0] = 1.0;
+            y[n - 1] = -1.0;
+            (x, y)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn primal_equals_dual_for_identity_kernel(
+        (x, y) in dataset(24, 5),
+        rho in 0.01..50.0f64,
+    ) {
+        let primal = KernelRidge::new(rho)
+            .with_solver(KrrSolver::Primal)
+            .fit(&x, &y)
+            .expect("primal fit");
+        let dual = KernelRidge::new(rho)
+            .with_solver(KrrSolver::Dual)
+            .fit(&x, &y)
+            .expect("dual fit");
+
+        // Weight vectors agree…
+        let wp = primal.weights().expect("linear model");
+        let wd = dual.weights().expect("linear model");
+        for (a, b) in wp.iter().zip(wd) {
+            prop_assert!((a - b).abs() < 1e-6, "weights diverge: {a} vs {b}");
+        }
+
+        // …and so do decisions on arbitrary queries.
+        for probe in 0..x.rows() {
+            let q = x.row(probe);
+            let dp = primal.decision(q);
+            let dd = dual.decision(q);
+            prop_assert!((dp - dd).abs() < 1e-6, "decision diverges: {dp} vs {dd}");
+        }
+    }
+
+    #[test]
+    fn wide_data_also_agrees((x, y) in dataset(8, 12), rho in 0.1..10.0f64) {
+        // M > N: Auto picks the dual; the primal must still match.
+        let primal = KernelRidge::new(rho)
+            .with_solver(KrrSolver::Primal)
+            .fit(&x, &y)
+            .expect("primal fit");
+        let auto = KernelRidge::new(rho).fit(&x, &y).expect("auto fit");
+        let q = x.row(0);
+        prop_assert!((primal.decision(q) - auto.decision(q)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_path_is_continuous((x, y) in dataset(20, 4)) {
+        // Nearby ρ values give nearby models — a sanity check that the
+        // solver is numerically stable across the regularisation path.
+        let m1 = KernelRidge::new(1.0).fit(&x, &y).unwrap();
+        let m2 = KernelRidge::new(1.0001).fit(&x, &y).unwrap();
+        let w1 = m1.weights().unwrap();
+        let w2 = m2.weights().unwrap();
+        for (a, b) in w1.iter().zip(w2) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+}

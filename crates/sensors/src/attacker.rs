@@ -1,0 +1,182 @@
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::profile::UserProfile;
+use crate::rand_util::{normal, uniform};
+
+/// A masquerading adversary imitating a victim (§V-G).
+///
+/// The paper's attack model: the adversary watches a recording of the victim
+/// and mimics their behaviour while performing the same tasks. Imitation is
+/// effective for *observable, coarse* behaviour — how the phone is held, how
+/// fast the victim walks, how energetic their gestures are — but not for
+/// *fine-grained* motor characteristics (tremor spectrum, gait harmonic
+/// shape, sensor-level noise signature), which are not visible to the eye
+/// and not consciously controllable.
+///
+/// [`MimicryAttacker::masquerade_profile`] therefore blends only the coarse
+/// parameters toward the victim's, by a per-attacker `skill ∈ [0, 1]`, with
+/// residual imitation error; fine parameters remain the attacker's own.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MimicryAttacker {
+    attacker: UserProfile,
+    skill: f64,
+}
+
+impl MimicryAttacker {
+    /// Wraps an attacker profile with an imitation skill in `[0, 1]`
+    /// (0 = no imitation, 1 = perfect imitation of coarse behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skill` is outside `[0, 1]`.
+    pub fn new(attacker: UserProfile, skill: f64) -> Self {
+        assert!((0.0..=1.0).contains(&skill), "skill must be in [0,1]");
+        MimicryAttacker { attacker, skill }
+    }
+
+    /// Draws a skill level for a motivated attacker (uniform 0.5–0.85 — they
+    /// practised, but imitation stays imperfect).
+    pub fn with_random_skill(attacker: UserProfile, rng: &mut StdRng) -> Self {
+        let skill = uniform(rng, 0.45, 0.8);
+        MimicryAttacker { attacker, skill }
+    }
+
+    /// The attacker's imitation skill.
+    pub fn skill(&self) -> f64 {
+        self.skill
+    }
+
+    /// The underlying (unblended) attacker profile.
+    pub fn attacker(&self) -> &UserProfile {
+        &self.attacker
+    }
+
+    /// Produces the behavioural profile the attacker exhibits while
+    /// masquerading as `victim`.
+    ///
+    /// Coarse parameters (pose angles, gait cadence and intensity, gesture
+    /// energy) are pulled toward the victim's by `skill`, with residual
+    /// imitation error drawn from `rng`; fine-grained parameters (tremor
+    /// frequency, harmonic shape, swing ratio) stay the attacker's own.
+    pub fn masquerade_profile(&self, victim: &UserProfile, rng: &mut StdRng) -> UserProfile {
+        let mut out = self.attacker.clone();
+        let s = self.skill;
+        let blend = |rng: &mut StdRng, own: f64, vic: f64, err: f64| {
+            own + s * (vic - own) + normal(rng, 0.0, err * (1.0 - s * 0.5))
+        };
+
+        // Observable: how the device is held/carried.
+        for d in 0..2 {
+            out.p.pose_pitch[d] = blend(rng, self.attacker.p.pose_pitch[d], victim.p.pose_pitch[d], 0.05);
+            out.p.pose_roll[d] = blend(rng, self.attacker.p.pose_roll[d], victim.p.pose_roll[d], 0.04);
+            out.p.pose_pitch_moving[d] = blend(
+                rng,
+                self.attacker.p.pose_pitch_moving[d],
+                victim.p.pose_pitch_moving[d],
+                0.06,
+            );
+            out.p.pose_roll_moving[d] = blend(
+                rng,
+                self.attacker.p.pose_roll_moving[d],
+                victim.p.pose_roll_moving[d],
+                0.05,
+            );
+            out.p.accel_osc_amp[d] = blend(
+                rng,
+                self.attacker.p.accel_osc_amp[d],
+                victim.p.accel_osc_amp[d],
+                0.08,
+            )
+            .max(0.05);
+            // Gesture energy can be consciously modulated per axis only
+            // crudely: blend the overall scale, not the axis signature.
+            let own_scale: f64 = self.attacker.p.gyro_amp[d].iter().sum::<f64>() / 3.0;
+            let vic_scale: f64 = victim.p.gyro_amp[d].iter().sum::<f64>() / 3.0;
+            let target = blend(rng, own_scale, vic_scale, 0.01).max(1e-3);
+            let k = target / own_scale;
+            for a in 0..3 {
+                out.p.gyro_amp[d][a] = self.attacker.p.gyro_amp[d][a] * k;
+                out.p.gyro_amp_moving[d][a] = self.attacker.p.gyro_amp_moving[d][a] * k;
+            }
+        }
+        // Observable: walking speed/energy.
+        out.p.gait_freq = blend(rng, self.attacker.p.gait_freq, victim.p.gait_freq, 0.05)
+            .clamp(1.0, 3.0);
+        out.p.gait_intensity = blend(
+            rng,
+            self.attacker.p.gait_intensity,
+            victim.p.gait_intensity,
+            0.05,
+        )
+        .max(0.2);
+
+        // NOT observable / controllable: tremor, harmonic shape, swing ratio
+        // and light habits remain the attacker's (already copied via clone).
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::test_profile;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn skill_is_validated() {
+        assert!(std::panic::catch_unwind(|| {
+            MimicryAttacker::new(test_profile(0), 1.5)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn masquerade_moves_coarse_parameters_toward_victim() {
+        let attacker = test_profile(1);
+        let victim = test_profile(2);
+        let mim = MimicryAttacker::new(attacker.clone(), 0.8);
+        let blended = mim.masquerade_profile(&victim, &mut rng());
+        let gap = |a: f64, b: f64| (a - b).abs();
+        assert!(
+            gap(blended.p.gait_freq, victim.p.gait_freq)
+                < gap(attacker.p.gait_freq, victim.p.gait_freq) + 0.05
+        );
+        assert!(
+            gap(blended.p.pose_pitch[0], victim.p.pose_pitch[0])
+                < gap(attacker.p.pose_pitch[0], victim.p.pose_pitch[0])
+        );
+    }
+
+    #[test]
+    fn fine_parameters_stay_the_attackers() {
+        let attacker = test_profile(1);
+        let victim = test_profile(2);
+        let mim = MimicryAttacker::new(attacker.clone(), 0.85);
+        let blended = mim.masquerade_profile(&victim, &mut rng());
+        assert_eq!(blended.p.tremor_freq, attacker.p.tremor_freq);
+        assert_eq!(blended.p.gait_harmonics, attacker.p.gait_harmonics);
+        assert_eq!(blended.p.swing_ratio, attacker.p.swing_ratio);
+    }
+
+    #[test]
+    fn zero_skill_changes_little() {
+        let attacker = test_profile(3);
+        let victim = test_profile(4);
+        let mim = MimicryAttacker::new(attacker.clone(), 0.0);
+        let blended = mim.masquerade_profile(&victim, &mut rng());
+        // Only the imitation-error jitter remains.
+        assert!((blended.p.gait_freq - attacker.p.gait_freq).abs() < 0.3);
+    }
+
+    #[test]
+    fn random_skill_is_in_band() {
+        let mim = MimicryAttacker::with_random_skill(test_profile(5), &mut rng());
+        assert!((0.45..=0.8).contains(&mim.skill()));
+        assert_eq!(mim.attacker().id, test_profile(5).id);
+    }
+}

@@ -1,0 +1,199 @@
+//! Component-level battery model reproducing Table VIII (§V-H3).
+//!
+//! The paper measures battery drain in four scenarios on a Nexus 5. We have
+//! no hardware, so this module substitutes an explicit energy-accounting
+//! model: each platform component draws a calibrated percentage of battery
+//! per hour, and scenarios compose components over a duty cycle. The
+//! calibration reproduces the paper's four measurements; the model then
+//! *predicts* (rather than restates) variants like different sampling rates,
+//! which §V-H2 says scale CPU cost roughly linearly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::SAMPLE_RATE_HZ;
+
+/// The four measurement scenarios of Table VIII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerScenario {
+    /// Phone locked (idle), SmarterYou off — 12 h test.
+    LockedMonitorOff,
+    /// Phone locked, SmarterYou sampling in the background — 12 h test.
+    LockedMonitorOn,
+    /// Phone in periodic use (5 min on / 5 min off), SmarterYou off — 1 h.
+    InUseMonitorOff,
+    /// Phone in periodic use, SmarterYou authenticating — 1 h.
+    InUseMonitorOn,
+}
+
+impl PowerScenario {
+    /// All scenarios in Table VIII order.
+    pub const ALL: [PowerScenario; 4] = [
+        PowerScenario::LockedMonitorOff,
+        PowerScenario::LockedMonitorOn,
+        PowerScenario::InUseMonitorOff,
+        PowerScenario::InUseMonitorOn,
+    ];
+
+    /// Table VIII row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PowerScenario::LockedMonitorOff => "Phone locked, SmarterYou off",
+            PowerScenario::LockedMonitorOn => "Phone locked, SmarterYou on",
+            PowerScenario::InUseMonitorOff => "Phone unlocked, SmarterYou off",
+            PowerScenario::InUseMonitorOn => "Phone unlocked, SmarterYou on",
+        }
+    }
+
+    /// Test duration in hours (the paper used 12 h for locked scenarios and
+    /// 1 h for in-use scenarios).
+    pub fn duration_hours(&self) -> f64 {
+        match self {
+            PowerScenario::LockedMonitorOff | PowerScenario::LockedMonitorOn => 12.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Fraction of the test spent actively interacting (screen on, typing).
+    fn active_duty(&self) -> f64 {
+        match self {
+            PowerScenario::LockedMonitorOff | PowerScenario::LockedMonitorOn => 0.0,
+            // 5 minutes on / 5 minutes off.
+            _ => 0.5,
+        }
+    }
+
+    /// Whether the SmarterYou service is running.
+    fn monitor_on(&self) -> bool {
+        matches!(
+            self,
+            PowerScenario::LockedMonitorOn | PowerScenario::InUseMonitorOn
+        )
+    }
+
+    /// Paper-reported battery consumption for this scenario (percent).
+    pub fn paper_value(&self) -> f64 {
+        match self {
+            PowerScenario::LockedMonitorOff => 2.8,
+            PowerScenario::LockedMonitorOn => 4.9,
+            PowerScenario::InUseMonitorOff => 5.2,
+            PowerScenario::InUseMonitorOn => 7.6,
+        }
+    }
+}
+
+/// Battery drain rates per component, in percent of battery per hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Baseline drain with the phone idle and locked.
+    pub idle: f64,
+    /// Screen plus interactive CPU while the user is actively using it.
+    pub interactive: f64,
+    /// Continuous 50 Hz sensor sampling + buffering (keeps a core awake).
+    pub sensor_sampling: f64,
+    /// Feature extraction + context detection + classification + BLE sync
+    /// with the watch, active only while the phone is in use.
+    pub auth_pipeline: f64,
+    /// Sensor sampling rate the calibration assumes (Hz).
+    pub sample_rate: f64,
+}
+
+impl Default for PowerModel {
+    /// Calibrated to reproduce Table VIII exactly; see the module docs.
+    fn default() -> Self {
+        // Solve the four scenario equations:
+        //   12·idle                         = 2.8  → idle = 0.2333
+        //   12·(idle + sampling)            = 4.9  → sampling = 0.175
+        //   idle + 0.5·interactive          = 5.2  → interactive = 9.933
+        //   ... + sampling + 0.5·pipeline   = 7.6  → pipeline = 4.45
+        PowerModel {
+            idle: 2.8 / 12.0,
+            interactive: (5.2 - 2.8 / 12.0) / 0.5,
+            sensor_sampling: (4.9 - 2.8) / 12.0,
+            auth_pipeline: (7.6 - 5.2 - (4.9 - 2.8) / 12.0) / 0.5,
+            sample_rate: SAMPLE_RATE_HZ,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Predicted battery drain (percent) for a scenario over its standard
+    /// test duration.
+    pub fn drain(&self, scenario: PowerScenario) -> f64 {
+        self.drain_for(scenario, scenario.duration_hours(), self.sample_rate)
+    }
+
+    /// Predicted drain over `hours` at an arbitrary sensor `rate_hz` —
+    /// sampling and pipeline cost scale linearly with rate, as §V-H2 notes
+    /// ("CPU utilization ... will scale with the sampling rate").
+    pub fn drain_for(&self, scenario: PowerScenario, hours: f64, rate_hz: f64) -> f64 {
+        let rate_factor = rate_hz / self.sample_rate;
+        let duty = scenario.active_duty();
+        let mut per_hour = self.idle + duty * self.interactive;
+        if scenario.monitor_on() {
+            per_hour += self.sensor_sampling * rate_factor;
+            per_hour += duty * self.auth_pipeline * rate_factor;
+        }
+        per_hour * hours
+    }
+
+    /// Extra drain attributable to SmarterYou in a scenario (percent over
+    /// the standard duration) — the quantity the paper's abstract quotes
+    /// ("less than 2.4% battery consumption").
+    pub fn monitor_overhead(&self, active: bool) -> f64 {
+        if active {
+            self.drain(PowerScenario::InUseMonitorOn) - self.drain(PowerScenario::InUseMonitorOff)
+        } else {
+            self.drain(PowerScenario::LockedMonitorOn)
+                - self.drain(PowerScenario::LockedMonitorOff)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_table_viii() {
+        let m = PowerModel::default();
+        for s in PowerScenario::ALL {
+            let got = m.drain(s);
+            assert!(
+                (got - s.paper_value()).abs() < 0.05,
+                "{}: {got} vs paper {}",
+                s.label(),
+                s.paper_value()
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_overhead_matches_abstract() {
+        let m = PowerModel::default();
+        // "less than 2.4% battery consumption" (in-use hour).
+        assert!((m.monitor_overhead(true) - 2.4).abs() < 0.05);
+        // 2.1% over 12 idle hours (§V-H3 scenarios 1 vs 2).
+        assert!((m.monitor_overhead(false) - 2.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn drain_scales_with_sampling_rate() {
+        let m = PowerModel::default();
+        let at50 = m.drain_for(PowerScenario::LockedMonitorOn, 12.0, 50.0);
+        let at100 = m.drain_for(PowerScenario::LockedMonitorOn, 12.0, 100.0);
+        let at25 = m.drain_for(PowerScenario::LockedMonitorOn, 12.0, 25.0);
+        assert!(at100 > at50 && at50 > at25);
+        // Idle floor is unaffected by rate.
+        let off50 = m.drain_for(PowerScenario::LockedMonitorOff, 12.0, 50.0);
+        let off100 = m.drain_for(PowerScenario::LockedMonitorOff, 12.0, 100.0);
+        assert_eq!(off50, off100);
+    }
+
+    #[test]
+    fn scenario_metadata() {
+        assert_eq!(PowerScenario::ALL.len(), 4);
+        assert_eq!(PowerScenario::LockedMonitorOff.duration_hours(), 12.0);
+        assert_eq!(PowerScenario::InUseMonitorOn.duration_hours(), 1.0);
+        assert!(PowerScenario::InUseMonitorOn.label().contains("unlocked"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Simulated device-to-device transport (§IV-C "Protecting data in
+//! transit").
+//!
+//! The paper pairs the smartwatch to the smartphone over Bluetooth with an
+//! exchanged initialization key, then encrypts and MACs the sensor frames.
+//! No evaluation number depends on the cipher, so this module provides a
+//! *functional stand-in* that exercises the same code path — framing,
+//! keystream encryption, integrity tag, loss handling — using toy
+//! primitives (xorshift keystream, FNV-1a tag).
+//!
+//! **This is not real cryptography.** A production deployment would use the
+//! platform's Bluetooth pairing plus an AEAD; the API here is shaped so such
+//! a backend could be dropped in.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the simulated channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The frame was dropped by the lossy link.
+    Dropped,
+    /// The integrity tag did not verify (tampering or key mismatch).
+    IntegrityFailure,
+    /// The frame is too short to contain a tag.
+    Malformed,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Dropped => write!(f, "frame dropped by link"),
+            ChannelError::IntegrityFailure => write!(f, "integrity check failed"),
+            ChannelError::Malformed => write!(f, "malformed frame"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// A paired, keyed channel between the watch and the phone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SecureChannel {
+    key: u64,
+    send_counter: u64,
+    recv_counter: u64,
+}
+
+const TAG_LEN: usize = 8;
+
+impl SecureChannel {
+    /// Pairs two endpoints, returning matching channel states (models the
+    /// Bluetooth pairing key exchange).
+    pub fn pair(rng: &mut StdRng) -> (SecureChannel, SecureChannel) {
+        let key: u64 = rng.random();
+        let mk = |key| SecureChannel {
+            key,
+            send_counter: 0,
+            recv_counter: 0,
+        };
+        (mk(key), mk(key))
+    }
+
+    /// Creates a channel from an explicit key (e.g. re-derived session key).
+    pub fn from_key(key: u64) -> SecureChannel {
+        SecureChannel {
+            key,
+            send_counter: 0,
+            recv_counter: 0,
+        }
+    }
+
+    /// Encrypts and tags a payload, producing a wire frame. The per-frame
+    /// counter is mixed into the keystream and the tag, so replayed or
+    /// reordered frames fail verification.
+    pub fn seal(&mut self, payload: &[u8]) -> Vec<u8> {
+        let nonce = self.send_counter;
+        self.send_counter += 1;
+        let mut frame = Vec::with_capacity(payload.len() + TAG_LEN);
+        let mut ks = Keystream::new(self.key, nonce);
+        frame.extend(payload.iter().map(|&b| b ^ ks.next_byte()));
+        let tag = tag(self.key, nonce, &frame);
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame
+    }
+
+    /// Verifies and decrypts a wire frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Malformed`] for truncated frames,
+    /// [`ChannelError::IntegrityFailure`] when the tag does not match (bit
+    /// flips, wrong key, replay).
+    pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if frame.len() < TAG_LEN {
+            return Err(ChannelError::Malformed);
+        }
+        let nonce = self.recv_counter;
+        let (body, tag_bytes) = frame.split_at(frame.len() - TAG_LEN);
+        let expect = tag(self.key, nonce, body);
+        let got = u64::from_le_bytes(tag_bytes.try_into().expect("tag is 8 bytes"));
+        if expect != got {
+            return Err(ChannelError::IntegrityFailure);
+        }
+        self.recv_counter += 1;
+        let mut ks = Keystream::new(self.key, nonce);
+        Ok(body.iter().map(|&b| b ^ ks.next_byte()).collect())
+    }
+}
+
+/// Keyed FNV-1a over (key, nonce, data) — an integrity *stand-in*, not a MAC.
+fn tag(key: u64, nonce: u64, data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ key.rotate_left(17) ^ nonce;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// xorshift64* keystream seeded by (key, nonce).
+struct Keystream {
+    state: u64,
+    buf: u64,
+    avail: u32,
+}
+
+impl Keystream {
+    fn new(key: u64, nonce: u64) -> Self {
+        let state = (key ^ nonce.wrapping_mul(0x9E3779B97F4A7C15)) | 1;
+        Keystream {
+            state,
+            buf: 0,
+            avail: 0,
+        }
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        if self.avail == 0 {
+            self.state ^= self.state >> 12;
+            self.state ^= self.state << 25;
+            self.state ^= self.state >> 27;
+            self.buf = self.state.wrapping_mul(0x2545F4914F6CDD1D);
+            self.avail = 8;
+        }
+        let b = (self.buf & 0xFF) as u8;
+        self.buf >>= 8;
+        self.avail -= 1;
+        b
+    }
+}
+
+/// A lossy Bluetooth-like link carrying sealed frames between the devices.
+#[derive(Debug, Clone)]
+pub struct BluetoothLink {
+    loss_probability: f64,
+    rng: StdRng,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl BluetoothLink {
+    /// Creates a link dropping frames i.i.d. with `loss_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_probability` is outside `[0, 1)`.
+    pub fn new(loss_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_probability),
+            "loss probability must be in [0, 1)"
+        );
+        BluetoothLink {
+            loss_probability,
+            rng: StdRng::seed_from_u64(seed),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Transmits a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Dropped`] when the link loses the frame.
+    pub fn transmit(&mut self, frame: Vec<u8>) -> Result<Vec<u8>, ChannelError> {
+        if self.rng.random::<f64>() < self.loss_probability {
+            self.dropped += 1;
+            Err(ChannelError::Dropped)
+        } else {
+            self.delivered += 1;
+            Ok(frame)
+        }
+    }
+
+    /// `(delivered, dropped)` frame counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.delivered, self.dropped)
+    }
+}
+
+/// Serializes a sensor sample batch to bytes (little-endian f64s) for
+/// transport.
+pub fn encode_samples(samples: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 8);
+    for s in samples {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_samples`]; `None` when the byte length is not a
+/// multiple of 8.
+pub fn decode_samples(bytes: &[u8]) -> Option<Vec<f64>> {
+    if bytes.len() % 8 != 0 {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paired() -> (SecureChannel, SecureChannel) {
+        let mut rng = StdRng::seed_from_u64(42);
+        SecureChannel::pair(&mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_payload() {
+        let (mut tx, mut rx) = paired();
+        let payload = b"watch accel frame".to_vec();
+        let frame = tx.seal(&payload);
+        assert_ne!(&frame[..payload.len()], payload.as_slice(), "ciphertext differs");
+        assert_eq!(rx.open(&frame).unwrap(), payload);
+    }
+
+    #[test]
+    fn multiple_frames_in_order() {
+        let (mut tx, mut rx) = paired();
+        for i in 0..10u8 {
+            let frame = tx.seal(&[i, i + 1]);
+            assert_eq!(rx.open(&frame).unwrap(), vec![i, i + 1]);
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (mut tx, mut rx) = paired();
+        let mut frame = tx.seal(b"data");
+        frame[0] ^= 1;
+        assert_eq!(rx.open(&frame), Err(ChannelError::IntegrityFailure));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let (mut tx, _) = paired();
+        let mut rx = SecureChannel::from_key(12345);
+        let frame = tx.seal(b"data");
+        assert_eq!(rx.open(&frame), Err(ChannelError::IntegrityFailure));
+    }
+
+    #[test]
+    fn replay_fails() {
+        let (mut tx, mut rx) = paired();
+        let frame = tx.seal(b"data");
+        assert!(rx.open(&frame).is_ok());
+        // Same frame again: receiver counter advanced, tag mismatch.
+        assert_eq!(rx.open(&frame), Err(ChannelError::IntegrityFailure));
+    }
+
+    #[test]
+    fn truncated_frame_is_malformed() {
+        let (_, mut rx) = paired();
+        assert_eq!(rx.open(&[1, 2, 3]), Err(ChannelError::Malformed));
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut link = BluetoothLink::new(0.3, 1);
+        let mut dropped = 0;
+        for _ in 0..1000 {
+            if link.transmit(vec![0u8]).is_err() {
+                dropped += 1;
+            }
+        }
+        assert!((200..400).contains(&dropped), "dropped {dropped}");
+        let (d, l) = link.stats();
+        assert_eq!(d + l, 1000);
+    }
+
+    #[test]
+    fn sample_codec_roundtrips() {
+        let samples = vec![0.0, -1.5, 9.81, f64::MAX];
+        let bytes = encode_samples(&samples);
+        assert_eq!(decode_samples(&bytes).unwrap(), samples);
+        assert!(decode_samples(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn end_to_end_sensor_frame_over_lossy_link() {
+        let (mut tx, mut rx) = paired();
+        let mut link = BluetoothLink::new(0.2, 9);
+        let samples: Vec<f64> = (0..300).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut received = 0;
+        for _ in 0..50 {
+            let frame = tx.seal(&encode_samples(&samples));
+            match link.transmit(frame) {
+                Ok(f) => {
+                    // Frame made it: it must decode exactly.
+                    let bytes = rx.open(&f).unwrap();
+                    assert_eq!(decode_samples(&bytes).unwrap(), samples);
+                    received += 1;
+                }
+                Err(ChannelError::Dropped) => {
+                    // Receiver never saw it; keep counters in sync the way
+                    // the real protocol would (sender retransmits with a new
+                    // counter; here we just advance the receiver).
+                    rx.recv_counter += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(received > 25);
+    }
+}

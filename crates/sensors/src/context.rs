@@ -1,0 +1,114 @@
+use serde::{Deserialize, Serialize};
+
+/// The four fine-grained usage situations the paper initially tried for
+/// context detection (§V-E).
+///
+/// Three of them ("using while still", "phone resting on a table", "riding
+/// a vehicle") are all *relatively stationary* and proved mutually
+/// confusable, so the deployed system collapses them into
+/// [`UsageContext::Stationary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RawContext {
+    /// Using the phone while sitting or standing still.
+    SittingStanding,
+    /// Using the phone while walking around.
+    MovingAround,
+    /// Phone stationary on a surface while being used.
+    OnTable,
+    /// Using the phone on a moving vehicle (train, bus).
+    Vehicle,
+}
+
+impl RawContext {
+    /// All four raw contexts in the paper's numbering order.
+    pub const ALL: [RawContext; 4] = [
+        RawContext::SittingStanding,
+        RawContext::MovingAround,
+        RawContext::OnTable,
+        RawContext::Vehicle,
+    ];
+
+    /// The coarse two-context label used by the deployed system (Table V).
+    pub fn coarse(&self) -> UsageContext {
+        match self {
+            RawContext::MovingAround => UsageContext::Moving,
+            _ => UsageContext::Stationary,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RawContext::SittingStanding => "sitting/standing",
+            RawContext::MovingAround => "moving",
+            RawContext::OnTable => "on table",
+            RawContext::Vehicle => "vehicle",
+        }
+    }
+
+    /// Index into [`RawContext::ALL`].
+    pub fn index(&self) -> usize {
+        RawContext::ALL.iter().position(|c| c == self).expect("member")
+    }
+}
+
+/// The two coarse usage contexts that survive the confusion analysis and
+/// drive per-context authentication models (§V-E, Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UsageContext {
+    /// User relatively still (sitting, standing, phone on table, vehicle).
+    Stationary,
+    /// User walking / moving around.
+    Moving,
+}
+
+impl UsageContext {
+    /// Both contexts, stationary first (Table V order).
+    pub const ALL: [UsageContext; 2] = [UsageContext::Stationary, UsageContext::Moving];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UsageContext::Stationary => "stationary",
+            UsageContext::Moving => "moving",
+        }
+    }
+
+    /// Index into [`UsageContext::ALL`] (0 = stationary, 1 = moving) —
+    /// doubles as the class label for the context classifier.
+    pub fn index(&self) -> usize {
+        match self {
+            UsageContext::Stationary => 0,
+            UsageContext::Moving => 1,
+        }
+    }
+
+    /// Inverse of [`UsageContext::index`]; `None` for out-of-range values.
+    pub fn from_index(i: usize) -> Option<UsageContext> {
+        UsageContext::ALL.get(i).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_mapping_collapses_stationary_like_contexts() {
+        assert_eq!(RawContext::SittingStanding.coarse(), UsageContext::Stationary);
+        assert_eq!(RawContext::OnTable.coarse(), UsageContext::Stationary);
+        assert_eq!(RawContext::Vehicle.coarse(), UsageContext::Stationary);
+        assert_eq!(RawContext::MovingAround.coarse(), UsageContext::Moving);
+    }
+
+    #[test]
+    fn indices_roundtrip() {
+        for c in UsageContext::ALL {
+            assert_eq!(UsageContext::from_index(c.index()), Some(c));
+        }
+        assert_eq!(UsageContext::from_index(9), None);
+        for (i, c) in RawContext::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

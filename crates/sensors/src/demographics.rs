@@ -1,0 +1,132 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Participant gender, as recorded in the study demographics (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Female (16 of the paper's 35 participants).
+    Female,
+    /// Male (19 of the paper's 35 participants).
+    Male,
+}
+
+/// Participant age band, as recorded in the study demographics (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgeBand {
+    /// 20–25 years (12 participants).
+    From20To25,
+    /// 25–30 years (9 participants).
+    From25To30,
+    /// 30–35 years (5 participants).
+    From30To35,
+    /// 35–40 years (5 participants).
+    From35To40,
+    /// Over 40 years (4 participants).
+    Over40,
+}
+
+impl AgeBand {
+    /// All bands in Figure 2's order.
+    pub const ALL: [AgeBand; 5] = [
+        AgeBand::From20To25,
+        AgeBand::From25To30,
+        AgeBand::From30To35,
+        AgeBand::From35To40,
+        AgeBand::Over40,
+    ];
+
+    /// Display label matching the figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AgeBand::From20To25 => "20-25",
+            AgeBand::From25To30 => "25-30",
+            AgeBand::From30To35 => "30-35",
+            AgeBand::From35To40 => "35-40",
+            AgeBand::Over40 => "40+",
+        }
+    }
+}
+
+/// Demographics of one simulated participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Demographics {
+    /// Gender.
+    pub gender: Gender,
+    /// Age band.
+    pub age: AgeBand,
+}
+
+/// Figure 2 counts: (female, male) out of 35.
+pub const GENDER_COUNTS: (usize, usize) = (16, 19);
+/// Figure 2 counts per [`AgeBand::ALL`] entry, summing to 35.
+pub const AGE_COUNTS: [usize; 5] = [12, 9, 5, 5, 4];
+
+/// Assigns demographics to `n` participants.
+///
+/// For `n == 35` the assignment reproduces Figure 2's histogram exactly;
+/// other sizes scale the proportions. The pairing of gender and age is
+/// shuffled by `rng` (the paper does not report the joint distribution).
+pub fn assign_demographics<R: Rng>(n: usize, rng: &mut R) -> Vec<Demographics> {
+    let n_female = (n * GENDER_COUNTS.0 + 17) / 35; // rounded proportion
+    let mut genders: Vec<Gender> = (0..n)
+        .map(|i| if i < n_female { Gender::Female } else { Gender::Male })
+        .collect();
+    let total: usize = AGE_COUNTS.iter().sum();
+    let mut ages = Vec::with_capacity(n);
+    for (band, &count) in AgeBand::ALL.iter().zip(&AGE_COUNTS) {
+        let share = (n * count + total / 2) / total;
+        ages.extend(std::iter::repeat(*band).take(share));
+    }
+    // Rounding can over/undershoot; trim or pad with the most common band.
+    ages.truncate(n);
+    while ages.len() < n {
+        ages.push(AgeBand::From20To25);
+    }
+    // Shuffle the pairing only, keeping the marginals intact.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        genders.swap(i, j);
+        let k = rng.random_range(0..=i);
+        ages.swap(i, k);
+    }
+    genders
+        .into_iter()
+        .zip(ages)
+        .map(|(gender, age)| Demographics { gender, age })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thirty_five_users_match_figure_two() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let demo = assign_demographics(35, &mut rng);
+        assert_eq!(demo.len(), 35);
+        let females = demo.iter().filter(|d| d.gender == Gender::Female).count();
+        assert_eq!(females, 16);
+        for (band, &expect) in AgeBand::ALL.iter().zip(&AGE_COUNTS) {
+            let got = demo.iter().filter(|d| d.age == *band).count();
+            assert_eq!(got, expect, "band {}", band.label());
+        }
+    }
+
+    #[test]
+    fn other_sizes_scale_proportionally() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let demo = assign_demographics(10, &mut rng);
+        assert_eq!(demo.len(), 10);
+        let females = demo.iter().filter(|d| d.gender == Gender::Female).count();
+        assert!((4..=6).contains(&females), "females {females}");
+    }
+
+    #[test]
+    fn age_counts_sum_to_thirty_five() {
+        assert_eq!(AGE_COUNTS.iter().sum::<usize>(), 35);
+        assert_eq!(GENDER_COUNTS.0 + GENDER_COUNTS.1, 35);
+    }
+}

@@ -1,0 +1,354 @@
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::rand_util::normal;
+
+/// Slowly varying offsets on a user's behavioural parameters — the paper's
+/// *behavioural drift* (§V-I): "the user may change his/her behavioral
+/// pattern over weeks or months".
+///
+/// Drift follows an Ornstein–Uhlenbeck process per parameter: a small
+/// diffusion (habits wander day to day) plus exponential relaxation toward
+/// the **population norm** (habituation — idiosyncratic carrying angles,
+/// gesture energy and micro-motor signature settle toward common
+/// ergonomics). The relaxation is what makes Figure 7 reproducible: as a
+/// user's parameters regress toward the population, their feature vectors
+/// approach the impostor pool and the KRR confidence score `CS = xᵀw*`
+/// declines — exactly the trajectory the retraining trigger watches.
+///
+/// `drift_scale` multiplies the relaxation rate only; the diffusion stays
+/// fixed so that large scales model *fast* habituation, not wild behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftState {
+    /// Pitch offset per device (rad), stationary pose.
+    pub pose_pitch: [f64; 2],
+    /// Roll offset per device (rad), stationary pose.
+    pub pose_roll: [f64; 2],
+    /// Pitch offset per device (rad), moving/carry pose.
+    pub pose_pitch_moving: [f64; 2],
+    /// Roll offset per device (rad), moving/carry pose.
+    pub pose_roll_moving: [f64; 2],
+    /// Gait cadence offset (Hz).
+    pub gait_freq: f64,
+    /// Tremor/micro-gesture frequency offset (Hz).
+    pub tremor_freq: f64,
+    /// Per-device per-axis log offset on gyro gesture amplitudes.
+    pub log_gyro_amp: [[f64; 3]; 2],
+    /// Per-device log offset on gait acceleration amplitude.
+    pub log_gait_amp: [f64; 2],
+    /// Offsets on the relative gait harmonic amplitudes 2–3.
+    pub gait_harmonics: [f64; 2],
+    /// Offset on the watch arm-swing ratio.
+    pub swing_ratio: f64,
+    /// Per-device log offset on the hand-tremor amplitude.
+    pub log_hand_tremor: [f64; 2],
+    /// Per-device × sensor log offset on the steadiness (noise) factors.
+    pub log_noise: [[f64; 2]; 2],
+    /// Offset on the z-axis tremor frequency ratio.
+    pub tremor_z_ratio: f64,
+    /// Offset on the seated rocking frequency (Hz).
+    pub rock_freq: f64,
+    /// Log offset on the rocking amplitude.
+    pub log_rock_amp: f64,
+    /// Per-device log offset on the overall gyro energy factor.
+    pub log_gyro_scale: [f64; 2],
+    /// Per-device tap/flick rate offset (Hz).
+    pub tap_rate: [f64; 2],
+    /// Per-device log offset on the tap amplitude.
+    pub log_tap_amp: [f64; 2],
+    /// Offset on the gait subharmonic amplitude.
+    pub gait_asymmetry: f64,
+    /// Offset on the watch tremor-frequency offset.
+    pub tremor_offset_watch: f64,
+}
+
+/// Where each parameter's offset relaxes to: the (population norm − user
+/// value) deviation, i.e. the offset at which the user has fully converged
+/// to typical behaviour. Computed once per user (`UserProfile::drift_bias`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftTarget {
+    /// Pitch target per device (rad), stationary pose.
+    pub pose_pitch: [f64; 2],
+    /// Roll target per device (rad), stationary pose.
+    pub pose_roll: [f64; 2],
+    /// Pitch target per device (rad), moving/carry pose.
+    pub pose_pitch_moving: [f64; 2],
+    /// Roll target per device (rad), moving/carry pose.
+    pub pose_roll_moving: [f64; 2],
+    /// Cadence target (Hz).
+    pub gait_freq: f64,
+    /// Tremor-frequency target (Hz).
+    pub tremor_freq: f64,
+    /// Per-device per-axis gyro log-amplitude targets.
+    pub log_gyro_amp: [[f64; 3]; 2],
+    /// Per-device gait log-amplitude targets.
+    pub log_gait_amp: [f64; 2],
+    /// Targets for the relative gait harmonics 2–3.
+    pub gait_harmonics: [f64; 2],
+    /// Target for the watch arm-swing ratio.
+    pub swing_ratio: f64,
+    /// Per-device hand-tremor log-amplitude targets.
+    pub log_hand_tremor: [f64; 2],
+    /// Per-device × sensor steadiness log targets.
+    pub log_noise: [[f64; 2]; 2],
+    /// Target for the z-axis tremor ratio.
+    pub tremor_z_ratio: f64,
+    /// Target for the rocking frequency.
+    pub rock_freq: f64,
+    /// Target for the rocking log-amplitude.
+    pub log_rock_amp: f64,
+    /// Per-device overall gyro energy targets.
+    pub log_gyro_scale: [f64; 2],
+    /// Per-device tap-rate targets (Hz).
+    pub tap_rate: [f64; 2],
+    /// Per-device tap log-amplitude targets.
+    pub log_tap_amp: [f64; 2],
+    /// Gait-subharmonic target.
+    pub gait_asymmetry: f64,
+    /// Watch tremor-offset target.
+    pub tremor_offset_watch: f64,
+}
+
+/// Relaxation rate toward the population norm, per day, at scale 1.
+const KAPPA: f64 = 0.02;
+
+/// Per-√day standard deviations of the diffusion term.
+mod rates {
+    pub const PITCH: f64 = 0.015;
+    pub const ROLL: f64 = 0.010;
+    pub const GAIT_FREQ: f64 = 0.010;
+    pub const TREMOR_FREQ: f64 = 0.030;
+    pub const LOG_AMP: f64 = 0.025;
+    pub const HARMONIC: f64 = 0.008;
+    pub const SWING: f64 = 0.004;
+}
+
+impl DriftState {
+    /// Fresh, drift-free state.
+    pub fn new() -> Self {
+        DriftState::default()
+    }
+
+    /// Evolves the process by `days` of elapsed time. `scale` multiplies
+    /// the relaxation rate (0 freezes drift entirely); `target` is the
+    /// user's habituation endpoint.
+    pub fn advance(&mut self, rng: &mut StdRng, days: f64, scale: f64, target: &DriftTarget) {
+        if days <= 0.0 || scale <= 0.0 {
+            return;
+        }
+        let decay = (-KAPPA * scale * days).exp();
+        let k = days.sqrt();
+        let step = |offset: &mut f64, target: f64, sigma: f64, rng: &mut StdRng| {
+            *offset = target + (*offset - target) * decay + normal(rng, 0.0, sigma * k);
+        };
+        for d in 0..2 {
+            step(&mut self.pose_pitch[d], target.pose_pitch[d], rates::PITCH, rng);
+            step(&mut self.pose_roll[d], target.pose_roll[d], rates::ROLL, rng);
+            step(
+                &mut self.pose_pitch_moving[d],
+                target.pose_pitch_moving[d],
+                rates::PITCH,
+                rng,
+            );
+            step(
+                &mut self.pose_roll_moving[d],
+                target.pose_roll_moving[d],
+                rates::ROLL,
+                rng,
+            );
+            for a in 0..3 {
+                step(
+                    &mut self.log_gyro_amp[d][a],
+                    target.log_gyro_amp[d][a],
+                    rates::LOG_AMP,
+                    rng,
+                );
+            }
+            step(
+                &mut self.log_gait_amp[d],
+                target.log_gait_amp[d],
+                rates::LOG_AMP,
+                rng,
+            );
+        }
+        step(&mut self.gait_freq, target.gait_freq, rates::GAIT_FREQ, rng);
+        step(
+            &mut self.tremor_freq,
+            target.tremor_freq,
+            rates::TREMOR_FREQ,
+            rng,
+        );
+        for h in 0..2 {
+            step(
+                &mut self.gait_harmonics[h],
+                target.gait_harmonics[h],
+                rates::HARMONIC,
+                rng,
+            );
+        }
+        step(&mut self.swing_ratio, target.swing_ratio, rates::SWING, rng);
+        for d in 0..2 {
+            step(
+                &mut self.log_hand_tremor[d],
+                target.log_hand_tremor[d],
+                rates::LOG_AMP,
+                rng,
+            );
+            for sens in 0..2 {
+                step(
+                    &mut self.log_noise[d][sens],
+                    target.log_noise[d][sens],
+                    rates::LOG_AMP,
+                    rng,
+                );
+            }
+        }
+        step(
+            &mut self.tremor_z_ratio,
+            target.tremor_z_ratio,
+            rates::SWING,
+            rng,
+        );
+        step(&mut self.rock_freq, target.rock_freq, rates::GAIT_FREQ, rng);
+        step(
+            &mut self.log_rock_amp,
+            target.log_rock_amp,
+            rates::LOG_AMP,
+            rng,
+        );
+        for d in 0..2 {
+            step(
+                &mut self.log_gyro_scale[d],
+                target.log_gyro_scale[d],
+                rates::LOG_AMP,
+                rng,
+            );
+            step(&mut self.tap_rate[d], target.tap_rate[d], rates::GAIT_FREQ, rng);
+            step(
+                &mut self.log_tap_amp[d],
+                target.log_tap_amp[d],
+                rates::LOG_AMP,
+                rng,
+            );
+        }
+        step(
+            &mut self.gait_asymmetry,
+            target.gait_asymmetry,
+            rates::HARMONIC,
+            rng,
+        );
+        step(
+            &mut self.tremor_offset_watch,
+            target.tremor_offset_watch,
+            rates::TREMOR_FREQ,
+            rng,
+        );
+    }
+
+    /// Multiplicative gyro amplitude factor for device `dev`, axis `a`.
+    pub fn gyro_amp_factor(&self, dev: usize, axis: usize) -> f64 {
+        self.log_gyro_amp[dev][axis].exp()
+    }
+
+    /// Multiplicative gait-acceleration factor for device `dev`.
+    pub fn gait_amp_factor(&self, dev: usize) -> f64 {
+        self.log_gait_amp[dev].exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn no_target() -> DriftTarget {
+        DriftTarget::default()
+    }
+
+    #[test]
+    fn new_state_is_identity() {
+        let d = DriftState::new();
+        assert_eq!(d.pose_pitch, [0.0; 2]);
+        assert_eq!(d.gyro_amp_factor(0, 2), 1.0);
+        assert_eq!(d.gait_amp_factor(1), 1.0);
+    }
+
+    #[test]
+    fn zero_days_or_scale_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = DriftState::new();
+        d.advance(&mut rng, 0.0, 1.0, &no_target());
+        d.advance(&mut rng, 5.0, 0.0, &no_target());
+        assert_eq!(d, DriftState::new());
+    }
+
+    #[test]
+    fn diffusion_grows_with_time() {
+        let rms = |days: f64| {
+            let mut acc = 0.0;
+            for seed in 0..60 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut d = DriftState::new();
+                d.advance(&mut rng, days, 1.0, &no_target());
+                acc += d.pose_pitch[0] * d.pose_pitch[0];
+            }
+            (acc / 60.0).sqrt()
+        };
+        assert!(rms(16.0) > 2.0 * rms(1.0));
+    }
+
+    #[test]
+    fn relaxation_converges_to_target_without_overshoot() {
+        let target = DriftTarget {
+            pose_pitch: [-0.3, 0.0],
+            ..DriftTarget::default()
+        };
+        let mut mean_by_day = Vec::new();
+        for day in [2.0, 8.0, 30.0, 120.0] {
+            let mut sum = 0.0;
+            for seed in 0..40 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut d = DriftState::new();
+                let mut t = 0.0;
+                while t < day {
+                    d.advance(&mut rng, 1.0, 2.0, &target);
+                    t += 1.0;
+                }
+                sum += d.pose_pitch[0];
+            }
+            mean_by_day.push(sum / 40.0);
+        }
+        // Monotone approach toward −0.3, never beyond it (on average).
+        for w in mean_by_day.windows(2) {
+            assert!(w[1] <= w[0] + 0.02, "approach is monotone: {mean_by_day:?}");
+        }
+        assert!(mean_by_day[3] > -0.35 && mean_by_day[3] < -0.25, "{mean_by_day:?}");
+    }
+
+    #[test]
+    fn per_axis_amplitudes_relax_independently() {
+        let target = DriftTarget {
+            log_gyro_amp: [[-0.5, 0.0, 0.5], [0.0; 3]],
+            ..DriftTarget::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = DriftState::new();
+        for _ in 0..200 {
+            d.advance(&mut rng, 1.0, 3.0, &target);
+        }
+        assert!(d.gyro_amp_factor(0, 0) < 0.75);
+        assert!(d.gyro_amp_factor(0, 2) > 1.3);
+        assert!((d.gyro_amp_factor(1, 0) - 1.0).abs() < 0.35);
+    }
+
+    #[test]
+    fn incremental_advance_accumulates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = DriftState::new();
+        for _ in 0..14 {
+            d.advance(&mut rng, 1.0, 1.0, &no_target());
+        }
+        assert!(d.pose_pitch[0].abs() > 1e-4);
+        assert!(d.gait_amp_factor(1) != 1.0);
+    }
+}

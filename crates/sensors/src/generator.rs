@@ -1,0 +1,775 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::context::RawContext;
+use crate::drift::{DriftState, DriftTarget};
+use crate::profile::{BehaviorParams, UserProfile, GRAVITY};
+use crate::rand_util::{gaussian, log_normal, normal, uniform};
+use crate::types::{DualDeviceWindow, SensorWindow};
+
+/// Shape of one generated window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Samples per stream.
+    pub samples: usize,
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+}
+
+impl WindowSpec {
+    /// A window of `secs` seconds at `rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is non-positive.
+    pub fn from_seconds(secs: f64, rate: f64) -> Self {
+        assert!(secs > 0.0 && rate > 0.0, "window spec must be positive");
+        WindowSpec {
+            samples: (secs * rate).round().max(1.0) as usize,
+            sample_rate: rate,
+        }
+    }
+
+    /// Window duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.samples as f64 / self.sample_rate
+    }
+}
+
+impl Default for WindowSpec {
+    /// The paper's deployed configuration: 6 s at 50 Hz (§V-F3).
+    fn default() -> Self {
+        WindowSpec::from_seconds(6.0, crate::types::SAMPLE_RATE_HZ)
+    }
+}
+
+/// Tunables of the synthetic-behaviour generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Global multiplier on all *within-user* variability (session posture
+    /// jitter, white sensor noise, per-window frequency/intensity jitter).
+    /// This is the single calibration knob that sets how much users overlap;
+    /// 1.0 is calibrated to land the paper's accuracy bands.
+    pub noise_scale: f64,
+    /// Probability that a window contains an impulsive disturbance (bump,
+    /// pickup, drop) — the heavy-tailed, high-leverage windows that hurt the
+    /// unregularised baselines of Table VI.
+    pub outlier_prob: f64,
+    /// Multiplier on the behavioural-drift random walk (§V-I, Figure 7);
+    /// 0 disables drift entirely.
+    pub drift_scale: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            noise_scale: 0.4,
+            outlier_prob: 0.035,
+            drift_scale: 1.0,
+        }
+    }
+}
+
+/// Streaming generator of synchronized phone + watch sensor windows for one
+/// user.
+///
+/// The generator models three timescales:
+///
+/// * **days** — behavioural drift (slow random walk on pose/gait/gesture
+///   parameters), advanced with [`TraceGenerator::advance_days`];
+/// * **sessions** — posture re-settling and environment changes (magnetic
+///   field, lighting, vehicle motion), redrawn by
+///   [`TraceGenerator::begin_session`];
+/// * **windows** — per-window activity intensity, frequency jitter, white
+///   sensor noise and occasional impulsive outliers.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_sensors::{RawContext, TraceGenerator, UserProfile, WindowSpec};
+/// # let profile = smarteryou_sensors::Population::generate(1, 7).users()[0].clone();
+///
+/// let mut generator = TraceGenerator::new(profile, 1234);
+/// generator.begin_session(RawContext::MovingAround);
+/// let window = generator.next_window(WindowSpec::default());
+/// assert_eq!(window.phone.accel[0].len(), 300); // 6 s × 50 Hz
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: UserProfile,
+    cfg: GeneratorConfig,
+    rng: StdRng,
+    day: f64,
+    drift: DriftState,
+    drift_target: DriftTarget,
+    session: SessionState,
+}
+
+/// Session-scoped state: current context, posture jitter, environment.
+#[derive(Debug, Clone)]
+struct SessionState {
+    context: RawContext,
+    /// Per-device posture jitter (pitch, roll) added to the profile pose.
+    pose_jitter: [(f64, f64); 2],
+    /// Per-device-axis magnetometer baseline (environmental field).
+    mag_base: [[f64; 3]; 2],
+    /// Per-device-axis orientation baseline (heading is session-arbitrary).
+    ori_base: [[f64; 3]; 2],
+    /// Session log-light level (indoor/outdoor).
+    light_level: f64,
+    /// Vehicle sway parameters (used in the Vehicle context).
+    sway_freq: f64,
+    sway_amp: f64,
+    engine_freq: f64,
+    engine_amp: f64,
+    /// Oscillator phase seeds for this session.
+    phase: [f64; 8],
+}
+
+impl TraceGenerator {
+    /// Creates a generator with the default [`GeneratorConfig`].
+    pub fn new(profile: UserProfile, seed: u64) -> Self {
+        TraceGenerator::with_config(profile, seed, GeneratorConfig::default())
+    }
+
+    /// Creates a generator with an explicit configuration.
+    pub fn with_config(profile: UserProfile, seed: u64, cfg: GeneratorConfig) -> Self {
+        let mut rng = crate::profile::derive_rng(seed, profile.id, 0xA11CE);
+        let session = SessionState::draw(&mut rng, RawContext::SittingStanding, &cfg);
+        let drift_target = profile.drift_bias();
+        TraceGenerator {
+            profile,
+            cfg,
+            rng,
+            day: 0.0,
+            drift: DriftState::new(),
+            drift_target,
+            session,
+        }
+    }
+
+    /// The user being simulated.
+    pub fn profile(&self) -> &UserProfile {
+        &self.profile
+    }
+
+    /// Current simulated day (fractional).
+    pub fn day(&self) -> f64 {
+        self.day
+    }
+
+    /// Advances simulated time, evolving behavioural drift, and starts a new
+    /// session in the same context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is negative or non-finite.
+    pub fn advance_days(&mut self, days: f64) {
+        assert!(days.is_finite() && days >= 0.0, "days must be non-negative");
+        self.day += days;
+        self.drift
+            .advance(&mut self.rng, days, self.cfg.drift_scale, &self.drift_target);
+        let ctx = self.session.context;
+        self.begin_session(ctx);
+    }
+
+    /// Starts a new usage session: re-settles posture and redraws the
+    /// environment (magnetic field, lighting, vehicle motion).
+    pub fn begin_session(&mut self, context: RawContext) {
+        self.session = SessionState::draw(&mut self.rng, context, &self.cfg);
+    }
+
+    /// Generates the next synchronized phone + watch window in the current
+    /// session.
+    pub fn next_window(&mut self, spec: WindowSpec) -> DualDeviceWindow {
+        // Per-window activity-intensity modulation, shared by every
+        // oscillatory component of a device. This common-mode factor is
+        // deliberately large: it creates the strong same-device feature
+        // correlations of Table III, and it is what breaks naive Bayes in
+        // Table VI — the energy features all carry the same wobble, which
+        // independence-assuming likelihoods double-count, while linear
+        // models cancel it through feature contrasts.
+        let shared = [
+            log_normal(&mut self.rng, 0.0, 0.22),
+            log_normal(&mut self.rng, 0.0, 0.22),
+        ];
+        let outlier_device = if self.rng.random::<f64>() < self.cfg.outlier_prob {
+            Some(self.rng.random_range(0..2usize))
+        } else {
+            None
+        };
+        let phone = self.device_window(0, spec, shared[0], outlier_device == Some(0));
+        let watch = self.device_window(1, spec, shared[1], outlier_device == Some(1));
+        DualDeviceWindow { phone, watch }
+    }
+
+    /// Convenience: starts a session in `context` and generates `count`
+    /// windows.
+    pub fn generate_windows(
+        &mut self,
+        context: RawContext,
+        spec: WindowSpec,
+        count: usize,
+    ) -> Vec<DualDeviceWindow> {
+        self.begin_session(context);
+        (0..count).map(|_| self.next_window(spec)).collect()
+    }
+
+    /// Synthesizes one device's window. `dev` is 0 = phone, 1 = watch.
+    fn device_window(
+        &mut self,
+        dev: usize,
+        spec: WindowSpec,
+        shared_intensity: f64,
+        outlier: bool,
+    ) -> SensorWindow {
+        let n = spec.samples;
+        let rate = spec.sample_rate;
+        let ns = self.cfg.noise_scale;
+        let p: &BehaviorParams = &self.profile.p;
+        let drift = &self.drift;
+        let ctx = self.session.context;
+        let moving = ctx == RawContext::MovingAround;
+        let on_table_phone = ctx == RawContext::OnTable && dev == 0;
+
+        // --- resolve the effective pose for this window ------------------
+        let (mut pitch, mut roll) = if moving {
+            (
+                p.pose_pitch_moving[dev] + drift.pose_pitch_moving[dev],
+                p.pose_roll_moving[dev] + drift.pose_roll_moving[dev],
+            )
+        } else {
+            (
+                p.pose_pitch[dev] + drift.pose_pitch[dev],
+                p.pose_roll[dev] + drift.pose_roll[dev],
+            )
+        };
+        pitch += self.session.pose_jitter[dev].0;
+        roll += self.session.pose_jitter[dev].1;
+        if on_table_phone {
+            // Resting flat-ish: the profile pose does not apply; a small
+            // surface tilt overlaps with near-flat handheld postures, which
+            // is what confuses the four-context classifier (§V-E).
+            pitch = self.session.pose_jitter[dev].0 * 0.5 + 0.25;
+            roll = self.session.pose_jitter[dev].1 * 0.5;
+        }
+        let grav = [
+            GRAVITY * pitch.sin(),
+            GRAVITY * roll.sin() * pitch.cos(),
+            GRAVITY * pitch.cos() * roll.cos(),
+        ];
+
+        // --- oscillator banks --------------------------------------------
+        let intensity = shared_intensity
+            * log_normal(
+                &mut self.rng,
+                0.0,
+                crate::profile::calibration::INTENSITY_SIGMA * ns,
+            );
+        let gait_freq = (p.gait_freq
+            + drift.gait_freq
+            + normal(&mut self.rng, 0.0, 0.05 * ns))
+        .clamp(0.8, 3.0);
+        let drifted_tremor = (p.tremor_freq
+            + drift.tremor_freq
+            + if dev == 1 {
+                p.tremor_offset_watch + drift.tremor_offset_watch
+            } else {
+                0.0
+            })
+        .clamp(2.0, 8.0);
+        // The watch rides the arm swing at about half the step rate.
+        let swing = (p.swing_ratio + drift.swing_ratio).clamp(0.3, 0.7);
+        let osc_freq = if dev == 1 {
+            gait_freq * swing * 2.0
+        } else {
+            gait_freq
+        };
+
+        let mut accel_osc: Vec<Osc> = Vec::new();
+        let mut gyro_osc: Vec<Osc> = Vec::new();
+        if moving {
+            let coupling = if dev == 0 { p.carry_mode.coupling() } else { 1.0 };
+            let amp0 = p.accel_osc_amp[dev]
+                * p.gait_intensity
+                * coupling
+                * drift.gait_amp_factor(dev)
+                * intensity;
+            // Left–right step asymmetry: a subharmonic line at f/2.
+            let asym = (p.gait_asymmetry + drift.gait_asymmetry).clamp(0.005, 0.5);
+            accel_osc.push(Osc::new(
+                osc_freq * 0.5,
+                rate,
+                self.session.phase[7],
+                amp0 * asym,
+            ));
+            for (h, &rel) in p.gait_harmonics.iter().enumerate() {
+                let f = osc_freq * (h + 1) as f64;
+                let rel = if h > 0 {
+                    (rel + drift.gait_harmonics[h - 1]).max(0.02)
+                } else {
+                    rel
+                };
+                accel_osc.push(Osc::new(
+                    f,
+                    rate,
+                    self.session.phase[h] + self.rng.random::<f64>() * 0.5,
+                    amp0 * rel,
+                ));
+            }
+            let gyro_amp = p.gyro_amp_moving[dev];
+            let gyro_scale = p.gyro_scale[dev] * drift.log_gyro_scale[dev].exp();
+            for axis in 0..3 {
+                gyro_osc.push(Osc::new(
+                    osc_freq,
+                    rate,
+                    self.session.phase[3 + axis],
+                    gyro_amp[axis] * gyro_scale * drift.gyro_amp_factor(dev, axis) * intensity,
+                ));
+            }
+        } else {
+            // Stationary-like: physiological tremor / micro-gestures.
+            let tremor = drifted_tremor + normal(&mut self.rng, 0.0, 0.15 * ns);
+            let damp = if on_table_phone { 0.35 } else { 1.0 };
+            accel_osc.push(Osc::new(
+                tremor,
+                rate,
+                self.session.phase[0],
+                p.hand_tremor_amp[dev]
+                    * drift.log_hand_tremor[dev].exp()
+                    * intensity
+                    * damp,
+            ));
+            let z_ratio = (p.tremor_z_ratio + drift.tremor_z_ratio).clamp(0.3, 0.8);
+            let gyro_amp = p.gyro_amp[dev];
+            let gyro_scale = p.gyro_scale[dev] * drift.log_gyro_scale[dev].exp();
+            for axis in 0..3 {
+                gyro_osc.push(Osc::new(
+                    tremor * if axis == 2 { z_ratio } else { 1.0 },
+                    rate,
+                    self.session.phase[3 + axis],
+                    gyro_amp[axis] * gyro_scale * drift.gyro_amp_factor(dev, axis) * intensity * damp,
+                ));
+            }
+        }
+        // Vehicle adds common-mode sway & engine vibration on both devices.
+        let mut sway = None;
+        let mut engine = None;
+        if ctx == RawContext::Vehicle {
+            sway = Some(Osc::new(
+                self.session.sway_freq,
+                rate,
+                self.session.phase[6],
+                self.session.sway_amp,
+            ));
+            engine = Some(Osc::new(
+                self.session.engine_freq,
+                rate,
+                self.session.phase[7],
+                self.session.engine_amp,
+            ));
+        }
+        // Sitting users rock slightly too — overlapping with gentle vehicle
+        // sway, another §V-E confusion source.
+        if ctx == RawContext::SittingStanding {
+            let rock_f = (p.rock_freq + drift.rock_freq).clamp(0.25, 0.9);
+            sway = Some(Osc::new(
+                rock_f + normal(&mut self.rng, 0.0, 0.02 * ns),
+                rate,
+                self.session.phase[6],
+                p.rock_amp * drift.log_rock_amp.exp() * intensity,
+            ));
+        }
+
+        // --- noise levels -------------------------------------------------
+        let (acc_white, gyro_white) = if on_table_phone {
+            (0.05 * ns, 0.008 * ns)
+        } else if moving {
+            (0.35 * ns, 0.08 * ns)
+        } else {
+            (0.15 * ns, 0.03 * ns)
+        };
+        // The watch sits on a moving wrist: noisier in every context; the
+        // user's hand steadiness scales the noise floor too (an identity
+        // signal that survives in the Var features).
+        let dev_noise = if dev == 1 { 1.35 } else { 1.0 };
+        let acc_white =
+            acc_white * dev_noise * p.noise_factor[dev][0] * drift.log_noise[dev][0].exp();
+        let gyro_white =
+            gyro_white * dev_noise * p.noise_factor[dev][1] * drift.log_noise[dev][1].exp();
+
+        // --- tap/flick train (stationary-like usage) ----------------------
+        // Typing on the phone / wrist micro-flicks on the watch: an impulse
+        // train whose rate and strength are user habits. Dominates the Max
+        // and Var features the way real touch interaction does.
+        let mut taps: Vec<(usize, f64)> = Vec::new(); // (pos, amp)
+        if !moving {
+            let tap_rate_hz = (p.tap_rate[dev] + drift.tap_rate[dev]).clamp(0.3, 6.0);
+            let tap_amp = p.tap_amp[dev] * drift.log_tap_amp[dev].exp();
+            let interval = rate / tap_rate_hz;
+            let mut pos = uniform(&mut self.rng, 0.0, interval);
+            while (pos as usize) < n {
+                taps.push((
+                    pos as usize,
+                    tap_amp * log_normal(&mut self.rng, 0.0, 0.25 * ns.max(0.05)),
+                ));
+                pos += interval * uniform(&mut self.rng, 0.75, 1.25);
+            }
+        }
+
+        // --- impulsive outlier (bump / pickup / drop) ---------------------
+        let mut impulses: Vec<(usize, f64, f64)> = Vec::new(); // (pos, amp, decay)
+        if outlier {
+            let events = self.rng.random_range(1..4usize);
+            for _ in 0..events {
+                impulses.push((
+                    self.rng.random_range(0..n),
+                    uniform(&mut self.rng, 2.5, 8.0),
+                    uniform(&mut self.rng, 0.45, 0.75),
+                ));
+            }
+        }
+
+        // --- synthesize ----------------------------------------------------
+        let mut accel = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let mut gyro = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        // Distribution of linear gait/tremor motion across device axes
+        // follows the carry orientation.
+        let dir = [
+            pitch.sin().abs().max(0.15),
+            (roll.sin() * pitch.cos()).abs().max(0.1),
+            (pitch.cos() * roll.cos()).abs().max(0.2),
+        ];
+        let mut wander = [0.0f64; 3];
+        let wander_sigma = if moving { 0.10 } else { 0.05 } * ns;
+        for t in 0..n {
+            let osc_sum: f64 = accel_osc.iter_mut().map(Osc::next).sum();
+            let sway_v = sway.as_mut().map_or(0.0, Osc::next);
+            let engine_v = engine.as_mut().map_or(0.0, Osc::next);
+            let imp: f64 = impulses
+                .iter()
+                .map(|&(pos, amp, decay)| {
+                    if t >= pos {
+                        amp * decay.powi((t - pos) as i32)
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            let tap: f64 = taps
+                .iter()
+                .map(|&(pos, amp)| {
+                    if t >= pos && t < pos + 4 {
+                        amp * 0.55f64.powi((t - pos) as i32)
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            for axis in 0..3 {
+                wander[axis] += 0.08 * (gaussian(&mut self.rng) * wander_sigma - wander[axis]);
+                let axis_weight = match axis {
+                    0 => dir[0],
+                    1 => dir[1],
+                    _ => dir[2],
+                };
+                let sway_contrib = if axis == 2 { engine_v } else { sway_v * 0.7 };
+                accel[axis][t] = grav[axis]
+                    + osc_sum * axis_weight
+                    + sway_contrib
+                    + wander[axis]
+                    + (imp + tap) * axis_weight
+                    + gaussian(&mut self.rng) * acc_white;
+            }
+            for (axis, osc) in gyro_osc.iter_mut().enumerate() {
+                let v = osc.next();
+                gyro[axis][t] = v
+                    + sway_v * 0.02
+                    + imp * 0.01
+                    + tap * 0.04
+                    + gaussian(&mut self.rng) * gyro_white;
+            }
+        }
+
+        // --- environment-dominated sensors ---------------------------------
+        let mut mag = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let mut orientation = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        let mut light = vec![0.0; n];
+        let mag_wander_sigma = if moving { 2.5 } else { 0.8 };
+        let ori_wander_sigma = if moving { 0.12 } else { 0.03 };
+        let mut mw = [0.0f64; 3];
+        let mut ow = [0.0f64; 3];
+        let light_user = p.light_offset * if dev == 1 { 1.7 } else { 0.7 };
+        for t in 0..n {
+            for axis in 0..3 {
+                mw[axis] += 0.04 * (gaussian(&mut self.rng) * mag_wander_sigma - mw[axis]);
+                ow[axis] += 0.04 * (gaussian(&mut self.rng) * ori_wander_sigma - ow[axis]);
+                mag[axis][t] = self.session.mag_base[dev][axis]
+                    + mw[axis]
+                    + gaussian(&mut self.rng) * 0.5;
+                orientation[axis][t] = self.session.ori_base[dev][axis]
+                    + if axis == 1 { pitch * 0.1 } else { 0.0 }
+                    + ow[axis]
+                    + gaussian(&mut self.rng) * 0.02;
+            }
+            light[t] = self.session.light_level
+                + light_user
+                + gaussian(&mut self.rng) * 0.05;
+        }
+
+        SensorWindow {
+            accel,
+            gyro,
+            mag,
+            orientation,
+            light,
+        }
+    }
+}
+
+impl SessionState {
+    fn draw(rng: &mut StdRng, context: RawContext, cfg: &GeneratorConfig) -> Self {
+        let ns = cfg.noise_scale;
+        let jitter = |rng: &mut StdRng, p: f64, r: f64| {
+            (normal(rng, 0.0, p * ns), normal(rng, 0.0, r * ns))
+        };
+        SessionState {
+            context,
+            // Phone posture re-settles less than the watch (wrist moves).
+            pose_jitter: [jitter(rng, 0.07, 0.045), jitter(rng, 0.09, 0.055)],
+            mag_base: [
+                [
+                    normal(rng, 20.0, 15.0),
+                    normal(rng, 0.0, 15.0),
+                    normal(rng, -40.0, 15.0),
+                ],
+                [
+                    normal(rng, 20.0, 15.0),
+                    normal(rng, 0.0, 15.0),
+                    normal(rng, -40.0, 15.0),
+                ],
+            ],
+            ori_base: [
+                [
+                    uniform(rng, -std::f64::consts::PI, std::f64::consts::PI),
+                    normal(rng, 0.0, 0.6),
+                    normal(rng, 0.0, 0.6),
+                ],
+                [
+                    uniform(rng, -std::f64::consts::PI, std::f64::consts::PI),
+                    normal(rng, 0.0, 0.6),
+                    normal(rng, 0.0, 0.6),
+                ],
+            ],
+            light_level: normal(rng, 5.5, 1.2),
+            sway_freq: uniform(rng, 0.3, 0.7),
+            sway_amp: uniform(rng, 0.08, 0.22),
+            engine_freq: uniform(rng, 10.0, 14.0),
+            engine_amp: uniform(rng, 0.03, 0.10),
+            phase: std::array::from_fn(|_| uniform(rng, 0.0, 2.0 * std::f64::consts::PI)),
+        }
+    }
+}
+
+/// Phasor-rotation sinusoid generator: `amp · sin(2πft + φ)` without a
+/// per-sample `sin` call.
+#[derive(Debug, Clone)]
+struct Osc {
+    re: f64,
+    im: f64,
+    rot_re: f64,
+    rot_im: f64,
+    amp: f64,
+}
+
+impl Osc {
+    fn new(freq: f64, rate: f64, phase: f64, amp: f64) -> Self {
+        let step = 2.0 * std::f64::consts::PI * freq / rate;
+        Osc {
+            re: phase.cos(),
+            im: phase.sin(),
+            rot_re: step.cos(),
+            rot_im: step.sin(),
+            amp,
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> f64 {
+        let v = self.amp * self.im;
+        let re = self.re * self.rot_re - self.im * self.rot_im;
+        let im = self.re * self.rot_im + self.im * self.rot_re;
+        self.re = re;
+        self.im = im;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::test_profile;
+    use smarteryou_stats as stats;
+
+    fn spec() -> WindowSpec {
+        WindowSpec::default()
+    }
+
+    #[test]
+    fn window_spec_shapes() {
+        let s = WindowSpec::from_seconds(6.0, 50.0);
+        assert_eq!(s.samples, 300);
+        assert!((s.seconds() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windows_have_requested_shape() {
+        let mut g = TraceGenerator::new(test_profile(0), 1);
+        g.begin_session(RawContext::MovingAround);
+        let w = g.next_window(spec());
+        assert_eq!(w.phone.accel[0].len(), 300);
+        assert_eq!(w.watch.gyro[2].len(), 300);
+        assert_eq!(w.phone.light.len(), 300);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let mut g1 = TraceGenerator::new(test_profile(0), 9);
+        let mut g2 = TraceGenerator::new(test_profile(0), 9);
+        g1.begin_session(RawContext::SittingStanding);
+        g2.begin_session(RawContext::SittingStanding);
+        assert_eq!(g1.next_window(spec()), g2.next_window(spec()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut g1 = TraceGenerator::new(test_profile(0), 1);
+        let mut g2 = TraceGenerator::new(test_profile(0), 2);
+        g1.begin_session(RawContext::SittingStanding);
+        g2.begin_session(RawContext::SittingStanding);
+        assert_ne!(g1.next_window(spec()), g2.next_window(spec()));
+    }
+
+    #[test]
+    fn moving_windows_have_much_higher_accel_variance() {
+        let mut g = TraceGenerator::new(test_profile(1), 3);
+        let still = g.generate_windows(RawContext::SittingStanding, spec(), 6);
+        let moving = g.generate_windows(RawContext::MovingAround, spec(), 6);
+        let var = |ws: &[DualDeviceWindow]| {
+            let vals: Vec<f64> = ws
+                .iter()
+                .map(|w| {
+                    stats::variance(&w.phone.magnitude(crate::SensorKind::Accelerometer))
+                })
+                .collect();
+            stats::mean(&vals)
+        };
+        assert!(
+            var(&moving) > 8.0 * var(&still),
+            "moving {} vs still {}",
+            var(&moving),
+            var(&still)
+        );
+    }
+
+    #[test]
+    fn gait_frequency_is_recoverable_from_spectrum() {
+        let profile = test_profile(2);
+        let expect = profile.gait_frequency();
+        let mut g = TraceGenerator::new(profile, 4);
+        let w = g.generate_windows(RawContext::MovingAround, spec(), 4);
+        // Average the detected main peak over a few windows.
+        let mut freqs = Vec::new();
+        for win in &w {
+            let m = win.phone.magnitude(crate::SensorKind::Accelerometer);
+            let spectrum = smarteryou_dsp::magnitude_spectrum(&m);
+            let peaks = smarteryou_dsp::spectral_peaks(&spectrum, 50.0).unwrap();
+            freqs.push(peaks.main_frequency);
+        }
+        let mean = stats::mean(&freqs);
+        assert!(
+            (mean - expect).abs() < 0.5,
+            "detected {mean} vs profile {expect}"
+        );
+    }
+
+    #[test]
+    fn on_table_is_quieter_than_handheld() {
+        let mut g = TraceGenerator::new(test_profile(3), 5);
+        let hand = g.generate_windows(RawContext::SittingStanding, spec(), 5);
+        let table = g.generate_windows(RawContext::OnTable, spec(), 5);
+        let gyro_energy = |ws: &[DualDeviceWindow]| {
+            let vals: Vec<f64> = ws
+                .iter()
+                .map(|w| stats::variance(&w.phone.magnitude(crate::SensorKind::Gyroscope)))
+                .collect();
+            stats::mean(&vals)
+        };
+        assert!(gyro_energy(&table) < gyro_energy(&hand));
+    }
+
+    #[test]
+    fn outliers_inflate_heavy_tail() {
+        let cfg = GeneratorConfig {
+            outlier_prob: 1.0,
+            ..GeneratorConfig::default()
+        };
+        let clean_cfg = GeneratorConfig {
+            outlier_prob: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let mut noisy = TraceGenerator::with_config(test_profile(4), 6, cfg);
+        let mut clean = TraceGenerator::with_config(test_profile(4), 6, clean_cfg);
+        let max_of = |g: &mut TraceGenerator| {
+            let ws = g.generate_windows(RawContext::SittingStanding, spec(), 8);
+            ws.iter()
+                .map(|w| {
+                    let m = w.phone.magnitude(crate::SensorKind::Accelerometer);
+                    stats::max(&m)
+                })
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_of(&mut noisy) > max_of(&mut clean) + 2.0);
+    }
+
+    #[test]
+    fn drift_changes_the_signal_slowly() {
+        let mk = || {
+            TraceGenerator::with_config(
+                test_profile(5),
+                7,
+                GeneratorConfig {
+                    noise_scale: 0.0,
+                    outlier_prob: 0.0,
+                    drift_scale: 1.0,
+                },
+            )
+        };
+        // With noise off, day-0 windows match; after 30 days of drift the
+        // accel means move.
+        let mut g0 = mk();
+        let mut g30 = mk();
+        g30.advance_days(30.0);
+        g0.begin_session(RawContext::SittingStanding);
+        let w0 = g0.next_window(spec());
+        g30.begin_session(RawContext::SittingStanding);
+        let w30 = g30.next_window(spec());
+        let m0 = stats::mean(&w0.phone.magnitude(crate::SensorKind::Accelerometer));
+        let m30 = stats::mean(&w30.phone.magnitude(crate::SensorKind::Accelerometer));
+        // Magnitude stays near gravity but the axis distribution changes.
+        let x0 = stats::mean(&w0.phone.accel[0]);
+        let x30 = stats::mean(&w30.phone.accel[0]);
+        assert!((m0 - m30).abs() < 2.0, "magnitudes stay near g");
+        assert!((x0 - x30).abs() > 1e-3, "x-axis mean drifts");
+    }
+
+    #[test]
+    fn advance_days_rejects_negative() {
+        let mut g = TraceGenerator::new(test_profile(0), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.advance_days(-1.0);
+        }));
+        assert!(result.is_err());
+    }
+}

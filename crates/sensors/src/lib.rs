@@ -1,0 +1,62 @@
+//! Synthetic smartphone + smartwatch sensor substrate for the SmarterYou
+//! reproduction.
+//!
+//! The original paper evaluates on two weeks of free-form sensor data from
+//! 35 human participants carrying a Nexus 5 and a Moto 360 — data we do not
+//! have. This crate substitutes a **generative user population model**: each
+//! simulated user is a draw of biomechanical and habit parameters (gait
+//! cadence and shape, device pose, micro-gesture energy, tremor), and sensor
+//! windows are synthesized from those parameters plus session effects,
+//! environmental noise, behavioural drift and occasional outliers. See
+//! `DESIGN.md` for why each substitution preserves the behaviour the paper
+//! measures.
+//!
+//! Main entry points:
+//!
+//! * [`Population`] — generate the 35-participant study population
+//!   (Figure 2 demographics).
+//! * [`TraceGenerator`] / [`UsageSimulator`] — produce labelled
+//!   [`DualDeviceWindow`]s across sessions and days.
+//! * [`MimicryAttacker`] — masquerading adversaries for the §V-G attack.
+//! * [`SecureChannel`] / [`BluetoothLink`] — the simulated transport of
+//!   §IV-C.
+//! * [`PowerModel`] — the battery accounting behind Table VIII.
+//!
+//! # Example
+//!
+//! ```
+//! use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+//!
+//! let population = Population::generate(35, 42);
+//! let owner = population.users()[0].clone();
+//! let mut gen = TraceGenerator::new(owner, 7);
+//! let windows = gen.generate_windows(RawContext::MovingAround, WindowSpec::default(), 10);
+//! assert_eq!(windows.len(), 10);
+//! ```
+
+mod attacker;
+mod battery;
+mod channel;
+mod context;
+mod demographics;
+mod drift;
+mod generator;
+mod population;
+mod profile;
+pub(crate) mod rand_util;
+mod session;
+mod types;
+
+pub use attacker::MimicryAttacker;
+pub use battery::{PowerModel, PowerScenario};
+pub use channel::{decode_samples, encode_samples, BluetoothLink, ChannelError, SecureChannel};
+pub use context::{RawContext, UsageContext};
+pub use demographics::{
+    assign_demographics, AgeBand, Demographics, Gender, AGE_COUNTS, GENDER_COUNTS,
+};
+pub use drift::{DriftState, DriftTarget};
+pub use generator::{GeneratorConfig, TraceGenerator, WindowSpec};
+pub use population::Population;
+pub use profile::{UserId, UserProfile, GRAVITY};
+pub use session::{LabeledWindow, UsageSchedule, UsageSimulator};
+pub use types::{DeviceKind, DualDeviceWindow, SensorKind, SensorWindow, SAMPLE_RATE_HZ};

@@ -1,0 +1,142 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::demographics::{assign_demographics, AgeBand, Gender};
+use crate::profile::{UserId, UserProfile};
+
+/// A simulated study population — the stand-in for the paper's 35 volunteers
+/// (§V-A, Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_sensors::Population;
+///
+/// let population = Population::generate(35, 42);
+/// assert_eq!(population.len(), 35);
+/// let (female, male) = population.gender_counts();
+/// assert_eq!((female, male), (16, 19)); // Figure 2
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    seed: u64,
+    users: Vec<UserProfile>,
+}
+
+impl Population {
+    /// The paper's study size.
+    pub const PAPER_SIZE: usize = 35;
+
+    /// Generates `n` users deterministically from `seed`, with demographics
+    /// matching Figure 2's marginals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEADBEEF);
+        let demographics = assign_demographics(n, &mut rng);
+        let users = demographics
+            .into_iter()
+            .enumerate()
+            .map(|(i, demo)| UserProfile::generate(UserId(i), demo, seed))
+            .collect();
+        Population { seed, users }
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the population is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Seed used to generate the population.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All user profiles, indexed by `UserId`.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// One profile by id; `None` when out of range.
+    pub fn user(&self, id: UserId) -> Option<&UserProfile> {
+        self.users.get(id.0)
+    }
+
+    /// Iterates over all profiles.
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.users.iter()
+    }
+
+    /// `(female, male)` counts — Figure 2's left chart.
+    pub fn gender_counts(&self) -> (usize, usize) {
+        let f = self
+            .users
+            .iter()
+            .filter(|u| u.demographics.gender == Gender::Female)
+            .count();
+        (f, self.users.len() - f)
+    }
+
+    /// Participants per age band, in [`AgeBand::ALL`] order — Figure 2's
+    /// right chart.
+    pub fn age_histogram(&self) -> [usize; 5] {
+        let mut out = [0usize; 5];
+        for u in &self.users {
+            let idx = AgeBand::ALL
+                .iter()
+                .position(|b| *b == u.demographics.age)
+                .expect("band is a member");
+            out[idx] += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demographics::AGE_COUNTS;
+
+    #[test]
+    fn paper_size_population_matches_figure_two() {
+        let p = Population::generate(Population::PAPER_SIZE, 1);
+        assert_eq!(p.gender_counts(), (16, 19));
+        assert_eq!(p.age_histogram(), AGE_COUNTS);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(Population::generate(10, 3), Population::generate(10, 3));
+        assert_ne!(Population::generate(10, 3), Population::generate(10, 4));
+    }
+
+    #[test]
+    fn user_lookup() {
+        let p = Population::generate(5, 2);
+        assert!(p.user(UserId(4)).is_some());
+        assert!(p.user(UserId(5)).is_none());
+        assert_eq!(p.user(UserId(2)).unwrap().id, UserId(2));
+        assert_eq!(p.iter().count(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.seed(), 2);
+    }
+
+    #[test]
+    fn users_are_behaviourally_distinct() {
+        let p = Population::generate(20, 9);
+        let freqs: Vec<f64> = p.iter().map(|u| u.gait_frequency()).collect();
+        let mut sorted = freqs.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert_eq!(sorted.len(), 20, "no two users share an exact cadence");
+    }
+}

@@ -1,0 +1,510 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::demographics::Demographics;
+use crate::rand_util::{log_normal, normal, uniform};
+
+/// Identifier of a simulated participant (index into the population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub usize);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user{:02}", self.0)
+    }
+}
+
+/// Gravitational acceleration, m/s².
+pub const GRAVITY: f64 = 9.81;
+
+/// How the user carries the phone while moving — a *discrete* habit that
+/// makes the population multimodal (a pocket carry and an in-bag carry are
+/// not points on a continuum). Multimodality is what lets a linear
+/// one-vs-rest classifier isolate almost every user: real populations are
+/// clumpy, not a single Gaussian blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CarryMode {
+    /// Trouser pocket: steep, tightly coupled to the leg.
+    Pocket,
+    /// Bag or purse: shallow angle, loosely coupled.
+    Bag,
+    /// In hand while walking: intermediate, swings with the arm.
+    Hand,
+}
+
+impl CarryMode {
+    /// Mean carry pitch (rad) for this mode.
+    pub fn base_pitch(&self) -> f64 {
+        match self {
+            CarryMode::Pocket => 1.35,
+            CarryMode::Bag => 0.55,
+            CarryMode::Hand => 0.95,
+        }
+    }
+
+    /// Gait-to-device coupling factor (how much step energy reaches the
+    /// phone).
+    pub fn coupling(&self) -> f64 {
+        match self {
+            CarryMode::Pocket => 1.0,
+            CarryMode::Bag => 0.55,
+            CarryMode::Hand => 0.8,
+        }
+    }
+}
+
+/// Behavioural parameters of one simulated user.
+///
+/// These are the stand-in for what the paper measures from real
+/// participants: each user is a draw from population-level distributions of
+/// biomechanical and habit parameters. The classifiers never see these
+/// values — only the sensor streams they generate — so between-user
+/// separability emerges exactly the way it does for real data: through the
+/// windowed statistical features.
+///
+/// Parameter groups and the experiment they drive:
+///
+/// * device *pose* angles (how the phone/watch is held) → accelerometer
+///   mean/max features and the high Fisher score of `Acc(x)` (Table II);
+/// * *gait* cadence, shape and intensity → frequency-domain features while
+///   moving (Fig. 4's window-size sensitivity comes from needing enough DFT
+///   resolution to separate cadences);
+/// * *micro-gesture* rotation amplitudes → gyroscope features, axis-weighted
+///   to reproduce the per-axis Fisher ranking (`Gyr(z)` highest on the
+///   phone);
+/// * hand *tremor* frequency → secondary stationary-context peaks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Stable identifier.
+    pub id: UserId,
+    /// Gender and age band (Figure 2 marginals).
+    pub demographics: Demographics,
+    pub(crate) p: BehaviorParams,
+}
+
+/// Raw generative parameters (crate-private: applications interact with
+/// generated sensor data, not with the latent user model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct BehaviorParams {
+    // --- shared biomechanics -------------------------------------------
+    /// Walking cadence in steps/second (typical 1.4–2.4).
+    pub gait_freq: f64,
+    /// Log-scale multiplier on all gait oscillation amplitudes.
+    pub gait_intensity: f64,
+    /// Relative amplitudes of gait harmonics 1–3 (user-specific gait shape).
+    pub gait_harmonics: [f64; 3],
+    /// Physiological tremor / micro-gesture frequency in Hz.
+    pub tremor_freq: f64,
+    /// Watch arm-swing frequency as a fraction of step frequency (~0.5).
+    pub swing_ratio: f64,
+
+    // --- per device: [phone, watch] ------------------------------------
+    /// Holding pitch angle (rad) while stationary.
+    pub pose_pitch: [f64; 2],
+    /// Holding roll angle (rad) while stationary.
+    pub pose_roll: [f64; 2],
+    /// Carry pitch angle (rad) while moving (pocket / swinging arm).
+    pub pose_pitch_moving: [f64; 2],
+    /// Carry roll angle (rad) while moving.
+    pub pose_roll_moving: [f64; 2],
+    /// Stationary micro-gesture rotation amplitude per gyro axis (rad/s).
+    pub gyro_amp: [[f64; 3]; 2],
+    /// Moving rotation amplitude per gyro axis (rad/s).
+    pub gyro_amp_moving: [[f64; 3]; 2],
+    /// Gait acceleration amplitude factor per device (m/s²).
+    pub accel_osc_amp: [f64; 2],
+    /// Hand micro-tremor acceleration amplitude per device (m/s²).
+    pub hand_tremor_amp: [f64; 2],
+    /// Multiplier on white sensor noise per device × {accel, gyro} — hand
+    /// steadiness / grip stability signature.
+    pub noise_factor: [[f64; 2]; 2],
+    /// Frequency ratio of the z-axis micro-gesture line to the tremor line.
+    pub tremor_z_ratio: f64,
+    /// Body-rocking frequency while seated (Hz) — overlaps the vehicle sway
+    /// band, which is what confuses the four-context classifier (§V-E).
+    pub rock_freq: f64,
+    /// Body-rocking acceleration amplitude (m/s²).
+    pub rock_amp: f64,
+    /// Overall per-device gyroscope energy factor (grip/gesture vigour).
+    pub gyro_scale: [f64; 2],
+    /// Tap/flick rate per device (Hz): phone typing taps, watch wrist
+    /// flicks.
+    pub tap_rate: [f64; 2],
+    /// Tap/flick impulse amplitude per device (m/s²).
+    pub tap_amp: [f64; 2],
+    /// Relative amplitude of the gait subharmonic at f/2 (left–right step
+    /// asymmetry).
+    pub gait_asymmetry: f64,
+    /// Watch tremor-frequency offset relative to the phone hand (Hz).
+    pub tremor_offset_watch: f64,
+    /// Discrete phone carry habit while moving.
+    pub carry_mode: CarryMode,
+    /// Small user-specific ambient-light factor for the watch (wrist pose).
+    pub light_offset: f64,
+}
+
+/// Samples from a two-mode (habit) distribution in log space: most habits
+/// are categorical — typing style, strap tightness, gesture vigour — with
+/// modest within-mode spread. Categorical habits make the population
+/// *clumpy*, which is what lets a linear one-vs-rest classifier isolate
+/// nearly every user (points on a habit hypercube are all extreme points).
+fn bimodal_log<R: rand::Rng + ?Sized>(
+    r: &mut R,
+    lo: f64,
+    hi: f64,
+    within: f64,
+    p_hi: f64,
+) -> f64 {
+    let mode = if r.random::<f64>() < p_hi { hi } else { lo };
+    crate::rand_util::log_normal(r, mode, within)
+}
+
+/// Population-level calibration constants.
+///
+/// The per-axis log-spreads of the gyro amplitudes are chosen so the
+/// Fisher-score ranking of Table II is reproduced: the between-user variance
+/// of a log-normal amplitude is set against the per-window intensity jitter
+/// applied in the generator (σ ≈ 0.25 in log scale), giving
+/// `FS ≈ (σ_user / 0.25)²`.
+pub(crate) mod calibration {
+    /// Per-window log-intensity jitter shared by all oscillatory components.
+    pub const INTENSITY_SIGMA: f64 = 0.25;
+
+    /// Phone gyro per-axis between-user log-spread → FS ≈ [0.6, 1.1, 4.1].
+    pub const PHONE_GYRO_SIGMA: [f64; 3] = [0.19, 0.26, 0.50];
+    /// Watch gyro per-axis between-user log-spread → FS ≈ [0.24, 1.1, 0.6].
+    pub const WATCH_GYRO_SIGMA: [f64; 3] = [0.12, 0.26, 0.19];
+    /// Phone gyro base amplitudes (rad/s) while stationary.
+    pub const PHONE_GYRO_BASE: [f64; 3] = [0.06, 0.09, 0.12];
+    /// Watch gyro base amplitudes (rad/s) while stationary.
+    pub const WATCH_GYRO_BASE: [f64; 3] = [0.08, 0.10, 0.09];
+
+    /// Pitch/roll population spread (rad): phone pitch drives `Acc(x)`'s
+    /// high Fisher score; roll is tighter.
+    pub const PHONE_PITCH_SIGMA: f64 = 0.18;
+    pub const PHONE_ROLL_SIGMA: f64 = 0.10;
+    pub const WATCH_PITCH_SIGMA: f64 = 0.20;
+    pub const WATCH_ROLL_SIGMA: f64 = 0.09;
+
+    /// Mean holding pitch (rad above horizontal).
+    pub const PHONE_PITCH_MEAN: f64 = 0.55;
+    pub const WATCH_PITCH_MEAN: f64 = 0.35;
+
+    /// Gait cadence distribution (Hz).
+    pub const GAIT_FREQ_MEAN: f64 = 1.9;
+    pub const GAIT_FREQ_SIGMA: f64 = 0.22;
+
+    /// Tremor frequency distribution (Hz).
+    pub const TREMOR_FREQ_MEAN: f64 = 4.2;
+    pub const TREMOR_FREQ_SIGMA: f64 = 0.9;
+
+    /// Gait acceleration base amplitude (m/s²): phone (pocket/hand), watch.
+    pub const GAIT_ACCEL_BASE: [f64; 2] = [1.6, 1.1];
+    /// Between-user log-spread of gait amplitude.
+    pub const GAIT_ACCEL_SIGMA: f64 = 0.30;
+
+    /// Hand micro-tremor acceleration base amplitude (m/s²).
+    pub const HAND_TREMOR_BASE: f64 = 0.18;
+
+    /// Body-rocking frequency distribution (Hz).
+    pub const ROCK_FREQ_MEAN: f64 = 0.55;
+    pub const ROCK_FREQ_SIGMA: f64 = 0.12;
+    /// Body-rocking base amplitude (m/s²) and log-spread.
+    pub const ROCK_AMP_BASE: f64 = 0.08;
+    pub const ROCK_AMP_SIGMA: f64 = 0.40;
+    /// Tap/flick rate distributions (Hz): phone, watch.
+    pub const TAP_RATE_MEAN: [f64; 2] = [2.5, 1.6];
+    pub const TAP_RATE_SIGMA: [f64; 2] = [0.7, 0.5];
+    /// Phone typing-style modes (Hz): hunt-and-peck vs two-thumb.
+    pub const TAP_MODES: [f64; 2] = [1.6, 3.4];
+    pub const TAP_MODE_SIGMA: f64 = 0.28;
+    /// Log-space habit modes (± around 1.0) and within-mode spread.
+    pub const HABIT_MODE: f64 = 0.33;
+    pub const HABIT_SIGMA: f64 = 0.13;
+    /// Tap impulse base amplitudes (m/s²) and log-spread.
+    pub const TAP_AMP_BASE: [f64; 2] = [0.35, 0.25];
+    pub const TAP_AMP_SIGMA: f64 = 0.45;
+    /// Gait subharmonic (asymmetry) distribution.
+    pub const ASYM_MEAN: f64 = 0.12;
+    pub const ASYM_SIGMA: f64 = 0.08;
+    /// Watch tremor offset spread (Hz).
+    pub const TREMOR_OFFSET_SIGMA: f64 = 0.5;
+}
+
+impl UserProfile {
+    /// Draws a user from the population distributions; deterministic in
+    /// `(id, seed)`.
+    pub fn generate(id: UserId, demographics: Demographics, seed: u64) -> Self {
+        use calibration as cal;
+        // Independent stream per user: never couples users through RNG order.
+        let mut rng = StdRng::seed_from_u64(seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let r = &mut rng;
+
+        let gyro = |r: &mut StdRng, base: [f64; 3], sigma: [f64; 3]| {
+            [
+                base[0] * log_normal(r, 0.0, sigma[0]),
+                base[1] * log_normal(r, 0.0, sigma[1]),
+                base[2] * log_normal(r, 0.0, sigma[2]),
+            ]
+        };
+        let phone_gyro = gyro(r, cal::PHONE_GYRO_BASE, cal::PHONE_GYRO_SIGMA);
+        let watch_gyro = gyro(r, cal::WATCH_GYRO_BASE, cal::WATCH_GYRO_SIGMA);
+        let carry_mode = {
+            let u: f64 = r.random();
+            if u < 0.5 {
+                CarryMode::Pocket
+            } else if u < 0.75 {
+                CarryMode::Bag
+            } else {
+                CarryMode::Hand
+            }
+        };
+        let carry_base = carry_mode.base_pitch();
+        // Moving gestures scale up the same per-user amplitudes: walking adds
+        // rotational energy but preserves the user's axis signature.
+        let scale3 = |a: [f64; 3], k: f64| [a[0] * k, a[1] * k, a[2] * k];
+
+        let p = BehaviorParams {
+            gait_freq: normal(r, cal::GAIT_FREQ_MEAN, cal::GAIT_FREQ_SIGMA).clamp(1.3, 2.6),
+            gait_intensity: log_normal(r, 0.0, cal::GAIT_ACCEL_SIGMA),
+            gait_harmonics: [
+                1.0,
+                uniform(r, 0.25, 0.55),
+                uniform(r, 0.08, 0.25),
+            ],
+            tremor_freq: normal(r, cal::TREMOR_FREQ_MEAN, cal::TREMOR_FREQ_SIGMA).clamp(2.5, 7.0),
+            swing_ratio: normal(r, 0.5, 0.04).clamp(0.38, 0.62),
+            pose_pitch: [
+                normal(r, cal::PHONE_PITCH_MEAN, cal::PHONE_PITCH_SIGMA),
+                normal(r, cal::WATCH_PITCH_MEAN, cal::WATCH_PITCH_SIGMA),
+            ],
+            pose_roll: [
+                normal(r, 0.08, cal::PHONE_ROLL_SIGMA),
+                normal(r, 0.05, cal::WATCH_ROLL_SIGMA),
+            ],
+            pose_pitch_moving: [
+                // Around the discrete carry mode's base angle.
+                normal(r, carry_base, 0.14),
+                normal(r, 0.15, 0.30),
+            ],
+            pose_roll_moving: [normal(r, 0.1, 0.26), normal(r, 0.1, 0.22)],
+            gyro_amp: [phone_gyro, watch_gyro],
+            gyro_amp_moving: [scale3(phone_gyro, 3.0), scale3(watch_gyro, 4.0)],
+            accel_osc_amp: [
+                cal::GAIT_ACCEL_BASE[0] * log_normal(r, 0.0, cal::GAIT_ACCEL_SIGMA),
+                cal::GAIT_ACCEL_BASE[1] * log_normal(r, 0.0, cal::GAIT_ACCEL_SIGMA),
+            ],
+            hand_tremor_amp: [
+                cal::HAND_TREMOR_BASE
+                    * bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.5),
+                cal::HAND_TREMOR_BASE
+                    * bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.5),
+            ],
+            noise_factor: {
+                // Watch strap tightness is one habit shared by both watch
+                // sensors; phone grip steadiness another.
+                let grip = bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.5);
+                let strap = bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.45);
+                [
+                    [
+                        grip * log_normal(r, 0.0, 0.10),
+                        grip * log_normal(r, 0.0, 0.10),
+                    ],
+                    [
+                        strap * log_normal(r, 0.0, 0.10),
+                        strap * log_normal(r, 0.0, 0.10),
+                    ],
+                ]
+            },
+            tremor_z_ratio: uniform(r, 0.4, 0.7),
+            tap_rate: [
+                {
+                    // Typing style: hunt-and-peck vs two-thumb.
+                    let mode = cal::TAP_MODES[usize::from(r.random::<f64>() < 0.5)];
+                    normal(r, mode, cal::TAP_MODE_SIGMA).clamp(0.8, 4.5)
+                },
+                normal(r, cal::TAP_RATE_MEAN[1], cal::TAP_RATE_SIGMA[1]).clamp(0.5, 3.0),
+            ],
+            tap_amp: [
+                cal::TAP_AMP_BASE[0] * log_normal(r, 0.0, cal::TAP_AMP_SIGMA),
+                cal::TAP_AMP_BASE[1] * log_normal(r, 0.0, cal::TAP_AMP_SIGMA),
+            ],
+            gait_asymmetry: normal(r, cal::ASYM_MEAN, cal::ASYM_SIGMA).clamp(0.01, 0.4),
+            tremor_offset_watch: normal(r, 0.0, cal::TREMOR_OFFSET_SIGMA),
+            carry_mode,
+            rock_freq: normal(r, cal::ROCK_FREQ_MEAN, cal::ROCK_FREQ_SIGMA).clamp(0.3, 0.8),
+            rock_amp: cal::ROCK_AMP_BASE * log_normal(r, 0.0, cal::ROCK_AMP_SIGMA),
+            gyro_scale: [
+                bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.5),
+                bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.5),
+            ],
+            light_offset: normal(r, 0.0, 0.15),
+        };
+        UserProfile {
+            id,
+            demographics,
+            p,
+        }
+    }
+
+    /// Walking cadence in Hz (exposed for analysis/testing; the
+    /// authentication pipeline never reads it).
+    pub fn gait_frequency(&self) -> f64 {
+        self.p.gait_freq
+    }
+
+    /// Per-parameter habituation pull toward the population norm (see
+    /// [`crate::DriftState`]): users whose carrying angles or gesture
+    /// energy sit far from typical ergonomics regress toward them over
+    /// time, which is what erodes the authentication margin in Figures 5
+    /// and 7.
+    pub(crate) fn drift_bias(&self) -> crate::drift::DriftTarget {
+        use calibration as cal;
+        let mut t = crate::drift::DriftTarget::default();
+        for d in 0..2 {
+            let pitch_mean = [cal::PHONE_PITCH_MEAN, cal::WATCH_PITCH_MEAN][d];
+            t.pose_pitch[d] = pitch_mean - self.p.pose_pitch[d];
+            let roll_mean = [0.08, 0.05][d];
+            t.pose_roll[d] = roll_mean - self.p.pose_roll[d];
+            let pitch_moving_mean = [1.2, 0.15][d];
+            t.pose_pitch_moving[d] = pitch_moving_mean - self.p.pose_pitch_moving[d];
+            let roll_moving_mean = 0.1;
+            t.pose_roll_moving[d] = roll_moving_mean - self.p.pose_roll_moving[d];
+            let base = [cal::PHONE_GYRO_BASE, cal::WATCH_GYRO_BASE][d];
+            for a in 0..3 {
+                t.log_gyro_amp[d][a] = -(self.p.gyro_amp[d][a] / base[a]).ln();
+            }
+            t.log_gait_amp[d] = -(self.p.accel_osc_amp[d] / cal::GAIT_ACCEL_BASE[d]).ln();
+        }
+        // Habituation settles *within* a habit mode: the log targets pull
+        // toward the nearest mode centre, not the global mean — users do not
+        // switch typing style or re-strap their watch because of drift.
+        let nearest_mode = |v: f64| {
+            if v >= 0.0 {
+                cal::HABIT_MODE
+            } else {
+                -cal::HABIT_MODE
+            }
+        };
+        for d in 0..2 {
+            let lt = (self.p.hand_tremor_amp[d] / cal::HAND_TREMOR_BASE).ln();
+            t.log_hand_tremor[d] = nearest_mode(lt) - lt;
+            for sens in 0..2 {
+                let ln = self.p.noise_factor[d][sens].ln();
+                t.log_noise[d][sens] = nearest_mode(ln) - ln;
+            }
+        }
+        t.tremor_z_ratio = 0.55 - self.p.tremor_z_ratio;
+        t.rock_freq = cal::ROCK_FREQ_MEAN - self.p.rock_freq;
+        // Tap rate relaxes toward the user's typing-style mode.
+        let tap_mode = if self.p.tap_rate[0] >= 2.5 {
+            cal::TAP_MODES[1]
+        } else {
+            cal::TAP_MODES[0]
+        };
+        t.tap_rate[0] = tap_mode - self.p.tap_rate[0];
+        t.tap_rate[1] = cal::TAP_RATE_MEAN[1] - self.p.tap_rate[1];
+        for d in 0..2 {
+            t.log_tap_amp[d] = -(self.p.tap_amp[d] / cal::TAP_AMP_BASE[d]).ln();
+        }
+        t.gait_asymmetry = cal::ASYM_MEAN - self.p.gait_asymmetry;
+        t.tremor_offset_watch = -self.p.tremor_offset_watch;
+        // Users keep their carry mode; the moving pitch relaxes toward the
+        // *mode's* base, not the global mean.
+        t.pose_pitch_moving[0] = self.p.carry_mode.base_pitch() - self.p.pose_pitch_moving[0];
+        t.log_rock_amp = -(self.p.rock_amp / cal::ROCK_AMP_BASE).ln();
+        for d in 0..2 {
+            let lg = self.p.gyro_scale[d].ln();
+            t.log_gyro_scale[d] = nearest_mode(lg) - lg;
+        }
+        t.gait_freq = cal::GAIT_FREQ_MEAN - self.p.gait_freq;
+        t.tremor_freq = cal::TREMOR_FREQ_MEAN - self.p.tremor_freq;
+        // Harmonic-shape and arm-swing norms are the midpoints of their
+        // generation ranges.
+        t.gait_harmonics = [
+            0.40 - self.p.gait_harmonics[1],
+            0.165 - self.p.gait_harmonics[2],
+        ];
+        t.swing_ratio = 0.5 - self.p.swing_ratio;
+        t
+    }
+}
+
+/// Draws a fresh RNG for a (user, purpose) pair, decoupling streams.
+pub(crate) fn derive_rng(seed: u64, user: UserId, purpose: u64) -> StdRng {
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (user.0 as u64).wrapping_mul(0xD1B54A32D192ED03)
+            ^ purpose.wrapping_mul(0x2545F4914F6CDD1D),
+    )
+}
+
+/// Convenience used by tests: any RNG-free quick profile.
+#[cfg(test)]
+pub(crate) fn test_profile(id: usize) -> UserProfile {
+    use crate::demographics::{AgeBand, Gender};
+    UserProfile::generate(
+        UserId(id),
+        Demographics {
+            gender: Gender::Female,
+            age: AgeBand::From20To25,
+        },
+        42,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demographics::{AgeBand, Gender};
+
+    fn demo() -> Demographics {
+        Demographics {
+            gender: Gender::Male,
+            age: AgeBand::From25To30,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UserProfile::generate(UserId(3), demo(), 7);
+        let b = UserProfile::generate(UserId(3), demo(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_users_have_distinct_parameters() {
+        let a = UserProfile::generate(UserId(0), demo(), 7);
+        let b = UserProfile::generate(UserId(1), demo(), 7);
+        assert_ne!(a.p, b.p);
+        assert!((a.p.gait_freq - b.p.gait_freq).abs() > 1e-6);
+    }
+
+    #[test]
+    fn parameters_are_physically_plausible() {
+        for i in 0..50 {
+            let u = UserProfile::generate(UserId(i), demo(), 99);
+            assert!((1.3..=2.6).contains(&u.p.gait_freq), "cadence {}", u.p.gait_freq);
+            assert!((2.5..=7.0).contains(&u.p.tremor_freq));
+            assert!(u.p.accel_osc_amp.iter().all(|&a| a > 0.0));
+            assert!(u.p.gyro_amp.iter().flatten().all(|&a| a > 0.0));
+            assert!(u.p.gait_harmonics[0] >= u.p.gait_harmonics[1]);
+            assert!(u.p.gait_harmonics[1] >= u.p.gait_harmonics[2]);
+        }
+    }
+
+    #[test]
+    fn population_spread_of_cadence_matches_calibration() {
+        let freqs: Vec<f64> = (0..400)
+            .map(|i| UserProfile::generate(UserId(i), demo(), 5).p.gait_freq)
+            .collect();
+        let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
+        assert!((mean - calibration::GAIT_FREQ_MEAN).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn user_id_displays() {
+        assert_eq!(UserId(4).to_string(), "user04");
+    }
+}

@@ -1,0 +1,195 @@
+use serde::{Deserialize, Serialize};
+
+/// Default sensor sampling rate used throughout the paper (§V-A).
+pub const SAMPLE_RATE_HZ: f64 = 50.0;
+
+/// The two devices of the paper's two-device configuration (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// The primary device being protected (Nexus 5 in the paper).
+    Smartphone,
+    /// The auxiliary wearable (Moto 360 in the paper).
+    Smartwatch,
+}
+
+impl DeviceKind {
+    /// Both devices, phone first.
+    pub const ALL: [DeviceKind; 2] = [DeviceKind::Smartphone, DeviceKind::Smartwatch];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceKind::Smartphone => "smartphone",
+            DeviceKind::Smartwatch => "smartwatch",
+        }
+    }
+}
+
+/// Hardware sensors considered in the sensor-selection study (Table II).
+///
+/// Only [`SensorKind::Accelerometer`] and [`SensorKind::Gyroscope`] survive
+/// selection; the others are simulated so the Fisher-score screening can be
+/// reproduced (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// 3-axis accelerometer (m/s²), includes gravity.
+    Accelerometer,
+    /// 3-axis gyroscope (rad/s).
+    Gyroscope,
+    /// 3-axis magnetometer (μT) — environment dominated.
+    Magnetometer,
+    /// 3-axis orientation pseudo-sensor (rad) — environment dominated.
+    Orientation,
+    /// Scalar ambient-light sensor (normalised log-lux) — environment
+    /// dominated.
+    Light,
+}
+
+impl SensorKind {
+    /// Every simulated sensor, in Table II's order.
+    pub const ALL: [SensorKind; 5] = [
+        SensorKind::Accelerometer,
+        SensorKind::Gyroscope,
+        SensorKind::Magnetometer,
+        SensorKind::Orientation,
+        SensorKind::Light,
+    ];
+
+    /// The two sensors selected by the Fisher-score screening (§V-B).
+    pub const SELECTED: [SensorKind; 2] = [SensorKind::Accelerometer, SensorKind::Gyroscope];
+
+    /// Short display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SensorKind::Accelerometer => "Acc",
+            SensorKind::Gyroscope => "Gyr",
+            SensorKind::Magnetometer => "Mag",
+            SensorKind::Orientation => "Ori",
+            SensorKind::Light => "Light",
+        }
+    }
+
+    /// Number of axes this sensor reports (3, or 1 for light).
+    pub fn num_axes(&self) -> usize {
+        match self {
+            SensorKind::Light => 1,
+            _ => 3,
+        }
+    }
+}
+
+/// A fixed-duration block of samples from every sensor on one device.
+///
+/// Axis streams are stored as parallel `Vec<f64>`s of equal length
+/// (`samples = window_secs × sample_rate`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorWindow {
+    /// Accelerometer x/y/z streams.
+    pub accel: [Vec<f64>; 3],
+    /// Gyroscope x/y/z streams.
+    pub gyro: [Vec<f64>; 3],
+    /// Magnetometer x/y/z streams.
+    pub mag: [Vec<f64>; 3],
+    /// Orientation x/y/z streams.
+    pub orientation: [Vec<f64>; 3],
+    /// Ambient light stream.
+    pub light: Vec<f64>,
+}
+
+impl SensorWindow {
+    /// Number of samples per stream.
+    pub fn len(&self) -> usize {
+        self.accel[0].len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the axis streams of `sensor` (3 axes; light is replicated on
+    /// a single axis and returned as a one-element slice).
+    pub fn sensor_axes(&self, sensor: SensorKind) -> Vec<&[f64]> {
+        match sensor {
+            SensorKind::Accelerometer => self.accel.iter().map(|v| v.as_slice()).collect(),
+            SensorKind::Gyroscope => self.gyro.iter().map(|v| v.as_slice()).collect(),
+            SensorKind::Magnetometer => self.mag.iter().map(|v| v.as_slice()).collect(),
+            SensorKind::Orientation => self.orientation.iter().map(|v| v.as_slice()).collect(),
+            SensorKind::Light => vec![self.light.as_slice()],
+        }
+    }
+
+    /// Magnitude series `√(x²+y²+z²)` of a 3-axis sensor, or the raw stream
+    /// for the scalar light sensor (§V-C).
+    pub fn magnitude(&self, sensor: SensorKind) -> Vec<f64> {
+        let axes = self.sensor_axes(sensor);
+        if axes.len() == 1 {
+            return axes[0].to_vec();
+        }
+        smarteryou_dsp::magnitude_series(axes[0], axes[1], axes[2])
+    }
+}
+
+/// Synchronized windows from the smartphone and the smartwatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DualDeviceWindow {
+    /// Smartphone sensors.
+    pub phone: SensorWindow,
+    /// Smartwatch sensors.
+    pub watch: SensorWindow,
+}
+
+impl DualDeviceWindow {
+    /// Borrows the window of one device.
+    pub fn device(&self, device: DeviceKind) -> &SensorWindow {
+        match device {
+            DeviceKind::Smartphone => &self.phone,
+            DeviceKind::Smartwatch => &self.watch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(n: usize) -> SensorWindow {
+        let s = |v: f64| vec![v; n];
+        SensorWindow {
+            accel: [s(3.0), s(4.0), s(0.0)],
+            gyro: [s(0.0), s(0.0), s(1.0)],
+            mag: [s(1.0), s(1.0), s(1.0)],
+            orientation: [s(0.5), s(0.5), s(0.5)],
+            light: s(7.0),
+        }
+    }
+
+    #[test]
+    fn magnitude_combines_axes() {
+        let w = window(4);
+        assert_eq!(w.magnitude(SensorKind::Accelerometer), vec![5.0; 4]);
+        assert_eq!(w.magnitude(SensorKind::Light), vec![7.0; 4]);
+    }
+
+    #[test]
+    fn axis_counts() {
+        assert_eq!(SensorKind::Light.num_axes(), 1);
+        assert_eq!(SensorKind::Gyroscope.num_axes(), 3);
+        let w = window(2);
+        assert_eq!(w.sensor_axes(SensorKind::Magnetometer).len(), 3);
+        assert_eq!(w.sensor_axes(SensorKind::Light).len(), 1);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn device_lookup() {
+        let w = window(1);
+        let dual = DualDeviceWindow {
+            phone: w.clone(),
+            watch: w,
+        };
+        assert_eq!(dual.device(DeviceKind::Smartphone).len(), 1);
+        assert_eq!(DeviceKind::Smartphone.name(), "smartphone");
+    }
+}

@@ -1,0 +1,116 @@
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::quantile;
+
+/// Five-number box-plot summary, matching the box plots of Figure 3 (KS-test
+/// p-values per feature).
+///
+/// Whiskers follow the Tukey convention: the most extreme data points within
+/// 1.5 × IQR of the quartiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Lower whisker (smallest point ≥ Q1 − 1.5·IQR).
+    pub lower_whisker: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Upper whisker (largest point ≤ Q3 + 1.5·IQR).
+    pub upper_whisker: f64,
+}
+
+impl BoxStats {
+    /// Computes box statistics; returns `None` for an empty sample.
+    pub fn from_slice(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let q1 = quantile(data, 0.25);
+        let median = quantile(data, 0.5);
+        let q3 = quantile(data, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lower_whisker = data
+            .iter()
+            .copied()
+            .filter(|&v| v >= lo_fence)
+            .fold(f64::INFINITY, f64::min);
+        let upper_whisker = data
+            .iter()
+            .copied()
+            .filter(|&v| v <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(BoxStats {
+            lower_whisker,
+            q1,
+            median,
+            q3,
+            upper_whisker,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Fraction of the sample strictly below `threshold` — used to report
+    /// how much of a feature's p-value box sits under the α = 0.05 line in
+    /// Figure 3.
+    pub fn fraction_below(data: &[f64], threshold: f64) -> f64 {
+        if data.is_empty() {
+            return f64::NAN;
+        }
+        data.iter().filter(|&&v| v < threshold).count() as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let data: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let b = BoxStats::from_slice(&data).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.iqr(), 4.0);
+        assert_eq!(b.lower_whisker, 1.0);
+        assert_eq!(b.upper_whisker, 9.0);
+    }
+
+    #[test]
+    fn whiskers_exclude_outliers() {
+        let mut data: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        data.push(100.0); // far outlier
+        let b = BoxStats::from_slice(&data).unwrap();
+        assert!(b.upper_whisker < 100.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(BoxStats::from_slice(&[]).is_none());
+    }
+
+    #[test]
+    fn ordering_invariant() {
+        let data = [0.2, 0.01, 0.5, 0.03, 0.9, 0.04];
+        let b = BoxStats::from_slice(&data).unwrap();
+        assert!(b.lower_whisker <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.upper_whisker);
+    }
+
+    #[test]
+    fn fraction_below_threshold() {
+        let data = [0.01, 0.02, 0.2, 0.6];
+        assert_eq!(BoxStats::fraction_below(&data, 0.05), 0.5);
+        assert!(BoxStats::fraction_below(&[], 0.05).is_nan());
+    }
+}

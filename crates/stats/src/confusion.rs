@@ -1,0 +1,198 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An `n`-class confusion matrix; rows are true classes, columns predicted.
+///
+/// Used for the context-detection evaluation (Table V) and general
+/// classifier diagnostics.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_stats::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(vec!["stationary".into(), "moving".into()]);
+/// cm.record(0, 0);
+/// cm.record(0, 0);
+/// cm.record(1, 0); // one moving window misread as stationary
+/// cm.record(1, 1);
+/// assert_eq!(cm.accuracy(), 0.75);
+/// assert_eq!(cm.row_rate(1, 0), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    labels: Vec<String>,
+    counts: Vec<u64>, // row-major n×n
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over the given class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn new(labels: Vec<String>) -> Self {
+        assert!(!labels.is_empty(), "confusion matrix needs at least one class");
+        let n = labels.len();
+        ConfusionMatrix {
+            labels,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Class labels, in index order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Records one observation with true class `actual` predicted as
+    /// `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        let n = self.num_classes();
+        assert!(actual < n && predicted < n, "class index out of range");
+        self.counts[actual * n + predicted] += 1;
+    }
+
+    /// Raw count for `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.num_classes() + predicted]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `NaN` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let n = self.num_classes();
+        let correct: u64 = (0..n).map(|i| self.counts[i * n + i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Fraction of class `actual` observations predicted as `predicted`
+    /// (row-normalised rate); `NaN` if the row is empty.
+    pub fn row_rate(&self, actual: usize, predicted: usize) -> f64 {
+        let n = self.num_classes();
+        let row_total: u64 = self.counts[actual * n..(actual + 1) * n].iter().sum();
+        if row_total == 0 {
+            return f64::NAN;
+        }
+        self.count(actual, predicted) as f64 / row_total as f64
+    }
+
+    /// Merges another confusion matrix over the same label set into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label sets differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.labels, other.labels, "label sets differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.num_classes();
+        write!(f, "{:>14}", "actual\\pred")?;
+        for l in &self.labels {
+            write!(f, " {l:>12}")?;
+        }
+        writeln!(f)?;
+        for i in 0..n {
+            write!(f, "{:>14}", self.labels[i])?;
+            for j in 0..n {
+                let r = self.row_rate(i, j);
+                if r.is_nan() {
+                    write!(f, " {:>12}", "-")?;
+                } else {
+                    write!(f, " {:>11.1}%", 100.0 * r)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class() -> ConfusionMatrix {
+        ConfusionMatrix::new(vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn accuracy_counts_diagonal() {
+        let mut cm = two_class();
+        cm.record(0, 0);
+        cm.record(1, 1);
+        cm.record(1, 0);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.total(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_is_nan() {
+        let cm = two_class();
+        assert!(cm.accuracy().is_nan());
+        assert!(cm.row_rate(0, 0).is_nan());
+    }
+
+    #[test]
+    fn row_rates_normalise_by_class() {
+        let mut cm = two_class();
+        for _ in 0..9 {
+            cm.record(0, 0);
+        }
+        cm.record(0, 1);
+        assert!((cm.row_rate(0, 0) - 0.9).abs() < 1e-12);
+        assert!((cm.row_rate(0, 1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = two_class();
+        a.record(0, 0);
+        let mut b = two_class();
+        b.record(0, 0);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.count(0, 0), 2);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label sets differ")]
+    fn merge_rejects_different_labels() {
+        let mut a = two_class();
+        let b = ConfusionMatrix::new(vec!["x".into(), "y".into()]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let mut cm = two_class();
+        cm.record(0, 0);
+        let s = format!("{cm}");
+        assert!(s.contains('a') && s.contains('b'));
+    }
+}

@@ -1,0 +1,128 @@
+use crate::descriptive::mean;
+
+/// Pearson product-moment correlation coefficient between two equal-length
+/// samples.
+///
+/// Returns `NaN` when either sample has zero variance or fewer than two
+/// points (matching the convention that correlation is undefined there).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    if x.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let da = a - mx;
+        let db = b - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank transforms,
+/// with average ranks for ties.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman: length mismatch");
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Average ranks (1-based), ties receive the mean of their rank span.
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| data[a].total_cmp(&data[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && data[order[j + 1]] == data[order[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group spanning sorted positions i..=j.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_pattern() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_bounded(
+    ) {
+        // A pseudo-random-ish pair stays within [-1, 1].
+        let x: Vec<f64> = (0..50).map(|i| ((i * 37 % 11) as f64).sin()).collect();
+        let y: Vec<f64> = (0..50).map(|i| ((i * 17 % 7) as f64).cos()).collect();
+        let r = pearson(&x, &y);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

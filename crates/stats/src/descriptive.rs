@@ -1,0 +1,180 @@
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator); `NaN` for fewer than two
+/// samples.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(data);
+    data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Sample standard deviation; `NaN` for fewer than two samples.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Minimum value; `NaN` for an empty slice.
+pub fn min(data: &[f64]) -> f64 {
+    data.iter().copied().fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { acc.min(v) })
+}
+
+/// Maximum value; `NaN` for an empty slice.
+pub fn max(data: &[f64]) -> f64 {
+    data.iter().copied().fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { acc.max(v) })
+}
+
+/// Range (`max − min`); `NaN` for an empty slice.
+pub fn range(data: &[f64]) -> f64 {
+    max(data) - min(data)
+}
+
+/// Quantile `q ∈ [0, 1]` with linear interpolation between order statistics;
+/// `NaN` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (0.5 quantile); `NaN` for an empty slice.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// One-pass descriptive summary of a sample.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`. Mean/variance/min/max are `NaN` when
+    /// undefined for the sample size.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Summary {
+            count: data.len(),
+            mean: mean(data),
+            variance: variance(data),
+            min: min(data),
+            max: max(data),
+        }
+    }
+
+    /// Range (`max − min`).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sample() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&data) - 5.0).abs() < 1e-12);
+        // Sum of squared deviations = 32; unbiased variance = 32/7.
+        assert!((variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_produce_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn min_max_range() {
+        let data = [3.0, -1.0, 4.0, 1.5];
+        assert_eq!(min(&data), -1.0);
+        assert_eq!(max(&data), 4.0);
+        assert_eq!(range(&data), 5.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(median(&data), 2.5);
+        assert_eq!(quantile(&data, 0.25), 1.75);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let data = [9.0, 1.0, 5.0];
+        assert_eq!(median(&data), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn summary_matches_free_functions() {
+        let data = [1.0, 2.0, 3.0];
+        let s = Summary::from_slice(&data);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, mean(&data));
+        assert_eq!(s.variance, variance(&data));
+        assert_eq!(s.range(), 2.0);
+        assert!((s.std_dev() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+use crate::descriptive::{mean, variance};
+
+/// Fisher score of a scalar feature across labelled groups (§V-B, Table II).
+///
+/// `groups` holds the feature's samples for each class (here: each user).
+/// The score is
+///
+/// ```text
+///        Σ_c n_c (μ_c − μ)²
+/// FS = ──────────────────────
+///         Σ_c n_c σ_c²
+/// ```
+///
+/// — large when classes are far apart relative to their internal spread, so
+/// a sensor with a high Fisher score separates users well. Returns `NaN`
+/// when fewer than two non-empty groups exist or the within-class variance
+/// is zero.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_stats::fisher_score;
+///
+/// // Two users with well-separated feature values score high…
+/// let separated = fisher_score(&[vec![1.0, 1.1, 0.9], vec![5.0, 5.1, 4.9]]);
+/// // …two users with overlapping values score low.
+/// let overlapping = fisher_score(&[vec![1.0, 1.5, 2.0], vec![1.2, 1.6, 2.1]]);
+/// assert!(separated > 10.0 * overlapping);
+/// ```
+pub fn fisher_score(groups: &[Vec<f64>]) -> f64 {
+    let nonempty: Vec<&Vec<f64>> = groups.iter().filter(|g| g.len() >= 2).collect();
+    if nonempty.len() < 2 {
+        return f64::NAN;
+    }
+    let total: usize = nonempty.iter().map(|g| g.len()).sum();
+    let grand_mean = nonempty
+        .iter()
+        .flat_map(|g| g.iter())
+        .sum::<f64>()
+        / total as f64;
+
+    let mut between = 0.0;
+    let mut within = 0.0;
+    for g in &nonempty {
+        let n = g.len() as f64;
+        let m = mean(g);
+        between += n * (m - grand_mean) * (m - grand_mean);
+        within += n * variance(g);
+    }
+    if within == 0.0 {
+        return f64::NAN;
+    }
+    between / within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_groups_score_higher_than_overlapping() {
+        let sep = fisher_score(&[vec![0.0, 0.1, -0.1], vec![10.0, 10.1, 9.9]]);
+        let ovl = fisher_score(&[vec![0.0, 1.0, 2.0], vec![0.5, 1.5, 2.5]]);
+        assert!(sep > ovl);
+        assert!(sep > 100.0);
+    }
+
+    #[test]
+    fn identical_groups_score_zero() {
+        let fs = fisher_score(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]);
+        assert!(fs.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(fisher_score(&[]).is_nan());
+        assert!(fisher_score(&[vec![1.0, 2.0]]).is_nan());
+        // Groups with fewer than 2 samples are ignored.
+        assert!(fisher_score(&[vec![1.0], vec![2.0]]).is_nan());
+        // Zero within-class variance.
+        assert!(fisher_score(&[vec![1.0, 1.0], vec![2.0, 2.0]]).is_nan());
+    }
+
+    #[test]
+    fn scale_invariance_of_ratio() {
+        let base = vec![vec![0.0, 0.2, -0.2, 0.1], vec![1.0, 1.2, 0.8, 1.1]];
+        let scaled: Vec<Vec<f64>> = base
+            .iter()
+            .map(|g| g.iter().map(|v| v * 7.0).collect())
+            .collect();
+        let a = fisher_score(&base);
+        let b = fisher_score(&scaled);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn more_classes_supported() {
+        let fs = fisher_score(&[
+            vec![0.0, 0.1],
+            vec![5.0, 5.1],
+            vec![10.0, 10.1],
+        ]);
+        assert!(fs > 100.0);
+    }
+}

@@ -1,0 +1,171 @@
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsOutcome {
+    /// The KS statistic: the maximum distance between the two empirical CDFs.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (probability of a distance at least this
+    /// large under H₀: both samples come from the same distribution).
+    pub p_value: f64,
+}
+
+impl KsOutcome {
+    /// Whether H₀ is rejected at significance level `alpha` — i.e. the
+    /// samples are significantly different. In the paper's feature-selection
+    /// procedure (§V-C) a *rejection* marks a "good" discriminating feature.
+    pub fn rejects_h0(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS statistic: `sup |F₁(x) − F₂(x)|` over the pooled sample.
+///
+/// Returns `NaN` if either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::NAN;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while ia < na && ib < nb {
+        let xa = sa[ia];
+        let xb = sb[ib];
+        let x = xa.min(xb);
+        while ia < na && sa[ia] <= x {
+            ia += 1;
+        }
+        while ib < nb && sb[ib] <= x {
+            ib += 1;
+        }
+        let fa = ia as f64 / na as f64;
+        let fb = ib as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Two-sample Kolmogorov–Smirnov test with the asymptotic p-value used by
+/// the paper's feature-quality screening (Figure 3).
+///
+/// The p-value uses the Kolmogorov distribution
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with the standard
+/// finite-sample correction `λ = (√nₑ + 0.12 + 0.11/√nₑ)·D` where
+/// `nₑ = n₁n₂/(n₁+n₂)` (Numerical Recipes form).
+///
+/// Returns a `NaN` statistic and p-value 1.0 if either sample is empty.
+pub fn ks_test(a: &[f64], b: &[f64]) -> KsOutcome {
+    let d = ks_statistic(a, b);
+    if d.is_nan() {
+        return KsOutcome {
+            statistic: d,
+            p_value: 1.0,
+        };
+    }
+    let ne = (a.len() * b.len()) as f64 / (a.len() + b.len()) as f64;
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsOutcome {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// Complementary CDF of the Kolmogorov distribution.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let l2 = lambda * lambda;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64) * (k as f64) * l2).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform sample in [0, 1).
+    fn uniformish(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        let t = ks_test(&a, &a);
+        assert!(t.p_value > 0.99);
+        assert!(!t.rejects_h0(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // F_a jumps at 1,2 (n=2); F_b jumps at 1.5 (n=1). Max gap = 0.5 at x in [1,1.5).
+        let d = ks_statistic(&[1.0, 2.0], &[1.5]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_rarely_rejected() {
+        let a = uniformish(300, 7);
+        let b = uniformish(300, 13);
+        let t = ks_test(&a, &b);
+        assert!(t.p_value > 0.05, "p={} too small for same dist", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let a = uniformish(300, 7);
+        let b: Vec<f64> = uniformish(300, 13).iter().map(|v| v + 0.4).collect();
+        let t = ks_test(&a, &b);
+        assert!(t.rejects_h0(0.05), "p={} should reject", t.p_value);
+    }
+
+    #[test]
+    fn empty_sample_is_inconclusive() {
+        let t = ks_test(&[], &[1.0]);
+        assert!(t.statistic.is_nan());
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn kolmogorov_q_is_monotone_decreasing() {
+        let qs: Vec<f64> = (1..20).map(|i| kolmogorov_q(i as f64 * 0.2)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(kolmogorov_q(0.0) == 1.0);
+        assert!(kolmogorov_q(3.0) < 1e-6);
+    }
+}

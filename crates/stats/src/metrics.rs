@@ -1,0 +1,217 @@
+use serde::{Deserialize, Serialize};
+
+/// Outcome counts of a binary authentication experiment.
+///
+/// Terminology follows the paper (§V-F3): the *positive* class is the
+/// legitimate user.
+///
+/// * **FRR** (false reject rate): fraction of the legitimate user's windows
+///   misclassified as someone else.
+/// * **FAR** (false accept rate): fraction of other users' windows
+///   misclassified as the legitimate user.
+///
+/// # Example
+///
+/// ```
+/// use smarteryou_stats::BinaryOutcomes;
+///
+/// let mut o = BinaryOutcomes::default();
+/// o.record(true, true);   // legitimate accepted
+/// o.record(true, false);  // legitimate rejected -> FRR
+/// o.record(false, false); // impostor rejected
+/// o.record(false, true);  // impostor accepted -> FAR
+/// assert_eq!(o.frr(), 0.5);
+/// assert_eq!(o.far(), 0.5);
+/// assert_eq!(o.accuracy(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryOutcomes {
+    /// Legitimate windows accepted (true positives).
+    pub true_accepts: u64,
+    /// Legitimate windows rejected (false negatives).
+    pub false_rejects: u64,
+    /// Impostor windows rejected (true negatives).
+    pub true_rejects: u64,
+    /// Impostor windows accepted (false positives).
+    pub false_accepts: u64,
+}
+
+impl BinaryOutcomes {
+    /// Creates empty outcome counts (same as `default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decision: `legitimate` is ground truth, `accepted` the
+    /// classifier's verdict.
+    pub fn record(&mut self, legitimate: bool, accepted: bool) {
+        match (legitimate, accepted) {
+            (true, true) => self.true_accepts += 1,
+            (true, false) => self.false_rejects += 1,
+            (false, true) => self.false_accepts += 1,
+            (false, false) => self.true_rejects += 1,
+        }
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.true_accepts + self.false_rejects + self.true_rejects + self.false_accepts
+    }
+
+    /// False reject rate; `NaN` with no legitimate observations.
+    pub fn frr(&self) -> f64 {
+        let n = self.true_accepts + self.false_rejects;
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.false_rejects as f64 / n as f64
+    }
+
+    /// False accept rate; `NaN` with no impostor observations.
+    pub fn far(&self) -> f64 {
+        let n = self.true_rejects + self.false_accepts;
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.false_accepts as f64 / n as f64
+    }
+
+    /// Balanced accuracy: the paper reports accuracy alongside FAR/FRR on
+    /// class-imbalanced data (1 legitimate user vs 34 impostors), which only
+    /// squares with the reported numbers when accuracy averages the
+    /// per-class rates, i.e. `1 − (FAR + FRR)/2`.
+    pub fn accuracy(&self) -> f64 {
+        1.0 - (self.far() + self.frr()) / 2.0
+    }
+
+    /// Raw (unbalanced) accuracy over all decisions; `NaN` when empty.
+    pub fn raw_accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        (self.true_accepts + self.true_rejects) as f64 / total as f64
+    }
+
+    /// Merges counts from another experiment run.
+    pub fn merge(&mut self, other: &BinaryOutcomes) {
+        self.true_accepts += other.true_accepts;
+        self.false_rejects += other.false_rejects;
+        self.true_rejects += other.true_rejects;
+        self.false_accepts += other.false_accepts;
+    }
+}
+
+/// One operating point on a ROC sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f64,
+    /// False accept rate at this threshold.
+    pub far: f64,
+    /// False reject rate at this threshold.
+    pub frr: f64,
+}
+
+/// Sweeps a decision threshold over scored samples and returns the operating
+/// point closest to the equal error rate (FAR == FRR), along with the full
+/// ROC curve.
+///
+/// `scores` are classifier confidence values; `labels[i]` is `true` for the
+/// legitimate user. Samples with `score >= threshold` are accepted.
+///
+/// Returns `None` if either class is absent.
+pub fn equal_error_rate(scores: &[f64], labels: &[bool]) -> Option<(RocPoint, Vec<RocPoint>)> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return None;
+    }
+
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(f64::total_cmp);
+    thresholds.dedup();
+
+    let mut curve = Vec::with_capacity(thresholds.len() + 1);
+    let mut best: Option<RocPoint> = None;
+    // Include a threshold above the max so the all-reject point is present.
+    let top = thresholds.last().copied().unwrap_or(0.0) + 1.0;
+    for &t in thresholds.iter().chain(std::iter::once(&top)) {
+        let mut o = BinaryOutcomes::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            o.record(l, s >= t);
+        }
+        let p = RocPoint {
+            threshold: t,
+            far: o.far(),
+            frr: o.frr(),
+        };
+        curve.push(p);
+        let gap = (p.far - p.frr).abs();
+        if best.map_or(true, |b| gap < (b.far - b.frr).abs()) {
+            best = Some(p);
+        }
+    }
+    best.map(|b| (b, curve))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_from_known_counts() {
+        let o = BinaryOutcomes {
+            true_accepts: 90,
+            false_rejects: 10,
+            true_rejects: 95,
+            false_accepts: 5,
+        };
+        assert!((o.frr() - 0.10).abs() < 1e-12);
+        assert!((o.far() - 0.05).abs() < 1e-12);
+        assert!((o.accuracy() - 0.925).abs() < 1e-12);
+        assert!((o.raw_accuracy() - 185.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_rates_are_nan() {
+        let o = BinaryOutcomes::default();
+        assert!(o.frr().is_nan());
+        assert!(o.far().is_nan());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BinaryOutcomes::default();
+        a.record(true, true);
+        let mut b = BinaryOutcomes::default();
+        b.record(false, false);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.true_rejects, 1);
+    }
+
+    #[test]
+    fn eer_of_separable_scores_is_zero() {
+        let scores = [0.9, 0.8, 0.85, 0.1, 0.2, 0.15];
+        let labels = [true, true, true, false, false, false];
+        let (eer, curve) = equal_error_rate(&scores, &labels).unwrap();
+        assert!(eer.far < 1e-12 && eer.frr < 1e-12);
+        assert!(curve.len() >= scores.len());
+    }
+
+    #[test]
+    fn eer_of_random_scores_is_positive() {
+        let scores = [0.6, 0.4, 0.55, 0.45, 0.5, 0.52];
+        let labels = [true, true, false, false, true, false];
+        let (eer, _) = equal_error_rate(&scores, &labels).unwrap();
+        assert!(eer.far > 0.0 || eer.frr > 0.0);
+    }
+
+    #[test]
+    fn eer_requires_both_classes() {
+        assert!(equal_error_rate(&[0.5, 0.7], &[true, true]).is_none());
+        assert!(equal_error_rate(&[0.5, 0.7], &[false, false]).is_none());
+    }
+}

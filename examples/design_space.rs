@@ -1,0 +1,55 @@
+//! The paper's design-space sweep in miniature (§V): context mode × device
+//! set × algorithm, all evaluated on one simulated population.
+//!
+//! Run with: `cargo run --release --example design_space`
+//! (Add `--full` for the 35-user paper scale; takes a few minutes.)
+
+use smarteryou::core::experiment::{
+    collect_population_features, evaluate_authentication, ExperimentConfig,
+};
+use smarteryou::core::{ContextMode, DeviceSet};
+use smarteryou::ml::Algorithm;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full {
+        ExperimentConfig::paper_default()
+    } else {
+        let mut c = ExperimentConfig::quick();
+        c.num_users = 10;
+        c.windows_per_context = 80;
+        c.data_size = 120;
+        c
+    };
+    println!(
+        "Sweeping the design space over {} users, {} windows/context…\n",
+        cfg.num_users, cfg.windows_per_context
+    );
+    let data = collect_population_features(&cfg);
+
+    println!(
+        "{:<14} {:<14} {:<18} {:>7} {:>7} {:>9}",
+        "context", "devices", "algorithm", "FRR", "FAR", "accuracy"
+    );
+    for mode in ContextMode::ALL {
+        for device in DeviceSet::ALL {
+            for alg in [Algorithm::Krr, Algorithm::NaiveBayes] {
+                let perf = evaluate_authentication(&data, &cfg, device, mode, alg);
+                println!(
+                    "{:<14} {:<14} {:<18} {:>6.1}% {:>6.1}% {:>8.1}%",
+                    mode.name(),
+                    device.name(),
+                    alg.name(),
+                    100.0 * perf.frr,
+                    100.0 * perf.far,
+                    100.0 * perf.accuracy()
+                );
+            }
+        }
+    }
+    println!(
+        "\nThe paper's design conclusions should be visible at any scale:\n\
+         per-context beats unified, two devices beat one, and KRR beats\n\
+         the independence-assuming baseline."
+    );
+}

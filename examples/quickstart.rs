@@ -1,0 +1,102 @@
+//! Quickstart: enroll a device owner and continuously authenticate.
+//!
+//! Walks the full SmarterYou deployment flow end to end:
+//!
+//! 1. generate a study population (the cloud's anonymized feature pool),
+//! 2. train the user-agnostic context detector on *other* users,
+//! 3. enroll the device owner (buffering windows until the training-set
+//!    target is reached, then downloading per-context KRR models),
+//! 4. authenticate fresh windows from the owner and from a stranger.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smarteryou::core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
+    SmarterYou, SystemConfig, SystemPhase, TrainingServer,
+};
+use smarteryou::sensors::{Population, RawContext, TraceGenerator, WindowSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small population keeps the example fast; the paper uses 35.
+    let population = Population::generate(10, 42);
+    let owner = population.users()[0].clone();
+    let stranger = population.users()[1].clone();
+    let cfg = SystemConfig::paper_default().with_data_size(200);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    // --- cloud side: context detector + anonymized pool (users 2..) ------
+    println!("Training user-agnostic context detector and filling the pool…");
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[2..] {
+        let mut gen = TraceGenerator::new(user.clone(), 7);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround, RawContext::OnTable] {
+            let windows = gen.generate_windows(raw, spec, 40);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows.iter().map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig::default(),
+        &mut rng,
+    )?;
+
+    // --- device side: enrollment ------------------------------------------
+    let mut system = SmarterYou::new(cfg, detector, Arc::new(Mutex::new(server)), 99)?;
+    println!("Enrolling the owner (free-form usage)…");
+    let mut gen = TraceGenerator::new(owner.clone(), 1234);
+    let mut sessions = 0;
+    while system.phase() == SystemPhase::Enrollment {
+        let ctx = if sessions % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
+        sessions += 1;
+        for w in gen.generate_windows(ctx, spec, 10) {
+            system.process_window(&w)?;
+        }
+    }
+    println!("Enrollment complete after {sessions} sessions; events: {:?}", system.events());
+
+    // --- continuous authentication ----------------------------------------
+    let mut authenticate = |who: &str, profile, seed| -> Result<(), Box<dyn std::error::Error>> {
+        let mut gen = TraceGenerator::new(profile, seed);
+        let mut accepted = 0;
+        let mut total = 0;
+        for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+            for w in gen.generate_windows(ctx, spec, 10) {
+                if let ProcessOutcome::Decision { decision, .. } = system.process_window(&w)? {
+                    total += 1;
+                    if decision.accepted {
+                        accepted += 1;
+                    }
+                }
+            }
+        }
+        println!("{who}: accepted {accepted}/{total} windows");
+        system.unlock_with_explicit_auth(); // reset between demos
+        Ok(())
+    };
+    authenticate("owner   ", owner, 555)?;
+    authenticate("stranger", stranger, 777)?;
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! A day in the life, interrupted: the phone is stolen mid-afternoon.
+//!
+//! Streams a full simulated day through the SmarterYou pipeline. The owner
+//! uses the phone normally all morning; at window 60 a thief (who has
+//! watched the owner and imitates them — §V-G's masquerading adversary)
+//! takes over. The pipeline de-authenticates within a few windows and locks
+//! the device; the rightful owner later recovers it with explicit
+//! authentication.
+//!
+//! Run with: `cargo run --release --example stolen_phone`
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smarteryou::core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
+    ResponseAction, SmarterYou, SystemConfig, SystemPhase, TrainingServer,
+};
+use smarteryou::sensors::{
+    MimicryAttacker, Population, RawContext, TraceGenerator, WindowSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let population = Population::generate(12, 7);
+    let owner = population.users()[0].clone();
+    let thief = population.users()[1].clone();
+    let cfg = SystemConfig::paper_default().with_data_size(200);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    // Cloud setup from the rest of the population.
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[2..] {
+        let mut gen = TraceGenerator::new(user.clone(), 11);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+            let windows = gen.generate_windows(raw, spec, 40);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows.iter().map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig::default(),
+        &mut rng,
+    )?;
+    let mut system = SmarterYou::new(cfg, detector, Arc::new(Mutex::new(server)), 3)?;
+
+    // Enroll the owner.
+    let mut owner_gen = TraceGenerator::new(owner.clone(), 21);
+    let mut s = 0;
+    while system.phase() == SystemPhase::Enrollment {
+        let ctx = if s % 2 == 0 { RawContext::SittingStanding } else { RawContext::MovingAround };
+        s += 1;
+        for w in owner_gen.generate_windows(ctx, spec, 10) {
+            system.process_window(&w)?;
+        }
+    }
+    println!("Owner enrolled.\n");
+
+    // The thief has studied the owner.
+    let mimic = MimicryAttacker::new(thief, 0.75);
+    let masq_profile = mimic.masquerade_profile(&owner, &mut rng);
+    let mut thief_gen = TraceGenerator::new(masq_profile, 31);
+    thief_gen.begin_session(RawContext::SittingStanding);
+    owner_gen.begin_session(RawContext::SittingStanding);
+
+    // One afternoon: 60 owner windows (6 minutes at 6 s), then the theft.
+    let mut theft_window = None;
+    let mut lock_window = None;
+    for k in 0..90 {
+        let (who, w) = if k < 60 {
+            ("owner", owner_gen.next_window(spec))
+        } else {
+            if theft_window.is_none() {
+                theft_window = Some(k);
+                println!("*** window {k}: phone stolen — mimicry attacker takes over ***");
+            }
+            ("thief", thief_gen.next_window(spec))
+        };
+        if let ProcessOutcome::Decision { decision, action, .. } = system.process_window(&w)? {
+            if k % 10 == 0 || action != ResponseAction::Allow {
+                println!(
+                    "window {k:>3} [{who}] context={:<10} CS={:>6.2} -> {action:?}",
+                    decision.context.name(),
+                    decision.confidence,
+                );
+            }
+            if action == ResponseAction::Lock && lock_window.is_none() {
+                lock_window = Some(k);
+                break;
+            }
+        }
+    }
+
+    match (theft_window, lock_window) {
+        (Some(t), Some(l)) => {
+            let secs = (l - t + 1) as f64 * spec.seconds();
+            println!("\nThief detected and locked out after {} window(s) ≈ {secs:.0} s.", l - t + 1);
+        }
+        _ => println!("\nUnexpected: thief was not locked out within the horizon."),
+    }
+
+    println!("Owner recovers the phone and re-authenticates explicitly…");
+    system.unlock_with_explicit_auth();
+    let w = owner_gen.next_window(spec);
+    if let ProcessOutcome::Decision { decision, action, .. } = system.process_window(&w)? {
+        println!("owner window: CS={:.2} -> {action:?} (accepted={})", decision.confidence, decision.accepted);
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # SmarterYou
+//!
+//! A full reproduction of *“Implicit Smartphone User Authentication with
+//! Sensors and Contextual Machine Learning”* (Lee & Lee, DSN 2017) as a Rust
+//! workspace. This facade crate re-exports every sub-crate so applications
+//! can depend on a single `smarteryou` package.
+//!
+//! * [`core`] — the authentication pipeline (feature extraction, context
+//!   detection, per-context KRR models, retraining).
+//! * [`sensors`] — the synthetic smartphone/smartwatch sensor substrate.
+//! * [`ml`] — from-scratch classifiers (KRR, SVM, naive Bayes, random
+//!   forest, …) and cross-validation.
+//! * [`dsp`] — FFT/DFT, spectral peaks, windowing.
+//! * [`stats`] — KS test, Fisher score, correlation, FAR/FRR metrics.
+//! * [`linalg`] — dense matrices and solvers.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end enrollment +
+//! continuous-authentication run against the simulated population.
+
+pub use smarteryou_core as core;
+pub use smarteryou_dsp as dsp;
+pub use smarteryou_linalg as linalg;
+pub use smarteryou_ml as ml;
+pub use smarteryou_sensors as sensors;
+pub use smarteryou_stats as stats;

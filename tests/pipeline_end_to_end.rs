@@ -1,0 +1,192 @@
+//! End-to-end integration test of the deployed pipeline: enrollment,
+//! continuous authentication, theft response, explicit recovery — spanning
+//! the sensors, core, ml and stats crates through the public facade.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou::core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
+    ResponsePolicy, SmarterYou, SystemConfig, SystemPhase, TrainingServer,
+};
+use smarteryou::sensors::{
+    MimicryAttacker, Population, RawContext, TraceGenerator, UserProfile, WindowSpec,
+};
+
+struct World {
+    cfg: SystemConfig,
+    detector: ContextDetector,
+    server: Arc<Mutex<TrainingServer>>,
+    spec: WindowSpec,
+    owner: UserProfile,
+    impostor: UserProfile,
+}
+
+fn build_world() -> World {
+    let population = Population::generate(8, 20260608);
+    let cfg = SystemConfig::paper_default()
+        .with_window_secs(3.0)
+        .with_data_size(80);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[2..] {
+        let mut gen = TraceGenerator::new(user.clone(), 7);
+        for raw in [
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::OnTable,
+        ] {
+            let windows = gen.generate_windows(raw, spec, 20);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig::default(),
+        &mut rng,
+    )
+    .expect("detector trains");
+
+    World {
+        cfg,
+        detector,
+        server: Arc::new(Mutex::new(server)),
+        spec,
+        owner: population.users()[0].clone(),
+        impostor: population.users()[1].clone(),
+    }
+}
+
+fn enroll(system: &mut SmarterYou, owner: &UserProfile, spec: WindowSpec) {
+    let mut gen = TraceGenerator::new(owner.clone(), 31);
+    let mut s = 0;
+    while system.phase() == SystemPhase::Enrollment {
+        assert!(s < 300, "enrollment did not converge");
+        let ctx = if s % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
+        s += 1;
+        for w in gen.generate_windows(ctx, spec, 5) {
+            system.process_window(&w).expect("pipeline processes");
+        }
+    }
+}
+
+#[test]
+fn owner_keeps_access_impostor_is_locked_out() {
+    let world = build_world();
+    let mut system = SmarterYou::new(
+        world.cfg.clone(),
+        world.detector.clone(),
+        world.server.clone(),
+        1,
+    )
+    .unwrap()
+    .with_response_policy(ResponsePolicy { rejects_to_lock: 2 });
+    enroll(&mut system, &world.owner, world.spec);
+
+    // Owner uses the phone across contexts: overwhelmingly accepted.
+    let mut gen = TraceGenerator::new(world.owner.clone(), 77);
+    let mut accepted = 0;
+    let mut total = 0;
+    for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+        for w in gen.generate_windows(ctx, world.spec, 20) {
+            if let ProcessOutcome::Decision { decision, .. } = system.process_window(&w).unwrap() {
+                total += 1;
+                accepted += decision.accepted as usize;
+            }
+            if system.is_locked() {
+                system.unlock_with_explicit_auth();
+            }
+        }
+    }
+    let owner_rate = accepted as f64 / total as f64;
+    assert!(owner_rate > 0.8, "owner accept rate {owner_rate}");
+
+    // Impostors take the phone: at this reduced scale an individual pair of
+    // users can collide, so require most impostors to be locked out fast.
+    let population = Population::generate(8, 20260608);
+    let mut locked_out = 0;
+    for (i, impostor) in population.users()[1..4].iter().enumerate() {
+        system.unlock_with_explicit_auth();
+        let mut gen = TraceGenerator::new(impostor.clone(), 99 + i as u64);
+        gen.begin_session(RawContext::SittingStanding);
+        for _ in 0..20 {
+            let w = gen.next_window(world.spec);
+            system.process_window(&w).unwrap();
+            if system.is_locked() {
+                locked_out += 1;
+                break;
+            }
+        }
+    }
+    assert!(locked_out >= 2, "only {locked_out}/3 impostors were locked out");
+}
+
+#[test]
+fn mimicry_attacker_survives_briefly_but_is_caught() {
+    let world = build_world();
+    let mut system = SmarterYou::new(
+        world.cfg.clone(),
+        world.detector.clone(),
+        world.server.clone(),
+        2,
+    )
+    .unwrap();
+    enroll(&mut system, &world.owner, world.spec);
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let mimic = MimicryAttacker::new(world.impostor.clone(), 0.8);
+    let masq = mimic.masquerade_profile(&world.owner, &mut rng);
+    let mut gen = TraceGenerator::new(masq, 55);
+    gen.begin_session(RawContext::SittingStanding);
+    let mut survived = 0;
+    for _ in 0..30 {
+        let w = gen.next_window(world.spec);
+        system.process_window(&w).unwrap();
+        if system.is_locked() {
+            break;
+        }
+        survived += 1;
+    }
+    assert!(
+        system.is_locked(),
+        "mimicry attacker still had access after 30 windows"
+    );
+    assert!(survived < 30);
+}
+
+#[test]
+fn trained_models_serialize_and_roundtrip() {
+    let world = build_world();
+    let mut system = SmarterYou::new(world.cfg.clone(), world.detector, world.server, 3).unwrap();
+    enroll(&mut system, &world.owner, world.spec);
+
+    // The downloaded authenticator is a serde artefact (the paper's "model
+    // file" that the phone fetches from the cloud).
+    let auth = system.authenticator().expect("trained");
+    let json = serde_json::to_string(auth).expect("serializes");
+    let back: smarteryou::core::Authenticator = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.num_features(), auth.num_features());
+    assert_eq!(back.threshold(), auth.threshold());
+}
