@@ -18,7 +18,9 @@ fn dataset(n: usize, m: usize) -> (Matrix, Vec<f64>) {
                 .collect()
         })
         .collect();
-    let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let y = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     (Matrix::from_rows(&rows).unwrap(), y)
 }
 

@@ -1,0 +1,46 @@
+//! Criterion bench for the fleet engine: per-tick latency and windows/sec
+//! at 100 and 1 000 enrolled users. The `fleet` binary extends the sweep to
+//! 10 000 users with explicit throughput rows.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smarteryou_bench::fleet::FleetFixture;
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_tick");
+    group.sample_size(10);
+    for users in [100usize, 1_000] {
+        let mut fixture = FleetFixture::build(users, 0xF1EE7).expect("fixture builds");
+        // Warm-up.
+        fixture.submit_tick(1);
+        fixture.tick();
+
+        group.bench_with_input(
+            BenchmarkId::new("one_window_per_user", users),
+            &users,
+            |b, _| {
+                b.iter(|| {
+                    fixture.submit_tick(1);
+                    fixture.tick()
+                })
+            },
+        );
+
+        // Explicit throughput row so `cargo bench` reports windows/sec for
+        // the perf baseline (the shim criterion prints iter/s, not items/s).
+        let ticks = 5;
+        let mut windows = 0usize;
+        let start = Instant::now();
+        for _ in 0..ticks {
+            windows += fixture.submit_tick(1);
+            fixture.tick();
+        }
+        let throughput = windows as f64 / start.elapsed().as_secs_f64();
+        println!("fleet_tick/windows_per_sec/{users}: {throughput:.0} windows/sec");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

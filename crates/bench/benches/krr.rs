@@ -19,7 +19,9 @@ fn dataset(n: usize, m: usize, seed: u64) -> (Matrix, Vec<f64>) {
                 .collect()
         })
         .collect();
-    let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     (Matrix::from_rows(&rows).unwrap(), y)
 }
 

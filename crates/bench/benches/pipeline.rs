@@ -9,8 +9,8 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smarteryou_core::{
-    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, SmarterYou,
-    SystemConfig, SystemPhase, TrainingServer,
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, SmarterYou, SystemConfig,
+    SystemPhase, TrainingServer,
 };
 use smarteryou_sensors::{Population, RawContext, TraceGenerator, WindowSpec};
 
@@ -74,7 +74,11 @@ fn bench_pipeline(c: &mut Criterion) {
     let window = gen.next_window(spec);
 
     c.bench_function("pipeline_authenticate_one_window", |b| {
-        b.iter(|| system.process_window(std::hint::black_box(&window)).unwrap())
+        b.iter(|| {
+            system
+                .process_window(std::hint::black_box(&window))
+                .unwrap()
+        })
     });
 
     c.bench_function("generator_one_window_6s", |b| {

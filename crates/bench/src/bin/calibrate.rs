@@ -67,8 +67,13 @@ fn main() {
         header("Table VI", "algorithms at deployed config");
         for alg in Algorithm::ALL {
             let t = std::time::Instant::now();
-            let perf =
-                evaluate_authentication(&data, &cfg, DeviceSet::Combined, ContextMode::PerContext, alg);
+            let perf = evaluate_authentication(
+                &data,
+                &cfg,
+                DeviceSet::Combined,
+                ContextMode::PerContext,
+                alg,
+            );
             println!(
                 "{:<18} FRR {:>6} FAR {:>6} acc {:>6}  ({:?})",
                 alg.name(),
@@ -81,7 +86,10 @@ fn main() {
     }
 
     if std::env::args().any(|a| a == "--per-user") {
-        header("diag", "per-target-user performance (combined, per-context)");
+        header(
+            "diag",
+            "per-target-user performance (combined, per-context)",
+        );
         let mut one = cfg.clone();
         one.repeats = 1;
         for target in 0..cfg.num_users {

@@ -1,0 +1,62 @@
+//! Fleet-engine throughput baseline: windows/sec scored by the batched
+//! multi-user engine at 100, 1 000 and 10 000 simulated users.
+//!
+//! ```text
+//! cargo run --release -p smarteryou-bench --bin fleet [-- --quick]
+//! ```
+//!
+//! `--quick` drops the 10 000-user row for CI/smoke runs. Future PRs that
+//! touch the scoring hot path should compare against the numbers this
+//! prints (see ROADMAP "Open items").
+
+use std::time::Instant;
+
+use smarteryou_bench::fleet::FleetFixture;
+
+fn measure(num_users: usize) {
+    let build_start = Instant::now();
+    let mut fixture = FleetFixture::build(num_users, 0xF1EE7).expect("fixture builds");
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    // Warm-up tick so first-touch allocation noise stays out of the numbers.
+    fixture.submit_tick(1);
+    fixture.tick();
+
+    for per_user in [1usize, 4] {
+        let ticks = 5;
+        let mut windows = 0usize;
+        let mut accepts = 0usize;
+        let mut rejections = 0usize;
+        let start = Instant::now();
+        for _ in 0..ticks {
+            windows += fixture.submit_tick(per_user);
+            let report = fixture.tick();
+            accepts += report.accepts();
+            rejections += report.rejections();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let throughput = windows as f64 / secs;
+        println!(
+            "{num_users:>7} users  {per_user} win/user/tick  {windows:>7} windows in {secs:>7.3}s  \
+             {throughput:>12.0} windows/sec  (accept {accepts}, reject {rejections})"
+        );
+    }
+    println!("{num_users:>7} users  fixture build (enrollment + model training): {build_secs:.2}s");
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    smarteryou_bench::header(
+        "fleet",
+        "batched multi-user scoring throughput (FleetEngine::tick)",
+    );
+    let sizes: &[usize] = if quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    for &n in sizes {
+        measure(n);
+        println!();
+    }
+}

@@ -7,9 +7,7 @@ use rand::SeedableRng;
 use smarteryou_bench::pct;
 use smarteryou_core::experiment::{collect_population_features, ExperimentConfig};
 use smarteryou_core::DeviceSet;
-use smarteryou_ml::{
-    evaluate_binary, stratified_k_fold, Dataset, Kernel, KernelRidge, Scaler,
-};
+use smarteryou_ml::{evaluate_binary, stratified_k_fold, Dataset, Kernel, KernelRidge, Scaler};
 use smarteryou_sensors::UsageContext;
 #[allow(unused_imports)]
 use smarteryou_stats as _stats_link;
@@ -75,7 +73,11 @@ fn main() {
                 .iter()
                 .map(|rows| rows.iter().map(|r| r[col]).collect())
                 .collect();
-            println!("{:<22} FS {:.2}", names[col], smarteryou_stats::fisher_score(&groups));
+            println!(
+                "{:<22} FS {:.2}",
+                names[col],
+                smarteryou_stats::fisher_score(&groups)
+            );
         }
         for target in [0usize, 9, 30] {
             let pos: Vec<Vec<f64>> = per_user[target].iter().take(per_class).cloned().collect();
@@ -114,7 +116,8 @@ fn main() {
     }
 
     for target in [0usize, 7, 9, 17, 30] {
-        let positives = data.users[target].features(Some(UsageContext::Stationary), DeviceSet::Combined);
+        let positives =
+            data.users[target].features(Some(UsageContext::Stationary), DeviceSet::Combined);
         let mut negatives = Vec::new();
         let mut idx = 0;
         'outer: loop {
@@ -144,7 +147,9 @@ fn main() {
         let scaled = Dataset::new(xs, dataset.y().to_vec()).unwrap();
 
         // Train-set error of linear KRR (is it separable at all?).
-        let lin = KernelRidge::new(cfg.rho).fit(scaled.x(), scaled.y()).unwrap();
+        let lin = KernelRidge::new(cfg.rho)
+            .fit(scaled.x(), scaled.y())
+            .unwrap();
         let train_out = evaluate_binary(&lin, scaled.x(), scaled.y(), cfg.accept_threshold);
         // CV error, linear.
         let mut rng = StdRng::seed_from_u64(1);

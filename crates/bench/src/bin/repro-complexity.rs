@@ -16,7 +16,10 @@ fn main() {
     let data = collect_population_features(&cfg);
     let report = complexity_experiment(&data, &cfg);
 
-    println!("N = {} training windows, M = {} features", report.n, report.m);
+    println!(
+        "N = {} training windows, M = {} features",
+        report.n, report.m
+    );
     compare_row(
         "training time (primal, Eq. 7)",
         "0.065 s (Nexus 5)",
@@ -49,7 +52,8 @@ fn main() {
     // forest ≈ 50 trees × ~200 nodes × 2 floats.
     let model_params = 2 * (28 + 56) + 50 * 200 * 2;
     let buffer_floats = cfg.data_size * 28;
-    let overhead = OverheadReport::from_measurements(&report, window_secs, model_params, buffer_floats);
+    let overhead =
+        OverheadReport::from_measurements(&report, window_secs, model_params, buffer_floats);
     println!();
     compare_row(
         "CPU utilisation (continuous auth)",

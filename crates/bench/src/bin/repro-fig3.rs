@@ -18,10 +18,12 @@ fn main() {
     // Free-form mix: both contexts contribute windows, like the paper's
     // two-week recordings.
     let mut windows = collect_raw_windows(&cfg, RawContext::SittingStanding, sessions, per_session);
-    for (user, extra) in windows
-        .iter_mut()
-        .zip(collect_raw_windows(&cfg, RawContext::MovingAround, sessions, per_session))
-    {
+    for (user, extra) in windows.iter_mut().zip(collect_raw_windows(
+        &cfg,
+        RawContext::MovingAround,
+        sessions,
+        per_session,
+    )) {
         user.extend(extra);
     }
 

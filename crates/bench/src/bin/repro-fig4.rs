@@ -31,9 +31,15 @@ fn main() {
                 "{:<12} FRR {} [{}]   FAR {} [{}]",
                 device.name(),
                 sparkline(&frr),
-                frr.iter().map(|v| num(100.0 * v, 1)).collect::<Vec<_>>().join(", "),
+                frr.iter()
+                    .map(|v| num(100.0 * v, 1))
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 sparkline(&far),
-                far.iter().map(|v| num(100.0 * v, 1)).collect::<Vec<_>>().join(", "),
+                far.iter()
+                    .map(|v| num(100.0 * v, 1))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
         }
         println!(

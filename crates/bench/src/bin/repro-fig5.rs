@@ -31,7 +31,10 @@ fn main() {
                 "{:<12} acc {} [{}]",
                 device.name(),
                 sparkline(&acc),
-                acc.iter().map(|v| num(100.0 * v, 1)).collect::<Vec<_>>().join(", "),
+                acc.iter()
+                    .map(|v| num(100.0 * v, 1))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
         }
         println!(

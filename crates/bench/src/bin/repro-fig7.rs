@@ -12,7 +12,10 @@ fn main() {
         // One pipeline run, not a population sweep.
         cfg.num_users = 12;
     }
-    header("Figure 7", "confidence score of a drifting user over 12 days");
+    header(
+        "Figure 7",
+        "confidence score of a drifting user over 12 days",
+    );
     // Figure 7 illustrates a user whose habits change noticeably within a
     // week — pronounced drift relative to the population default.
     let report = drift_experiment(&cfg, 12, 6.0);
@@ -38,5 +41,8 @@ fn main() {
         .iter()
         .filter(|e| matches!(e, SystemEvent::Retrained { .. }))
         .count();
-    println!("pipeline events: {} retrain(s), {:?}", retrains, report.events);
+    println!(
+        "pipeline events: {} retrain(s), {:?}",
+        retrains, report.events
+    );
 }

@@ -9,7 +9,10 @@ use smarteryou_ml::Algorithm;
 
 fn main() {
     let cfg = repro_config();
-    header("Table I", "comparison with prior implicit-authentication work");
+    header(
+        "Table I",
+        "comparison with prior implicit-authentication work",
+    );
 
     println!(
         "{:<28} {:<38} {:>9} {:>7} {:>7} {:>7}",
@@ -19,13 +22,55 @@ fn main() {
         ("Trojahn'13", "touchscreen", "n.a.", "11%", "16%", "18"),
         ("Frank'13", "touchscreen", "96%", "n.a.", "n.a.", "41"),
         ("Li'13", "touchscreen", "95.7%", "n.a.", "n.a.", "75"),
-        ("Feng'12", "touchscreen+acc+gyr", "n.a.", "4.66%", "0.13%", "40"),
+        (
+            "Feng'12",
+            "touchscreen+acc+gyr",
+            "n.a.",
+            "4.66%",
+            "0.13%",
+            "40",
+        ),
         ("Xu'14", "touchscreen", ">90%", "n.a.", "n.a.", "31"),
-        ("Zheng'14", "touchscreen+acc", "96.35%", "n.a.", "n.a.", "80"),
-        ("Conti'11", "acc+orientation", "n.a.", "4.44%", "9.33%", "10"),
-        ("Kayacik'14", "acc+ori+mag+light", "n.a.", "n.a.", "n.a.", "4"),
-        ("Zhu'13 (SenSec)", "acc+ori+mag", "75%", "n.a.", "n.a.", "20"),
-        ("Nickel'12", "accelerometer (k-NN)", "n.a.", "3.97%", "22.22%", "20"),
+        (
+            "Zheng'14",
+            "touchscreen+acc",
+            "96.35%",
+            "n.a.",
+            "n.a.",
+            "80",
+        ),
+        (
+            "Conti'11",
+            "acc+orientation",
+            "n.a.",
+            "4.44%",
+            "9.33%",
+            "10",
+        ),
+        (
+            "Kayacik'14",
+            "acc+ori+mag+light",
+            "n.a.",
+            "n.a.",
+            "n.a.",
+            "4",
+        ),
+        (
+            "Zhu'13 (SenSec)",
+            "acc+ori+mag",
+            "75%",
+            "n.a.",
+            "n.a.",
+            "20",
+        ),
+        (
+            "Nickel'12",
+            "accelerometer (k-NN)",
+            "n.a.",
+            "3.97%",
+            "22.22%",
+            "20",
+        ),
         ("Lee'15", "acc+ori+mag", "90%", "n.a.", "n.a.", "4"),
         ("Yang'15", "accelerometer", "n.a.", "15%", "10%", "200"),
         ("Buthpitiya'11", "GPS", "86.6%", "n.a.", "n.a.", "30"),

@@ -3,7 +3,9 @@
 //! The paper's conclusion: `Ran` is redundant (ρ ≈ 0.9 with `Var`) and is
 //! dropped.
 
-use smarteryou_bench::{candidate_feature_matrices, collect_raw_windows_spaced, header, repro_config};
+use smarteryou_bench::{
+    candidate_feature_matrices, collect_raw_windows_spaced, header, repro_config,
+};
 use smarteryou_core::selection::mean_feature_correlation;
 use smarteryou_core::FeatureKind;
 use smarteryou_sensors::{DeviceKind, RawContext};
@@ -19,12 +21,20 @@ fn main() {
     } else {
         (12, 6)
     };
-    let mut windows =
-        collect_raw_windows_spaced(&cfg, RawContext::SittingStanding, sessions, per_session, 0.01);
-    for (user, extra) in windows
-        .iter_mut()
-        .zip(collect_raw_windows_spaced(&cfg, RawContext::MovingAround, sessions, per_session, 0.01))
-    {
+    let mut windows = collect_raw_windows_spaced(
+        &cfg,
+        RawContext::SittingStanding,
+        sessions,
+        per_session,
+        0.01,
+    );
+    for (user, extra) in windows.iter_mut().zip(collect_raw_windows_spaced(
+        &cfg,
+        RawContext::MovingAround,
+        sessions,
+        per_session,
+        0.01,
+    )) {
         user.extend(extra);
     }
 
@@ -50,14 +60,16 @@ fn main() {
         smarteryou_linalg::Matrix::from_rows(&rows).expect("uniform")
     };
 
-    let phone: Vec<_> = candidate_feature_matrices(&windows, DeviceKind::Smartphone, cfg.sample_rate)
-        .iter()
-        .map(select)
-        .collect();
-    let watch: Vec<_> = candidate_feature_matrices(&windows, DeviceKind::Smartwatch, cfg.sample_rate)
-        .iter()
-        .map(select)
-        .collect();
+    let phone: Vec<_> =
+        candidate_feature_matrices(&windows, DeviceKind::Smartphone, cfg.sample_rate)
+            .iter()
+            .map(select)
+            .collect();
+    let watch: Vec<_> =
+        candidate_feature_matrices(&windows, DeviceKind::Smartwatch, cfg.sample_rate)
+            .iter()
+            .map(select)
+            .collect();
     let corr_phone = mean_feature_correlation(&phone, &phone);
     let corr_watch = mean_feature_correlation(&watch, &watch);
 

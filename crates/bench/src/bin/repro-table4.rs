@@ -3,7 +3,9 @@
 //! are weak, so the watch contributes *new* information and both devices'
 //! features are kept (§V-D).
 
-use smarteryou_bench::{candidate_feature_matrices, collect_raw_windows_spaced, header, repro_config};
+use smarteryou_bench::{
+    candidate_feature_matrices, collect_raw_windows_spaced, header, repro_config,
+};
 use smarteryou_core::selection::mean_feature_correlation;
 use smarteryou_core::FeatureKind;
 use smarteryou_sensors::{DeviceKind, RawContext};
@@ -23,8 +25,13 @@ fn main() {
     // features flip modes together (the same window is stationary or moving
     // on both wrists), which would read as spurious cross-device
     // correlation.
-    let windows =
-        collect_raw_windows_spaced(&cfg, RawContext::SittingStanding, 2 * sessions, per_session, 0.01);
+    let windows = collect_raw_windows_spaced(
+        &cfg,
+        RawContext::SittingStanding,
+        2 * sessions,
+        per_session,
+        0.01,
+    );
 
     // Table IV uses the 7 surviving features per sensor (Ran and Peak2 f
     // both dropped): 14 columns per device.
@@ -48,14 +55,16 @@ fn main() {
             .collect();
         smarteryou_linalg::Matrix::from_rows(&rows).expect("uniform")
     };
-    let phone: Vec<_> = candidate_feature_matrices(&windows, DeviceKind::Smartphone, cfg.sample_rate)
-        .iter()
-        .map(select)
-        .collect();
-    let watch: Vec<_> = candidate_feature_matrices(&windows, DeviceKind::Smartwatch, cfg.sample_rate)
-        .iter()
-        .map(select)
-        .collect();
+    let phone: Vec<_> =
+        candidate_feature_matrices(&windows, DeviceKind::Smartphone, cfg.sample_rate)
+            .iter()
+            .map(select)
+            .collect();
+    let watch: Vec<_> =
+        candidate_feature_matrices(&windows, DeviceKind::Smartwatch, cfg.sample_rate)
+            .iter()
+            .map(select)
+            .collect();
     let corr = mean_feature_correlation(&watch, &phone);
 
     print!("{:>10}", "");

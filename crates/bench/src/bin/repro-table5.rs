@@ -7,7 +7,10 @@ use smarteryou_core::experiment::context_detection_experiment;
 
 fn main() {
     let cfg = repro_config();
-    header("Table V", "context-detection confusion matrix (random forest)");
+    header(
+        "Table V",
+        "context-detection confusion matrix (random forest)",
+    );
     let report = context_detection_experiment(&cfg);
 
     println!("two-context confusion matrix (measured):");
@@ -17,12 +20,12 @@ fn main() {
         "99.1%",
         pct(report.coarse.row_rate(0, 0)),
     );
-    compare_row("moving -> moving", "99.4%", pct(report.coarse.row_rate(1, 1)));
     compare_row(
-        "overall accuracy",
-        ">99%",
-        pct(report.coarse.accuracy()),
+        "moving -> moving",
+        "99.4%",
+        pct(report.coarse.row_rate(1, 1)),
     );
+    compare_row("overall accuracy", ">99%", pct(report.coarse.accuracy()));
     compare_row(
         "detection time",
         "< 3 ms",

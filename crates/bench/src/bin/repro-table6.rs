@@ -29,8 +29,16 @@ fn main() {
             alg,
         );
         let dt = t0.elapsed();
-        compare_row(&format!("{} FRR", alg.name()), format!("{p_frr:.1}%"), pct(perf.frr));
-        compare_row(&format!("{} FAR", alg.name()), format!("{p_far:.1}%"), pct(perf.far));
+        compare_row(
+            &format!("{} FRR", alg.name()),
+            format!("{p_frr:.1}%"),
+            pct(perf.frr),
+        );
+        compare_row(
+            &format!("{} FAR", alg.name()),
+            format!("{p_far:.1}%"),
+            pct(perf.far),
+        );
         compare_row(
             &format!("{} accuracy", alg.name()),
             format!("{p_acc:.1}%"),

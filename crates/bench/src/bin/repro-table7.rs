@@ -15,7 +15,13 @@ fn main() {
     let rows = [
         (ContextMode::Unified, DeviceSet::PhoneOnly, 15.4, 17.4, 83.6),
         (ContextMode::Unified, DeviceSet::Combined, 7.3, 9.3, 91.7),
-        (ContextMode::PerContext, DeviceSet::PhoneOnly, 5.1, 8.3, 93.3),
+        (
+            ContextMode::PerContext,
+            DeviceSet::PhoneOnly,
+            5.1,
+            8.3,
+            93.3,
+        ),
         (ContextMode::PerContext, DeviceSet::Combined, 0.9, 2.8, 98.1),
     ];
     for (mode, device, p_frr, p_far, p_acc) in rows {

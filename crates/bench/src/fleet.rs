@@ -1,0 +1,223 @@
+//! Shared fixture for the fleet-engine throughput benchmarks: a simulated
+//! population of enrolled pipelines behind a [`FleetEngine`], plus a window
+//! feed that keeps every tick supplied with fresh sensor windows.
+//!
+//! Used by `benches/fleet.rs` (criterion latency samples) and the
+//! `fleet` binary (windows/sec at 100 / 1k / 10k users). Distinct sensor
+//! profiles are capped at [`FleetFixture::MAX_PROFILES`] — beyond that,
+//! users cycle through the profile pool, which keeps fixture construction
+//! linear in profile count while every user still owns a full pipeline,
+//! model set and RNG stream.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou_core::engine::{FleetEngine, TickReport};
+use smarteryou_core::{
+    ContextDetector, ContextDetectorConfig, CoreError, DeviceSet, FeatureExtractor, ResponsePolicy,
+    SmarterYou, SystemConfig, TrainingServer,
+};
+use smarteryou_sensors::{
+    DualDeviceWindow, Population, RawContext, TraceGenerator, UserId, WindowSpec,
+};
+
+/// A ready-to-tick fleet: every registered user has finished enrollment and
+/// authenticates windows drawn from their sensor profile.
+pub struct FleetFixture {
+    engine: FleetEngine,
+    /// Authentication windows per profile, cycled per tick.
+    feed: Vec<Vec<DualDeviceWindow>>,
+    /// Profile index per registered user.
+    profile_of: Vec<usize>,
+    cursor: usize,
+}
+
+impl FleetFixture {
+    /// Cap on distinct sensor profiles (fixture construction cost is linear
+    /// in this, while user count can grow to fleet scale).
+    pub const MAX_PROFILES: usize = 32;
+
+    /// Builds a fleet of `num_users` enrolled pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline construction/training failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_users` is zero or a pipeline fails to finish
+    /// enrollment on its seeded window stream.
+    pub fn build(num_users: usize, seed: u64) -> Result<Self, CoreError> {
+        assert!(num_users > 0, "fleet needs at least one user");
+        let profiles = num_users.min(Self::MAX_PROFILES);
+        let population = Population::generate(profiles + 4, seed);
+        let cfg = SystemConfig::paper_default()
+            .with_window_secs(2.0)
+            .with_data_size(40);
+        let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+        let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+        // Anonymized negative pool + user-agnostic context detector from the
+        // four reserve users.
+        let mut ctx_features = Vec::new();
+        let mut ctx_labels = Vec::new();
+        let mut server = TrainingServer::new();
+        for user in &population.users()[profiles..] {
+            let mut gen = TraceGenerator::new(user.clone(), seed ^ 0x9E37);
+            for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+                let windows = gen.generate_windows(raw, spec, 25);
+                for w in &windows {
+                    ctx_features.push(extractor.context_features(w));
+                    ctx_labels.push(raw.coarse());
+                }
+                server.contribute(
+                    raw.coarse(),
+                    windows
+                        .iter()
+                        .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+                );
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let detector = ContextDetector::train(
+            extractor,
+            &ctx_features,
+            &ctx_labels,
+            ContextDetectorConfig {
+                num_trees: 16,
+                max_depth: 8,
+            },
+            &mut rng,
+        )?;
+        let server = Arc::new(Mutex::new(server));
+
+        // Per-profile window material: one enrollment stream (shared by all
+        // users of the profile) and one authentication feed.
+        let mut enrollment: Vec<Vec<DualDeviceWindow>> = Vec::with_capacity(profiles);
+        let mut feed: Vec<Vec<DualDeviceWindow>> = Vec::with_capacity(profiles);
+        for (p, user) in population.users()[..profiles].iter().enumerate() {
+            let mut gen = TraceGenerator::new(user.clone(), seed ^ (p as u64) << 3);
+            let mut enroll = Vec::new();
+            for round in 0..26 {
+                let ctx = if round % 2 == 0 {
+                    RawContext::SittingStanding
+                } else {
+                    RawContext::MovingAround
+                };
+                enroll.extend(gen.generate_windows(ctx, spec, 2));
+            }
+            enrollment.push(enroll);
+            let mut ticks = Vec::new();
+            for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+                ticks.extend(gen.generate_windows(ctx, spec, 16));
+            }
+            feed.push(ticks);
+        }
+
+        // Register and enroll the whole fleet through the batch path.
+        let mut engine = FleetEngine::new();
+        let mut profile_of = Vec::with_capacity(num_users);
+        for u in 0..num_users {
+            let profile = u % profiles;
+            profile_of.push(profile);
+            let pipeline = SmarterYou::new(
+                cfg.clone(),
+                detector.clone(),
+                server.clone(),
+                seed ^ (u as u64 + 1),
+            )?
+            // Fleet monitoring keeps scoring after rejections; locking every
+            // device on its first odd window would make throughput numbers
+            // unrepresentative.
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            });
+            engine.register(UserId(u), pipeline)?;
+        }
+        for u in 0..num_users {
+            engine.submit_many(UserId(u), enrollment[profile_of[u]].iter().cloned())?;
+        }
+        assert!(engine.tick().errors().is_empty(), "enrollment tick failed");
+        // Context misdetections can leave a buffer short; top up the
+        // stragglers with further passes of their enrollment stream.
+        for _pass in 0..8 {
+            let stragglers: Vec<usize> = (0..num_users)
+                .filter(|&u| {
+                    engine
+                        .pipeline(UserId(u))
+                        .expect("registered")
+                        .authenticator()
+                        .is_none()
+                })
+                .collect();
+            if stragglers.is_empty() {
+                break;
+            }
+            for &u in &stragglers {
+                engine.submit_many(UserId(u), enrollment[profile_of[u]].iter().cloned())?;
+            }
+            assert!(engine.tick().errors().is_empty(), "enrollment tick failed");
+        }
+        for u in 0..num_users {
+            assert!(
+                engine
+                    .pipeline(UserId(u))
+                    .expect("registered")
+                    .authenticator()
+                    .is_some(),
+                "user {u} failed to enroll"
+            );
+        }
+
+        Ok(FleetFixture {
+            engine,
+            feed,
+            profile_of,
+            cursor: 0,
+        })
+    }
+
+    /// Number of registered users.
+    pub fn num_users(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Borrows the engine (e.g. for direct `score_ticked` calls).
+    pub fn engine_mut(&mut self) -> &mut FleetEngine {
+        &mut self.engine
+    }
+
+    /// Queues `per_user` fresh windows for every user; returns the number
+    /// of windows queued.
+    pub fn submit_tick(&mut self, per_user: usize) -> usize {
+        let users = self.engine.len();
+        for u in 0..users {
+            let pool = &self.feed[self.profile_of[u]];
+            for k in 0..per_user {
+                let window = pool[(self.cursor + k) % pool.len()].clone();
+                self.engine
+                    .submit(UserId(u), window)
+                    .expect("user registered");
+            }
+        }
+        self.cursor = (self.cursor + per_user) % self.feed[0].len().max(1);
+        users * per_user
+    }
+
+    /// Scores everything queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pipeline training failures (not expected after enrollment).
+    pub fn tick(&mut self) -> TickReport {
+        let report = self.engine.tick();
+        assert!(
+            report.errors().is_empty(),
+            "tick failed: {:?}",
+            report.errors()
+        );
+        report
+    }
+}

@@ -6,6 +6,8 @@
 //! measured one. Run them with `cargo run --release -p smarteryou-bench
 //! --bin repro-<id>`.
 
+pub mod fleet;
+
 use std::fmt::Display;
 
 /// Prints a section header for one experiment.
@@ -120,7 +122,8 @@ pub fn candidate_feature_matrices(
                 .iter()
                 .map(|w| {
                     let dev = w.device(device);
-                    let mut row = set.extract(&dev.magnitude(SensorKind::Accelerometer), sample_rate);
+                    let mut row =
+                        set.extract(&dev.magnitude(SensorKind::Accelerometer), sample_rate);
                     row.extend(set.extract(&dev.magnitude(SensorKind::Gyroscope), sample_rate));
                     row
                 })

@@ -1,5 +1,6 @@
 use serde::{Deserialize, Serialize};
 
+use smarteryou_linalg::Matrix;
 use smarteryou_ml::{BinaryClassifier, KrrModel, Scaler};
 use smarteryou_sensors::UsageContext;
 
@@ -29,6 +30,18 @@ impl AuthModel {
     /// Panics if the feature width differs from the training width.
     pub fn confidence(&self, features: &[f64]) -> f64 {
         self.krr.decision(&self.scaler.transform_vec(features))
+    }
+
+    /// Confidence scores for every row of a raw feature matrix in one pass:
+    /// the matrix is scaled once and scored through
+    /// [`KrrModel::decision_batch`]. Scores are bit-identical to calling
+    /// [`AuthModel::confidence`] row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols()` differs from the training width.
+    pub fn confidence_batch(&self, features: &Matrix) -> Vec<f64> {
+        self.krr.decision_batch(&self.scaler.transform(features))
     }
 
     /// Number of raw features expected.
@@ -80,7 +93,10 @@ impl Authenticator {
                 models.len()
             )));
         }
-        if models[1..].iter().any(|m| m.num_features() != models[0].num_features()) {
+        if models[1..]
+            .iter()
+            .any(|m| m.num_features() != models[0].num_features())
+        {
             return Err(CoreError::InvalidConfig(
                 "per-context models disagree on feature width".into(),
             ));
@@ -137,6 +153,57 @@ impl Authenticator {
             context,
         }
     }
+
+    /// Authenticates every row of a feature matrix captured under one
+    /// context, scaling and scoring the whole matrix in a single pass.
+    /// Decisions are bit-identical to per-row [`Authenticator::authenticate`]
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols()` differs from the training width.
+    pub fn authenticate_batch(
+        &self,
+        context: UsageContext,
+        features: &Matrix,
+    ) -> Vec<AuthDecision> {
+        self.model_for(context)
+            .confidence_batch(features)
+            .into_iter()
+            .map(|confidence| AuthDecision {
+                accepted: confidence >= self.threshold,
+                confidence,
+                context,
+            })
+            .collect()
+    }
+
+    /// Authenticates a mixed-context window batch: rows are regrouped by
+    /// detected context so each per-context model scores its group as one
+    /// matrix, and the decisions come back in input order. This is the
+    /// fleet engine's scoring primitive.
+    pub fn authenticate_grouped(&self, items: &[(UsageContext, Vec<f64>)]) -> Vec<AuthDecision> {
+        let mut out: Vec<Option<AuthDecision>> = vec![None; items.len()];
+        for ctx in UsageContext::ALL {
+            let indices: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .filter(|(_, (c, _))| *c == ctx)
+                .map(|(i, _)| i)
+                .collect();
+            if indices.is_empty() {
+                continue;
+            }
+            let rows: Vec<&[f64]> = indices.iter().map(|&i| items[i].1.as_slice()).collect();
+            let matrix = Matrix::from_rows(&rows).expect("uniform feature width");
+            for (&i, decision) in indices.iter().zip(self.authenticate_batch(ctx, &matrix)) {
+                out[i] = Some(decision);
+            }
+        }
+        out.into_iter()
+            .map(|d| d.expect("every context grouped"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +224,9 @@ mod tests {
                 }
             })
             .collect();
-        let y: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let scaler = Scaler::fit(&x);
         let xs = scaler.transform(&x);
@@ -188,15 +257,67 @@ mod tests {
     #[test]
     fn threshold_shifts_decisions() {
         let strict = Authenticator::unified(model(1.0), 10.0);
-        assert!(!strict.authenticate(UsageContext::Moving, &[1.0, 1.0]).accepted);
+        assert!(
+            !strict
+                .authenticate(UsageContext::Moving, &[1.0, 1.0])
+                .accepted
+        );
         let lax = Authenticator::unified(model(1.0), -10.0);
-        assert!(lax.authenticate(UsageContext::Moving, &[-1.0, -1.0]).accepted);
+        assert!(
+            lax.authenticate(UsageContext::Moving, &[-1.0, -1.0])
+                .accepted
+        );
     }
 
     #[test]
     fn per_context_validates_model_count() {
         let err = Authenticator::per_context(vec![model(1.0)], 0.0).unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn batch_paths_match_scalar_paths_bit_exactly() {
+        let auth = Authenticator::per_context(vec![model(1.0), model(2.0)], 0.1).unwrap();
+        let probes = [
+            vec![1.0, 1.0],
+            vec![-0.5, 0.25],
+            vec![2.0, -2.0],
+            vec![0.0, 0.0],
+        ];
+        let matrix = Matrix::from_rows(&probes).unwrap();
+        for ctx in UsageContext::ALL {
+            let batch = auth.authenticate_batch(ctx, &matrix);
+            for (row, d) in probes.iter().zip(&batch) {
+                let scalar = auth.authenticate(ctx, row);
+                assert_eq!(d.confidence.to_bits(), scalar.confidence.to_bits());
+                assert_eq!(d.accepted, scalar.accepted);
+                assert_eq!(d.context, scalar.context);
+            }
+        }
+
+        // Mixed-context grouping preserves input order and per-row results.
+        let items: Vec<(UsageContext, Vec<f64>)> = probes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (UsageContext::ALL[i % 2], p.clone()))
+            .collect();
+        let grouped = auth.authenticate_grouped(&items);
+        for ((ctx, feats), d) in items.iter().zip(&grouped) {
+            let scalar = auth.authenticate(*ctx, feats);
+            assert_eq!(d.confidence.to_bits(), scalar.confidence.to_bits());
+            assert_eq!(d.accepted, scalar.accepted);
+            assert_eq!(d.context, *ctx);
+        }
+    }
+
+    #[test]
+    fn grouped_handles_empty_and_single_context_batches() {
+        let auth = Authenticator::unified(model(1.0), 0.0);
+        assert!(auth.authenticate_grouped(&[]).is_empty());
+        let items = vec![(UsageContext::Moving, vec![1.0, 1.0])];
+        let out = auth.authenticate_grouped(&items);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].accepted);
     }
 
     #[test]

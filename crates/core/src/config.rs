@@ -60,11 +60,11 @@ impl SystemConfig {
     /// The deployed configuration from the paper's design study.
     pub fn paper_default() -> Self {
         SystemConfig {
-            window_secs: 6.0,            // §V-F3: stable beyond 6 s
-            sample_rate: 50.0,           // §V-A
-            data_size: 800,              // §V-F3: accuracy peaks near 800
-            rho: 1.0,                    // ridge parameter of Eq. 5
-            accept_threshold: 0.2,       // security-leaning operating point (§V-F3)
+            window_secs: 6.0,      // §V-F3: stable beyond 6 s
+            sample_rate: 50.0,     // §V-A
+            data_size: 800,        // §V-F3: accuracy peaks near 800
+            rho: 1.0,              // ridge parameter of Eq. 5
+            accept_threshold: 0.2, // security-leaning operating point (§V-F3)
             context_mode: ContextMode::PerContext,
             device_set: DeviceSet::Combined,
         }

@@ -106,7 +106,10 @@ impl ContextDetector {
     pub fn evaluate(&self, features: &[Vec<f64>], labels: &[UsageContext]) -> ConfusionMatrix {
         assert_eq!(features.len(), labels.len(), "features/labels mismatch");
         let mut cm = ConfusionMatrix::new(
-            UsageContext::ALL.iter().map(|c| c.name().to_string()).collect(),
+            UsageContext::ALL
+                .iter()
+                .map(|c| c.name().to_string())
+                .collect(),
         );
         for (f, l) in features.iter().zip(labels) {
             cm.record(l.index(), self.detect_from_features(f).index());

@@ -1,0 +1,269 @@
+//! Batched, parallel fleet-scoring engine.
+//!
+//! A production deployment of SmarterYou does not authenticate one window at
+//! a time: a cloud tier receives sensor windows from *many* enrolled devices
+//! per tick and must score them continuously at low latency. [`FleetEngine`]
+//! owns one [`SmarterYou`] pipeline per registered user, accepts a batch of
+//! `(UserId, DualDeviceWindow)` pairs per tick, and advances every affected
+//! pipeline concurrently with the order-preserving scoped-thread map from
+//! [`crate::parallel`]. Within each pipeline, pending windows are scored as
+//! grouped per-context matrix passes ([`SmarterYou::process_batch`]) rather
+//! than per-row kernel evaluations.
+//!
+//! Decisions are **bit-identical** to feeding the same windows through
+//! sequential [`SmarterYou::process_window`] calls user by user: per-user
+//! window order is preserved, every pipeline owns its own state and RNG, and
+//! the shared [`TrainingServer`](crate::TrainingServer) is only consulted
+//! under its mutex during (re)training. The batch-parity integration tests
+//! assert this equivalence on a seeded population.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use smarteryou_core::engine::FleetEngine;
+//! # fn pipelines() -> Vec<(smarteryou_sensors::UserId, smarteryou_core::SmarterYou)> { Vec::new() }
+//! # fn next_tick() -> Vec<(smarteryou_sensors::UserId, smarteryou_sensors::DualDeviceWindow)> { Vec::new() }
+//!
+//! let mut engine = FleetEngine::new();
+//! for (id, pipeline) in pipelines() {
+//!     engine.register(id, pipeline).unwrap();
+//! }
+//! loop {
+//!     let outcomes = engine.score_ticked(next_tick()).unwrap();
+//!     println!("{} windows scored", outcomes.len());
+//! }
+//! ```
+
+pub mod batch;
+
+use std::collections::HashMap;
+
+use smarteryou_sensors::{DualDeviceWindow, UserId};
+
+use crate::parallel::parallel_map_mut;
+use crate::pipeline::{ProcessOutcome, SmarterYou};
+use crate::CoreError;
+
+pub use batch::{TickReport, UserOutcomes};
+
+/// One registered user: their on-device pipeline plus the windows queued
+/// for the next tick.
+#[derive(Debug)]
+struct UserSlot {
+    id: UserId,
+    pipeline: SmarterYou,
+    inbox: Vec<DualDeviceWindow>,
+}
+
+/// Owns many per-user [`SmarterYou`] pipelines and scores queued windows in
+/// parallel, batch by batch. See the [module docs](self) for the model.
+#[derive(Debug, Default)]
+pub struct FleetEngine {
+    slots: Vec<UserSlot>,
+    index: HashMap<UserId, usize>,
+}
+
+impl FleetEngine {
+    /// An engine with no registered users.
+    pub fn new() -> Self {
+        FleetEngine::default()
+    }
+
+    /// Registers a user's pipeline. Tick outcomes are reported in
+    /// registration order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if the user is already registered.
+    pub fn register(&mut self, id: UserId, pipeline: SmarterYou) -> Result<(), CoreError> {
+        if self.index.contains_key(&id) {
+            return Err(CoreError::InvalidConfig(format!(
+                "user {} already registered",
+                id.0
+            )));
+        }
+        self.index.insert(id, self.slots.len());
+        self.slots.push(UserSlot {
+            id,
+            pipeline,
+            inbox: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Number of registered users.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no users are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Registered user ids, in registration order.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.slots.iter().map(|s| s.id)
+    }
+
+    /// Borrows a registered user's pipeline.
+    pub fn pipeline(&self, id: UserId) -> Option<&SmarterYou> {
+        self.index.get(&id).map(|&i| &self.slots[i].pipeline)
+    }
+
+    /// Mutably borrows a registered user's pipeline (e.g. to unlock after
+    /// explicit authentication or advance its clock).
+    pub fn pipeline_mut(&mut self, id: UserId) -> Option<&mut SmarterYou> {
+        self.index.get(&id).map(|&i| &mut self.slots[i].pipeline)
+    }
+
+    /// Queues one window for `id`, to be scored by the next
+    /// [`FleetEngine::tick`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unregistered user.
+    pub fn submit(&mut self, id: UserId, window: DualDeviceWindow) -> Result<(), CoreError> {
+        match self.index.get(&id) {
+            Some(&i) => {
+                self.slots[i].inbox.push(window);
+                Ok(())
+            }
+            None => Err(CoreError::InvalidConfig(format!(
+                "user {} is not registered",
+                id.0
+            ))),
+        }
+    }
+
+    /// Queues a whole stream of windows for `id`, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unregistered user.
+    pub fn submit_many(
+        &mut self,
+        id: UserId,
+        windows: impl IntoIterator<Item = DualDeviceWindow>,
+    ) -> Result<(), CoreError> {
+        match self.index.get(&id) {
+            Some(&i) => {
+                self.slots[i].inbox.extend(windows);
+                Ok(())
+            }
+            None => Err(CoreError::InvalidConfig(format!(
+                "user {} is not registered",
+                id.0
+            ))),
+        }
+    }
+
+    /// Windows currently queued across all users.
+    pub fn pending(&self) -> usize {
+        self.slots.iter().map(|s| s.inbox.len()).sum()
+    }
+
+    /// Drains every queued window, advancing all affected pipelines in
+    /// parallel. Outcomes are grouped per user in registration order; each
+    /// user's outcomes are in their submission order.
+    ///
+    /// A pipeline failure (e.g. a retrain hitting
+    /// [`CoreError::InsufficientData`]) is isolated to its user: the error
+    /// is recorded in [`TickReport::errors`] — dropping that user's
+    /// outcomes from this tick — while every other user's outcomes are
+    /// still reported. Fleet operation must not lose one device's lock
+    /// decision because another device's retrain failed.
+    pub fn tick(&mut self) -> TickReport {
+        let results: Vec<Result<UserOutcomes, (UserId, CoreError)>> =
+            parallel_map_mut(&mut self.slots, |slot| {
+                let windows = std::mem::take(&mut slot.inbox);
+                match slot.pipeline.process_batch(&windows) {
+                    Ok(outcomes) => Ok(UserOutcomes {
+                        user: slot.id,
+                        outcomes,
+                    }),
+                    Err(e) => Err((slot.id, e)),
+                }
+            });
+        let mut users = Vec::with_capacity(results.len());
+        let mut errors = Vec::new();
+        for result in results {
+            match result {
+                Ok(user) => {
+                    if !user.outcomes.is_empty() {
+                        users.push(user);
+                    }
+                }
+                Err(failure) => errors.push(failure),
+            }
+        }
+        TickReport::new(users, errors)
+    }
+
+    /// One-call tick: queues a batch of `(user, window)` pairs, scores them
+    /// (together with anything already queued), and returns this batch's
+    /// outcomes **in input order**.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unregistered user (nothing is
+    /// scored in that case), or the first per-user pipeline failure if one
+    /// of this batch's users errored (the other users' pipelines still
+    /// advanced — use [`FleetEngine::submit`] + [`FleetEngine::tick`] for
+    /// error-isolated reporting).
+    pub fn score_ticked(
+        &mut self,
+        batch: Vec<(UserId, DualDeviceWindow)>,
+    ) -> Result<Vec<(UserId, ProcessOutcome)>, CoreError> {
+        // Validate before mutating any inbox so an unknown id is atomic.
+        for (id, _) in &batch {
+            if !self.index.contains_key(id) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "user {} is not registered",
+                    id.0
+                )));
+            }
+        }
+        // Remember, per input position, which of its user's queued windows
+        // it became, so outcomes can be re-interleaved into input order.
+        let mut positions = Vec::with_capacity(batch.len());
+        let mut order: Vec<UserId> = Vec::with_capacity(batch.len());
+        for (id, window) in batch {
+            let slot = &mut self.slots[self.index[&id]];
+            positions.push(slot.inbox.len());
+            order.push(id);
+            slot.inbox.push(window);
+        }
+        let report = self.tick();
+        if let Some((_, error)) = report.errors().first() {
+            return Err(error.clone());
+        }
+        let by_user: HashMap<UserId, &UserOutcomes> =
+            report.users().iter().map(|u| (u.user, u)).collect();
+        Ok(order
+            .into_iter()
+            .zip(positions)
+            .map(|(id, pos)| (id, by_user[&id].outcomes[pos]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_engine_bookkeeping() {
+        let mut engine = FleetEngine::new();
+        assert!(engine.is_empty());
+        assert_eq!(engine.len(), 0);
+        assert_eq!(engine.pending(), 0);
+        assert!(engine.user_ids().next().is_none());
+        assert!(engine.pipeline(UserId(0)).is_none());
+        assert!(engine.pipeline_mut(UserId(0)).is_none());
+        let outcomes = engine.score_ticked(vec![]).expect("empty batch is fine");
+        assert!(outcomes.is_empty());
+        let report = engine.tick();
+        assert_eq!(report.windows_scored(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Tick result types and aggregation helpers for the fleet engine.
+
+use smarteryou_sensors::UserId;
+
+use crate::pipeline::ProcessOutcome;
+use crate::response::ResponseAction;
+use crate::CoreError;
+
+/// One user's outcomes from a tick, in their submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserOutcomes {
+    /// The user the outcomes belong to.
+    pub user: UserId,
+    /// One outcome per queued window, in submission order.
+    pub outcomes: Vec<ProcessOutcome>,
+}
+
+/// Everything a [`FleetEngine::tick`](crate::engine::FleetEngine::tick)
+/// scored, grouped per user in registration order, plus aggregate counters
+/// for monitoring and the throughput benchmarks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TickReport {
+    users: Vec<UserOutcomes>,
+    errors: Vec<(UserId, CoreError)>,
+    windows: usize,
+    enrolling: usize,
+    accepts: usize,
+    rejections: usize,
+    locks: usize,
+    retrains: usize,
+}
+
+impl TickReport {
+    /// Builds a report, computing the aggregate counters in one pass.
+    pub(crate) fn new(users: Vec<UserOutcomes>, errors: Vec<(UserId, CoreError)>) -> Self {
+        let mut report = TickReport {
+            users,
+            errors,
+            ..TickReport::default()
+        };
+        for user in &report.users {
+            for outcome in &user.outcomes {
+                report.windows += 1;
+                match outcome {
+                    ProcessOutcome::Enrolling { .. } => report.enrolling += 1,
+                    ProcessOutcome::Decision {
+                        decision,
+                        action,
+                        retrained,
+                    } => {
+                        if decision.accepted {
+                            report.accepts += 1;
+                        } else {
+                            report.rejections += 1;
+                        }
+                        if *action == ResponseAction::Lock {
+                            report.locks += 1;
+                        }
+                        if *retrained {
+                            report.retrains += 1;
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Per-user outcomes, in engine registration order.
+    pub fn users(&self) -> &[UserOutcomes] {
+        &self.users
+    }
+
+    /// Per-user pipeline failures this tick. A failing user's queued
+    /// windows were consumed without producing outcomes; all other users
+    /// are unaffected.
+    pub fn errors(&self) -> &[(UserId, CoreError)] {
+        &self.errors
+    }
+
+    /// Total windows processed this tick (enrolling + authenticated).
+    pub fn windows_scored(&self) -> usize {
+        self.windows
+    }
+
+    /// Windows that were buffered for enrollment.
+    pub fn enrolling(&self) -> usize {
+        self.enrolling
+    }
+
+    /// Authenticated windows attributed to the legitimate owner.
+    pub fn accepts(&self) -> usize {
+        self.accepts
+    }
+
+    /// Authenticated windows rejected as impostor behaviour.
+    pub fn rejections(&self) -> usize {
+        self.rejections
+    }
+
+    /// Windows whose response action locked (or kept locked) the device.
+    pub fn locks(&self) -> usize {
+        self.locks
+    }
+
+    /// Automatic retrains triggered this tick.
+    pub fn retrains(&self) -> usize {
+        self.retrains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::AuthDecision;
+    use smarteryou_sensors::UsageContext;
+
+    fn decision(accepted: bool, action: ResponseAction, retrained: bool) -> ProcessOutcome {
+        ProcessOutcome::Decision {
+            decision: AuthDecision {
+                accepted,
+                confidence: if accepted { 0.9 } else { -0.4 },
+                context: UsageContext::Stationary,
+            },
+            action,
+            retrained,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_counters() {
+        let report = TickReport::new(
+            vec![
+                UserOutcomes {
+                    user: UserId(0),
+                    outcomes: vec![
+                        ProcessOutcome::Enrolling {
+                            stationary: 1,
+                            moving: 0,
+                        },
+                        decision(true, ResponseAction::Allow, false),
+                    ],
+                },
+                UserOutcomes {
+                    user: UserId(1),
+                    outcomes: vec![
+                        decision(false, ResponseAction::Lock, false),
+                        decision(true, ResponseAction::Allow, true),
+                    ],
+                },
+            ],
+            Vec::new(),
+        );
+        assert!(report.errors().is_empty());
+        assert_eq!(report.windows_scored(), 4);
+        assert_eq!(report.enrolling(), 1);
+        assert_eq!(report.accepts(), 2);
+        assert_eq!(report.rejections(), 1);
+        assert_eq!(report.locks(), 1);
+        assert_eq!(report.retrains(), 1);
+        assert_eq!(report.users().len(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = TickReport::new(Vec::new(), Vec::new());
+        assert_eq!(report.windows_scored(), 0);
+        assert_eq!(report.accepts(), 0);
+        assert_eq!(report.rejections(), 0);
+        assert!(report.errors().is_empty());
+    }
+}

@@ -4,9 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use smarteryou_sensors::{
-    MimicryAttacker, Population, RawContext, TraceGenerator, UsageContext,
-};
+use smarteryou_sensors::{MimicryAttacker, Population, RawContext, TraceGenerator, UsageContext};
 
 use super::data::collect_population_features;
 use super::{parallel_map, ExperimentConfig};
@@ -61,10 +59,7 @@ impl MasqueradeReport {
 /// (modelled by [`MimicryAttacker`]) and then use the victim's phone while
 /// imitating them. A trial survives while every window so far was accepted
 /// (the response module de-authenticates on the first rejection).
-pub fn masquerade_experiment(
-    cfg: &ExperimentConfig,
-    mcfg: &MasqueradeConfig,
-) -> MasqueradeReport {
+pub fn masquerade_experiment(cfg: &ExperimentConfig, mcfg: &MasqueradeConfig) -> MasqueradeReport {
     let population = Population::generate(cfg.num_users, cfg.seed);
     let data = collect_population_features(cfg);
     let spec = cfg.window_spec();

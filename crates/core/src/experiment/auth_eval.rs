@@ -174,10 +174,9 @@ pub fn evaluate_authentication(
         let mut pooled = BinaryOutcomes::default();
         let contexts: &[Option<UsageContext>] = match mode {
             ContextMode::Unified => &[None],
-            ContextMode::PerContext => &[
-                Some(UsageContext::Stationary),
-                Some(UsageContext::Moving),
-            ],
+            ContextMode::PerContext => {
+                &[Some(UsageContext::Stationary), Some(UsageContext::Moving)]
+            }
         };
         for (c, context) in contexts.iter().enumerate() {
             if let Some(dataset) = build_dataset(data, target, *context, device, per_class) {
@@ -208,10 +207,7 @@ pub fn evaluate_single_user(
     let mut pooled = BinaryOutcomes::default();
     let contexts: &[Option<UsageContext>] = match mode {
         ContextMode::Unified => &[None],
-        ContextMode::PerContext => &[
-            Some(UsageContext::Stationary),
-            Some(UsageContext::Moving),
-        ],
+        ContextMode::PerContext => &[Some(UsageContext::Stationary), Some(UsageContext::Moving)],
     };
     for (c, context) in contexts.iter().enumerate() {
         if let Some(dataset) = build_dataset(data, target, *context, device, per_class) {
@@ -234,12 +230,9 @@ pub fn evaluate_per_context(
     let outcomes = parallel_map(&targets, |&target| {
         let mut per_ctx = [BinaryOutcomes::default(), BinaryOutcomes::default()];
         for ctx in UsageContext::ALL {
-            if let Some(dataset) =
-                build_dataset(data, target, Some(ctx), device, per_class)
-            {
+            if let Some(dataset) = build_dataset(data, target, Some(ctx), device, per_class) {
                 let seed = cfg.seed ^ ((target as u64) << 8) ^ ctx.index() as u64;
-                per_ctx[ctx.index()] =
-                    cross_validate_dataset(&dataset, Algorithm::Krr, cfg, seed);
+                per_ctx[ctx.index()] = cross_validate_dataset(&dataset, Algorithm::Krr, cfg, seed);
             }
         }
         per_ctx
@@ -275,8 +268,7 @@ pub fn window_size_sweep(cfg: &ExperimentConfig, sizes: &[f64]) -> Vec<WindowSiz
             let mut sweep_cfg = cfg.clone();
             sweep_cfg.window_secs = secs;
             let data = collect_population_features(&sweep_cfg);
-            let mut performance =
-                [[AuthPerformance { frr: 0.0, far: 0.0 }; 3]; 2];
+            let mut performance = [[AuthPerformance { frr: 0.0, far: 0.0 }; 3]; 2];
             for (d, device) in DeviceSet::ALL.iter().enumerate() {
                 let per_ctx = evaluate_per_context(&data, &sweep_cfg, *device);
                 performance[0][d] = per_ctx[0];
@@ -313,8 +305,7 @@ pub fn data_size_sweep(cfg: &ExperimentConfig, sizes: &[usize]) -> Vec<DataSizeP
         .map(|&n| {
             let mut point_cfg = cfg.clone();
             point_cfg.data_size = n;
-            let mut performance =
-                [[AuthPerformance { frr: 0.0, far: 0.0 }; 3]; 2];
+            let mut performance = [[AuthPerformance { frr: 0.0, far: 0.0 }; 3]; 2];
             for (d, device) in DeviceSet::ALL.iter().enumerate() {
                 let per_ctx = evaluate_per_context(&data, &point_cfg, *device);
                 performance[0][d] = per_ctx[0];

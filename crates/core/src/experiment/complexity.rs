@@ -47,7 +47,10 @@ fn median_duration(mut samples: Vec<Duration>) -> Duration {
 
 /// Times the two KRR formulations (and the SVM baseline) on a real
 /// user-vs-rest dataset drawn from `data`, at the deployed N and M.
-pub fn complexity_experiment(data: &PopulationFeatures, cfg: &ExperimentConfig) -> ComplexityReport {
+pub fn complexity_experiment(
+    data: &PopulationFeatures,
+    cfg: &ExperimentConfig,
+) -> ComplexityReport {
     // Build one representative training set: user 0, stationary context,
     // 9/10 of data_size (the CV training share).
     let per_class = cfg.data_size / 2;

@@ -93,9 +93,8 @@ fn user_agnostic_cv(
 ) -> (ConfusionMatrix, Duration) {
     let n_users = per_user.len();
     let folds = folds.min(n_users);
-    let fold_results: Vec<(ConfusionMatrix, Duration, u32)> = parallel_map(
-        &(0..folds).collect::<Vec<_>>(),
-        |&fold| {
+    let fold_results: Vec<(ConfusionMatrix, Duration, u32)> =
+        parallel_map(&(0..folds).collect::<Vec<_>>(), |&fold| {
             // Train on users outside the fold.
             let mut train_rows: Vec<&[f64]> = Vec::new();
             let mut train_y: Vec<usize> = Vec::new();
@@ -132,8 +131,7 @@ fn user_agnostic_cv(
                 }
             }
             (cm, elapsed, count)
-        },
-    );
+        });
     let mut total = ConfusionMatrix::new(labels);
     let mut elapsed = Duration::ZERO;
     let mut count = 0u32;
@@ -160,7 +158,10 @@ pub fn context_detection_experiment(cfg: &ExperimentConfig) -> ContextDetectionR
         cfg.folds,
         UsageContext::ALL.len(),
         |raw| raw.coarse().index(),
-        UsageContext::ALL.iter().map(|c| c.name().to_string()).collect(),
+        UsageContext::ALL
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
         cfg.seed ^ 0xC0A,
     );
     let (raw, _) = user_agnostic_cv(
@@ -168,7 +169,10 @@ pub fn context_detection_experiment(cfg: &ExperimentConfig) -> ContextDetectionR
         cfg.folds,
         RawContext::ALL.len(),
         |raw| raw.index(),
-        RawContext::ALL.iter().map(|c| c.name().to_string()).collect(),
+        RawContext::ALL
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
         cfg.seed ^ 0xC0B,
     );
     ContextDetectionReport {

@@ -27,7 +27,7 @@ impl UserFeatureData {
     pub fn features(&self, context: Option<UsageContext>, device: DeviceSet) -> Vec<Vec<f64>> {
         self.windows
             .iter()
-            .filter(|(_, c, _)| context.map_or(true, |want| *c == want))
+            .filter(|(_, c, _)| context.is_none_or(|want| *c == want))
             .map(|(_, _, f)| project_features(f, device))
             .collect()
     }
@@ -40,7 +40,7 @@ impl UserFeatureData {
     ) -> Vec<(f64, Vec<f64>)> {
         self.windows
             .iter()
-            .filter(|(_, c, _)| context.map_or(true, |want| *c == want))
+            .filter(|(_, c, _)| context.is_none_or(|want| *c == want))
             .map(|(d, _, f)| (*d, project_features(f, device)))
             .collect()
     }
@@ -93,11 +93,8 @@ pub fn collect_population_features(cfg: &ExperimentConfig) -> PopulationFeatures
     let spec = cfg.window_spec();
 
     let users = parallel_map(population.users(), |profile| {
-        let mut gen = TraceGenerator::with_config(
-            profile.clone(),
-            cfg.seed ^ 0x5EED,
-            cfg.generator,
-        );
+        let mut gen =
+            TraceGenerator::with_config(profile.clone(), cfg.seed ^ 0x5EED, cfg.generator);
         // Session plan: round-robin over contexts so both coarse classes
         // fill evenly; stationary-like sessions rotate through the three
         // stationary raw contexts the way free-form usage would.
@@ -130,9 +127,9 @@ pub fn collect_population_features(cfg: &ExperimentConfig) -> PopulationFeatures
         let windows_per_session = 8usize;
         // 10 stationary + 10 moving sessions per plan cycle; sessions needed
         // to fill both quotas, plus slack.
-        let sessions_needed =
-            (cfg.windows_per_context as f64 / (10.0 * windows_per_session as f64) * 21.0).ceil()
-                as usize;
+        let sessions_needed = (cfg.windows_per_context as f64 / (10.0 * windows_per_session as f64)
+            * 21.0)
+            .ceil() as usize;
         let day_step = cfg.days / sessions_needed.max(1) as f64;
 
         let mut windows = Vec::with_capacity(2 * cfg.windows_per_context);
@@ -149,8 +146,7 @@ pub fn collect_population_features(cfg: &ExperimentConfig) -> PopulationFeatures
                 continue;
             }
             gen.begin_session(ctx);
-            let take = windows_per_session
-                .min(cfg.windows_per_context - counts[coarse.index()]);
+            let take = windows_per_session.min(cfg.windows_per_context - counts[coarse.index()]);
             for _ in 0..take {
                 let w = gen.next_window(spec);
                 let f = extractor.auth_features(&w, DeviceSet::Combined);

@@ -107,7 +107,7 @@ pub fn drift_experiment(cfg: &ExperimentConfig, days: usize, drift_scale: f64) -
             "enrollment did not converge (data_size {})",
             cfg.data_size
         );
-        let raw = if enroll_sessions % 2 == 0 {
+        let raw = if enroll_sessions.is_multiple_of(2) {
             RawContext::SittingStanding
         } else {
             RawContext::MovingAround
@@ -138,8 +138,7 @@ pub fn drift_experiment(cfg: &ExperimentConfig, days: usize, drift_scale: f64) -
             system.set_clock(day as f64 + s as f64 / sessions_per_day as f64);
             for _ in 0..windows_per_session {
                 let w = gen.next_window(spec);
-                if let Ok(ProcessOutcome::Decision { retrained, .. }) = system.process_window(&w)
-                {
+                if let Ok(ProcessOutcome::Decision { retrained, .. }) = system.process_window(&w) {
                     if retrained && retrain_day.is_none() {
                         retrain_day = Some(gen.day());
                     }

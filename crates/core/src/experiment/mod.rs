@@ -16,7 +16,9 @@ pub use auth_eval::{
 };
 pub use complexity::{complexity_experiment, ComplexityReport};
 pub use context_eval::{context_detection_experiment, ContextDetectionReport};
-pub use data::{collect_population_features, project_features, PopulationFeatures, UserFeatureData};
+pub use data::{
+    collect_population_features, project_features, PopulationFeatures, UserFeatureData,
+};
 pub use drift_eval::{drift_experiment, DriftReport};
 
 use serde::{Deserialize, Serialize};
@@ -119,34 +121,7 @@ impl Default for ExperimentConfig {
     }
 }
 
-/// Order-preserving parallel map over a slice using scoped threads.
-pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| s.spawn(move |_| c.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("experiment worker panicked"))
-            .collect()
-    })
-    .expect("experiment scope panicked")
-}
+pub(crate) use crate::parallel::parallel_map;
 
 #[cfg(test)]
 mod tests {
@@ -160,19 +135,5 @@ mod tests {
         assert_eq!(cfg.folds, 10);
         assert_eq!(cfg.window_spec().samples, 300);
         assert_eq!(cfg.system_config().data_size(), 800);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_handles_small_inputs() {
-        assert_eq!(parallel_map(&[1], |&x: &i32| x + 1), vec![2]);
-        let empty: Vec<i32> = Vec::new();
-        assert!(parallel_map(&empty, |&x: &i32| x).is_empty());
     }
 }

@@ -251,7 +251,8 @@ impl FeatureExtractor {
 
     /// Features of one sensor on one device — `SPᵢ(k)` of Eq. 1/2.
     pub fn sensor_features(&self, window: &SensorWindow, sensor: SensorKind) -> Vec<f64> {
-        self.set.extract(&window.magnitude(sensor), self.sample_rate)
+        self.set
+            .extract(&window.magnitude(sensor), self.sample_rate)
     }
 
     /// Features of one device — `SP(k)` of Eq. 3: accelerometer features
@@ -327,9 +328,13 @@ mod tests {
     fn sample_window() -> DualDeviceWindow {
         let owner = Population::generate(1, 3).users()[0].clone();
         let mut gen = TraceGenerator::new(owner, 5);
-        gen.generate_windows(RawContext::MovingAround, WindowSpec::from_seconds(4.0, 50.0), 1)
-            .pop()
-            .unwrap()
+        gen.generate_windows(
+            RawContext::MovingAround,
+            WindowSpec::from_seconds(4.0, 50.0),
+            1,
+        )
+        .pop()
+        .unwrap()
     }
 
     #[test]
@@ -381,9 +386,7 @@ mod tests {
         let set = FeatureSet::all_candidates();
         let stream = vec![2.0; 100];
         let f = set.extract(&stream, 50.0);
-        let by = |k: FeatureKind| {
-            f[FeatureKind::ALL.iter().position(|x| *x == k).unwrap()]
-        };
+        let by = |k: FeatureKind| f[FeatureKind::ALL.iter().position(|x| *x == k).unwrap()];
         assert_eq!(by(FeatureKind::Mean), 2.0);
         assert_eq!(by(FeatureKind::Var), 0.0);
         assert_eq!(by(FeatureKind::Max), 2.0);

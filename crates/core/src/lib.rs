@@ -28,9 +28,11 @@
 mod auth;
 mod config;
 mod context_detect;
+pub mod engine;
 mod error;
 pub mod experiment;
 mod features;
+pub mod parallel;
 mod pipeline;
 mod power;
 mod response;
@@ -41,6 +43,7 @@ mod server;
 pub use auth::{AuthDecision, AuthModel, Authenticator};
 pub use config::{ContextMode, SystemConfig};
 pub use context_detect::{ContextDetector, ContextDetectorConfig};
+pub use engine::{FleetEngine, TickReport, UserOutcomes};
 pub use error::CoreError;
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
 pub use pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase};

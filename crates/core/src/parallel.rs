@@ -1,0 +1,118 @@
+//! Order-preserving parallel map utilities shared by the experiment harness
+//! and the fleet-scoring [`engine`](crate::engine).
+//!
+//! Built on `std::thread::scope`, so borrowed inputs work without `Arc` and
+//! a panicking worker propagates to the caller. Work is split into one
+//! contiguous chunk per thread, which preserves output order by
+//! construction and keeps per-item overhead at a single index computation.
+
+/// Order-preserving parallel map over a slice.
+///
+/// Uses up to `available_parallelism` threads (falling back to 4 when the
+/// parallelism probe fails) and degrades to a plain sequential map for
+/// single-item or single-thread workloads, so callers can use it
+/// unconditionally.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = num_threads(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+}
+
+/// Order-preserving parallel map over a mutable slice: each item is visited
+/// exactly once with exclusive access, and the per-item results come back in
+/// input order. This is the fleet engine's scoring primitive — one stateful
+/// per-user pipeline per item, advanced concurrently.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = num_threads(items.len());
+    if threads <= 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map_mut worker panicked"))
+            .collect()
+    })
+}
+
+fn num_threads(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_small_inputs() {
+        assert_eq!(parallel_map(&[1], |&x: &i32| x + 1), vec![2]);
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &i32| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_mut_mutates_every_item_once() {
+        let mut items: Vec<u64> = (0..257).collect();
+        let out = parallel_map_mut(&mut items, |x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!(items, (1..258).collect::<Vec<_>>());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn parallel_map_mut_handles_small_inputs() {
+        let mut empty: Vec<i32> = Vec::new();
+        assert!(parallel_map_mut(&mut empty, |x| *x).is_empty());
+        let mut one = vec![7];
+        assert_eq!(parallel_map_mut(&mut one, |x| *x * 3), vec![21]);
+    }
+}

@@ -4,7 +4,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use smarteryou_sensors::DualDeviceWindow;
+use smarteryou_sensors::{DualDeviceWindow, UsageContext};
 
 use crate::auth::{AuthDecision, Authenticator};
 use crate::config::{ContextMode, SystemConfig};
@@ -186,65 +186,161 @@ impl SmarterYou {
     /// # Errors
     ///
     /// Propagates training failures at the enrollment→auth transition.
-    pub fn process_window(&mut self, window: &DualDeviceWindow) -> Result<ProcessOutcome, CoreError> {
+    pub fn process_window(
+        &mut self,
+        window: &DualDeviceWindow,
+    ) -> Result<ProcessOutcome, CoreError> {
         let context = self.detector.detect(window);
-        let features = self
-            .extractor
-            .auth_features(window, self.cfg.device_set());
+        let features = self.extractor.auth_features(window, self.cfg.device_set());
 
         match self.phase() {
-            SystemPhase::Enrollment => {
-                self.buffers[context.index()].push(features);
-                let target = self.enrollment_target();
-                let (st, mv) = (self.buffers[0].len(), self.buffers[1].len());
-                let ready = match self.cfg.context_mode() {
-                    ContextMode::PerContext => st >= target && mv >= target,
-                    ContextMode::Unified => st + mv >= 2 * target,
-                };
-                if ready {
-                    self.train_from_buffers()?;
-                    self.events.push(SystemEvent::EnrollmentComplete { day: self.day });
-                }
-                Ok(ProcessOutcome::Enrolling {
-                    stationary: st,
-                    moving: mv,
-                })
-            }
+            SystemPhase::Enrollment => self.enroll_window(context, features),
             SystemPhase::ContinuousAuth => {
                 let auth = self.authenticator.as_ref().expect("phase checked");
                 let decision = auth.authenticate(context, &features);
-                let action = self.response.on_decision(decision.accepted);
-                if action == ResponseAction::Lock
-                    && !matches!(self.events.last(), Some(SystemEvent::Locked { .. }))
-                {
-                    self.events.push(SystemEvent::Locked { day: self.day });
-                }
-                let mut retrained = false;
-                if decision.accepted {
-                    // Keep a bounded buffer of fresh behaviour per context.
-                    let cap = self.enrollment_target();
-                    let buf = &mut self.recent[context.index()];
-                    buf.push(features);
-                    if buf.len() > cap {
-                        buf.remove(0);
-                    }
-                    if self.tracker.record(self.day, decision.confidence) {
-                        self.retrain()?;
-                        retrained = true;
-                        self.events.push(SystemEvent::Retrained { day: self.day });
-                    }
-                } else {
-                    // Rejected windows still inform the tracker (they reset
-                    // the low-confidence run, per §V-I).
-                    self.tracker.record(self.day, decision.confidence);
-                }
-                Ok(ProcessOutcome::Decision {
-                    decision,
-                    action,
-                    retrained,
-                })
+                self.apply_decision(features, decision)
             }
         }
+    }
+
+    /// Feeds a whole slice of captured windows through the pipeline,
+    /// producing exactly the outcomes sequential [`SmarterYou::process_window`]
+    /// calls would (the batch-parity tests assert bit-equality).
+    ///
+    /// During continuous authentication the remaining windows are scored as
+    /// one grouped matrix pass per context
+    /// ([`Authenticator::authenticate_grouped`]) instead of per-row kernel
+    /// evaluations; state transitions (response module, confidence tracker,
+    /// retrain buffers) then replay in order. A mid-batch retrain or an
+    /// enrollment→auth transition invalidates the scores of later windows,
+    /// so scoring restarts from the first window after the model change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures, like [`SmarterYou::process_window`].
+    pub fn process_batch(
+        &mut self,
+        windows: &[DualDeviceWindow],
+    ) -> Result<Vec<ProcessOutcome>, CoreError> {
+        let mut out = Vec::with_capacity(windows.len());
+        let mut i = 0;
+        while i < windows.len() {
+            if self.phase() == SystemPhase::Enrollment {
+                // Enrollment is inherently sequential (a window may finish
+                // enrollment and train the first models).
+                out.push(self.process_window(&windows[i])?);
+                i += 1;
+                continue;
+            }
+            // Detect + extract every remaining window once: contexts and
+            // features are model-independent, so a mid-batch retrain only
+            // invalidates the *scores*, not this work.
+            let mut prepared: Vec<(UsageContext, Vec<f64>)> = windows[i..]
+                .iter()
+                .map(|w| {
+                    (
+                        self.detector.detect(w),
+                        self.extractor.auth_features(w, self.cfg.device_set()),
+                    )
+                })
+                .collect();
+            let mut start = 0;
+            while start < prepared.len() {
+                // Batch-score everything not yet consumed under the current
+                // models, then replay the state transitions in order.
+                let decisions = self
+                    .authenticator
+                    .as_ref()
+                    .expect("phase checked")
+                    .authenticate_grouped(&prepared[start..]);
+                for decision in decisions {
+                    let features = std::mem::take(&mut prepared[start].1);
+                    let outcome = self.apply_decision(features, decision)?;
+                    start += 1;
+                    i += 1;
+                    let retrained = matches!(
+                        outcome,
+                        ProcessOutcome::Decision {
+                            retrained: true,
+                            ..
+                        }
+                    );
+                    out.push(outcome);
+                    if retrained {
+                        // Model swapped: the remaining prepared windows are
+                        // re-scored by the new model, exactly as sequential
+                        // processing would score them.
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Buffers one enrollment window and trains the first models when the
+    /// buffers fill.
+    fn enroll_window(
+        &mut self,
+        context: UsageContext,
+        features: Vec<f64>,
+    ) -> Result<ProcessOutcome, CoreError> {
+        self.buffers[context.index()].push(features);
+        let target = self.enrollment_target();
+        let (st, mv) = (self.buffers[0].len(), self.buffers[1].len());
+        let ready = match self.cfg.context_mode() {
+            ContextMode::PerContext => st >= target && mv >= target,
+            ContextMode::Unified => st + mv >= 2 * target,
+        };
+        if ready {
+            self.train_from_buffers()?;
+            self.events
+                .push(SystemEvent::EnrollmentComplete { day: self.day });
+        }
+        Ok(ProcessOutcome::Enrolling {
+            stationary: st,
+            moving: mv,
+        })
+    }
+
+    /// Applies one already-scored authentication decision: response module,
+    /// retrain buffers, confidence tracker, events. Shared by the scalar
+    /// and batch paths so their state machines cannot diverge.
+    fn apply_decision(
+        &mut self,
+        features: Vec<f64>,
+        decision: AuthDecision,
+    ) -> Result<ProcessOutcome, CoreError> {
+        let action = self.response.on_decision(decision.accepted);
+        if action == ResponseAction::Lock
+            && !matches!(self.events.last(), Some(SystemEvent::Locked { .. }))
+        {
+            self.events.push(SystemEvent::Locked { day: self.day });
+        }
+        let mut retrained = false;
+        if decision.accepted {
+            // Keep a bounded buffer of fresh behaviour per context.
+            let cap = self.enrollment_target();
+            let buf = &mut self.recent[decision.context.index()];
+            buf.push(features);
+            if buf.len() > cap {
+                buf.remove(0);
+            }
+            if self.tracker.record(self.day, decision.confidence) {
+                self.retrain()?;
+                retrained = true;
+                self.events.push(SystemEvent::Retrained { day: self.day });
+            }
+        } else {
+            // Rejected windows still inform the tracker (they reset
+            // the low-confidence run, per §V-I).
+            self.tracker.record(self.day, decision.confidence);
+        }
+        Ok(ProcessOutcome::Decision {
+            decision,
+            action,
+            retrained,
+        })
     }
 
     /// Trains the initial authenticator from the enrollment buffers.
@@ -263,6 +359,9 @@ impl SmarterYou {
     /// Retrains from the most recent accepted windows (§V-I: "upload the
     /// legitimate user's latest authentication feature vectors").
     fn retrain(&mut self) -> Result<(), CoreError> {
+        // Note: the server's `train_authenticator_cached` variant exists,
+        // but negative sampling reshuffles the design matrix per fit, so a
+        // per-device cache would never hit here — see ROADMAP "Open items".
         let positives = [self.recent[0].clone(), self.recent[1].clone()];
         let auth = self
             .server
@@ -374,8 +473,8 @@ mod tests {
     #[test]
     fn enrollment_transitions_to_continuous_auth() {
         let f = fixture();
-        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 1)
-            .unwrap();
+        let mut sys =
+            SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 1).unwrap();
         assert_eq!(sys.phase(), SystemPhase::Enrollment);
         enroll(&mut sys, &f.owner, f.spec);
         assert!(matches!(
@@ -390,7 +489,9 @@ mod tests {
         let f = fixture();
         let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 2)
             .unwrap()
-            .with_response_policy(ResponsePolicy { rejects_to_lock: usize::MAX });
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            });
         enroll(&mut sys, &f.owner, f.spec);
 
         let count_accepts = |sys: &mut SmarterYou, user: &UserProfile, seed: u64| {
@@ -420,8 +521,8 @@ mod tests {
     #[test]
     fn impostor_gets_locked_quickly() {
         let f = fixture();
-        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 3)
-            .unwrap();
+        let mut sys =
+            SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 3).unwrap();
         enroll(&mut sys, &f.owner, f.spec);
         let mut gen = TraceGenerator::new(f.impostor.clone(), 47);
         let mut windows_until_lock = 0;
@@ -435,7 +536,10 @@ mod tests {
             }
         }
         assert!(sys.is_locked(), "impostor never locked");
-        assert!(windows_until_lock <= 10, "took {windows_until_lock} windows");
+        assert!(
+            windows_until_lock <= 10,
+            "took {windows_until_lock} windows"
+        );
         // Explicit auth restores access.
         sys.unlock_with_explicit_auth();
         assert!(!sys.is_locked());

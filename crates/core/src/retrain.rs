@@ -82,9 +82,9 @@ impl ConfidenceTracker {
         }
         let vals: Vec<f64> = self.recent.iter().copied().collect();
         let med = smarteryou_stats::median(&vals);
-        let reject_fraction =
-            vals.iter().filter(|&&v| v < 0.0).count() as f64 / vals.len() as f64;
-        med >= 0.0 && med < self.policy.threshold
+        let reject_fraction = vals.iter().filter(|&&v| v < 0.0).count() as f64 / vals.len() as f64;
+        med >= 0.0
+            && med < self.policy.threshold
             && reject_fraction <= self.policy.max_reject_fraction
     }
 

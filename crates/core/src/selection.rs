@@ -128,7 +128,7 @@ pub fn ks_feature_quality(features_by_user: &[Matrix]) -> Vec<KsFeatureQuality> 
     assert_eq!(labels.len(), width, "expected candidate-feature layout");
 
     let mut out = Vec::with_capacity(width);
-    for col in 0..width {
+    for (col, label) in labels.iter().enumerate() {
         let columns: Vec<Vec<f64>> = features_by_user.iter().map(|m| m.col(col)).collect();
         let mut p_values = Vec::new();
         for i in 0..columns.len() {
@@ -137,7 +137,7 @@ pub fn ks_feature_quality(features_by_user: &[Matrix]) -> Vec<KsFeatureQuality> 
             }
         }
         out.push(KsFeatureQuality {
-            label: labels[col].clone(),
+            label: label.clone(),
             p_values: BoxStats::from_slice(&p_values).expect("non-empty pairs"),
             fraction_significant: BoxStats::fraction_below(&p_values, KS_ALPHA),
         });
@@ -151,7 +151,7 @@ pub fn candidate_labels() -> Vec<String> {
     let mut out = Vec::new();
     for sensor in ["acc", "gyr"] {
         for kind in FeatureKind::ALL {
-            out.push(format!("{sensor}{}", kind.name().replace(' ', " ")));
+            out.push(format!("{sensor}{}", kind.name()));
         }
     }
     out
@@ -254,7 +254,11 @@ mod tests {
 
     /// Multi-session, single-context windows (see the function docs for why
     /// both properties matter).
-    fn windows_for(n_users: usize, sessions: usize, per_session: usize) -> Vec<Vec<DualDeviceWindow>> {
+    fn windows_for(
+        n_users: usize,
+        sessions: usize,
+        per_session: usize,
+    ) -> Vec<Vec<DualDeviceWindow>> {
         let population = Population::generate(n_users, 13);
         population
             .iter()
@@ -289,8 +293,16 @@ mod tests {
             mag_x.phone
         );
         assert!(acc_x.phone > 4.0 * light.phone.max(1e-9));
-        assert!(acc_x.phone > 1.5, "Acc(x) carries identity: {}", acc_x.phone);
-        assert!(mag_x.phone < 1.0, "Mag(x) is environmental: {}", mag_x.phone);
+        assert!(
+            acc_x.phone > 1.5,
+            "Acc(x) carries identity: {}",
+            acc_x.phone
+        );
+        assert!(
+            mag_x.phone < 1.0,
+            "Mag(x) is environmental: {}",
+            mag_x.phone
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@ use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
 use smarteryou_linalg::Matrix;
-use smarteryou_ml::{KernelRidge, Scaler};
+use smarteryou_ml::{KernelRidge, KrrFitCache, Scaler};
 use smarteryou_sensors::UsageContext;
 
 use crate::auth::{AuthModel, Authenticator};
@@ -35,7 +35,11 @@ impl TrainingServer {
     }
 
     /// Uploads anonymized feature vectors observed under `context`.
-    pub fn contribute(&mut self, context: UsageContext, features: impl IntoIterator<Item = Vec<f64>>) {
+    pub fn contribute(
+        &mut self,
+        context: UsageContext,
+        features: impl IntoIterator<Item = Vec<f64>>,
+    ) {
         self.pools[context.index()].extend(features);
     }
 
@@ -62,6 +66,37 @@ impl TrainingServer {
         positives: &[Vec<f64>],
         cfg: &SystemConfig,
         rng: &mut StdRng,
+    ) -> Result<AuthModel, CoreError> {
+        self.train_model_impl(context, positives, cfg, rng, None)
+    }
+
+    /// [`TrainingServer::train_model`] with a reusable KRR fit cache: when a
+    /// refit resolves to the exact same scaled training matrix and ridge
+    /// parameter, the cached Cholesky factorisation is reused (bit-identical
+    /// models either way). The fleet engine threads one cache per context
+    /// through its retrain path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainingServer::train_model`].
+    pub fn train_model_cached(
+        &self,
+        context: Option<UsageContext>,
+        positives: &[Vec<f64>],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        cache: &mut KrrFitCache,
+    ) -> Result<AuthModel, CoreError> {
+        self.train_model_impl(context, positives, cfg, rng, Some(cache))
+    }
+
+    fn train_model_impl(
+        &self,
+        context: Option<UsageContext>,
+        positives: &[Vec<f64>],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        cache: Option<&mut KrrFitCache>,
     ) -> Result<AuthModel, CoreError> {
         let negatives: Vec<&Vec<f64>> = match context {
             Some(c) => self.pools[c.index()].iter().collect(),
@@ -97,7 +132,11 @@ impl TrainingServer {
             .map_err(|e| CoreError::InsufficientData(format!("ragged features: {e}")))?;
         let scaler = Scaler::fit(&x);
         let xs = scaler.transform(&x);
-        let krr = KernelRidge::new(cfg.rho()).fit(&xs, &y)?;
+        let trainer = KernelRidge::new(cfg.rho());
+        let krr = match cache {
+            Some(cache) => trainer.fit_with_cache(cache, &xs, &y)?,
+            None => trainer.fit(&xs, &y)?,
+        };
         Ok(AuthModel::new(scaler, krr))
     }
 
@@ -114,20 +153,39 @@ impl TrainingServer {
         cfg: &SystemConfig,
         rng: &mut StdRng,
     ) -> Result<Authenticator, CoreError> {
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        self.train_authenticator_cached(positives, cfg, rng, &mut caches)
+    }
+
+    /// [`TrainingServer::train_authenticator`] with per-context KRR fit
+    /// caches, so a device's periodic retrains can skip refactoring when
+    /// the sampled training matrix has not changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainingServer::train_model`] failures.
+    pub fn train_authenticator_cached(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        caches: &mut [KrrFitCache; 2],
+    ) -> Result<Authenticator, CoreError> {
         match cfg.context_mode() {
             ContextMode::Unified => {
                 let all: Vec<Vec<f64>> = positives.iter().flatten().cloned().collect();
-                let model = self.train_model(None, &all, cfg, rng)?;
+                let model = self.train_model_cached(None, &all, cfg, rng, &mut caches[0])?;
                 Ok(Authenticator::unified(model, cfg.accept_threshold()))
             }
             ContextMode::PerContext => {
                 let mut models = Vec::with_capacity(2);
                 for ctx in UsageContext::ALL {
-                    models.push(self.train_model(
+                    models.push(self.train_model_cached(
                         Some(ctx),
                         &positives[ctx.index()],
                         cfg,
                         rng,
+                        &mut caches[ctx.index()],
                     )?);
                 }
                 Authenticator::per_context(models, cfg.accept_threshold())
@@ -168,7 +226,12 @@ mod tests {
     fn trains_separating_model() {
         let (server, pos) = setup();
         let model = server
-            .train_model(Some(UsageContext::Stationary), &pos, &small_cfg(), &mut rng())
+            .train_model(
+                Some(UsageContext::Stationary),
+                &pos,
+                &small_cfg(),
+                &mut rng(),
+            )
             .unwrap();
         assert!(model.confidence(&[2.0, 2.0]) > 0.0);
         assert!(model.confidence(&[-2.0, -2.0]) < 0.0);
@@ -203,9 +266,10 @@ mod tests {
             .train_authenticator(&positives, &small_cfg(), &mut rng())
             .unwrap();
         assert_eq!(auth.mode(), ContextMode::PerContext);
-        assert!(auth
-            .authenticate(UsageContext::Moving, &[2.0, 2.0])
-            .accepted);
+        assert!(
+            auth.authenticate(UsageContext::Moving, &[2.0, 2.0])
+                .accepted
+        );
     }
 
     #[test]
@@ -213,7 +277,9 @@ mod tests {
         let (server, pos) = setup();
         let positives = [pos.clone(), pos];
         let cfg = small_cfg().with_context_mode(ContextMode::Unified);
-        let auth = server.train_authenticator(&positives, &cfg, &mut rng()).unwrap();
+        let auth = server
+            .train_authenticator(&positives, &cfg, &mut rng())
+            .unwrap();
         assert_eq!(auth.mode(), ContextMode::Unified);
         let a = auth.authenticate(UsageContext::Stationary, &[2.0, 2.0]);
         let b = auth.authenticate(UsageContext::Moving, &[2.0, 2.0]);

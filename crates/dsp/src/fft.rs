@@ -54,7 +54,10 @@ pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     if !n.is_power_of_two() {
         // Inverse DFT via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
         let conj: Vec<Complex> = input.iter().map(|z| z.conj()).collect();
-        return dft(&conj).into_iter().map(|z| z.conj().scale(scale)).collect();
+        return dft(&conj)
+            .into_iter()
+            .map(|z| z.conj().scale(scale))
+            .collect();
     }
     let mut buf = input.to_vec();
     fft_in_place(&mut buf, true);
@@ -133,7 +136,9 @@ mod tests {
 
     #[test]
     fn fft_matches_dft_on_power_of_two() {
-        let x = real_signal(64, |i| (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.7).cos());
+        let x = real_signal(64, |i| {
+            (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.7).cos()
+        });
         assert_close(&fft(&x), &dft(&x), 1e-8);
     }
 

@@ -143,7 +143,9 @@ mod tests {
     #[test]
     fn lowpass_attenuates_alternating_signal() {
         let lp = SinglePoleLowPass::new(0.1);
-        let signal: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = lp.filter(&signal);
         // Steady-state oscillation is strongly attenuated.
         let tail_amp = out[150..].iter().fold(0.0_f64, |m, &v| m.max(v.abs()));

@@ -14,7 +14,10 @@ pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let mean = signal.iter().sum::<f64>() / n as f64;
-    let buf: Vec<Complex> = signal.iter().map(|&s| Complex::from_real(s - mean)).collect();
+    let buf: Vec<Complex> = signal
+        .iter()
+        .map(|&s| Complex::from_real(s - mean))
+        .collect();
     let transformed = fft(&buf);
     let half = n / 2;
     transformed[..=half]

@@ -296,7 +296,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn add_diagonal(&mut self, k: f64) {
-        assert_eq!(self.rows, self.cols, "add_diagonal requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "add_diagonal requires a square matrix"
+        );
         for i in 0..self.rows {
             self[(i, i)] += k;
         }
@@ -400,19 +403,7 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::Singular`] for singular matrices.
     pub fn inverse(&self) -> Result<Matrix, LinalgError> {
-        let lu = self.lu()?;
-        let n = self.rows;
-        let mut out = Matrix::zeros(n, n);
-        let mut e = vec![0.0; n];
-        for c in 0..n {
-            e[c] = 1.0;
-            let x = lu.solve(&e)?;
-            for r in 0..n {
-                out[(r, c)] = x[r];
-            }
-            e[c] = 0.0;
-        }
-        Ok(out)
+        self.lu()?.solve_many(&Matrix::identity(self.rows))
     }
 }
 
@@ -493,7 +484,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

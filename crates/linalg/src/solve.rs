@@ -82,6 +82,7 @@ impl Lu {
     /// # Errors
     ///
     /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read clearest with indices
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -109,6 +110,36 @@ impl Lu {
             x[i] = sum / self.lu[(i, i)];
         }
         Ok(x)
+    }
+
+    /// Solves `A X = B` for every column of `B` with one stored
+    /// factorisation. Each column gets exactly the arithmetic of
+    /// [`Lu::solve`], so results are bit-identical to column-wise calls.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_many(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu solve_many",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for c in 0..b.cols() {
+            for r in 0..n {
+                col[r] = b[(r, c)];
+            }
+            let x = self.solve(&col)?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -175,6 +206,7 @@ impl Cholesky {
     /// # Errors
     ///
     /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read clearest with indices
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
@@ -203,6 +235,38 @@ impl Cholesky {
         }
         Ok(y)
     }
+
+    /// Solves `A X = B` for every column of `B` with one stored
+    /// factorisation — the batch-refit primitive the ML crate's KRR cache
+    /// builds on. Each column gets exactly the arithmetic of
+    /// [`Cholesky::solve`], so results are bit-identical to column-wise
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_many(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve_many",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for c in 0..b.cols() {
+            for r in 0..n {
+                col[r] = b[(r, c)];
+            }
+            let x = self.solve(&col)?;
+            for r in 0..n {
+                out[(r, c)] = x[r];
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -210,12 +274,7 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 2.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]).unwrap()
     }
 
     #[test]
@@ -270,6 +329,39 @@ mod tests {
         assert!(matches!(
             a.cholesky(),
             Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn solve_many_matches_columnwise_solve() {
+        let a = spd3();
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-2.0, 1.5], &[0.5, -0.25]]).unwrap();
+        let ch = a.cholesky().unwrap();
+        let lu = a.lu().unwrap();
+        let xs_ch = ch.solve_many(&b).unwrap();
+        let xs_lu = lu.solve_many(&b).unwrap();
+        for c in 0..2 {
+            let col = b.col(c);
+            let x_ch = ch.solve(&col).unwrap();
+            let x_lu = lu.solve(&col).unwrap();
+            for r in 0..3 {
+                assert_eq!(xs_ch[(r, c)].to_bits(), x_ch[r].to_bits());
+                assert_eq!(xs_lu[(r, c)].to_bits(), x_lu[r].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_checks_shape() {
+        let a = spd3();
+        let b = Matrix::zeros(2, 2);
+        assert!(matches!(
+            a.cholesky().unwrap().solve_many(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            a.lu().unwrap().solve_many(&b),
+            Err(LinalgError::DimensionMismatch { .. })
         ));
     }
 

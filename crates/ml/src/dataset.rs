@@ -55,7 +55,7 @@ impl Dataset {
         let x = Matrix::from_rows(&rows)
             .map_err(|e| MlError::InvalidTrainingData(format!("ragged feature rows: {e}")))?;
         let mut y = vec![1.0; positives.len()];
-        y.extend(std::iter::repeat(-1.0).take(negatives.len()));
+        y.extend(std::iter::repeat_n(-1.0, negatives.len()));
         Dataset::new(x, y)
     }
 
@@ -256,11 +256,8 @@ mod tests {
 
     #[test]
     fn from_classes_stacks_and_labels() {
-        let d = Dataset::from_classes(
-            &[vec![1.0, 2.0]],
-            &[vec![3.0, 4.0], vec![5.0, 6.0]],
-        )
-        .unwrap();
+        let d =
+            Dataset::from_classes(&[vec![1.0, 2.0]], &[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         assert_eq!(d.len(), 3);
         assert_eq!(d.y(), &[1.0, -1.0, -1.0]);
         assert_eq!(d.x().row(2), &[5.0, 6.0]);

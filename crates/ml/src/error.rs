@@ -28,7 +28,10 @@ impl fmt::Display for MlError {
             MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             MlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             MlError::DimensionMismatch { expected, got } => {
-                write!(f, "feature dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -51,10 +54,7 @@ impl From<LinalgError> for MlError {
 
 /// Validates a binary training set: rows match labels, labels are ±1, both
 /// classes present, at least one feature.
-pub(crate) fn validate_binary(
-    x: &smarteryou_linalg::Matrix,
-    y: &[f64],
-) -> Result<(), MlError> {
+pub(crate) fn validate_binary(x: &smarteryou_linalg::Matrix, y: &[f64]) -> Result<(), MlError> {
     if x.rows() != y.len() {
         return Err(MlError::InvalidTrainingData(format!(
             "{} rows but {} labels",

@@ -7,9 +7,10 @@ use smarteryou_linalg::{vector, Matrix};
 /// The paper uses the *identity kernel* (`~φ(x) = x`, i.e. a linear kernel)
 /// so the primal complexity reduction of §V-H1 applies; RBF is provided for
 /// ablation studies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Kernel {
     /// Identity feature map: `k(a, b) = aᵀb`. The paper's choice.
+    #[default]
     Linear,
     /// Gaussian RBF: `k(a, b) = exp(−γ‖a − b‖²)`.
     Rbf {
@@ -23,12 +24,6 @@ pub enum Kernel {
         /// Offset `c`.
         coef: f64,
     },
-}
-
-impl Default for Kernel {
-    fn default() -> Self {
-        Kernel::Linear
-    }
 }
 
 impl Kernel {
@@ -93,7 +88,10 @@ mod tests {
 
     #[test]
     fn polynomial_kernel_known_value() {
-        let k = Kernel::Polynomial { degree: 2, coef: 1.0 };
+        let k = Kernel::Polynomial {
+            degree: 2,
+            coef: 1.0,
+        };
         // (1*1 + 1)² = 4
         assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
     }
@@ -104,7 +102,10 @@ mod tests {
         for k in [
             Kernel::Linear,
             Kernel::Rbf { gamma: 0.3 },
-            Kernel::Polynomial { degree: 3, coef: 0.5 },
+            Kernel::Polynomial {
+                degree: 3,
+                coef: 0.5,
+            },
         ] {
             let g = k.gram(&x);
             assert!(g.is_symmetric(1e-12), "{k:?}");

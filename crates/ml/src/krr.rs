@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use smarteryou_linalg::{vector, Matrix};
+use smarteryou_linalg::{vector, Cholesky, Matrix};
 
 use crate::error::validate_binary;
 use crate::{BinaryClassifier, BinaryTrainer, Kernel, MlError};
@@ -60,7 +60,10 @@ impl KernelRidge {
     ///
     /// Panics if `rho` is not strictly positive and finite.
     pub fn new(rho: f64) -> Self {
-        assert!(rho.is_finite() && rho > 0.0, "rho must be positive, got {rho}");
+        assert!(
+            rho.is_finite() && rho > 0.0,
+            "rho must be positive, got {rho}"
+        );
         KernelRidge {
             rho,
             kernel: Kernel::Linear,
@@ -94,25 +97,48 @@ impl KernelRidge {
     ///   with a non-linear kernel;
     /// * [`MlError::Linalg`] if the ridge system cannot be solved.
     pub fn fit(&self, x: &Matrix, y: &[f64]) -> Result<KrrModel, MlError> {
-        validate_binary(x, y)?;
-        let n = x.rows();
-        let m = x.cols();
+        self.fit_impl(x, y, None)
+    }
 
-        // Centre features and labels; the label mean acts as the intercept.
-        let x_mean: Vec<f64> = (0..m)
-            .map(|c| x.col(c).iter().sum::<f64>() / n as f64)
-            .collect();
-        let y_mean = y.iter().sum::<f64>() / n as f64;
-        let mut xc = x.clone();
-        for r in 0..n {
-            let row = xc.row_mut(r);
-            for (v, mu) in row.iter_mut().zip(&x_mean) {
-                *v -= mu;
-            }
-        }
-        let yc: Vec<f64> = y.iter().map(|&l| l - y_mean).collect();
+    /// [`KernelRidge::fit`] with a reusable [`KrrFitCache`].
+    ///
+    /// The expensive part of a KRR fit is factoring the regularised system
+    /// (`S + ρI_M` or `K + ρI_N`), which depends only on the design matrix,
+    /// the kernel and ρ — *not* on the labels. When the cache already holds
+    /// a factorisation for an identical `(x, kernel, ρ, solver)` tuple the
+    /// factorisation is reused and only the two triangular solves run,
+    /// turning a label-only refit from `O(dim³)` into `O(dim²)`. Results
+    /// are bit-identical to an uncached [`KernelRidge::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelRidge::fit`].
+    pub fn fit_with_cache(
+        &self,
+        cache: &mut KrrFitCache,
+        x: &Matrix,
+        y: &[f64],
+    ) -> Result<KrrModel, MlError> {
+        self.fit_impl(x, y, Some(cache))
+    }
 
-        let solver = match (self.solver, self.kernel) {
+    /// Trains one model per label vector against a shared design matrix,
+    /// factoring the ridge system once. Useful for refitting a family of
+    /// one-vs-rest models over the same pooled features.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelRidge::fit`], for each label vector.
+    pub fn fit_many(&self, x: &Matrix, ys: &[&[f64]]) -> Result<Vec<KrrModel>, MlError> {
+        let mut cache = KrrFitCache::new();
+        ys.iter()
+            .map(|y| self.fit_with_cache(&mut cache, x, y))
+            .collect()
+    }
+
+    /// Resolves the effective solver for this configuration on `n`×`m` data.
+    fn resolve_solver(&self, n: usize, m: usize) -> Result<KrrSolver, MlError> {
+        Ok(match (self.solver, self.kernel) {
             (KrrSolver::Primal, Kernel::Linear) => KrrSolver::Primal,
             (KrrSolver::Primal, _) => {
                 return Err(MlError::InvalidParameter(
@@ -122,31 +148,63 @@ impl KernelRidge {
             (KrrSolver::Dual, _) => KrrSolver::Dual,
             (KrrSolver::Auto, Kernel::Linear) if m < n => KrrSolver::Primal,
             (KrrSolver::Auto, _) => KrrSolver::Dual,
+        })
+    }
+
+    fn fit_impl(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        cache: Option<&mut KrrFitCache>,
+    ) -> Result<KrrModel, MlError> {
+        validate_binary(x, y)?;
+        let n = x.rows();
+        let m = x.cols();
+        let solver = self.resolve_solver(n, m)?;
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = y.iter().map(|&l| l - y_mean).collect();
+
+        // The label-independent prefix (centring + gram + Cholesky) either
+        // comes from the cache or is computed and optionally stored there.
+        let factored: std::borrow::Cow<'_, KrrFactorization> = match cache {
+            Some(cache) => {
+                let hit = cache.key.as_ref().is_some_and(|key| {
+                    key.rho_bits == self.rho.to_bits()
+                        && key.kernel == self.kernel
+                        && key.solver == solver
+                        && key.x == *x
+                });
+                if hit {
+                    cache.hits += 1;
+                } else {
+                    cache.factored = Some(KrrFactorization::compute(self, solver, x)?);
+                    cache.key = Some(KrrFitKey::new(self, solver, x));
+                    cache.misses += 1;
+                }
+                std::borrow::Cow::Borrowed(cache.factored.as_ref().expect("filled above"))
+            }
+            None => std::borrow::Cow::Owned(KrrFactorization::compute(self, solver, x)?),
         };
 
         let kind = match solver {
             KrrSolver::Primal | KrrSolver::Auto => {
                 // Eq. 7: w* = [S + ρ I_M]⁻¹ X y with S = Σ xₖxₖᵀ (M×M).
-                let mut s = xc.gram_columns();
-                s.add_diagonal(self.rho);
-                let xty = xc.transpose().matvec(&yc)?;
-                let w = s.cholesky()?.solve(&xty)?;
+                let xty = factored.xc.transpose().matvec(&yc)?;
+                let w = factored.chol.solve(&xty)?;
                 KrrKind::Linear { w }
             }
             KrrSolver::Dual => {
                 // Eq. 6: α = [K + ρ I_N]⁻¹ y; for the linear kernel collapse
                 // to explicit weights w = Xᵀα so prediction cost matches.
-                let mut k = self.kernel.gram(&xc);
-                k.add_diagonal(self.rho);
-                let alphas = k.cholesky()?.solve(&yc)?;
+                let alphas = factored.chol.solve(&yc)?;
                 match self.kernel {
                     Kernel::Linear => {
-                        let w = xc.transpose().matvec(&alphas)?;
+                        let w = factored.xc.transpose().matvec(&alphas)?;
                         KrrKind::Linear { w }
                     }
                     kernel => KrrKind::Kernelized {
                         kernel,
-                        train: xc,
+                        train: factored.xc.clone(),
                         alphas,
                     },
                 }
@@ -155,10 +213,108 @@ impl KernelRidge {
 
         Ok(KrrModel {
             kind,
-            x_mean,
+            x_mean: factored.x_mean.clone(),
             y_mean,
             rho: self.rho,
         })
+    }
+}
+
+/// The label-independent part of a KRR fit: centred features plus the
+/// Cholesky factor of the regularised system.
+#[derive(Debug, Clone)]
+struct KrrFactorization {
+    x_mean: Vec<f64>,
+    xc: Matrix,
+    chol: Cholesky,
+}
+
+impl KrrFactorization {
+    fn compute(trainer: &KernelRidge, solver: KrrSolver, x: &Matrix) -> Result<Self, MlError> {
+        let n = x.rows();
+        let m = x.cols();
+        // Centre features; the label mean (applied later) is the intercept.
+        let x_mean: Vec<f64> = (0..m)
+            .map(|c| x.col(c).iter().sum::<f64>() / n as f64)
+            .collect();
+        let mut xc = x.clone();
+        for r in 0..n {
+            let row = xc.row_mut(r);
+            for (v, mu) in row.iter_mut().zip(&x_mean) {
+                *v -= mu;
+            }
+        }
+        let chol = match solver {
+            KrrSolver::Primal | KrrSolver::Auto => {
+                let mut s = xc.gram_columns();
+                s.add_diagonal(trainer.rho);
+                s.cholesky()?
+            }
+            KrrSolver::Dual => {
+                let mut k = trainer.kernel.gram(&xc);
+                k.add_diagonal(trainer.rho);
+                k.cholesky()?
+            }
+        };
+        Ok(KrrFactorization { x_mean, xc, chol })
+    }
+}
+
+/// Cache key: the exact training configuration plus the full design
+/// matrix. The matrix is compared element for element on lookup — the
+/// O(n·m) check costs the same pass a fingerprint hash would, but makes
+/// cache validity exact rather than probabilistic, which an
+/// authentication model cache must be.
+#[derive(Debug, Clone, PartialEq)]
+struct KrrFitKey {
+    rho_bits: u64,
+    kernel: Kernel,
+    solver: KrrSolver,
+    x: Matrix,
+}
+
+impl KrrFitKey {
+    fn new(trainer: &KernelRidge, solver: KrrSolver, x: &Matrix) -> Self {
+        KrrFitKey {
+            rho_bits: trainer.rho.to_bits(),
+            kernel: trainer.kernel,
+            solver,
+            x: x.clone(),
+        }
+    }
+}
+
+/// Reusable state for [`KernelRidge::fit_with_cache`]: remembers the last
+/// design matrix's centring and Cholesky factorisation so label-only refits
+/// skip the cubic factorisation step.
+#[derive(Debug, Clone, Default)]
+pub struct KrrFitCache {
+    key: Option<KrrFitKey>,
+    factored: Option<KrrFactorization>,
+    hits: u64,
+    misses: u64,
+}
+
+impl KrrFitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        KrrFitCache::default()
+    }
+
+    /// Number of fits that reused the cached factorisation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of fits that had to (re)factor.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops the cached factorisation (e.g. to bound memory).
+    pub fn clear(&mut self) {
+        self.key = None;
+        self.factored = None;
     }
 }
 
@@ -208,15 +364,71 @@ impl KrrModel {
     pub fn rho(&self) -> f64 {
         self.rho
     }
+
+    /// Decision scores for every row of `x` in one pass.
+    ///
+    /// For linear models this centres the whole matrix once and runs a
+    /// single matrix–vector product instead of per-row kernel evaluations;
+    /// for kernelized models the kernel row against the training set is
+    /// evaluated per query with the centred matrix shared. Scores are
+    /// bit-identical to calling [`BinaryClassifier::decision`] row by row
+    /// (the engine's batch-vs-sequential parity tests rely on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the training feature width.
+    pub fn decision_batch(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(
+            x.cols(),
+            self.x_mean.len(),
+            "decision_batch: feature width mismatch"
+        );
+        // Centre all rows once (shared by both model kinds).
+        let mut xc = x.clone();
+        for r in 0..xc.rows() {
+            let row = xc.row_mut(r);
+            for (v, mu) in row.iter_mut().zip(&self.x_mean) {
+                *v -= mu;
+            }
+        }
+        match &self.kind {
+            KrrKind::Linear { w } => {
+                // xc · w uses the same elementwise order as the per-row dot
+                // product, so scores match the scalar path bit for bit.
+                let mut scores = xc.matvec(w).expect("width checked");
+                for s in &mut scores {
+                    *s += self.y_mean;
+                }
+                scores
+            }
+            KrrKind::Kernelized {
+                kernel,
+                train,
+                alphas,
+            } => xc
+                .iter_rows()
+                .map(|q| vector::dot(&kernel.against(train, q), alphas) + self.y_mean)
+                .collect(),
+        }
+    }
+
+    /// Hard accept/reject decisions for every row of `x`, at the zero
+    /// threshold (batch counterpart of [`BinaryClassifier::predict`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the training feature width.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<bool> {
+        self.decision_batch(x)
+            .into_iter()
+            .map(|s| s >= 0.0)
+            .collect()
+    }
 }
 
 impl BinaryClassifier for KrrModel {
     fn decision(&self, x: &[f64]) -> f64 {
-        let xc: Vec<f64> = x
-            .iter()
-            .zip(&self.x_mean)
-            .map(|(&v, &mu)| v - mu)
-            .collect();
+        let xc: Vec<f64> = x.iter().zip(&self.x_mean).map(|(&v, &mu)| v - mu).collect();
         match &self.kind {
             KrrKind::Linear { w } => vector::dot(w, &xc) + self.y_mean,
             KrrKind::Kernelized {
@@ -228,6 +440,10 @@ impl BinaryClassifier for KrrModel {
                 vector::dot(&k, alphas) + self.y_mean
             }
         }
+    }
+
+    fn decision_batch(&self, x: &Matrix) -> Vec<f64> {
+        KrrModel::decision_batch(self, x)
     }
 
     fn num_features(&self) -> usize {
@@ -295,13 +511,7 @@ mod tests {
     #[test]
     fn rbf_kernel_solves_xor() {
         // XOR is not linearly separable; RBF-KRR handles it.
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[1.0, 1.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let y = vec![1.0, 1.0, -1.0, -1.0];
         let model = KernelRidge::new(0.01)
             .with_kernel(Kernel::Rbf { gamma: 3.0 })
@@ -347,6 +557,88 @@ mod tests {
         let model = KernelRidge::new(0.1).fit(&x, &y).unwrap();
         assert!(model.decision(&[5.0, 5.0]) > 0.0);
         assert!(model.decision(&[0.0, 0.0]) < 0.0);
+    }
+
+    #[test]
+    fn decision_batch_is_bit_identical_to_scalar_path() {
+        let (x, y) = toy();
+        // Linear model via both solvers, plus a kernelized model.
+        let models = [
+            KernelRidge::new(0.3)
+                .with_solver(KrrSolver::Primal)
+                .fit(&x, &y)
+                .unwrap(),
+            KernelRidge::new(0.3)
+                .with_solver(KrrSolver::Dual)
+                .fit(&x, &y)
+                .unwrap(),
+            KernelRidge::new(0.3)
+                .with_kernel(Kernel::Rbf { gamma: 1.5 })
+                .fit(&x, &y)
+                .unwrap(),
+        ];
+        let probes =
+            Matrix::from_rows(&[&[0.1, 0.9], &[1.0, 0.0], &[-0.3, 1.2], &[0.5, 0.5]]).unwrap();
+        for model in &models {
+            let batch = model.decision_batch(&probes);
+            assert_eq!(batch.len(), probes.rows());
+            for (r, &score) in batch.iter().enumerate() {
+                let scalar = model.decision(probes.row(r));
+                assert_eq!(score.to_bits(), scalar.to_bits(), "row {r} diverges");
+            }
+            let preds = model.predict_batch(&probes);
+            for (r, &p) in preds.iter().enumerate() {
+                assert_eq!(p, model.predict(probes.row(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn fit_cache_reuses_factorization_bit_exactly() {
+        let (x, y) = toy();
+        let trainer = KernelRidge::new(0.5);
+        let mut cache = KrrFitCache::new();
+
+        let cold = trainer.fit_with_cache(&mut cache, &x, &y).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        // Label-only refit: hits the cache and matches an uncached fit.
+        let flipped: Vec<f64> = y.iter().map(|v| -v).collect();
+        let warm = trainer.fit_with_cache(&mut cache, &x, &flipped).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let reference = trainer.fit(&x, &flipped).unwrap();
+        assert_eq!(warm, reference);
+
+        // Same labels again: cached fit equals the original cold fit.
+        let again = trainer.fit_with_cache(&mut cache, &x, &y).unwrap();
+        assert_eq!(again, cold);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+
+        // Any data change invalidates the entry.
+        let mut x2 = x.clone();
+        x2[(0, 0)] += 1e-9;
+        let fresh = trainer.fit_with_cache(&mut cache, &x2, &y).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(fresh, trainer.fit(&x2, &y).unwrap());
+
+        // A different rho also misses.
+        let _ = KernelRidge::new(0.7)
+            .fit_with_cache(&mut cache, &x2, &y)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 3));
+        cache.clear();
+        let _ = trainer.fit_with_cache(&mut cache, &x2, &y).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (2, 4));
+    }
+
+    #[test]
+    fn fit_many_shares_one_factorization() {
+        let (x, y) = toy();
+        let flipped: Vec<f64> = y.iter().map(|v| -v).collect();
+        let models = KernelRidge::new(0.4).fit_many(&x, &[&y, &flipped]).unwrap();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0], KernelRidge::new(0.4).fit(&x, &y).unwrap());
+        assert_eq!(models[1], KernelRidge::new(0.4).fit(&x, &flipped).unwrap());
     }
 
     #[test]

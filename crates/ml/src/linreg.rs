@@ -84,11 +84,7 @@ impl LinearRegressionModel {
 
 impl BinaryClassifier for LinearRegressionModel {
     fn decision(&self, x: &[f64]) -> f64 {
-        let xc: Vec<f64> = x
-            .iter()
-            .zip(&self.x_mean)
-            .map(|(&v, &mu)| v - mu)
-            .collect();
+        let xc: Vec<f64> = x.iter().zip(&self.x_mean).map(|(&v, &mu)| v - mu).collect();
         vector::dot(&self.w, &xc) + self.y_mean
     }
 
@@ -113,13 +109,7 @@ mod tests {
     #[test]
     fn matches_krr_at_tiny_rho() {
         use crate::KernelRidge;
-        let x = Matrix::from_rows(&[
-            &[0.1, 1.0],
-            &[-0.2, 0.8],
-            &[1.2, -0.3],
-            &[0.9, 0.1],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[0.1, 1.0], &[-0.2, 0.8], &[1.2, -0.3], &[0.9, 0.1]]).unwrap();
         let y = [1.0, 1.0, -1.0, -1.0];
         let ols = LinearRegression::new().fit(&x, &y).unwrap();
         let krr = KernelRidge::new(1e-9).fit(&x, &y).unwrap();
@@ -148,7 +138,10 @@ mod tests {
         // The outlier dominates OLS's second coordinate relative to ridge.
         let w_ols = ols.weights()[1].abs();
         let w_krr = krr.weights().unwrap()[1].abs();
-        assert!(w_krr < w_ols, "ridge {w_krr} should shrink below ols {w_ols}");
+        assert!(
+            w_krr < w_ols,
+            "ridge {w_krr} should shrink below ols {w_ols}"
+        );
     }
 
     #[test]

@@ -111,7 +111,9 @@ mod tests {
 
     fn separable() -> Dataset {
         let pos: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0 + 0.01 * i as f64, 1.0]).collect();
-        let neg: Vec<Vec<f64>> = (0..20).map(|i| vec![-1.0 - 0.01 * i as f64, -1.0]).collect();
+        let neg: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![-1.0 - 0.01 * i as f64, -1.0])
+            .collect();
         Dataset::from_classes(&pos, &neg).unwrap()
     }
 

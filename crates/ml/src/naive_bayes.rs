@@ -198,13 +198,7 @@ mod tests {
 
     #[test]
     fn zero_variance_feature_does_not_nan() {
-        let x = Matrix::from_rows(&[
-            &[1.0, 7.0],
-            &[1.2, 7.0],
-            &[-1.0, 7.0],
-            &[-1.2, 7.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 7.0], &[1.2, 7.0], &[-1.0, 7.0], &[-1.2, 7.0]]).unwrap();
         let y = [1.0, 1.0, -1.0, -1.0];
         let model = GaussianNaiveBayes::new().fit(&x, &y).unwrap();
         let d = model.decision(&[1.1, 7.0]);

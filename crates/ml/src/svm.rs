@@ -140,12 +140,10 @@ impl Svm {
                 alphas[i] = ai;
                 alphas[j] = aj;
 
-                let b1 = b - ei
-                    - y[i] * (ai - ai_old) * k[(i, i)]
-                    - y[j] * (aj - aj_old) * k[(i, j)];
-                let b2 = b - ej
-                    - y[i] * (ai - ai_old) * k[(i, j)]
-                    - y[j] * (aj - aj_old) * k[(j, j)];
+                let b1 =
+                    b - ei - y[i] * (ai - ai_old) * k[(i, i)] - y[j] * (aj - aj_old) * k[(i, j)];
+                let b2 =
+                    b - ej - y[i] * (ai - ai_old) * k[(i, j)] - y[j] * (aj - aj_old) * k[(j, j)];
                 b = if ai > 0.0 && ai < self.c {
                     b1
                 } else if aj > 0.0 && aj < self.c {
@@ -266,13 +264,7 @@ mod tests {
 
     #[test]
     fn rbf_solves_xor() {
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[1.0, 1.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let y = vec![1.0, 1.0, -1.0, -1.0];
         let model = Svm::new(10.0)
             .with_kernel(Kernel::Rbf { gamma: 2.0 })
@@ -293,8 +285,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = blobs(15, 2.0);
-        let m1 = Svm::new(1.0).fit(&x, &y, &mut StdRng::seed_from_u64(3)).unwrap();
-        let m2 = Svm::new(1.0).fit(&x, &y, &mut StdRng::seed_from_u64(3)).unwrap();
+        let m1 = Svm::new(1.0)
+            .fit(&x, &y, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let m2 = Svm::new(1.0)
+            .fit(&x, &y, &mut StdRng::seed_from_u64(3))
+            .unwrap();
         let q = [0.3, -0.4];
         assert_eq!(m1.decision(&q), m2.decision(&q));
     }

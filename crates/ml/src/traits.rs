@@ -16,6 +16,15 @@ pub trait BinaryClassifier: Send + Sync {
         self.decision(x) >= 0.0
     }
 
+    /// Decision scores for every row of `x`.
+    ///
+    /// The default maps [`BinaryClassifier::decision`] over the rows;
+    /// models with a cheaper matrix-level path (KRR) override it. Batch
+    /// scores must equal the row-wise scores exactly.
+    fn decision_batch(&self, x: &Matrix) -> Vec<f64> {
+        x.iter_rows().map(|row| self.decision(row)).collect()
+    }
+
     /// Number of features the model expects.
     fn num_features(&self) -> usize;
 }
@@ -44,6 +53,10 @@ impl BinaryClassifier for Box<dyn BinaryClassifier> {
 
     fn predict(&self, x: &[f64]) -> bool {
         (**self).predict(x)
+    }
+
+    fn decision_batch(&self, x: &Matrix) -> Vec<f64> {
+        (**self).decision_batch(x)
     }
 
     fn num_features(&self) -> usize {

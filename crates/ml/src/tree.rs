@@ -209,8 +209,10 @@ impl Builder<'_> {
         let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
         for &f in &features {
             // Sort the node's samples by this feature once, then sweep.
-            let mut sorted: Vec<(f64, usize)> =
-                indices.iter().map(|&i| (self.x[(i, f)], self.y[i])).collect();
+            let mut sorted: Vec<(f64, usize)> = indices
+                .iter()
+                .map(|&i| (self.x[(i, f)], self.y[i]))
+                .collect();
             sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
             let mut left_counts = vec![0u32; self.num_classes];
@@ -301,7 +303,11 @@ impl DecisionTreeModel {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -353,13 +359,7 @@ mod tests {
 
     #[test]
     fn learns_xor_with_depth_two() {
-        let x = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[1.0, 1.0],
-            &[0.0, 1.0],
-            &[1.0, 0.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let y = [0usize, 0, 1, 1];
         let tree = DecisionTree::new().fit(&x, &y, 2, &mut rng()).unwrap();
         for (row, &label) in x.iter_rows().zip(&y) {

@@ -68,8 +68,18 @@ impl MimicryAttacker {
 
         // Observable: how the device is held/carried.
         for d in 0..2 {
-            out.p.pose_pitch[d] = blend(rng, self.attacker.p.pose_pitch[d], victim.p.pose_pitch[d], 0.05);
-            out.p.pose_roll[d] = blend(rng, self.attacker.p.pose_roll[d], victim.p.pose_roll[d], 0.04);
+            out.p.pose_pitch[d] = blend(
+                rng,
+                self.attacker.p.pose_pitch[d],
+                victim.p.pose_pitch[d],
+                0.05,
+            );
+            out.p.pose_roll[d] = blend(
+                rng,
+                self.attacker.p.pose_roll[d],
+                victim.p.pose_roll[d],
+                0.04,
+            );
             out.p.pose_pitch_moving[d] = blend(
                 rng,
                 self.attacker.p.pose_pitch_moving[d],
@@ -101,8 +111,8 @@ impl MimicryAttacker {
             }
         }
         // Observable: walking speed/energy.
-        out.p.gait_freq = blend(rng, self.attacker.p.gait_freq, victim.p.gait_freq, 0.05)
-            .clamp(1.0, 3.0);
+        out.p.gait_freq =
+            blend(rng, self.attacker.p.gait_freq, victim.p.gait_freq, 0.05).clamp(1.0, 3.0);
         out.p.gait_intensity = blend(
             rng,
             self.attacker.p.gait_intensity,
@@ -129,10 +139,9 @@ mod tests {
 
     #[test]
     fn skill_is_validated() {
-        assert!(std::panic::catch_unwind(|| {
-            MimicryAttacker::new(test_profile(0), 1.5)
-        })
-        .is_err());
+        assert!(
+            std::panic::catch_unwind(|| { MimicryAttacker::new(test_profile(0), 1.5) }).is_err()
+        );
     }
 
     #[test]

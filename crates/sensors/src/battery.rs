@@ -143,8 +143,7 @@ impl PowerModel {
         if active {
             self.drain(PowerScenario::InUseMonitorOn) - self.drain(PowerScenario::InUseMonitorOff)
         } else {
-            self.drain(PowerScenario::LockedMonitorOn)
-                - self.drain(PowerScenario::LockedMonitorOff)
+            self.drain(PowerScenario::LockedMonitorOn) - self.drain(PowerScenario::LockedMonitorOff)
         }
     }
 }

@@ -213,7 +213,7 @@ pub fn encode_samples(samples: &[f64]) -> Vec<u8> {
 /// Inverse of [`encode_samples`]; `None` when the byte length is not a
 /// multiple of 8.
 pub fn decode_samples(bytes: &[u8]) -> Option<Vec<f64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return None;
     }
     Some(
@@ -238,7 +238,11 @@ mod tests {
         let (mut tx, mut rx) = paired();
         let payload = b"watch accel frame".to_vec();
         let frame = tx.seal(&payload);
-        assert_ne!(&frame[..payload.len()], payload.as_slice(), "ciphertext differs");
+        assert_ne!(
+            &frame[..payload.len()],
+            payload.as_slice(),
+            "ciphertext differs"
+        );
         assert_eq!(rx.open(&frame).unwrap(), payload);
     }
 

@@ -48,7 +48,10 @@ impl RawContext {
 
     /// Index into [`RawContext::ALL`].
     pub fn index(&self) -> usize {
-        RawContext::ALL.iter().position(|c| c == self).expect("member")
+        RawContext::ALL
+            .iter()
+            .position(|c| c == self)
+            .expect("member")
     }
 }
 
@@ -95,7 +98,10 @@ mod tests {
 
     #[test]
     fn coarse_mapping_collapses_stationary_like_contexts() {
-        assert_eq!(RawContext::SittingStanding.coarse(), UsageContext::Stationary);
+        assert_eq!(
+            RawContext::SittingStanding.coarse(),
+            UsageContext::Stationary
+        );
         assert_eq!(RawContext::OnTable.coarse(), UsageContext::Stationary);
         assert_eq!(RawContext::Vehicle.coarse(), UsageContext::Stationary);
         assert_eq!(RawContext::MovingAround.coarse(), UsageContext::Moving);

@@ -69,13 +69,19 @@ pub const AGE_COUNTS: [usize; 5] = [12, 9, 5, 5, 4];
 pub fn assign_demographics<R: Rng>(n: usize, rng: &mut R) -> Vec<Demographics> {
     let n_female = (n * GENDER_COUNTS.0 + 17) / 35; // rounded proportion
     let mut genders: Vec<Gender> = (0..n)
-        .map(|i| if i < n_female { Gender::Female } else { Gender::Male })
+        .map(|i| {
+            if i < n_female {
+                Gender::Female
+            } else {
+                Gender::Male
+            }
+        })
         .collect();
     let total: usize = AGE_COUNTS.iter().sum();
     let mut ages = Vec::with_capacity(n);
     for (band, &count) in AgeBand::ALL.iter().zip(&AGE_COUNTS) {
         let share = (n * count + total / 2) / total;
-        ages.extend(std::iter::repeat(*band).take(share));
+        ages.extend(std::iter::repeat_n(*band, share));
     }
     // Rounding can over/undershoot; trim or pad with the most common band.
     ages.truncate(n);

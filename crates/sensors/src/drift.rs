@@ -142,8 +142,18 @@ impl DriftState {
             *offset = target + (*offset - target) * decay + normal(rng, 0.0, sigma * k);
         };
         for d in 0..2 {
-            step(&mut self.pose_pitch[d], target.pose_pitch[d], rates::PITCH, rng);
-            step(&mut self.pose_roll[d], target.pose_roll[d], rates::ROLL, rng);
+            step(
+                &mut self.pose_pitch[d],
+                target.pose_pitch[d],
+                rates::PITCH,
+                rng,
+            );
+            step(
+                &mut self.pose_roll[d],
+                target.pose_roll[d],
+                rates::ROLL,
+                rng,
+            );
             step(
                 &mut self.pose_pitch_moving[d],
                 target.pose_pitch_moving[d],
@@ -223,7 +233,12 @@ impl DriftState {
                 rates::LOG_AMP,
                 rng,
             );
-            step(&mut self.tap_rate[d], target.tap_rate[d], rates::GAIT_FREQ, rng);
+            step(
+                &mut self.tap_rate[d],
+                target.tap_rate[d],
+                rates::GAIT_FREQ,
+                rng,
+            );
             step(
                 &mut self.log_tap_amp[d],
                 target.log_tap_amp[d],
@@ -322,7 +337,10 @@ mod tests {
         for w in mean_by_day.windows(2) {
             assert!(w[1] <= w[0] + 0.02, "approach is monotone: {mean_by_day:?}");
         }
-        assert!(mean_by_day[3] > -0.35 && mean_by_day[3] < -0.25, "{mean_by_day:?}");
+        assert!(
+            mean_by_day[3] > -0.35 && mean_by_day[3] < -0.25,
+            "{mean_by_day:?}"
+        );
     }
 
     #[test]

@@ -168,8 +168,12 @@ impl TraceGenerator {
     pub fn advance_days(&mut self, days: f64) {
         assert!(days.is_finite() && days >= 0.0, "days must be non-negative");
         self.day += days;
-        self.drift
-            .advance(&mut self.rng, days, self.cfg.drift_scale, &self.drift_target);
+        self.drift.advance(
+            &mut self.rng,
+            days,
+            self.cfg.drift_scale,
+            &self.drift_target,
+        );
         let ctx = self.session.context;
         self.begin_session(ctx);
     }
@@ -267,10 +271,8 @@ impl TraceGenerator {
                 0.0,
                 crate::profile::calibration::INTENSITY_SIGMA * ns,
             );
-        let gait_freq = (p.gait_freq
-            + drift.gait_freq
-            + normal(&mut self.rng, 0.0, 0.05 * ns))
-        .clamp(0.8, 3.0);
+        let gait_freq =
+            (p.gait_freq + drift.gait_freq + normal(&mut self.rng, 0.0, 0.05 * ns)).clamp(0.8, 3.0);
         let drifted_tremor = (p.tremor_freq
             + drift.tremor_freq
             + if dev == 1 {
@@ -290,7 +292,11 @@ impl TraceGenerator {
         let mut accel_osc: Vec<Osc> = Vec::new();
         let mut gyro_osc: Vec<Osc> = Vec::new();
         if moving {
-            let coupling = if dev == 0 { p.carry_mode.coupling() } else { 1.0 };
+            let coupling = if dev == 0 {
+                p.carry_mode.coupling()
+            } else {
+                1.0
+            };
             let amp0 = p.accel_osc_amp[dev]
                 * p.gait_intensity
                 * coupling
@@ -320,12 +326,12 @@ impl TraceGenerator {
             }
             let gyro_amp = p.gyro_amp_moving[dev];
             let gyro_scale = p.gyro_scale[dev] * drift.log_gyro_scale[dev].exp();
-            for axis in 0..3 {
+            for (axis, &amp) in gyro_amp.iter().enumerate() {
                 gyro_osc.push(Osc::new(
                     osc_freq,
                     rate,
                     self.session.phase[3 + axis],
-                    gyro_amp[axis] * gyro_scale * drift.gyro_amp_factor(dev, axis) * intensity,
+                    amp * gyro_scale * drift.gyro_amp_factor(dev, axis) * intensity,
                 ));
             }
         } else {
@@ -336,20 +342,17 @@ impl TraceGenerator {
                 tremor,
                 rate,
                 self.session.phase[0],
-                p.hand_tremor_amp[dev]
-                    * drift.log_hand_tremor[dev].exp()
-                    * intensity
-                    * damp,
+                p.hand_tremor_amp[dev] * drift.log_hand_tremor[dev].exp() * intensity * damp,
             ));
             let z_ratio = (p.tremor_z_ratio + drift.tremor_z_ratio).clamp(0.3, 0.8);
             let gyro_amp = p.gyro_amp[dev];
             let gyro_scale = p.gyro_scale[dev] * drift.log_gyro_scale[dev].exp();
-            for axis in 0..3 {
+            for (axis, &amp) in gyro_amp.iter().enumerate() {
                 gyro_osc.push(Osc::new(
                     tremor * if axis == 2 { z_ratio } else { 1.0 },
                     rate,
                     self.session.phase[3 + axis],
-                    gyro_amp[axis] * gyro_scale * drift.gyro_amp_factor(dev, axis) * intensity * damp,
+                    amp * gyro_scale * drift.gyro_amp_factor(dev, axis) * intensity * damp,
                 ));
             }
         }
@@ -505,17 +508,14 @@ impl TraceGenerator {
             for axis in 0..3 {
                 mw[axis] += 0.04 * (gaussian(&mut self.rng) * mag_wander_sigma - mw[axis]);
                 ow[axis] += 0.04 * (gaussian(&mut self.rng) * ori_wander_sigma - ow[axis]);
-                mag[axis][t] = self.session.mag_base[dev][axis]
-                    + mw[axis]
-                    + gaussian(&mut self.rng) * 0.5;
+                mag[axis][t] =
+                    self.session.mag_base[dev][axis] + mw[axis] + gaussian(&mut self.rng) * 0.5;
                 orientation[axis][t] = self.session.ori_base[dev][axis]
                     + if axis == 1 { pitch * 0.1 } else { 0.0 }
                     + ow[axis]
                     + gaussian(&mut self.rng) * 0.02;
             }
-            light[t] = self.session.light_level
-                + light_user
-                + gaussian(&mut self.rng) * 0.05;
+            light[t] = self.session.light_level + light_user + gaussian(&mut self.rng) * 0.05;
         }
 
         SensorWindow {
@@ -531,9 +531,8 @@ impl TraceGenerator {
 impl SessionState {
     fn draw(rng: &mut StdRng, context: RawContext, cfg: &GeneratorConfig) -> Self {
         let ns = cfg.noise_scale;
-        let jitter = |rng: &mut StdRng, p: f64, r: f64| {
-            (normal(rng, 0.0, p * ns), normal(rng, 0.0, r * ns))
-        };
+        let jitter =
+            |rng: &mut StdRng, p: f64, r: f64| (normal(rng, 0.0, p * ns), normal(rng, 0.0, r * ns));
         SessionState {
             context,
             // Phone posture re-settles less than the watch (wrist moves).
@@ -659,9 +658,7 @@ mod tests {
         let var = |ws: &[DualDeviceWindow]| {
             let vals: Vec<f64> = ws
                 .iter()
-                .map(|w| {
-                    stats::variance(&w.phone.magnitude(crate::SensorKind::Accelerometer))
-                })
+                .map(|w| stats::variance(&w.phone.magnitude(crate::SensorKind::Accelerometer)))
                 .collect();
             stats::mean(&vals)
         };

@@ -149,13 +149,7 @@ pub(crate) struct BehaviorParams {
 /// modest within-mode spread. Categorical habits make the population
 /// *clumpy*, which is what lets a linear one-vs-rest classifier isolate
 /// nearly every user (points on a habit hypercube are all extreme points).
-fn bimodal_log<R: rand::Rng + ?Sized>(
-    r: &mut R,
-    lo: f64,
-    hi: f64,
-    within: f64,
-    p_hi: f64,
-) -> f64 {
+fn bimodal_log<R: rand::Rng + ?Sized>(r: &mut R, lo: f64, hi: f64, within: f64, p_hi: f64) -> f64 {
     let mode = if r.random::<f64>() < p_hi { hi } else { lo };
     crate::rand_util::log_normal(r, mode, within)
 }
@@ -268,11 +262,7 @@ impl UserProfile {
         let p = BehaviorParams {
             gait_freq: normal(r, cal::GAIT_FREQ_MEAN, cal::GAIT_FREQ_SIGMA).clamp(1.3, 2.6),
             gait_intensity: log_normal(r, 0.0, cal::GAIT_ACCEL_SIGMA),
-            gait_harmonics: [
-                1.0,
-                uniform(r, 0.25, 0.55),
-                uniform(r, 0.08, 0.25),
-            ],
+            gait_harmonics: [1.0, uniform(r, 0.25, 0.55), uniform(r, 0.08, 0.25)],
             tremor_freq: normal(r, cal::TREMOR_FREQ_MEAN, cal::TREMOR_FREQ_SIGMA).clamp(2.5, 7.0),
             swing_ratio: normal(r, 0.5, 0.04).clamp(0.38, 0.62),
             pose_pitch: [
@@ -305,7 +295,8 @@ impl UserProfile {
                 // Watch strap tightness is one habit shared by both watch
                 // sensors; phone grip steadiness another.
                 let grip = bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.5);
-                let strap = bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.45);
+                let strap =
+                    bimodal_log(r, -cal::HABIT_MODE, cal::HABIT_MODE, cal::HABIT_SIGMA, 0.45);
                 [
                     [
                         grip * log_normal(r, 0.0, 0.10),
@@ -372,8 +363,8 @@ impl UserProfile {
             let roll_moving_mean = 0.1;
             t.pose_roll_moving[d] = roll_moving_mean - self.p.pose_roll_moving[d];
             let base = [cal::PHONE_GYRO_BASE, cal::WATCH_GYRO_BASE][d];
-            for a in 0..3 {
-                t.log_gyro_amp[d][a] = -(self.p.gyro_amp[d][a] / base[a]).ln();
+            for (a, &b) in base.iter().enumerate() {
+                t.log_gyro_amp[d][a] = -(self.p.gyro_amp[d][a] / b).ln();
             }
             t.log_gait_amp[d] = -(self.p.accel_osc_amp[d] / cal::GAIT_ACCEL_BASE[d]).ln();
         }
@@ -485,7 +476,11 @@ mod tests {
     fn parameters_are_physically_plausible() {
         for i in 0..50 {
             let u = UserProfile::generate(UserId(i), demo(), 99);
-            assert!((1.3..=2.6).contains(&u.p.gait_freq), "cadence {}", u.p.gait_freq);
+            assert!(
+                (1.3..=2.6).contains(&u.p.gait_freq),
+                "cadence {}",
+                u.p.gait_freq
+            );
             assert!((2.5..=7.0).contains(&u.p.tremor_freq));
             assert!(u.p.accel_osc_amp.iter().all(|&a| a > 0.0));
             assert!(u.p.gyro_amp.iter().flatten().all(|&a| a > 0.0));
@@ -500,7 +495,10 @@ mod tests {
             .map(|i| UserProfile::generate(UserId(i), demo(), 5).p.gait_freq)
             .collect();
         let mean = freqs.iter().sum::<f64>() / freqs.len() as f64;
-        assert!((mean - calibration::GAIT_FREQ_MEAN).abs() < 0.05, "mean {mean}");
+        assert!(
+            (mean - calibration::GAIT_FREQ_MEAN).abs() < 0.05,
+            "mean {mean}"
+        );
     }
 
     #[test]

@@ -233,7 +233,9 @@ mod tests {
         let (stationary, moving) = sim.collect_per_context(30, &mut rng);
         assert_eq!(stationary.len(), 30);
         assert_eq!(moving.len(), 30);
-        assert!(stationary.iter().all(|w| w.context() == UsageContext::Stationary));
+        assert!(stationary
+            .iter()
+            .all(|w| w.context() == UsageContext::Stationary));
         assert!(moving.iter().all(|w| w.context() == UsageContext::Moving));
     }
 

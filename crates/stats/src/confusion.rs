@@ -33,7 +33,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if `labels` is empty.
     pub fn new(labels: Vec<String>) -> Self {
-        assert!(!labels.is_empty(), "confusion matrix needs at least one class");
+        assert!(
+            !labels.is_empty(),
+            "confusion matrix needs at least one class"
+        );
         let n = labels.len();
         ConfusionMatrix {
             labels,

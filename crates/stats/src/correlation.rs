@@ -104,8 +104,7 @@ mod tests {
     }
 
     #[test]
-    fn pearson_bounded(
-    ) {
+    fn pearson_bounded() {
         // A pseudo-random-ish pair stays within [-1, 1].
         let x: Vec<f64> = (0..50).map(|i| ((i * 37 % 11) as f64).sin()).collect();
         let y: Vec<f64> = (0..50).map(|i| ((i * 17 % 7) as f64).cos()).collect();

@@ -25,12 +25,16 @@ pub fn std_dev(data: &[f64]) -> f64 {
 
 /// Minimum value; `NaN` for an empty slice.
 pub fn min(data: &[f64]) -> f64 {
-    data.iter().copied().fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { acc.min(v) })
+    data.iter()
+        .copied()
+        .fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { acc.min(v) })
 }
 
 /// Maximum value; `NaN` for an empty slice.
 pub fn max(data: &[f64]) -> f64 {
-    data.iter().copied().fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { acc.max(v) })
+    data.iter()
+        .copied()
+        .fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { acc.max(v) })
 }
 
 /// Range (`max − min`); `NaN` for an empty slice.

@@ -33,11 +33,7 @@ pub fn fisher_score(groups: &[Vec<f64>]) -> f64 {
         return f64::NAN;
     }
     let total: usize = nonempty.iter().map(|g| g.len()).sum();
-    let grand_mean = nonempty
-        .iter()
-        .flat_map(|g| g.iter())
-        .sum::<f64>()
-        / total as f64;
+    let grand_mean = nonempty.iter().flat_map(|g| g.iter()).sum::<f64>() / total as f64;
 
     let mut between = 0.0;
     let mut within = 0.0;
@@ -95,11 +91,7 @@ mod tests {
 
     #[test]
     fn more_classes_supported() {
-        let fs = fisher_score(&[
-            vec![0.0, 0.1],
-            vec![5.0, 5.1],
-            vec![10.0, 10.1],
-        ]);
+        let fs = fisher_score(&[vec![0.0, 0.1], vec![5.0, 5.1], vec![10.0, 10.1]]);
         assert!(fs > 100.0);
     }
 }

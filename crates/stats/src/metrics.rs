@@ -149,7 +149,7 @@ pub fn equal_error_rate(scores: &[f64], labels: &[bool]) -> Option<(RocPoint, Ve
         };
         curve.push(p);
         let gap = (p.far - p.frr).abs();
-        if best.map_or(true, |b| gap < (b.far - b.frr).abs()) {
+        if best.is_none_or(|b| gap < (b.far - b.frr).abs()) {
             best = Some(p);
         }
     }

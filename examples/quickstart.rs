@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut server = TrainingServer::new();
     for user in &population.users()[2..] {
         let mut gen = TraceGenerator::new(user.clone(), 7);
-        for raw in [RawContext::SittingStanding, RawContext::MovingAround, RawContext::OnTable] {
+        for raw in [
+            RawContext::SittingStanding,
+            RawContext::MovingAround,
+            RawContext::OnTable,
+        ] {
             let windows = gen.generate_windows(raw, spec, 40);
             for w in &windows {
                 ctx_features.push(extractor.context_features(w));
@@ -46,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             server.contribute(
                 raw.coarse(),
-                windows.iter().map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
             );
         }
     }
@@ -75,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             system.process_window(&w)?;
         }
     }
-    println!("Enrollment complete after {sessions} sessions; events: {:?}", system.events());
+    println!(
+        "Enrollment complete after {sessions} sessions; events: {:?}",
+        system.events()
+    );
 
     // --- continuous authentication ----------------------------------------
     let mut authenticate = |who: &str, profile, seed| -> Result<(), Box<dyn std::error::Error>> {

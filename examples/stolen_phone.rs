@@ -19,9 +19,7 @@ use smarteryou::core::{
     ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
     ResponseAction, SmarterYou, SystemConfig, SystemPhase, TrainingServer,
 };
-use smarteryou::sensors::{
-    MimicryAttacker, Population, RawContext, TraceGenerator, WindowSpec,
-};
+use smarteryou::sensors::{MimicryAttacker, Population, RawContext, TraceGenerator, WindowSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let population = Population::generate(12, 7);
@@ -45,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             server.contribute(
                 raw.coarse(),
-                windows.iter().map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
             );
         }
     }
@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut owner_gen = TraceGenerator::new(owner.clone(), 21);
     let mut s = 0;
     while system.phase() == SystemPhase::Enrollment {
-        let ctx = if s % 2 == 0 { RawContext::SittingStanding } else { RawContext::MovingAround };
+        let ctx = if s % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
         s += 1;
         for w in owner_gen.generate_windows(ctx, spec, 10) {
             system.process_window(&w)?;
@@ -91,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             ("thief", thief_gen.next_window(spec))
         };
-        if let ProcessOutcome::Decision { decision, action, .. } = system.process_window(&w)? {
+        if let ProcessOutcome::Decision {
+            decision, action, ..
+        } = system.process_window(&w)?
+        {
             if k % 10 == 0 || action != ResponseAction::Allow {
                 println!(
                     "window {k:>3} [{who}] context={:<10} CS={:>6.2} -> {action:?}",
@@ -109,7 +116,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match (theft_window, lock_window) {
         (Some(t), Some(l)) => {
             let secs = (l - t + 1) as f64 * spec.seconds();
-            println!("\nThief detected and locked out after {} window(s) ≈ {secs:.0} s.", l - t + 1);
+            println!(
+                "\nThief detected and locked out after {} window(s) ≈ {secs:.0} s.",
+                l - t + 1
+            );
         }
         _ => println!("\nUnexpected: thief was not locked out within the horizon."),
     }
@@ -117,8 +127,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Owner recovers the phone and re-authenticates explicitly…");
     system.unlock_with_explicit_auth();
     let w = owner_gen.next_window(spec);
-    if let ProcessOutcome::Decision { decision, action, .. } = system.process_window(&w)? {
-        println!("owner window: CS={:.2} -> {action:?} (accepted={})", decision.confidence, decision.accepted);
+    if let ProcessOutcome::Decision {
+        decision, action, ..
+    } = system.process_window(&w)?
+    {
+        println!(
+            "owner window: CS={:.2} -> {action:?} (accepted={})",
+            decision.confidence, decision.accepted
+        );
     }
     Ok(())
 }

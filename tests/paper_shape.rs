@@ -53,7 +53,10 @@ fn table7_ordering_holds() {
     // Bands (generous at reduced scale): deployed config in the high 90s,
     // unified phone-only well below.
     assert!(combo_ctx > 0.93, "deployed accuracy {combo_ctx}");
-    assert!(phone_unified < 0.93, "weakest config accuracy {phone_unified}");
+    assert!(
+        phone_unified < 0.93,
+        "weakest config accuracy {phone_unified}"
+    );
 }
 
 #[test]
@@ -61,8 +64,14 @@ fn table6_algorithm_ordering_holds() {
     let cfg = shape_cfg();
     let data = collect_population_features(&cfg);
     let eval = |alg| {
-        evaluate_authentication(&data, &cfg, DeviceSet::Combined, ContextMode::PerContext, alg)
-            .accuracy()
+        evaluate_authentication(
+            &data,
+            &cfg,
+            DeviceSet::Combined,
+            ContextMode::PerContext,
+            alg,
+        )
+        .accuracy()
     };
     let krr = eval(Algorithm::Krr);
     let nb = eval(Algorithm::NaiveBayes);

@@ -140,7 +140,10 @@ fn owner_keeps_access_impostor_is_locked_out() {
             }
         }
     }
-    assert!(locked_out >= 2, "only {locked_out}/3 impostors were locked out");
+    assert!(
+        locked_out >= 2,
+        "only {locked_out}/3 impostors were locked out"
+    );
 }
 
 #[test]
