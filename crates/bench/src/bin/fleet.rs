@@ -1,27 +1,80 @@
-//! Fleet-engine throughput baseline: windows/sec scored by the batched
-//! multi-user engine at 100, 1 000 and 10 000 simulated users.
+//! Fleet-engine throughput benchmark at the paper's deployed window
+//! (6 s × 50 Hz = 300 samples): windows/sec scored by the batched
+//! multi-user engine at 100, 1 000 and 10 000 simulated users, plus a
+//! 300-sample spectrum microbench isolating the planned-FFT gain.
 //!
 //! ```text
 //! cargo run --release -p smarteryou-bench --bin fleet [-- --quick]
 //! ```
 //!
-//! `--quick` drops the 10 000-user row for CI/smoke runs. Future PRs that
-//! touch the scoring hot path should compare against the numbers this
-//! prints (see ROADMAP "Open items").
+//! `--quick` drops the 10 000-user row for CI/smoke runs. Results are
+//! printed *and* written to `BENCH_fleet.json` so the perf trajectory is
+//! machine-readable across PRs.
+//!
+//! The run fails (exit 1) if any spectral computation during the fleet
+//! ticks fell back to the O(n²) reference DFT — the planned Bluestein path
+//! must serve the non-power-of-two production window.
 
 use std::time::Instant;
 
+use serde::Serialize;
 use smarteryou_bench::fleet::FleetFixture;
+use smarteryou_dsp::{dft_fallback_count, SpectrumPlan, SpectrumScratch};
 
-fn measure(num_users: usize) {
+/// The paper's deployed window: 6 s at 50 Hz = 300 samples.
+const WINDOW_SECS: f64 = 6.0;
+const SAMPLE_RATE_HZ: f64 = 50.0;
+const WINDOW_SAMPLES: usize = (WINDOW_SECS * SAMPLE_RATE_HZ) as usize;
+
+#[derive(Debug, Serialize)]
+struct ThroughputRow {
+    windows_per_user_per_tick: usize,
+    ticks: usize,
+    windows: usize,
+    secs: f64,
+    windows_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetSize {
+    users: usize,
+    build_secs: f64,
+    rows: Vec<ThroughputRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct SpectrumMicrobench {
+    samples: usize,
+    planned_spectra_per_sec: f64,
+    dft_reference_spectra_per_sec: f64,
+    planned_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: String,
+    quick: bool,
+    window_secs: f64,
+    sample_rate_hz: f64,
+    window_samples: usize,
+    /// O(n²) DFT invocations observed while the fleet sizes ran — must be
+    /// zero: the production window is served by the planned Bluestein path.
+    dft_fallbacks_during_fleet: u64,
+    fleet: Vec<FleetSize>,
+    spectrum_microbench: SpectrumMicrobench,
+}
+
+fn measure(num_users: usize) -> FleetSize {
     let build_start = Instant::now();
-    let mut fixture = FleetFixture::build(num_users, 0xF1EE7).expect("fixture builds");
+    let mut fixture =
+        FleetFixture::build_with_window(num_users, WINDOW_SECS, 0xF1EE7).expect("fixture builds");
     let build_secs = build_start.elapsed().as_secs_f64();
 
     // Warm-up tick so first-touch allocation noise stays out of the numbers.
     fixture.submit_tick(1);
     fixture.tick();
 
+    let mut rows = Vec::new();
     for per_user in [1usize, 4] {
         let ticks = 5;
         let mut windows = 0usize;
@@ -40,23 +93,120 @@ fn measure(num_users: usize) {
             "{num_users:>7} users  {per_user} win/user/tick  {windows:>7} windows in {secs:>7.3}s  \
              {throughput:>12.0} windows/sec  (accept {accepts}, reject {rejections})"
         );
+        rows.push(ThroughputRow {
+            windows_per_user_per_tick: per_user,
+            ticks,
+            windows,
+            secs,
+            windows_per_sec: throughput,
+        });
     }
     println!("{num_users:>7} users  fixture build (enrollment + model training): {build_secs:.2}s");
+    FleetSize {
+        users: num_users,
+        build_secs,
+        rows,
+    }
+}
+
+/// Times the planned spectrum against the O(n²) reference at the deployed
+/// 300-sample window. The reference intentionally calls [`smarteryou_dsp::dft`],
+/// so this must run *after* the fallback counter has been checked.
+fn spectrum_microbench() -> SpectrumMicrobench {
+    let signal: Vec<f64> = (0..WINDOW_SAMPLES)
+        .map(|i| 9.81 + (i as f64 * 0.23).sin() + 0.4 * (i as f64 * 0.71).cos())
+        .collect();
+
+    let plan = SpectrumPlan::new(WINDOW_SAMPLES);
+    let mut scratch = SpectrumScratch::default();
+    let mut out = Vec::new();
+    plan.magnitude_into(&signal, &mut scratch, &mut out); // warm buffers
+    let planned_iters = 20_000usize;
+    let start = Instant::now();
+    for _ in 0..planned_iters {
+        plan.magnitude_into(&signal, &mut scratch, &mut out);
+        std::hint::black_box(&out);
+    }
+    let planned_per_sec = planned_iters as f64 / start.elapsed().as_secs_f64();
+
+    // O(n²) reference: mean removal + direct DFT + one-sided scaling, the
+    // shape of the pre-plan fallback path.
+    let dft_iters = 200usize;
+    let start = Instant::now();
+    for _ in 0..dft_iters {
+        let n = signal.len();
+        let mean = signal.iter().sum::<f64>() / n as f64;
+        let buf: Vec<smarteryou_dsp::Complex> = signal
+            .iter()
+            .map(|&s| smarteryou_dsp::Complex::from_real(s - mean))
+            .collect();
+        let transformed = smarteryou_dsp::dft(&buf);
+        let spectrum: Vec<f64> = transformed[..=n / 2]
+            .iter()
+            .map(|z| z.abs() * 2.0 / n as f64)
+            .collect();
+        std::hint::black_box(spectrum);
+    }
+    let dft_per_sec = dft_iters as f64 / start.elapsed().as_secs_f64();
+
+    println!(
+        "spectrum @ {WINDOW_SAMPLES} samples: planned {planned_per_sec:.0}/sec, \
+         O(n²) reference {dft_per_sec:.0}/sec ({:.1}× faster)",
+        planned_per_sec / dft_per_sec
+    );
+    SpectrumMicrobench {
+        samples: WINDOW_SAMPLES,
+        planned_spectra_per_sec: planned_per_sec,
+        dft_reference_spectra_per_sec: dft_per_sec,
+        planned_speedup: planned_per_sec / dft_per_sec,
+    }
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     smarteryou_bench::header(
         "fleet",
-        "batched multi-user scoring throughput (FleetEngine::tick)",
+        "batched multi-user scoring throughput (FleetEngine::tick, 300-sample windows)",
     );
     let sizes: &[usize] = if quick {
         &[100, 1_000]
     } else {
         &[100, 1_000, 10_000]
     };
+    let baseline = dft_fallback_count();
+    let mut fleet = Vec::new();
     for &n in sizes {
-        measure(n);
+        fleet.push(measure(n));
         println!();
+    }
+    let fallbacks = dft_fallback_count() - baseline;
+
+    // The microbench runs the reference DFT on purpose; check the fleet
+    // fallback count first so the guard only sees production work.
+    let microbench = spectrum_microbench();
+
+    let report = BenchReport {
+        bench: "fleet".to_string(),
+        quick,
+        window_secs: WINDOW_SECS,
+        sample_rate_hz: SAMPLE_RATE_HZ,
+        window_samples: WINDOW_SAMPLES,
+        dft_fallbacks_during_fleet: fallbacks,
+        fleet,
+        spectrum_microbench: microbench,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // Echo the report before any failure exit so CI logs always carry the
+    // machine-readable numbers, fallback regressions included.
+    println!("{json}");
+    std::fs::write("BENCH_fleet.json", json + "\n").expect("BENCH_fleet.json written");
+    println!("wrote BENCH_fleet.json");
+
+    if fallbacks > 0 {
+        eprintln!(
+            "FAIL: {fallbacks} spectral computation(s) fell back to the O(n²) DFT \
+             during fleet scoring — the planned FFT must cover the production window"
+        );
+        std::process::exit(1);
     }
 }

@@ -39,7 +39,8 @@ impl FleetFixture {
     /// in this, while user count can grow to fleet scale).
     pub const MAX_PROFILES: usize = 32;
 
-    /// Builds a fleet of `num_users` enrolled pipelines.
+    /// Builds a fleet of `num_users` enrolled pipelines on short 2 s
+    /// windows (the historical baseline configuration).
     ///
     /// # Errors
     ///
@@ -50,11 +51,31 @@ impl FleetFixture {
     /// Panics if `num_users` is zero or a pipeline fails to finish
     /// enrollment on its seeded window stream.
     pub fn build(num_users: usize, seed: u64) -> Result<Self, CoreError> {
+        Self::build_with_window(num_users, 2.0, seed)
+    }
+
+    /// Builds a fleet of `num_users` enrolled pipelines with
+    /// `window_secs`-long windows at 50 Hz. The paper's deployed window is
+    /// 6 s (300 samples — not a power of two, i.e. the Bluestein FFT path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline construction/training failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_users` is zero or a pipeline fails to finish
+    /// enrollment on its seeded window stream.
+    pub fn build_with_window(
+        num_users: usize,
+        window_secs: f64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
         assert!(num_users > 0, "fleet needs at least one user");
         let profiles = num_users.min(Self::MAX_PROFILES);
         let population = Population::generate(profiles + 4, seed);
         let cfg = SystemConfig::paper_default()
-            .with_window_secs(2.0)
+            .with_window_secs(window_secs)
             .with_data_size(40);
         let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
         let extractor = FeatureExtractor::paper_default(cfg.sample_rate());

@@ -78,11 +78,17 @@ impl ContextDetector {
     }
 
     /// Detects the context of a window (extracts phone features internally).
+    ///
+    /// Standalone convenience: the runtime pipeline instead computes
+    /// [`WindowFeatures`](crate::WindowFeatures) once per window and calls
+    /// [`ContextDetector::detect_from_features`] with the cached phone
+    /// vector, so detection shares the authenticator's extraction work.
     pub fn detect(&self, window: &DualDeviceWindow) -> UsageContext {
         self.detect_from_features(&self.extractor.context_features(window))
     }
 
-    /// Detects the context from a pre-extracted phone feature vector.
+    /// Detects the context from a pre-extracted phone feature vector
+    /// (e.g. [`WindowFeatures::context_features`](crate::WindowFeatures::context_features)).
     ///
     /// # Panics
     ///

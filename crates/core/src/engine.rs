@@ -8,7 +8,11 @@
 //! pipeline concurrently with the order-preserving scoped-thread map from
 //! [`crate::parallel`]. Within each pipeline, pending windows are scored as
 //! grouped per-context matrix passes ([`SmarterYou::process_batch`]) rather
-//! than per-row kernel evaluations.
+//! than per-row kernel evaluations, and feature extraction runs through the
+//! cached [`WindowFeatures`](crate::WindowFeatures) path: each pipeline
+//! holds a planned FFT ([`FeatureScratch`](crate::FeatureScratch)) for its
+//! window length, so steady-state ticks plan no transforms and allocate
+//! nothing in the spectral kernels.
 //!
 //! Decisions are **bit-identical** to feeding the same windows through
 //! sequential [`SmarterYou::process_window`] calls user by user: per-user

@@ -1,4 +1,11 @@
 //! Tick result types and aggregation helpers for the fleet engine.
+//!
+//! The counters a [`TickReport`] aggregates are produced by the planned
+//! batch scoring path — cached per-window feature extraction
+//! ([`crate::WindowFeatures`]) followed by grouped per-context matrix
+//! scoring — and are bit-identical to what sequential
+//! [`SmarterYou::process_window`](crate::SmarterYou::process_window) calls
+//! would report (see `tests/batch_parity.rs`).
 
 use smarteryou_sensors::UserId;
 

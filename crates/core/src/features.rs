@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use smarteryou_dsp::{magnitude_spectrum, spectral_peaks};
+use smarteryou_dsp::{magnitude_spectrum, spectral_peaks, SpectralPeaks};
 use smarteryou_sensors::{DualDeviceWindow, SensorKind, SensorWindow};
 use smarteryou_stats as stats;
 
@@ -133,6 +133,11 @@ impl FeatureSet {
         &self.kinds
     }
 
+    /// Whether any selected feature needs the magnitude spectrum.
+    pub fn needs_spectrum(&self) -> bool {
+        self.kinds.iter().any(|k| !k.is_time_domain())
+    }
+
     /// Extracts the features from one magnitude stream.
     ///
     /// Frequency features need at least 3 spectrum bins; degenerate windows
@@ -140,27 +145,41 @@ impl FeatureSet {
     /// finite.
     pub fn extract(&self, magnitude: &[f64], sample_rate: f64) -> Vec<f64> {
         let summary = stats::Summary::from_slice(magnitude);
-        let needs_spectrum = self.kinds.iter().any(|k| !k.is_time_domain());
-        let peaks = if needs_spectrum {
+        let peaks = if self.needs_spectrum() {
             let spectrum = magnitude_spectrum(magnitude);
             spectral_peaks(&spectrum, sample_rate)
         } else {
             None
         };
-        self.kinds
-            .iter()
-            .map(|k| match k {
-                FeatureKind::Mean => summary.mean,
-                FeatureKind::Var => summary.variance,
-                FeatureKind::Max => summary.max,
-                FeatureKind::Min => summary.min,
-                FeatureKind::Range => summary.range(),
-                FeatureKind::Peak => peaks.map_or(0.0, |p| p.main_amplitude),
-                FeatureKind::PeakFreq => peaks.map_or(0.0, |p| p.main_frequency),
-                FeatureKind::Peak2 => peaks.map_or(0.0, |p| p.secondary_amplitude),
-                FeatureKind::Peak2Freq => peaks.map_or(0.0, |p| p.secondary_frequency),
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.kinds.len());
+        self.extract_from_parts_into(&summary, peaks, &mut out);
+        out
+    }
+
+    /// Appends the selected features to `out` from already-computed stream
+    /// statistics and spectral peaks.
+    ///
+    /// This is the single feature-mapping kernel: both [`FeatureSet::extract`]
+    /// and the cached per-window path
+    /// ([`WindowFeatures`](crate::WindowFeatures)) go through it, which is
+    /// what makes the two bit-identical.
+    pub fn extract_from_parts_into(
+        &self,
+        summary: &stats::Summary,
+        peaks: Option<SpectralPeaks>,
+        out: &mut Vec<f64>,
+    ) {
+        out.extend(self.kinds.iter().map(|k| match k {
+            FeatureKind::Mean => summary.mean,
+            FeatureKind::Var => summary.variance,
+            FeatureKind::Max => summary.max,
+            FeatureKind::Min => summary.min,
+            FeatureKind::Range => summary.range(),
+            FeatureKind::Peak => peaks.map_or(0.0, |p| p.main_amplitude),
+            FeatureKind::PeakFreq => peaks.map_or(0.0, |p| p.main_frequency),
+            FeatureKind::Peak2 => peaks.map_or(0.0, |p| p.secondary_amplitude),
+            FeatureKind::Peak2Freq => peaks.map_or(0.0, |p| p.secondary_frequency),
+        }));
     }
 }
 
@@ -413,11 +432,21 @@ mod tests {
 
     #[test]
     fn degenerate_window_yields_finite_features() {
+        // A 2-sample window has a 2-bin spectrum — too short for peaks —
+        // so the documented contract is: time-domain features are real
+        // statistics, every frequency feature is exactly zero, and nothing
+        // is NaN or infinite.
         let set = FeatureSet::paper_default();
         let f = set.extract(&[1.0, 2.0], 50.0);
-        assert!(f.iter().all(|v| v.is_finite() || v.is_nan()));
-        // Frequency features fall back to zero.
-        assert_eq!(f[4], 0.0);
+        assert!(f.iter().all(|v| v.is_finite()), "non-finite feature: {f:?}");
+        let by = |k: FeatureKind| f[set.kinds().iter().position(|x| *x == k).unwrap()];
+        assert_eq!(by(FeatureKind::Mean), 1.5);
+        assert_eq!(by(FeatureKind::Var), 0.5);
+        assert_eq!(by(FeatureKind::Max), 2.0);
+        assert_eq!(by(FeatureKind::Min), 1.0);
+        assert_eq!(by(FeatureKind::Peak), 0.0);
+        assert_eq!(by(FeatureKind::PeakFreq), 0.0);
+        assert_eq!(by(FeatureKind::Peak2), 0.0);
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod response;
 mod retrain;
 pub mod selection;
 mod server;
+mod window_features;
 
 pub use auth::{AuthDecision, AuthModel, Authenticator};
 pub use config::{ContextMode, SystemConfig};
@@ -51,3 +52,4 @@ pub use power::{BatteryRow, OverheadReport};
 pub use response::{ResponseAction, ResponseModule, ResponsePolicy};
 pub use retrain::{ConfidenceTracker, RetrainPolicy};
 pub use server::TrainingServer;
+pub use window_features::{FeatureScratch, WindowFeatures};

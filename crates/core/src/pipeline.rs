@@ -13,6 +13,7 @@ use crate::features::FeatureExtractor;
 use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
 use crate::retrain::{ConfidenceTracker, RetrainPolicy};
 use crate::server::TrainingServer;
+use crate::window_features::FeatureScratch;
 use crate::CoreError;
 
 /// Lifecycle phase of the on-device system (§IV-B).
@@ -88,6 +89,12 @@ pub struct SmarterYou {
     events: Vec<SystemEvent>,
     day: f64,
     rng: StdRng,
+    /// Planned-FFT workspace reused across windows (see [`FeatureScratch`]).
+    scratch: FeatureScratch,
+    /// Whether the detector shares this pipeline's extractor, letting one
+    /// [`WindowFeatures`](crate::WindowFeatures) pass serve context
+    /// detection *and* authentication.
+    shared_extractor: bool,
 }
 
 impl SmarterYou {
@@ -104,6 +111,7 @@ impl SmarterYou {
     ) -> Result<Self, CoreError> {
         cfg.validate()?;
         let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+        let shared_extractor = *detector.extractor() == extractor;
         Ok(SmarterYou {
             cfg,
             extractor,
@@ -117,6 +125,8 @@ impl SmarterYou {
             events: Vec::new(),
             day: 0.0,
             rng: rand::SeedableRng::seed_from_u64(seed),
+            scratch: FeatureScratch::default(),
+            shared_extractor,
         })
     }
 
@@ -190,8 +200,7 @@ impl SmarterYou {
         &mut self,
         window: &DualDeviceWindow,
     ) -> Result<ProcessOutcome, CoreError> {
-        let context = self.detector.detect(window);
-        let features = self.extractor.auth_features(window, self.cfg.device_set());
+        let (context, features) = self.detect_and_extract(window);
 
         match self.phase() {
             SystemPhase::Enrollment => self.enroll_window(context, features),
@@ -237,12 +246,7 @@ impl SmarterYou {
             // invalidates the *scores*, not this work.
             let mut prepared: Vec<(UsageContext, Vec<f64>)> = windows[i..]
                 .iter()
-                .map(|w| {
-                    (
-                        self.detector.detect(w),
-                        self.extractor.auth_features(w, self.cfg.device_set()),
-                    )
-                })
+                .map(|w| self.detect_and_extract(w))
                 .collect();
             let mut start = 0;
             while start < prepared.len() {
@@ -276,6 +280,29 @@ impl SmarterYou {
             }
         }
         Ok(out)
+    }
+
+    /// Detects the context and extracts the authentication features of one
+    /// window through the cached [`WindowFeatures`](crate::WindowFeatures)
+    /// path: each device's
+    /// magnitude streams, summaries, and planned spectra are computed once
+    /// and serve both the detector and the authenticator.
+    ///
+    /// When the detector was trained with a different extractor than this
+    /// pipeline's (possible via [`SmarterYou::new`]'s `detector` argument),
+    /// the cache cannot be shared and the detector extracts its own
+    /// features, exactly as the uncached path always did.
+    fn detect_and_extract(&mut self, window: &DualDeviceWindow) -> (UsageContext, Vec<f64>) {
+        let features =
+            self.extractor
+                .window_features(window, self.cfg.device_set(), &mut self.scratch);
+        let context = if self.shared_extractor {
+            self.detector
+                .detect_from_features(features.context_features())
+        } else {
+            self.detector.detect(window)
+        };
+        (context, features.into_auth_features(self.cfg.device_set()))
     }
 
     /// Buffers one enrollment window and trains the first models when the

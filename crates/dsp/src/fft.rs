@@ -1,13 +1,29 @@
 use std::f64::consts::PI;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::plan::{FftPlan, FftScratch};
 use crate::Complex;
+
+/// Process-wide count of [`dft`] invocations.
+///
+/// The direct O(n²) transform is a *reference* implementation: every
+/// production path runs a planned O(n log n) transform ([`FftPlan`] handles
+/// arbitrary lengths via Bluestein), so outside of tests this counter must
+/// stay at zero. The fleet benchmark asserts exactly that, guarding against
+/// a future change quietly reintroducing the quadratic fallback.
+static DFT_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times the O(n²) [`dft`] reference has run in this process.
+pub fn dft_fallback_count() -> u64 {
+    DFT_CALLS.load(Ordering::Relaxed)
+}
 
 /// Discrete Fourier transform by direct summation: O(n²).
 ///
-/// Used as the reference implementation and as the fallback for lengths that
-/// are not powers of two (the paper's 6 s × 50 Hz = 300-sample windows are
-/// one such length).
+/// The reference implementation that the planned transforms are tested
+/// against. Not used by any production path — see [`dft_fallback_count`].
 pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    DFT_CALLS.fetch_add(1, Ordering::Relaxed);
     let n = input.len();
     if n == 0 {
         return Vec::new();
@@ -24,79 +40,25 @@ pub fn dft(input: &[Complex]) -> Vec<Complex> {
         .collect()
 }
 
-/// Forward Fourier transform.
+/// Forward Fourier transform of any length in O(n log n).
 ///
-/// Uses an in-place iterative radix-2 Cooley–Tukey FFT (O(n log n)) when the
-/// length is a power of two, and falls back to the direct [`dft`] otherwise.
-/// Returns the empty vector for empty input.
+/// Plans the transform on the fly ([`FftPlan`]): radix-2 Cooley–Tukey for
+/// power-of-two lengths, Bluestein's chirp-z algorithm otherwise. Hot paths
+/// that transform many same-length buffers should hold an [`FftPlan`] (or a
+/// [`SpectrumPlan`](crate::SpectrumPlan)) instead of calling this.
 pub fn fft(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    if !n.is_power_of_two() {
-        return dft(input);
-    }
     let mut buf = input.to_vec();
-    fft_in_place(&mut buf, false);
+    FftPlan::new(input.len()).process(&mut buf, &mut FftScratch::default());
     buf
 }
 
 /// Inverse Fourier transform, normalised by `1/n` so `ifft(fft(x)) == x`.
 ///
-/// Same radix-2/direct strategy as [`fft`].
+/// Same planning strategy as [`fft`].
 pub fn ifft(input: &[Complex]) -> Vec<Complex> {
-    let n = input.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let scale = 1.0 / n as f64;
-    if !n.is_power_of_two() {
-        // Inverse DFT via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
-        let conj: Vec<Complex> = input.iter().map(|z| z.conj()).collect();
-        return dft(&conj)
-            .into_iter()
-            .map(|z| z.conj().scale(scale))
-            .collect();
-    }
     let mut buf = input.to_vec();
-    fft_in_place(&mut buf, true);
-    for z in &mut buf {
-        *z = z.scale(scale);
-    }
+    FftPlan::new(input.len()).process_inverse(&mut buf, &mut FftScratch::default());
     buf
-}
-
-/// Iterative radix-2 Cooley–Tukey. `inverse` flips the twiddle sign; the
-/// caller applies the 1/n normalisation.
-fn fft_in_place(buf: &mut [Complex], inverse: bool) {
-    let n = buf.len();
-    debug_assert!(n.is_power_of_two());
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if j > i {
-            buf.swap(i, j);
-        }
-    }
-    let sign = if inverse { 2.0 * PI } else { -2.0 * PI };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign / len as f64;
-        let wlen = Complex::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..len / 2 {
-                let even = buf[start + k];
-                let odd = buf[start + k + len / 2] * w;
-                buf[start + k] = even + odd;
-                buf[start + k + len / 2] = even - odd;
-                w = w * wlen;
-            }
-        }
-        len <<= 1;
-    }
 }
 
 #[cfg(test)]
@@ -125,6 +87,13 @@ mod tests {
     }
 
     #[test]
+    fn dft_calls_are_counted() {
+        let before = dft_fallback_count();
+        dft(&[Complex::ONE, Complex::ZERO]);
+        assert!(dft_fallback_count() > before);
+    }
+
+    #[test]
     fn dc_signal_concentrates_in_bin_zero() {
         let x = real_signal(8, |_| 1.0);
         let y = fft(&x);
@@ -143,7 +112,9 @@ mod tests {
     }
 
     #[test]
-    fn non_power_of_two_falls_back_to_dft() {
+    fn non_power_of_two_matches_dft() {
+        // 300 samples (the paper's deployed window) runs Bluestein, not the
+        // quadratic fallback — and agrees with the direct reference.
         let x = real_signal(300, |i| (i as f64 * 0.21).sin());
         assert_close(&fft(&x), &dft(&x), 1e-7);
     }

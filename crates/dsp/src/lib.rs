@@ -3,10 +3,17 @@
 //! The paper derives frequency-domain features (main/secondary spectral
 //! peaks, §V-C) from 50 Hz accelerometer and gyroscope streams via the
 //! discrete Fourier transform. This crate implements the required DSP from
-//! scratch: complex numbers, an iterative radix-2 FFT with a DFT fallback
-//! for arbitrary lengths, window functions, spectral-peak extraction, the
-//! 3-axis magnitude reduction, and simple filters/segmenters used by the
-//! sensor simulator.
+//! scratch: complex numbers, planned O(n log n) FFTs for *arbitrary*
+//! lengths (radix-2 Cooley–Tukey plus a Bluestein chirp-z path — the
+//! paper's 6 s × 50 Hz = 300-sample window is not a power of two), a
+//! real-input half-complex fast path, window functions, spectral-peak
+//! extraction, the 3-axis magnitude reduction, and simple
+//! filters/segmenters used by the sensor simulator.
+//!
+//! Throughput-critical callers precompute an [`FftPlan`] / [`SpectrumPlan`]
+//! per window length and reuse [`FftScratch`] / [`SpectrumScratch`]
+//! workspace, making steady-state transforms allocation-free (see the
+//! [`plan`] module docs).
 //!
 //! # Example
 //!
@@ -27,13 +34,15 @@
 mod complex;
 mod fft;
 mod filter;
+pub mod plan;
 mod segment;
 mod spectrum;
 mod window;
 
 pub use complex::Complex;
-pub use fft::{dft, fft, ifft};
+pub use fft::{dft, dft_fallback_count, fft, ifft};
 pub use filter::{MovingAverage, SinglePoleLowPass};
+pub use plan::{FftPlan, FftScratch, RealFftPlan, SpectrumPlan, SpectrumScratch};
 pub use segment::Segmenter;
 pub use spectrum::{magnitude_spectrum, spectral_peaks, SpectralPeaks};
 pub use window::WindowFunction;
@@ -49,15 +58,29 @@ pub fn axis_magnitude(x: f64, y: f64, z: f64) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn magnitude_series(x: &[f64], y: &[f64], z: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    magnitude_series_into(x, y, z, &mut out);
+    out
+}
+
+/// [`magnitude_series`] into a caller-owned buffer (cleared first), so hot
+/// loops can reuse one allocation across windows.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn magnitude_series_into(x: &[f64], y: &[f64], z: &[f64], out: &mut Vec<f64>) {
     assert!(
         x.len() == y.len() && y.len() == z.len(),
         "magnitude_series: axis length mismatch"
     );
-    x.iter()
-        .zip(y)
-        .zip(z)
-        .map(|((&a, &b), &c)| axis_magnitude(a, b, c))
-        .collect()
+    out.clear();
+    out.extend(
+        x.iter()
+            .zip(y)
+            .zip(z)
+            .map(|((&a, &b), &c)| axis_magnitude(a, b, c)),
+    );
 }
 
 #[cfg(test)]

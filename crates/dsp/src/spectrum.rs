@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{fft, Complex};
+use crate::plan::{SpectrumPlan, SpectrumScratch};
 
 /// One-sided magnitude spectrum of a real signal.
 ///
@@ -8,22 +8,19 @@ use crate::{fft, Complex};
 /// The signal's mean is removed before transforming so the DC bin does not
 /// mask behavioural peaks (the accelerometer magnitude rides on gravity at
 /// ~9.81 m/s²; without mean removal the DC bin dwarfs the gait line).
+///
+/// Convenience wrapper over [`SpectrumPlan`]: it plans, transforms once,
+/// and returns a fresh vector, so its output is bit-identical to the planned
+/// path. Hot loops over same-length windows should hold a [`SpectrumPlan`]
+/// and reuse a [`SpectrumScratch`] instead.
 pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
-    let n = signal.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let mean = signal.iter().sum::<f64>() / n as f64;
-    let buf: Vec<Complex> = signal
-        .iter()
-        .map(|&s| Complex::from_real(s - mean))
-        .collect();
-    let transformed = fft(&buf);
-    let half = n / 2;
-    transformed[..=half]
-        .iter()
-        .map(|z| z.abs() * 2.0 / n as f64)
-        .collect()
+    let mut out = Vec::new();
+    SpectrumPlan::new(signal.len()).magnitude_into(
+        signal,
+        &mut SpectrumScratch::default(),
+        &mut out,
+    );
+    out
 }
 
 /// Main and secondary spectral peaks of a window (the paper's `Peak`,
@@ -55,17 +52,27 @@ pub fn spectral_peaks(spectrum: &[f64], sample_rate: f64) -> Option<SpectralPeak
     let n = 2 * (spectrum.len() - 1);
     let bin_hz = sample_rate / n as f64;
 
-    // Rank non-DC bins by magnitude.
-    let mut order: Vec<usize> = (1..spectrum.len()).collect();
-    order.sort_by(|&a, &b| spectrum[b].total_cmp(&spectrum[a]));
-
-    let main = order[0];
+    // Strongest non-DC bin; strict comparison keeps the lowest index on
+    // ties, matching what a stable descending sort would select.
+    let mut main = 1;
+    for k in 2..spectrum.len() {
+        if spectrum[k].total_cmp(&spectrum[main]).is_gt() {
+            main = k;
+        }
+    }
     // The secondary peak must not be an immediate neighbour of the main one,
     // otherwise the two features collapse onto the same spectral line.
-    let secondary = order
-        .iter()
-        .copied()
-        .find(|&k| k + 1 < main || k > main + 1)?;
+    let mut secondary = None;
+    for k in 1..spectrum.len() {
+        if !(k + 1 < main || k > main + 1) {
+            continue;
+        }
+        match secondary {
+            Some(s) if spectrum[k].total_cmp(&spectrum[s]).is_le() => {}
+            _ => secondary = Some(k),
+        }
+    }
+    let secondary = secondary?;
 
     Some(SpectralPeaks {
         main_amplitude: spectrum[main],

@@ -1,11 +1,27 @@
 //! Property-based tests for the DSP substrate.
 
 use proptest::prelude::*;
-use smarteryou_dsp::{dft, fft, ifft, magnitude_spectrum, Complex, Segmenter, WindowFunction};
+use smarteryou_dsp::{
+    dft, fft, ifft, magnitude_spectrum, Complex, FftPlan, FftScratch, Segmenter, SpectrumPlan,
+    SpectrumScratch, WindowFunction,
+};
 
 fn real_buf(len: usize) -> impl Strategy<Value = Vec<Complex>> {
     prop::collection::vec(-100.0..100.0f64, len)
         .prop_map(|v| v.into_iter().map(Complex::from_real).collect())
+}
+
+/// A random length in `2..=512` together with a signal of that length.
+/// Always includes the paper's deployed 300-sample window via the explicit
+/// case below; here lengths are drawn uniformly, covering radix-2 and
+/// Bluestein strategies alike.
+fn sized_buf() -> impl Strategy<Value = Vec<Complex>> {
+    (2usize..=512, prop::collection::vec(-100.0..100.0f64, 512)).prop_map(|(len, v)| {
+        v.into_iter()
+            .take(len)
+            .map(Complex::from_real)
+            .collect::<Vec<Complex>>()
+    })
 }
 
 proptest! {
@@ -50,6 +66,53 @@ proptest! {
             let rhs = fx[i] + fy[i].scale(k);
             prop_assert!((lhs[i].re - rhs.re).abs() < 1e-6);
             prop_assert!((lhs[i].im - rhs.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn planned_fft_matches_dft_at_any_length(x in sized_buf()) {
+        // Bluestein (and radix-2, when the drawn length happens to be a
+        // power of two) must agree with the O(n²) reference at every
+        // length — the property that lets the planned path replace the
+        // quadratic fallback wholesale.
+        let mut buf = x.clone();
+        FftPlan::new(x.len()).process(&mut buf, &mut FftScratch::default());
+        let reference = dft(&x);
+        let tol = 1e-8 * x.len() as f64;
+        for (l, r) in buf.iter().zip(&reference) {
+            prop_assert!((l.re - r.re).abs() < tol, "{l:?} vs {r:?}");
+            prop_assert!((l.im - r.im).abs() < tol, "{l:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn planned_fft_matches_dft_at_paper_window(x in real_buf(300)) {
+        // The deployed 6 s × 50 Hz window, pinned explicitly.
+        let mut buf = x.clone();
+        FftPlan::new(300).process(&mut buf, &mut FftScratch::default());
+        let reference = dft(&x);
+        for (l, r) in buf.iter().zip(&reference) {
+            prop_assert!((l.re - r.re).abs() < 1e-6);
+            prop_assert!((l.im - r.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn planned_spectrum_is_bit_identical_to_magnitude_spectrum(
+        signal in prop::collection::vec(-50.0..50.0f64, 2..400),
+    ) {
+        // The free function is a thin wrapper over the plan; reusing a
+        // plan + scratch across calls must not change a single bit — the
+        // contract the core feature cache relies on.
+        let plan = SpectrumPlan::new(signal.len());
+        let mut scratch = SpectrumScratch::default();
+        let mut planned = Vec::new();
+        plan.magnitude_into(&signal, &mut scratch, &mut planned);
+        plan.magnitude_into(&signal, &mut scratch, &mut planned); // reused scratch
+        let naive = magnitude_spectrum(&signal);
+        prop_assert_eq!(planned.len(), naive.len());
+        for (a, b) in planned.iter().zip(&naive) {
+            prop_assert!(a.to_bits() == b.to_bits(), "{a} vs {b}");
         }
     }
 

@@ -122,11 +122,28 @@ impl SensorWindow {
     /// Magnitude series `√(x²+y²+z²)` of a 3-axis sensor, or the raw stream
     /// for the scalar light sensor (§V-C).
     pub fn magnitude(&self, sensor: SensorKind) -> Vec<f64> {
-        let axes = self.sensor_axes(sensor);
-        if axes.len() == 1 {
-            return axes[0].to_vec();
-        }
-        smarteryou_dsp::magnitude_series(axes[0], axes[1], axes[2])
+        let mut out = Vec::new();
+        self.magnitude_into(sensor, &mut out);
+        out
+    }
+
+    /// [`SensorWindow::magnitude`] into a caller-owned buffer (cleared
+    /// first), so per-window feature extraction can reuse one allocation
+    /// across sensors and windows. Unlike [`SensorWindow::sensor_axes`],
+    /// this borrows the axis streams without any intermediate vector.
+    pub fn magnitude_into(&self, sensor: SensorKind, out: &mut Vec<f64>) {
+        let [x, y, z] = match sensor {
+            SensorKind::Accelerometer => &self.accel,
+            SensorKind::Gyroscope => &self.gyro,
+            SensorKind::Magnetometer => &self.mag,
+            SensorKind::Orientation => &self.orientation,
+            SensorKind::Light => {
+                out.clear();
+                out.extend_from_slice(&self.light);
+                return;
+            }
+        };
+        smarteryou_dsp::magnitude_series_into(x, y, z, out);
     }
 }
 

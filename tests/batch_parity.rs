@@ -27,9 +27,13 @@ struct World {
 }
 
 fn build_world(num_users: usize) -> World {
+    build_world_with_window(num_users, 2.0)
+}
+
+fn build_world_with_window(num_users: usize, window_secs: f64) -> World {
     let population = Population::generate(num_users + 4, 77_001);
     let cfg = SystemConfig::paper_default()
-        .with_window_secs(2.0)
+        .with_window_secs(window_secs)
         .with_data_size(40);
     let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
     let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
@@ -180,6 +184,28 @@ fn process_batch_matches_sequential_processing() {
             "user {u} tracker history"
         );
     }
+}
+
+#[test]
+fn process_batch_matches_sequential_at_paper_window() {
+    // The deployed 6 s × 50 Hz = 300-sample window is the length that runs
+    // the Bluestein real-FFT path; batch and sequential scoring must stay
+    // bit-identical through the planned spectral kernels too.
+    let world = build_world_with_window(1, 6.0);
+    let user = &world.users[0];
+    let windows = world.window_stream(user, 4_100, 16);
+
+    let mut sequential = world.pipeline(31);
+    let seq_outcomes: Vec<ProcessOutcome> = windows
+        .iter()
+        .map(|w| sequential.process_window(w).expect("sequential"))
+        .collect();
+
+    let mut batched = world.pipeline(31);
+    let batch_outcomes = batched.process_batch(&windows).expect("batched");
+
+    assert_outcomes_identical(&seq_outcomes, &batch_outcomes, "paper window");
+    assert_eq!(sequential.events(), batched.events(), "paper window events");
 }
 
 #[test]
