@@ -43,6 +43,29 @@ struct FleetSize {
 }
 
 #[derive(Debug, Serialize)]
+struct ChurnRow {
+    /// How the per-tick working set moves: 0 keeps the same `capacity`
+    /// users hot (steady state, no churn after warm-up); `capacity` shifts
+    /// the whole working set every tick (worst case: every submit
+    /// rehydrates, every tick evicts).
+    working_set_stride: usize,
+    ticks: usize,
+    windows: usize,
+    evictions: u64,
+    rehydrations: u64,
+    secs: f64,
+    windows_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct EvictionChurnBench {
+    users: usize,
+    /// Resident-pipeline cap enforced after every tick.
+    capacity: usize,
+    rows: Vec<ChurnRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct SpectrumMicrobench {
     samples: usize,
     planned_spectra_per_sec: f64,
@@ -61,6 +84,12 @@ struct BenchReport {
     /// zero: the production window is served by the planned Bluestein path.
     dft_fallbacks_during_fleet: u64,
     fleet: Vec<FleetSize>,
+    /// Throughput with bounded residency: idle pipelines snapshotted to an
+    /// in-memory store (full JSON encode/decode per round-trip) and
+    /// rehydrated on submit. Decisions stay bit-identical to the unevicted
+    /// engine (`tests/persist_parity.rs`); this measures what the churn
+    /// costs.
+    eviction_churn: EvictionChurnBench,
     spectrum_microbench: SpectrumMicrobench,
 }
 
@@ -105,6 +134,62 @@ fn measure(num_users: usize) -> FleetSize {
     FleetSize {
         users: num_users,
         build_secs,
+        rows,
+    }
+}
+
+/// Measures tick throughput with eviction enabled: a fleet of `num_users`
+/// enrolled pipelines capped at `capacity` resident, driven by a working
+/// set of `capacity` active users per tick. Stride 0 is the friendly case
+/// (the hot set stays hot); stride = `capacity` rotates the whole working
+/// set each tick, so every submit rehydrates from a snapshot and every
+/// tick evicts a full working set — the upper bound on churn cost.
+fn measure_churn(num_users: usize, capacity: usize) -> EvictionChurnBench {
+    let mut fixture =
+        FleetFixture::build_with_window(num_users, WINDOW_SECS, 0xCAFE).expect("fixture builds");
+    fixture.enable_eviction(capacity);
+    // Warm-up: establish the initial resident set and evict the rest.
+    fixture.submit_tick_for(0..capacity, 1);
+    fixture.tick();
+
+    let mut rows = Vec::new();
+    for stride in [0usize, capacity] {
+        let ticks = 5;
+        let mut windows = 0usize;
+        let (evictions_before, rehydrations_before) = fixture.engine_mut().eviction_totals();
+        let start = Instant::now();
+        for t in 0..ticks {
+            // (t + 1): the warm-up left users 0..capacity resident, so the
+            // first strided tick must already rotate away from them —
+            // otherwise one of the measured ticks is churn-free and the
+            // "worst case" number is diluted.
+            let first = ((t + 1) * stride) % num_users;
+            windows += fixture.submit_tick_for((first..first + capacity).map(|u| u % num_users), 1);
+            fixture.tick();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let (evictions_after, rehydrations_after) = fixture.engine_mut().eviction_totals();
+        let evictions = evictions_after - evictions_before;
+        let rehydrations = rehydrations_after - rehydrations_before;
+        let throughput = windows as f64 / secs;
+        println!(
+            "{num_users:>7} users  cap {capacity}  stride {stride:>4}  {windows:>6} windows in \
+             {secs:>7.3}s  {throughput:>10.0} windows/sec  \
+             (evictions {evictions}, rehydrations {rehydrations})"
+        );
+        rows.push(ChurnRow {
+            working_set_stride: stride,
+            ticks,
+            windows,
+            evictions,
+            rehydrations,
+            secs,
+            windows_per_sec: throughput,
+        });
+    }
+    EvictionChurnBench {
+        users: num_users,
+        capacity,
         rows,
     }
 }
@@ -179,6 +264,12 @@ fn main() {
         fleet.push(measure(n));
         println!();
     }
+    // Eviction churn at the mid-size fleet: enough users that bounded
+    // residency matters, small enough that the scenario stays a smoke test
+    // in --quick runs.
+    let (churn_users, churn_capacity) = if quick { (200, 50) } else { (1_000, 250) };
+    let eviction_churn = measure_churn(churn_users, churn_capacity);
+    println!();
     let fallbacks = dft_fallback_count() - baseline;
 
     // The microbench runs the reference DFT on purpose; check the fleet
@@ -193,6 +284,7 @@ fn main() {
         window_samples: WINDOW_SAMPLES,
         dft_fallbacks_during_fleet: fallbacks,
         fleet,
+        eviction_churn,
         spectrum_microbench: microbench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

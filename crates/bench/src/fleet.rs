@@ -205,6 +205,42 @@ impl FleetFixture {
         self.engine.len()
     }
 
+    /// Switches the engine to bounded residency: at most `capacity`
+    /// pipelines stay in memory after each tick, the rest round-tripping
+    /// through an in-memory snapshot store (the serialized wire format, so
+    /// the measured churn cost includes full encode/decode). Called after
+    /// enrollment so fixture construction itself is unaffected.
+    pub fn enable_eviction(&mut self, capacity: usize) {
+        self.engine.enable_eviction(
+            Box::new(smarteryou_core::persist::MemorySnapshotStore::new()),
+            capacity,
+        );
+    }
+
+    /// Queues `per_user` fresh windows for each user in `users` (indices
+    /// into the registered fleet); returns the number of windows queued.
+    /// Unlike [`FleetFixture::submit_tick`], this touches only a subset —
+    /// the access pattern that makes an eviction policy earn its keep.
+    pub fn submit_tick_for(
+        &mut self,
+        users: impl IntoIterator<Item = usize>,
+        per_user: usize,
+    ) -> usize {
+        let mut queued = 0;
+        for u in users {
+            let pool = &self.feed[self.profile_of[u]];
+            for k in 0..per_user {
+                let window = pool[(self.cursor + k) % pool.len()].clone();
+                self.engine
+                    .submit(UserId(u), window)
+                    .expect("user registered");
+                queued += 1;
+            }
+        }
+        self.cursor = (self.cursor + per_user) % self.feed[0].len().max(1);
+        queued
+    }
+
     /// Borrows the engine (e.g. for direct `score_ticked` calls).
     pub fn engine_mut(&mut self) -> &mut FleetEngine {
         &mut self.engine
@@ -214,17 +250,7 @@ impl FleetFixture {
     /// of windows queued.
     pub fn submit_tick(&mut self, per_user: usize) -> usize {
         let users = self.engine.len();
-        for u in 0..users {
-            let pool = &self.feed[self.profile_of[u]];
-            for k in 0..per_user {
-                let window = pool[(self.cursor + k) % pool.len()].clone();
-                self.engine
-                    .submit(UserId(u), window)
-                    .expect("user registered");
-            }
-        }
-        self.cursor = (self.cursor + per_user) % self.feed[0].len().max(1);
-        users * per_user
+        self.submit_tick_for(0..users, per_user)
     }
 
     /// Scores everything queued.

@@ -21,14 +21,36 @@
 //! under its mutex during (re)training. The batch-parity integration tests
 //! assert this equivalence on a seeded population.
 //!
+//! # Idle-pipeline eviction
+//!
+//! At fleet scale most registered users are idle between ticks, and resident
+//! pipelines are not free: each holds trained KRR models, a detector forest,
+//! two retrain ring buffers and a planned FFT. With
+//! [`FleetEngine::with_eviction`] the engine bounds residency: after every
+//! tick, if more than `capacity` pipelines are in memory, the **least
+//! recently submitted** ones (ticks-since-last-submit LRU) are snapshotted
+//! into a pluggable [`SnapshotStore`](crate::persist::SnapshotStore) and
+//! dropped. A later [`FleetEngine::submit`] for an evicted user rehydrates
+//! the pipeline lazily from its snapshot before queueing the window.
+//!
+//! Eviction is **behaviour-free**: because snapshot/restore round-trips are
+//! bit-identical (see [`crate::persist`]), an engine with aggressive
+//! eviction produces exactly the decisions, scores, and retrain events of
+//! an engine that never evicts — enforced by `tests/persist_parity.rs`.
+//! [`TickReport::evictions`], [`TickReport::rehydrations`] and
+//! [`TickReport::resident_pipelines`] expose the churn for monitoring.
+//!
 //! # Example
 //!
 //! ```no_run
 //! use smarteryou_core::engine::FleetEngine;
+//! use smarteryou_core::persist::MemorySnapshotStore;
 //! # fn pipelines() -> Vec<(smarteryou_sensors::UserId, smarteryou_core::SmarterYou)> { Vec::new() }
 //! # fn next_tick() -> Vec<(smarteryou_sensors::UserId, smarteryou_sensors::DualDeviceWindow)> { Vec::new() }
 //!
-//! let mut engine = FleetEngine::new();
+//! // Keep at most 10k pipelines resident; the rest live as snapshots.
+//! let mut engine = FleetEngine::new()
+//!     .with_eviction(Box::new(MemorySnapshotStore::new()), 10_000);
 //! for (id, pipeline) in pipelines() {
 //!     engine.register(id, pipeline).unwrap();
 //! }
@@ -41,22 +63,44 @@
 pub mod batch;
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use smarteryou_sensors::{DualDeviceWindow, UserId};
 
 use crate::parallel::parallel_map_mut;
+use crate::persist::{PersistError, SnapshotStore};
 use crate::pipeline::{ProcessOutcome, SmarterYou};
+use crate::server::TrainingServer;
 use crate::CoreError;
 
 pub use batch::{TickReport, UserOutcomes};
 
-/// One registered user: their on-device pipeline plus the windows queued
-/// for the next tick.
+/// One registered user: their on-device pipeline (or its evicted stand-in)
+/// plus the windows queued for the next tick.
 #[derive(Debug)]
 struct UserSlot {
     id: UserId,
-    pipeline: SmarterYou,
+    /// `None` while the pipeline lives in the snapshot store.
+    pipeline: Option<SmarterYou>,
+    /// Shared training-server handle, retained across eviction so
+    /// rehydration reattaches the restored pipeline to the same cloud
+    /// state. An `Arc` clone, not a copy of the server.
+    server: Arc<Mutex<TrainingServer>>,
     inbox: Vec<DualDeviceWindow>,
+    /// Engine clock at the most recent submit for this user (registration
+    /// counts as activity); the eviction LRU orders by this.
+    last_submit_tick: u64,
+}
+
+/// Eviction policy + store, present only when eviction is enabled.
+#[derive(Debug)]
+struct EvictionState {
+    store: Box<dyn SnapshotStore>,
+    capacity: usize,
+    total_evictions: u64,
+    total_rehydrations: u64,
 }
 
 /// Owns many per-user [`SmarterYou`] pipelines and scores queued windows in
@@ -65,12 +109,87 @@ struct UserSlot {
 pub struct FleetEngine {
     slots: Vec<UserSlot>,
     index: HashMap<UserId, usize>,
+    eviction: Option<EvictionState>,
+    /// Monotone tick counter; drives the idle LRU.
+    clock: u64,
+    /// Rehydrations performed since the last tick, reported by the next
+    /// [`TickReport`].
+    rehydrations_since_tick: usize,
 }
 
 impl FleetEngine {
-    /// An engine with no registered users.
+    /// An engine with no registered users and eviction disabled (every
+    /// registered pipeline stays resident).
     pub fn new() -> Self {
         FleetEngine::default()
+    }
+
+    /// Builder form of [`FleetEngine::enable_eviction`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_eviction(mut self, store: Box<dyn SnapshotStore>, capacity: usize) -> Self {
+        self.enable_eviction(store, capacity);
+        self
+    }
+
+    /// Enables idle-pipeline eviction: after each [`FleetEngine::tick`], if
+    /// more than `capacity` pipelines are resident, the least recently
+    /// submitted ones are snapshotted into `store` and dropped from memory,
+    /// to be rehydrated lazily on their next submit. Safe to call on a
+    /// populated engine (e.g. after a bulk enrollment phase); the next tick
+    /// trims residency to `capacity`. Re-configuring (new store and/or
+    /// capacity) is allowed only while every pipeline is resident —
+    /// replacing the store while users are parked in the old one would
+    /// strand their trained state; rehydrate them first. Lifetime
+    /// eviction/rehydration totals survive re-configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, or if any registered user's pipeline
+    /// is currently evicted (its snapshot lives in the store being
+    /// replaced).
+    pub fn enable_eviction(&mut self, store: Box<dyn SnapshotStore>, capacity: usize) {
+        assert!(capacity > 0, "eviction capacity must be positive");
+        assert!(
+            self.resident_count() == self.len(),
+            "cannot replace the snapshot store while pipelines are evicted \
+             into the old one — rehydrate them first"
+        );
+        let (total_evictions, total_rehydrations) = self.eviction_totals();
+        self.eviction = Some(EvictionState {
+            store,
+            capacity,
+            total_evictions,
+            total_rehydrations,
+        });
+    }
+
+    /// The configured residency capacity, or `None` when eviction is
+    /// disabled.
+    pub fn eviction_capacity(&self) -> Option<usize> {
+        self.eviction.as_ref().map(|e| e.capacity)
+    }
+
+    /// Mutable access to the configured snapshot store (`None` when
+    /// eviction is disabled) — for operational tooling that inspects or
+    /// migrates parked snapshots.
+    pub fn snapshot_store_mut(&mut self) -> Option<&mut (dyn SnapshotStore + '_)> {
+        self.eviction.as_mut().map(|e| &mut *e.store as _)
+    }
+
+    /// Pipelines currently resident in memory.
+    pub fn resident_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.pipeline.is_some()).count()
+    }
+
+    /// Whether a registered user's pipeline is currently resident
+    /// (`None` for unregistered users).
+    pub fn is_resident(&self, id: UserId) -> Option<bool> {
+        self.index
+            .get(&id)
+            .map(|&i| self.slots[i].pipeline.is_some())
     }
 
     /// Registers a user's pipeline. Tick outcomes are reported in
@@ -87,15 +206,18 @@ impl FleetEngine {
             )));
         }
         self.index.insert(id, self.slots.len());
+        let server = pipeline.training_server().clone();
         self.slots.push(UserSlot {
             id,
-            pipeline,
+            pipeline: Some(pipeline),
+            server,
             inbox: Vec::new(),
+            last_submit_tick: self.clock,
         });
         Ok(())
     }
 
-    /// Number of registered users.
+    /// Number of registered users (resident or evicted).
     pub fn len(&self) -> usize {
         self.slots.len()
     }
@@ -110,56 +232,103 @@ impl FleetEngine {
         self.slots.iter().map(|s| s.id)
     }
 
-    /// Borrows a registered user's pipeline.
+    /// Borrows a registered user's pipeline. Returns `None` for
+    /// unregistered users **and** for registered users whose pipeline is
+    /// currently evicted — call [`FleetEngine::rehydrate`] first to force
+    /// residency.
     pub fn pipeline(&self, id: UserId) -> Option<&SmarterYou> {
-        self.index.get(&id).map(|&i| &self.slots[i].pipeline)
+        self.index
+            .get(&id)
+            .and_then(|&i| self.slots[i].pipeline.as_ref())
     }
 
     /// Mutably borrows a registered user's pipeline (e.g. to unlock after
-    /// explicit authentication or advance its clock).
+    /// explicit authentication or advance its clock). `None` when
+    /// unregistered or evicted, like [`FleetEngine::pipeline`].
     pub fn pipeline_mut(&mut self, id: UserId) -> Option<&mut SmarterYou> {
-        self.index.get(&id).map(|&i| &mut self.slots[i].pipeline)
+        self.index
+            .get(&id)
+            .and_then(|&i| self.slots[i].pipeline.as_mut())
+    }
+
+    /// Forces a user's pipeline into memory, rehydrating it from the
+    /// snapshot store if it was evicted. No-op for resident users. This
+    /// counts as rehydration churn but **not** as submit activity — an
+    /// inspected-but-idle pipeline remains first in line for eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] for unregistered users;
+    /// [`CoreError::Persist`] when the snapshot is missing or corrupt.
+    pub fn rehydrate(&mut self, id: UserId) -> Result<(), CoreError> {
+        let i = *self.index.get(&id).ok_or(CoreError::UnknownUser(id))?;
+        self.ensure_resident(i)
+    }
+
+    /// Loads slot `i`'s pipeline from the snapshot store if it is evicted.
+    fn ensure_resident(&mut self, i: usize) -> Result<(), CoreError> {
+        if self.slots[i].pipeline.is_some() {
+            return Ok(());
+        }
+        let id = self.slots[i].id;
+        let eviction = self
+            .eviction
+            .as_mut()
+            .expect("evicted slot implies an eviction store");
+        let snapshot = eviction
+            .store
+            .load(id)?
+            .ok_or(CoreError::Persist(PersistError::MissingSnapshot(id)))?;
+        let pipeline = SmarterYou::restore(snapshot, self.slots[i].server.clone())?;
+        // The stored snapshot stays put as a crash-recovery copy: it can
+        // never be *read* while the pipeline is resident (loads only happen
+        // for evicted slots, and eviction overwrites the entry first), and
+        // deleting it would leave a durable store with no copy at all until
+        // the next eviction — losing everything instead of just the
+        // post-rehydration progress if the process dies.
+        eviction.total_rehydrations += 1;
+        self.rehydrations_since_tick += 1;
+        self.slots[i].pipeline = Some(pipeline);
+        Ok(())
     }
 
     /// Queues one window for `id`, to be scored by the next
-    /// [`FleetEngine::tick`].
+    /// [`FleetEngine::tick`]. If the user's pipeline was evicted it is
+    /// rehydrated from the snapshot store first (lazy rehydration).
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] for an unregistered user.
+    /// [`CoreError::UnknownUser`] for an unregistered user;
+    /// [`CoreError::Persist`] when rehydration fails — a distinct error
+    /// path, so callers can tell "no such user" from "known user whose
+    /// state could not be loaded".
     pub fn submit(&mut self, id: UserId, window: DualDeviceWindow) -> Result<(), CoreError> {
-        match self.index.get(&id) {
-            Some(&i) => {
-                self.slots[i].inbox.push(window);
-                Ok(())
-            }
-            None => Err(CoreError::InvalidConfig(format!(
-                "user {} is not registered",
-                id.0
-            ))),
-        }
+        let i = *self.index.get(&id).ok_or(CoreError::UnknownUser(id))?;
+        self.ensure_resident(i)?;
+        let slot = &mut self.slots[i];
+        slot.inbox.push(window);
+        slot.last_submit_tick = self.clock;
+        Ok(())
     }
 
     /// Queues a whole stream of windows for `id`, preserving order.
+    /// Rehydrates an evicted pipeline first, like [`FleetEngine::submit`].
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] for an unregistered user.
+    /// [`CoreError::UnknownUser`] for an unregistered user;
+    /// [`CoreError::Persist`] when rehydration fails.
     pub fn submit_many(
         &mut self,
         id: UserId,
         windows: impl IntoIterator<Item = DualDeviceWindow>,
     ) -> Result<(), CoreError> {
-        match self.index.get(&id) {
-            Some(&i) => {
-                self.slots[i].inbox.extend(windows);
-                Ok(())
-            }
-            None => Err(CoreError::InvalidConfig(format!(
-                "user {} is not registered",
-                id.0
-            ))),
-        }
+        let i = *self.index.get(&id).ok_or(CoreError::UnknownUser(id))?;
+        self.ensure_resident(i)?;
+        let slot = &mut self.slots[i];
+        slot.inbox.extend(windows);
+        slot.last_submit_tick = self.clock;
+        Ok(())
     }
 
     /// Windows currently queued across all users.
@@ -177,16 +346,34 @@ impl FleetEngine {
     /// outcomes from this tick — while every other user's outcomes are
     /// still reported. Fleet operation must not lose one device's lock
     /// decision because another device's retrain failed.
+    ///
+    /// When eviction is enabled, the tick ends with an eviction pass: the
+    /// least recently submitted resident pipelines are snapshotted out
+    /// until at most `capacity` remain. A failed snapshot save keeps that
+    /// pipeline resident (state is never dropped unsaved) and reports the
+    /// failure in [`TickReport::eviction_errors`] — separate from scoring
+    /// errors, because the tick's outcomes are still valid.
     pub fn tick(&mut self) -> TickReport {
         let results: Vec<Result<UserOutcomes, (UserId, CoreError)>> =
             parallel_map_mut(&mut self.slots, |slot| {
                 let windows = std::mem::take(&mut slot.inbox);
-                match slot.pipeline.process_batch(&windows) {
-                    Ok(outcomes) => Ok(UserOutcomes {
-                        user: slot.id,
-                        outcomes,
-                    }),
-                    Err(e) => Err((slot.id, e)),
+                match slot.pipeline.as_mut() {
+                    Some(pipeline) => match pipeline.process_batch(&windows) {
+                        Ok(outcomes) => Ok(UserOutcomes {
+                            user: slot.id,
+                            outcomes,
+                        }),
+                        Err(e) => Err((slot.id, e)),
+                    },
+                    // Evicted slots cannot accumulate windows (submit
+                    // rehydrates first); nothing to score.
+                    None => {
+                        debug_assert!(windows.is_empty(), "windows queued for evicted pipeline");
+                        Ok(UserOutcomes {
+                            user: slot.id,
+                            outcomes: Vec::new(),
+                        })
+                    }
                 }
             });
         let mut users = Vec::with_capacity(results.len());
@@ -201,20 +388,87 @@ impl FleetEngine {
                 Err(failure) => errors.push(failure),
             }
         }
-        TickReport::new(users, errors)
+        let (evicted, eviction_errors) = self.evict_idle();
+        let rehydrated = std::mem::take(&mut self.rehydrations_since_tick);
+        self.clock += 1;
+        let resident = self.resident_count();
+        TickReport::new(users, errors).with_fleet_state(
+            evicted,
+            rehydrated,
+            resident,
+            eviction_errors,
+        )
+    }
+
+    /// Trims residency to the configured capacity, evicting the least
+    /// recently submitted pipelines first. Returns how many were evicted
+    /// plus the save failures; a failed save keeps its pipeline resident.
+    fn evict_idle(&mut self) -> (usize, Vec<(UserId, PersistError)>) {
+        let mut errors = Vec::new();
+        let Some(eviction) = self.eviction.as_mut() else {
+            return (0, errors);
+        };
+        let mut resident: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].pipeline.is_some())
+            .collect();
+        if resident.len() <= eviction.capacity {
+            return (0, errors);
+        }
+        // Oldest submit first; ties broken by registration order so the
+        // pass is deterministic.
+        resident.sort_by_key(|&i| (self.slots[i].last_submit_tick, i));
+        let excess = resident.len() - eviction.capacity;
+        let mut evicted = 0;
+        for &i in &resident[..excess] {
+            let slot = &mut self.slots[i];
+            let pipeline = slot.pipeline.take().expect("selected as resident");
+            // Consuming snapshot: the pipeline is leaving memory anyway, so
+            // its state moves into the snapshot instead of being cloned.
+            let snapshot = pipeline.into_snapshot();
+            match eviction.store.save(slot.id, &snapshot) {
+                Ok(()) => {
+                    evicted += 1;
+                    eviction.total_evictions += 1;
+                }
+                Err(e) => {
+                    // Never drop unsaved state: rebuild the pipeline from
+                    // the snapshot still in hand (a snapshot taken from a
+                    // live pipeline always restores) and surface the error.
+                    slot.pipeline = Some(
+                        SmarterYou::restore(snapshot, slot.server.clone())
+                            .expect("snapshot of a live pipeline restores"),
+                    );
+                    errors.push((slot.id, e));
+                }
+            }
+        }
+        (evicted, errors)
+    }
+
+    /// Lifetime eviction and rehydration totals (`(0, 0)` when eviction is
+    /// disabled).
+    pub fn eviction_totals(&self) -> (u64, u64) {
+        self.eviction
+            .as_ref()
+            .map(|e| (e.total_evictions, e.total_rehydrations))
+            .unwrap_or((0, 0))
     }
 
     /// One-call tick: queues a batch of `(user, window)` pairs, scores them
     /// (together with anything already queued), and returns this batch's
-    /// outcomes **in input order**.
+    /// outcomes **in input order**. Evicted users rehydrate on their first
+    /// window of the batch, exactly as [`FleetEngine::submit`] would.
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] for an unregistered user (nothing is
-    /// scored in that case), or the first per-user pipeline failure if one
-    /// of this batch's users errored (the other users' pipelines still
-    /// advanced — use [`FleetEngine::submit`] + [`FleetEngine::tick`] for
-    /// error-isolated reporting).
+    /// [`CoreError::UnknownUser`] if any user in the batch is unregistered
+    /// (checked up front — nothing is queued or scored in that case);
+    /// [`CoreError::Persist`] if a rehydration fails while queueing
+    /// (earlier pairs of the batch stay queued for the next tick); or the
+    /// first per-user pipeline failure if one of this batch's users errored
+    /// (the other users' pipelines still advanced — use
+    /// [`FleetEngine::submit`] + [`FleetEngine::tick`] for error-isolated
+    /// reporting).
     pub fn score_ticked(
         &mut self,
         batch: Vec<(UserId, DualDeviceWindow)>,
@@ -222,10 +476,7 @@ impl FleetEngine {
         // Validate before mutating any inbox so an unknown id is atomic.
         for (id, _) in &batch {
             if !self.index.contains_key(id) {
-                return Err(CoreError::InvalidConfig(format!(
-                    "user {} is not registered",
-                    id.0
-                )));
+                return Err(CoreError::UnknownUser(*id));
             }
         }
         // Remember, per input position, which of its user's queued windows
@@ -233,10 +484,13 @@ impl FleetEngine {
         let mut positions = Vec::with_capacity(batch.len());
         let mut order: Vec<UserId> = Vec::with_capacity(batch.len());
         for (id, window) in batch {
-            let slot = &mut self.slots[self.index[&id]];
+            let i = self.index[&id];
+            self.ensure_resident(i)?;
+            let slot = &mut self.slots[i];
             positions.push(slot.inbox.len());
             order.push(id);
             slot.inbox.push(window);
+            slot.last_submit_tick = self.clock;
         }
         let report = self.tick();
         if let Some((_, error)) = report.errors().first() {
@@ -255,6 +509,13 @@ impl FleetEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smarteryou_sensors::{Population, TraceGenerator, WindowSpec};
+
+    fn some_window() -> DualDeviceWindow {
+        let owner = Population::generate(1, 11).users()[0].clone();
+        let mut gen = TraceGenerator::new(owner, 13);
+        gen.next_window(WindowSpec::from_seconds(2.0, 50.0))
+    }
 
     #[test]
     fn empty_engine_bookkeeping() {
@@ -262,12 +523,48 @@ mod tests {
         assert!(engine.is_empty());
         assert_eq!(engine.len(), 0);
         assert_eq!(engine.pending(), 0);
+        assert_eq!(engine.resident_count(), 0);
+        assert_eq!(engine.eviction_capacity(), None);
+        assert_eq!(engine.eviction_totals(), (0, 0));
+        assert!(engine.snapshot_store_mut().is_none());
         assert!(engine.user_ids().next().is_none());
         assert!(engine.pipeline(UserId(0)).is_none());
         assert!(engine.pipeline_mut(UserId(0)).is_none());
+        assert_eq!(engine.is_resident(UserId(0)), None);
         let outcomes = engine.score_ticked(vec![]).expect("empty batch is fine");
         assert!(outcomes.is_empty());
         let report = engine.tick();
         assert_eq!(report.windows_scored(), 0);
+        assert_eq!(report.evictions(), 0);
+        assert_eq!(report.rehydrations(), 0);
+        assert_eq!(report.resident_pipelines(), 0);
+    }
+
+    #[test]
+    fn unregistered_user_is_a_typed_error() {
+        let mut engine = FleetEngine::new();
+        let w = some_window();
+        assert_eq!(
+            engine.submit(UserId(4), w.clone()),
+            Err(CoreError::UnknownUser(UserId(4)))
+        );
+        assert_eq!(
+            engine.submit_many(UserId(4), [w.clone()]),
+            Err(CoreError::UnknownUser(UserId(4)))
+        );
+        assert_eq!(
+            engine.score_ticked(vec![(UserId(4), w)]).unwrap_err(),
+            CoreError::UnknownUser(UserId(4))
+        );
+        assert_eq!(
+            engine.rehydrate(UserId(4)),
+            Err(CoreError::UnknownUser(UserId(4)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_eviction_capacity_is_rejected() {
+        FleetEngine::new().enable_eviction(Box::new(crate::persist::MemorySnapshotStore::new()), 0);
     }
 }

@@ -9,6 +9,7 @@
 
 use smarteryou_sensors::UserId;
 
+use crate::persist::PersistError;
 use crate::pipeline::ProcessOutcome;
 use crate::response::ResponseAction;
 use crate::CoreError;
@@ -35,6 +36,10 @@ pub struct TickReport {
     rejections: usize,
     locks: usize,
     retrains: usize,
+    evictions: usize,
+    rehydrations: usize,
+    resident: usize,
+    eviction_errors: Vec<(UserId, PersistError)>,
 }
 
 impl TickReport {
@@ -73,16 +78,42 @@ impl TickReport {
         report
     }
 
+    /// Records the tick's fleet-residency stats (eviction pass results and
+    /// rehydrations since the previous tick).
+    pub(crate) fn with_fleet_state(
+        mut self,
+        evictions: usize,
+        rehydrations: usize,
+        resident: usize,
+        eviction_errors: Vec<(UserId, PersistError)>,
+    ) -> Self {
+        self.evictions = evictions;
+        self.rehydrations = rehydrations;
+        self.resident = resident;
+        self.eviction_errors = eviction_errors;
+        self
+    }
+
     /// Per-user outcomes, in engine registration order.
     pub fn users(&self) -> &[UserOutcomes] {
         &self.users
     }
 
-    /// Per-user pipeline failures this tick. A failing user's queued
-    /// windows were consumed without producing outcomes; all other users
-    /// are unaffected.
+    /// Per-user pipeline *scoring* failures this tick. A failing user's
+    /// queued windows were consumed without producing outcomes; all other
+    /// users are unaffected. Snapshot-save failures from the eviction pass
+    /// are **not** here — they never invalidate scored outcomes — see
+    /// [`TickReport::eviction_errors`].
     pub fn errors(&self) -> &[(UserId, CoreError)] {
         &self.errors
+    }
+
+    /// Snapshot-save failures from this tick's eviction pass. Each listed
+    /// user's pipeline stayed resident (state is never dropped unsaved) and
+    /// their already-scored outcomes remain valid; the engine simply runs
+    /// over capacity until a later save succeeds.
+    pub fn eviction_errors(&self) -> &[(UserId, PersistError)] {
+        &self.eviction_errors
     }
 
     /// Total windows processed this tick (enrolling + authenticated).
@@ -113,6 +144,23 @@ impl TickReport {
     /// Automatic retrains triggered this tick.
     pub fn retrains(&self) -> usize {
         self.retrains
+    }
+
+    /// Pipelines snapshotted out of memory by this tick's eviction pass
+    /// (always zero when eviction is disabled).
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Pipelines rehydrated from the snapshot store since the previous
+    /// tick (lazy rehydration happens at submit time).
+    pub fn rehydrations(&self) -> usize {
+        self.rehydrations
+    }
+
+    /// Pipelines resident in memory after this tick's eviction pass.
+    pub fn resident_pipelines(&self) -> usize {
+        self.resident
     }
 }
 

@@ -1,6 +1,9 @@
 use std::fmt;
 
 use smarteryou_ml::MlError;
+use smarteryou_sensors::UserId;
+
+use crate::persist::PersistError;
 
 /// Error type for the SmarterYou core pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +16,14 @@ pub enum CoreError {
     InsufficientData(String),
     /// A configuration value is out of its valid range.
     InvalidConfig(String),
+    /// A fleet-engine operation referenced a user that was never
+    /// registered. Distinct from [`CoreError::Persist`]: a *known* user
+    /// whose evicted snapshot cannot be rehydrated reports the persistence
+    /// failure, not an unknown-user error.
+    UnknownUser(UserId),
+    /// Snapshot/restore persistence failed (eviction, rehydration, or a
+    /// snapshot store operation).
+    Persist(PersistError),
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +33,8 @@ impl fmt::Display for CoreError {
             CoreError::NotEnrolled => write!(f, "authenticator not yet enrolled"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::UnknownUser(id) => write!(f, "{id} is not registered"),
+            CoreError::Persist(e) => write!(f, "persistence failed: {e}"),
         }
     }
 }
@@ -30,6 +43,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Training(e) => Some(e),
+            CoreError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -38,6 +52,12 @@ impl std::error::Error for CoreError {
 impl From<MlError> for CoreError {
     fn from(e: MlError) -> Self {
         CoreError::Training(e)
+    }
+}
+
+impl From<PersistError> for CoreError {
+    fn from(e: PersistError) -> Self {
+        CoreError::Persist(e)
     }
 }
 
@@ -52,5 +72,16 @@ mod tests {
         let e: CoreError = MlError::InvalidParameter("rho".into()).into();
         assert!(matches!(e, CoreError::Training(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn unknown_user_and_persist_are_distinct() {
+        let unknown = CoreError::UnknownUser(UserId(7));
+        assert!(format!("{unknown}").contains("user07"));
+        assert!(std::error::Error::source(&unknown).is_none());
+        let persist: CoreError = PersistError::MissingSnapshot(UserId(7)).into();
+        assert_ne!(unknown, persist);
+        assert!(format!("{persist}").contains("no snapshot"));
+        assert!(std::error::Error::source(&persist).is_some());
     }
 }

@@ -17,7 +17,9 @@
 //!
 //! [`SmarterYou`] ties these together into the deployable on-device runtime
 //! of Figure 1, and [`experiment`] hosts the harness that regenerates every
-//! table and figure of §V.
+//! table and figure of §V. At fleet scale, [`engine::FleetEngine`] scores
+//! many users per tick and parks idle pipelines through the versioned
+//! snapshot/restore format in [`persist`].
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@ mod error;
 pub mod experiment;
 mod features;
 pub mod parallel;
+pub mod persist;
 mod pipeline;
 mod power;
 mod response;
@@ -47,6 +50,10 @@ pub use context_detect::{ContextDetector, ContextDetectorConfig};
 pub use engine::{FleetEngine, TickReport, UserOutcomes};
 pub use error::CoreError;
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
+pub use persist::{
+    FileSnapshotStore, MemorySnapshotStore, PersistError, PipelineSnapshot, SnapshotStore,
+    SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+};
 pub use pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase};
 pub use power::{BatteryRow, OverheadReport};
 pub use response::{ResponseAction, ResponseModule, ResponsePolicy};

@@ -1,0 +1,577 @@
+//! Versioned snapshot/restore persistence for per-user pipelines.
+//!
+//! A fleet deployment cannot keep millions of [`SmarterYou`] pipelines
+//! resident: most devices are idle most of the time, yet their models must
+//! survive process restarts and device/session churn without re-enrollment
+//! (§V-I's continuous retraining makes the state genuinely stateful — the
+//! enrollment and retrain buffers, confidence tracker, and RNG position all
+//! influence future decisions). This module provides the wire format for
+//! parking that state:
+//!
+//! * [`PipelineSnapshot`] — a self-contained, schema-checked capture of one
+//!   pipeline: configuration, context-detector forest, per-context KRR
+//!   models, enrollment + retrain ring buffers, confidence tracker,
+//!   response-module state, event log, clock, RNG state, and the
+//!   window-length FFT plan key.
+//! * [`SmarterYou::snapshot`] / [`SmarterYou::restore`] — the round-trip.
+//!   Restoration is **bit-identical**: a pipeline evicted after window *k*
+//!   and restored produces exactly the same decisions, scores, and retrain
+//!   events for windows *k+1..n* as one that never left memory (enforced by
+//!   `tests/persist_parity.rs` and the round-trip property suite).
+//! * [`SnapshotStore`] — pluggable storage, with [`MemorySnapshotStore`]
+//!   (JSON strings in a map — every save/load still exercises the wire
+//!   format) and [`FileSnapshotStore`] (one JSON file per user, written
+//!   atomically) provided. The fleet engine drives either through its
+//!   idle-eviction policy.
+//!
+//! # Version & compatibility policy
+//!
+//! Snapshots are externally tagged with a format magic
+//! ([`SNAPSHOT_FORMAT`]) and a version number ([`SNAPSHOT_VERSION`]),
+//! checked **before** the body is decoded:
+//!
+//! * A snapshot with the wrong magic is rejected with
+//!   [`PersistError::WrongFormat`] — it is some other JSON document.
+//! * A snapshot with a different version is rejected with
+//!   [`PersistError::UnsupportedVersion`]. Version *N* readers never guess
+//!   at version *M* bodies; a future version bump must ship an explicit
+//!   migration that reads the old body shape.
+//! * A snapshot that parses but violates the schema (truncated JSON, a
+//!   matrix whose data length disagrees with its dimensions, ragged feature
+//!   buffers, a zero retrain period) is rejected with
+//!   [`PersistError::Malformed`]. Corruption is always a typed error,
+//!   never a panic and never a silently wrong pipeline.
+//!
+//! The version covers the *semantic* content too: any change to what the
+//! recorded numbers mean (feature order, RNG algorithm, tracker semantics)
+//! must bump [`SNAPSHOT_VERSION`], because a restored pipeline replays
+//! those semantics. CI pins this with a committed golden
+//! `fixtures/pipeline_v1.snapshot.json` that the current code must keep
+//! restoring.
+//!
+//! This format is also the planned wire format between shards: moving a
+//! user from one engine process to another is an evict on the source and a
+//! rehydrate on the target.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use smarteryou_sensors::{UserId, WindowSpec};
+
+use crate::auth::Authenticator;
+use crate::config::SystemConfig;
+use crate::context_detect::ContextDetector;
+use crate::pipeline::SystemEvent;
+use crate::response::ResponseModule;
+use crate::retrain::ConfidenceTracker;
+#[cfg(doc)]
+use crate::SmarterYou;
+
+/// Format magic every pipeline snapshot starts with.
+pub const SNAPSHOT_FORMAT: &str = "smarteryou.pipeline";
+
+/// Snapshot schema version written and accepted by this build.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be produced, stored, loaded, or restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// The document's format magic is not [`SNAPSHOT_FORMAT`].
+    WrongFormat(String),
+    /// The document's version differs from [`SNAPSHOT_VERSION`].
+    UnsupportedVersion {
+        /// Version recorded in the document.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The document is not valid JSON, or decodes into state that violates
+    /// the schema's invariants (ragged buffers, inconsistent widths, …).
+    Malformed(String),
+    /// A store was asked to rehydrate a user it holds no snapshot for.
+    MissingSnapshot(UserId),
+    /// The underlying storage failed (I/O errors from a file-backed store).
+    Io(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::WrongFormat(found) => {
+                write!(f, "not a {SNAPSHOT_FORMAT} snapshot (format tag `{found}`)")
+            }
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot version {found} unsupported (this build reads {supported})"
+                )
+            }
+            PersistError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            PersistError::MissingSnapshot(id) => {
+                write!(f, "no snapshot stored for {id}")
+            }
+            PersistError::Io(msg) => write!(f, "snapshot store I/O failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// The version/format envelope, decoded on its own before the body so that
+/// an incompatible snapshot fails with a version error rather than a
+/// confusing missing-field error from a different schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SnapshotHeader {
+    format: String,
+    version: u32,
+}
+
+/// A self-contained capture of one [`SmarterYou`] pipeline's state — see
+/// the [module docs](self) for the format and compatibility policy.
+///
+/// Produced by [`SmarterYou::snapshot`]; consumed by [`SmarterYou::restore`]
+/// (which reattaches the shared [`TrainingServer`](crate::TrainingServer)
+/// handle, the only part of a pipeline that is fleet-shared rather than
+/// per-user).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSnapshot {
+    pub(crate) format: String,
+    pub(crate) version: u32,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) detector: ContextDetector,
+    pub(crate) authenticator: Option<Authenticator>,
+    pub(crate) response: ResponseModule,
+    pub(crate) tracker: ConfidenceTracker,
+    pub(crate) buffers: [Vec<Vec<f64>>; 2],
+    pub(crate) recent: [Vec<Vec<f64>>; 2],
+    pub(crate) events: Vec<SystemEvent>,
+    pub(crate) day: f64,
+    pub(crate) rng_state: [u64; 4],
+    /// Window-length plan key: shape of the windows the pipeline's FFT plan
+    /// was built for, so restore can re-plan before the first window
+    /// arrives. `None` when no window had been extracted yet.
+    pub(crate) planned_window: Option<WindowSpec>,
+}
+
+impl PipelineSnapshot {
+    /// Schema version recorded in this snapshot.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Whether the captured pipeline had finished enrollment.
+    pub fn is_enrolled(&self) -> bool {
+        self.authenticator.is_some()
+    }
+
+    /// Serializes to the canonical compact-JSON wire form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot data model always serializes")
+    }
+
+    /// Parses and schema-checks a snapshot from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// * [`PersistError::Malformed`] for invalid JSON or invariant
+    ///   violations (see [`PipelineSnapshot::validate`]);
+    /// * [`PersistError::WrongFormat`] / [`PersistError::UnsupportedVersion`]
+    ///   from the envelope check, which runs before body decoding.
+    pub fn from_json(json: &str) -> Result<Self, PersistError> {
+        // One parse of the (large) document; the envelope is checked on
+        // the value tree before the body is decoded, so an incompatible
+        // snapshot still fails with a version error rather than a
+        // missing-field error from a different schema.
+        let value: serde::Value =
+            serde_json::from_str(json).map_err(|e| PersistError::Malformed(e.to_string()))?;
+        let header = SnapshotHeader::from_value(&value)
+            .map_err(|e| PersistError::Malformed(e.to_string()))?;
+        if header.format != SNAPSHOT_FORMAT {
+            return Err(PersistError::WrongFormat(header.format));
+        }
+        if header.version != SNAPSHOT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: header.version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let snapshot = PipelineSnapshot::from_value(&value)
+            .map_err(|e| PersistError::Malformed(e.to_string()))?;
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Checks the cross-field invariants a structurally valid decode can
+    /// still violate. [`SmarterYou::restore`] runs this too, so a snapshot
+    /// assembled in memory gets the same scrutiny as one off the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError`] variants as described on each check.
+    pub fn validate(&self) -> Result<(), PersistError> {
+        if self.format != SNAPSHOT_FORMAT {
+            return Err(PersistError::WrongFormat(self.format.clone()));
+        }
+        if self.version != SNAPSHOT_VERSION {
+            return Err(PersistError::UnsupportedVersion {
+                found: self.version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        if !self.day.is_finite() {
+            return Err(PersistError::Malformed(format!(
+                "non-finite clock day {}",
+                self.day
+            )));
+        }
+        if self.tracker.policy().period == 0 {
+            return Err(PersistError::Malformed(
+                "confidence tracker period is zero".into(),
+            ));
+        }
+        // All-zero is xoshiro256++'s degenerate fixed point (every output
+        // 0 forever) and unreachable from any real generator — a restored
+        // pipeline must never sample from it silently.
+        if self.rng_state == [0u64; 4] {
+            return Err(PersistError::Malformed(
+                "all-zero RNG state is not a valid generator".into(),
+            ));
+        }
+        // Every buffered feature vector must share one width, and that
+        // width must match the models that will score future windows.
+        let mut width: Option<usize> = self.authenticator.as_ref().map(|a| a.num_features());
+        for (kind, buffers) in [("enrollment", &self.buffers), ("retrain", &self.recent)] {
+            for (ctx, buf) in buffers.iter().enumerate() {
+                for row in buf {
+                    match width {
+                        None => width = Some(row.len()),
+                        Some(w) if row.len() == w => {}
+                        Some(w) => {
+                            return Err(PersistError::Malformed(format!(
+                                "{kind} buffer for context {ctx} holds a {}-feature \
+                                 vector where {w} features are expected",
+                                row.len()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where evicted pipelines go. Implementations deal in whole snapshots and
+/// must be durable enough for the deployment: an engine that evicts through
+/// a store trusts [`SnapshotStore::load`] to return exactly what
+/// [`SnapshotStore::save`] was given.
+pub trait SnapshotStore: fmt::Debug + Send {
+    /// Persists `snapshot` under `id`, replacing any previous snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] (or store-specific variants) on failure; the
+    /// engine keeps the pipeline resident when a save fails.
+    fn save(&mut self, id: UserId, snapshot: &PipelineSnapshot) -> Result<(), PersistError>;
+
+    /// Loads the snapshot stored under `id`, or `None` when absent.
+    ///
+    /// Note: the engine leaves a user's last-saved snapshot in place after
+    /// rehydrating them (a crash-recovery copy, overwritten by the next
+    /// eviction), so a store may hold entries for currently resident users.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and decode failures.
+    fn load(&mut self, id: UserId) -> Result<Option<PipelineSnapshot>, PersistError>;
+
+    /// Drops the snapshot stored under `id` (no-op when absent).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on storage failure.
+    fn remove(&mut self, id: UserId) -> Result<(), PersistError>;
+
+    /// Number of snapshots currently stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no snapshots.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory [`SnapshotStore`] keeping each snapshot as its serialized JSON
+/// wire form — saves and loads go through the full encode/decode path, so
+/// even in-process eviction proves the round-trip, and the stored bytes are
+/// exactly what a cross-process shard handoff would ship.
+#[derive(Debug, Default)]
+pub struct MemorySnapshotStore {
+    entries: HashMap<usize, String>,
+}
+
+impl MemorySnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemorySnapshotStore::default()
+    }
+
+    /// Total bytes of serialized snapshots held.
+    pub fn stored_bytes(&self) -> usize {
+        self.entries.values().map(String::len).sum()
+    }
+}
+
+impl SnapshotStore for MemorySnapshotStore {
+    fn save(&mut self, id: UserId, snapshot: &PipelineSnapshot) -> Result<(), PersistError> {
+        self.entries.insert(id.0, snapshot.to_json());
+        Ok(())
+    }
+
+    fn load(&mut self, id: UserId) -> Result<Option<PipelineSnapshot>, PersistError> {
+        self.entries
+            .get(&id.0)
+            .map(|json| PipelineSnapshot::from_json(json))
+            .transpose()
+    }
+
+    fn remove(&mut self, id: UserId) -> Result<(), PersistError> {
+        self.entries.remove(&id.0);
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// File-backed [`SnapshotStore`]: one `<user>.snapshot.json` per user in a
+/// directory, written atomically (temp file + rename) so a crash mid-save
+/// never leaves a truncated snapshot under the user's name.
+#[derive(Debug)]
+pub struct FileSnapshotStore {
+    dir: PathBuf,
+}
+
+impl FileSnapshotStore {
+    /// Opens (creating if needed) a snapshot directory.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| PersistError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(FileSnapshotStore { dir })
+    }
+
+    /// The directory snapshots are stored in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path_for(&self, id: UserId) -> PathBuf {
+        self.dir.join(format!("{id}.snapshot.json"))
+    }
+}
+
+impl SnapshotStore for FileSnapshotStore {
+    fn save(&mut self, id: UserId, snapshot: &PipelineSnapshot) -> Result<(), PersistError> {
+        use std::io::Write;
+        let path = self.path_for(id);
+        let tmp = self.dir.join(format!("{id}.snapshot.json.tmp"));
+        // Write + fsync the temp file *before* the rename: journalling
+        // filesystems may commit the rename ahead of the data blocks, and
+        // an un-synced rename could surface an empty file under the user's
+        // name after a crash.
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| PersistError::Io(format!("create {}: {e}", tmp.display())))?;
+        file.write_all(snapshot.to_json().as_bytes())
+            .map_err(|e| PersistError::Io(format!("write {}: {e}", tmp.display())))?;
+        file.sync_all()
+            .map_err(|e| PersistError::Io(format!("sync {}: {e}", tmp.display())))?;
+        drop(file);
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| PersistError::Io(format!("rename to {}: {e}", path.display())))?;
+        // Sync the directory too: the engine drops the in-memory pipeline
+        // the moment save() returns, so the rename itself must be durable,
+        // not just the file contents.
+        std::fs::File::open(&self.dir)
+            .and_then(|dir| dir.sync_all())
+            .map_err(|e| PersistError::Io(format!("sync {}: {e}", self.dir.display())))
+    }
+
+    fn load(&mut self, id: UserId) -> Result<Option<PipelineSnapshot>, PersistError> {
+        let path = self.path_for(id);
+        match std::fs::read_to_string(&path) {
+            Ok(json) => PipelineSnapshot::from_json(&json).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(PersistError::Io(format!("read {}: {e}", path.display()))),
+        }
+    }
+
+    fn remove(&mut self, id: UserId) -> Result<(), PersistError> {
+        let path = self.path_for(id);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(PersistError::Io(format!("remove {}: {e}", path.display()))),
+        }
+    }
+
+    fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".snapshot.json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal structurally valid snapshot (enrollment phase, nothing
+    /// buffered) for format-level tests; full-pipeline round-trips live in
+    /// the integration suites.
+    fn minimal_snapshot() -> PipelineSnapshot {
+        use crate::features::FeatureExtractor;
+        use crate::response::ResponsePolicy;
+        use crate::retrain::RetrainPolicy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let extractor = FeatureExtractor::paper_default(50.0);
+        let mut rng: StdRng = SeedableRng::seed_from_u64(7);
+        let detector = crate::context_detect::ContextDetector::train(
+            extractor,
+            &[
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+            ],
+            &[
+                smarteryou_sensors::UsageContext::Stationary,
+                smarteryou_sensors::UsageContext::Moving,
+                smarteryou_sensors::UsageContext::Stationary,
+                smarteryou_sensors::UsageContext::Moving,
+            ],
+            crate::context_detect::ContextDetectorConfig {
+                num_trees: 2,
+                max_depth: 2,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        PipelineSnapshot {
+            format: SNAPSHOT_FORMAT.to_string(),
+            version: SNAPSHOT_VERSION,
+            cfg: SystemConfig::paper_default(),
+            detector,
+            authenticator: None,
+            response: ResponseModule::new(ResponsePolicy::default()),
+            tracker: ConfidenceTracker::new(RetrainPolicy::default()),
+            buffers: [vec![vec![1.0, 2.0]], Vec::new()],
+            recent: [Vec::new(), Vec::new()],
+            events: vec![SystemEvent::EnrollmentComplete { day: 0.5 }],
+            day: 0.5,
+            rng_state: [1, 2, 3, u64::MAX],
+            planned_window: Some(WindowSpec::from_seconds(6.0, 50.0)),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let snap = minimal_snapshot();
+        let back = PipelineSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.version(), SNAPSHOT_VERSION);
+        assert!(!back.is_enrolled());
+    }
+
+    #[test]
+    fn wrong_format_and_version_are_typed_errors() {
+        let snap = minimal_snapshot();
+        let json = snap.to_json();
+        let wrong = json.replacen(SNAPSHOT_FORMAT, "someone.else", 1);
+        assert!(matches!(
+            PipelineSnapshot::from_json(&wrong),
+            Err(PersistError::WrongFormat(f)) if f == "someone.else"
+        ));
+        let newer = json.replacen("\"version\":1", "\"version\":2", 1);
+        assert_ne!(newer, json);
+        assert!(matches!(
+            PipelineSnapshot::from_json(&newer),
+            Err(PersistError::UnsupportedVersion {
+                found: 2,
+                supported: SNAPSHOT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn ragged_buffers_are_rejected() {
+        let mut snap = minimal_snapshot();
+        snap.buffers[1].push(vec![1.0, 2.0, 3.0]); // width 3 vs width 2
+        assert!(matches!(
+            PipelineSnapshot::from_json(&snap.to_json()),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn all_zero_rng_state_is_rejected() {
+        let mut snap = minimal_snapshot();
+        snap.rng_state = [0; 4];
+        assert!(matches!(
+            snap.validate(),
+            Err(PersistError::Malformed(msg)) if msg.contains("RNG")
+        ));
+    }
+
+    #[test]
+    fn memory_store_roundtrips_and_counts() {
+        let mut store = MemorySnapshotStore::new();
+        let snap = minimal_snapshot();
+        assert!(store.is_empty());
+        assert_eq!(store.load(UserId(3)).unwrap(), None);
+        store.save(UserId(3), &snap).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.stored_bytes() > 0);
+        assert_eq!(store.load(UserId(3)).unwrap(), Some(snap));
+        store.remove(UserId(3)).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn file_store_roundtrips_atomically() {
+        static UNIQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "smarteryou-persist-test-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let mut store = FileSnapshotStore::new(&dir).unwrap();
+        assert_eq!(store.dir(), dir.as_path());
+        let snap = minimal_snapshot();
+        store.save(UserId(7), &snap).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.load(UserId(7)).unwrap(), Some(snap.clone()));
+        // Overwrite is a replace, not an append.
+        store.save(UserId(7), &snap).unwrap();
+        assert_eq!(store.len(), 1);
+        store.remove(UserId(7)).unwrap();
+        assert_eq!(store.load(UserId(7)).unwrap(), None);
+        store.remove(UserId(7)).unwrap(); // absent remove is a no-op
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

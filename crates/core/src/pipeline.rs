@@ -4,12 +4,13 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use smarteryou_sensors::{DualDeviceWindow, UsageContext};
+use smarteryou_sensors::{DualDeviceWindow, UsageContext, WindowSpec};
 
 use crate::auth::{AuthDecision, Authenticator};
 use crate::config::{ContextMode, SystemConfig};
 use crate::context_detect::ContextDetector;
 use crate::features::FeatureExtractor;
+use crate::persist::{PipelineSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
 use crate::retrain::{ConfidenceTracker, RetrainPolicy};
 use crate::server::TrainingServer;
@@ -184,6 +185,97 @@ impl SmarterYou {
     /// Windows needed per context before enrollment can finish.
     fn enrollment_target(&self) -> usize {
         self.cfg.data_size() / 2
+    }
+
+    /// The shared cloud training-server handle this pipeline talks to.
+    /// The fleet engine retains it across eviction so rehydration reattaches
+    /// the restored pipeline to the same server state.
+    pub(crate) fn training_server(&self) -> &Arc<Mutex<TrainingServer>> {
+        &self.server
+    }
+
+    /// Captures the pipeline's complete per-user state as a versioned
+    /// [`PipelineSnapshot`] — configuration, detector forest, per-context
+    /// KRR models, enrollment + retrain buffers, confidence tracker,
+    /// response state, event log, clock, RNG position, and the
+    /// window-length FFT plan key.
+    ///
+    /// [`SmarterYou::restore`] inverts this **bit-identically**: the
+    /// restored pipeline produces exactly the decisions, scores, and
+    /// retrain events the original would have (see
+    /// [`crate::persist`] for the format and compatibility policy).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        // One construction site for the wire format: the clone is what a
+        // non-consuming capture costs anyway, and a field added to
+        // `into_snapshot` can never be missed here.
+        self.clone().into_snapshot()
+    }
+
+    /// Consuming form of [`SmarterYou::snapshot`]: moves the state out
+    /// instead of deep-cloning it. This is the eviction hot path — the
+    /// pipeline is being dropped anyway, so the detector forest, models,
+    /// and ring buffers transfer into the snapshot without a copy.
+    pub fn into_snapshot(self) -> PipelineSnapshot {
+        let planned_window = self
+            .scratch
+            .planned_len()
+            .map(|n| WindowSpec::new(n, self.cfg.sample_rate()));
+        PipelineSnapshot {
+            format: SNAPSHOT_FORMAT.to_string(),
+            version: SNAPSHOT_VERSION,
+            rng_state: self.rng.state(),
+            cfg: self.cfg,
+            detector: self.detector,
+            authenticator: self.authenticator,
+            response: self.response,
+            tracker: self.tracker,
+            buffers: self.buffers,
+            recent: self.recent,
+            events: self.events,
+            day: self.day,
+            planned_window,
+        }
+    }
+
+    /// Rebuilds a pipeline from a [`PipelineSnapshot`], reattaching the
+    /// shared `server` handle (the one pipeline dependency that is
+    /// fleet-shared rather than per-user). The FFT plan recorded in the
+    /// snapshot's plan key is rebuilt eagerly, so the first post-restore
+    /// window pays no planning cost.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persist`] when the snapshot fails
+    /// [`PipelineSnapshot::validate`], and [`CoreError::InvalidConfig`]
+    /// when its captured configuration is out of range.
+    pub fn restore(
+        snapshot: PipelineSnapshot,
+        server: Arc<Mutex<TrainingServer>>,
+    ) -> Result<Self, CoreError> {
+        snapshot.validate()?;
+        snapshot.cfg.validate()?;
+        let extractor = FeatureExtractor::paper_default(snapshot.cfg.sample_rate());
+        let shared_extractor = *snapshot.detector.extractor() == extractor;
+        let mut scratch = FeatureScratch::default();
+        if let Some(spec) = snapshot.planned_window {
+            scratch.prepare(spec.samples);
+        }
+        Ok(SmarterYou {
+            cfg: snapshot.cfg,
+            extractor,
+            detector: snapshot.detector,
+            server,
+            authenticator: snapshot.authenticator,
+            response: snapshot.response,
+            tracker: snapshot.tracker,
+            buffers: snapshot.buffers,
+            recent: snapshot.recent,
+            events: snapshot.events,
+            day: snapshot.day,
+            rng: rand::rngs::StdRng::from_state(snapshot.rng_state),
+            scratch,
+            shared_extractor,
+        })
     }
 
     /// Feeds one captured window through the pipeline.
@@ -543,6 +635,122 @@ mod tests {
         let impostor_rate = count_accepts(&mut sys, &f.impostor, 43);
         assert!(owner_rate > 0.7, "owner accept rate {owner_rate}");
         assert!(impostor_rate < 0.3, "impostor accept rate {impostor_rate}");
+    }
+
+    /// A retrain policy that fires as soon as the rolling window fills with
+    /// accepted (non-negative, below-huge-threshold) scores — used to force
+    /// retrains deterministically in tests.
+    fn eager_retrain(period: usize) -> RetrainPolicy {
+        RetrainPolicy {
+            threshold: 1e9,
+            period,
+            max_reject_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn retrain_is_deterministic_per_seed() {
+        // Guard for the future epoch-stable negative-sampling work: with a
+        // fixed RNG seed, `SmarterYou::retrain` must reproduce identical
+        // model parameters run after run — the negative sample drawn from
+        // the server pool is a pure function of the seeded RNG stream.
+        let f = fixture();
+        let run = || {
+            let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 77)
+                .unwrap()
+                .with_response_policy(ResponsePolicy {
+                    rejects_to_lock: usize::MAX,
+                })
+                .with_retrain_policy(eager_retrain(5));
+            enroll(&mut sys, &f.owner, f.spec);
+            let mut gen = TraceGenerator::new(f.owner.clone(), 83);
+            let mut retrains = 0;
+            for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+                for w in gen.generate_windows(ctx, f.spec, 10) {
+                    if let ProcessOutcome::Decision {
+                        retrained: true, ..
+                    } = sys.process_window(&w).unwrap()
+                    {
+                        retrains += 1;
+                    }
+                }
+            }
+            (sys, retrains)
+        };
+        let (a, retrains_a) = run();
+        let (b, retrains_b) = run();
+        assert!(retrains_a > 0, "test must exercise the retrain path");
+        assert_eq!(retrains_a, retrains_b);
+        // Identical weights, field for field (KrrModel derives PartialEq on
+        // its raw parameters), identical events and tracker history.
+        assert_eq!(a.authenticator(), b.authenticator());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.confidence_tracker(), b.confidence_tracker());
+        // And a different seed draws a different negative sample.
+        let mut c = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 78)
+            .unwrap()
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            })
+            .with_retrain_policy(eager_retrain(5));
+        enroll(&mut c, &f.owner, f.spec);
+        assert_ne!(a.authenticator(), c.authenticator());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_mid_stream() {
+        let f = fixture();
+        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 5)
+            .unwrap()
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            })
+            .with_retrain_policy(eager_retrain(4));
+        enroll(&mut sys, &f.owner, f.spec);
+        let mut gen = TraceGenerator::new(f.owner.clone(), 59);
+        for w in gen.generate_windows(RawContext::SittingStanding, f.spec, 6) {
+            sys.process_window(&w).unwrap();
+        }
+
+        // Round-trip through the JSON wire form, then continue both the
+        // original and the restored pipeline over the same future windows.
+        let snap = sys.snapshot();
+        let wire = snap.to_json();
+        let back = crate::persist::PipelineSnapshot::from_json(&wire).unwrap();
+        assert_eq!(snap, back);
+        let mut restored = SmarterYou::restore(back, f.server.clone()).unwrap();
+        assert_eq!(restored.phase(), sys.phase());
+        assert_eq!(restored.events(), sys.events());
+
+        for ctx in [RawContext::MovingAround, RawContext::SittingStanding] {
+            for w in gen.generate_windows(ctx, f.spec, 8) {
+                let expected = sys.process_window(&w).unwrap();
+                let got = restored.process_window(&w).unwrap();
+                match (expected, got) {
+                    (
+                        ProcessOutcome::Decision {
+                            decision: d0,
+                            action: a0,
+                            retrained: r0,
+                        },
+                        ProcessOutcome::Decision {
+                            decision: d1,
+                            action: a1,
+                            retrained: r1,
+                        },
+                    ) => {
+                        assert_eq!(d0.confidence.to_bits(), d1.confidence.to_bits());
+                        assert_eq!(
+                            (d0.accepted, d0.context, a0, r0),
+                            (d1.accepted, d1.context, a1, r1)
+                        );
+                    }
+                    (e, g) => assert_eq!(e, g),
+                }
+            }
+        }
+        // Retrains consumed RNG words on both sides; states stay in lockstep.
+        assert_eq!(sys.snapshot(), restored.snapshot());
     }
 
     #[test]

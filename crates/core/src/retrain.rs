@@ -94,6 +94,21 @@ impl ConfidenceTracker {
         self.since_retrain = 0;
     }
 
+    /// Scores currently held in the rolling window (`0..=period`). Together
+    /// with [`ConfidenceTracker::windows_since_retrain`] this is the
+    /// mid-retrain state a pipeline snapshot must carry: a tracker restored
+    /// with a half-full window must trigger on exactly the same future
+    /// window as one that never left memory.
+    pub fn rolling_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Windows recorded since the last retrain (or since creation, before
+    /// the first retrain).
+    pub fn windows_since_retrain(&self) -> usize {
+        self.since_retrain
+    }
+
     /// Number of below-threshold scores currently in the rolling window.
     pub fn below_count(&self) -> usize {
         self.recent

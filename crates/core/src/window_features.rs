@@ -43,6 +43,26 @@ pub struct FeatureScratch {
     spectrum: Vec<f64>,
 }
 
+impl FeatureScratch {
+    /// Window length (in samples) the current spectrum plan was built for,
+    /// or `None` when no window has been extracted yet. This is the plan
+    /// key a pipeline snapshot records so a restored pipeline can re-plan
+    /// its FFT before the first post-restore window arrives.
+    pub fn planned_len(&self) -> Option<usize> {
+        self.plan.as_ref().map(SpectrumPlan::len)
+    }
+
+    /// Ensures the spectrum plan covers `n`-sample windows, building it if
+    /// missing or sized for a different length. Plans are pure precomputed
+    /// tables, so warming one up never changes extraction results — it only
+    /// moves the one-time planning cost out of the first window.
+    pub fn prepare(&mut self, n: usize) {
+        if self.plan.as_ref().map(SpectrumPlan::len) != Some(n) {
+            self.plan = Some(SpectrumPlan::new(n));
+        }
+    }
+}
+
 /// The features of one [`DualDeviceWindow`], computed once and shared by
 /// the context detector and the authenticator.
 ///
@@ -161,9 +181,7 @@ impl FeatureExtractor {
             let summary = stats::Summary::from_slice(&scratch.magnitude);
             let peaks = if needs_spectrum {
                 let n = scratch.magnitude.len();
-                if scratch.plan.as_ref().map(SpectrumPlan::len) != Some(n) {
-                    scratch.plan = Some(SpectrumPlan::new(n));
-                }
+                scratch.prepare(n);
                 let plan = scratch.plan.as_ref().expect("plan set above");
                 plan.magnitude_into(
                     &scratch.magnitude,

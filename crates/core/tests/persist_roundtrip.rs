@@ -1,0 +1,256 @@
+//! Property suite for the pipeline snapshot format: arbitrary pipelines —
+//! random seeds, contexts, enrollment-buffer fill levels, and mid-retrain
+//! tracker states — must satisfy `restore(snapshot(p)) == p` field for
+//! field **through the JSON wire form**, and corrupted or truncated
+//! snapshots must be rejected with a typed error, never a panic.
+
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use smarteryou_core::persist::{PersistError, PipelineSnapshot};
+use smarteryou_core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
+    ResponsePolicy, RetrainPolicy, SmarterYou, SystemConfig, TrainingServer,
+};
+use smarteryou_sensors::{
+    DualDeviceWindow, Population, RawContext, TraceGenerator, UserProfile, WindowSpec,
+};
+
+/// Shared infra (detector + anonymized pool) that every generated pipeline
+/// attaches to — built once, the expensive part of the fixture.
+struct World {
+    cfg: SystemConfig,
+    detector: ContextDetector,
+    server: Arc<Mutex<TrainingServer>>,
+    spec: WindowSpec,
+    users: Vec<UserProfile>,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let cfg = SystemConfig::paper_default()
+            .with_window_secs(2.0)
+            .with_data_size(40);
+        let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+        let population = Population::generate(7, 90_210);
+        let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+        let mut ctx_features = Vec::new();
+        let mut ctx_labels = Vec::new();
+        let mut server = TrainingServer::new();
+        for user in &population.users()[3..] {
+            let mut gen = TraceGenerator::new(user.clone(), 19);
+            for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+                let windows = gen.generate_windows(raw, spec, 25);
+                for w in &windows {
+                    ctx_features.push(extractor.context_features(w));
+                    ctx_labels.push(raw.coarse());
+                }
+                server.contribute(
+                    raw.coarse(),
+                    windows
+                        .iter()
+                        .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+                );
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(23);
+        let detector = ContextDetector::train(
+            extractor,
+            &ctx_features,
+            &ctx_labels,
+            ContextDetectorConfig {
+                num_trees: 12,
+                max_depth: 8,
+            },
+            &mut rng,
+        )
+        .expect("detector trains");
+        World {
+            cfg,
+            detector,
+            server: Arc::new(Mutex::new(server)),
+            spec,
+            users: population.users()[..3].to_vec(),
+        }
+    })
+}
+
+/// Builds a pipeline and advances it through `enroll_rounds` alternating
+/// enrollment rounds and then `auth_windows` authentication windows — so
+/// low parameters leave it mid-enrollment with partially filled buffers,
+/// and higher ones land it mid-retrain-window in continuous auth.
+fn arbitrary_pipeline(
+    seed: u64,
+    user: usize,
+    enroll_rounds: usize,
+    auth_windows: usize,
+    period: usize,
+) -> (SmarterYou, TraceGenerator) {
+    let w = world();
+    let mut sys = SmarterYou::new(w.cfg.clone(), w.detector.clone(), w.server.clone(), seed)
+        .expect("valid config")
+        .with_response_policy(ResponsePolicy { rejects_to_lock: 3 })
+        .with_retrain_policy(RetrainPolicy {
+            threshold: 0.9,
+            period,
+            max_reject_fraction: 0.5,
+        });
+    let mut gen = TraceGenerator::new(w.users[user].clone(), seed ^ 0xABCD);
+    for round in 0..enroll_rounds {
+        let ctx = if round % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
+        for w in gen.generate_windows(ctx, world().spec, 2) {
+            sys.process_window(&w).expect("process");
+        }
+    }
+    for round in 0..auth_windows.div_ceil(3) {
+        let ctx = if round % 2 == 0 {
+            RawContext::MovingAround
+        } else {
+            RawContext::SittingStanding
+        };
+        for w in gen.generate_windows(ctx, world().spec, 3) {
+            sys.process_window(&w).expect("process");
+        }
+    }
+    (sys, gen)
+}
+
+fn future_windows(gen: &mut TraceGenerator, n: usize) -> Vec<DualDeviceWindow> {
+    let mut out = gen.generate_windows(RawContext::SittingStanding, world().spec, n / 2);
+    out.extend(gen.generate_windows(RawContext::MovingAround, world().spec, n - n / 2));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn roundtrip_is_field_for_field_identical(
+        params in (
+            (0..1_000u64, 0..3usize),         // pipeline seed, user profile
+            (0..18usize, 0..16usize, 2..7usize), // enrollment rounds (13+
+                // finishes enrollment), post-enrollment windows, retrain
+                // rolling-window period
+        )
+    ) {
+        let ((seed, user), (enroll_rounds, auth_windows, period)) = params;
+        let (mut original, mut gen) =
+            arbitrary_pipeline(seed, user, enroll_rounds, auth_windows, period);
+
+        // Snapshot → JSON → parse → restore.
+        let snap = original.snapshot();
+        let wire = snap.to_json();
+        let parsed = PipelineSnapshot::from_json(&wire);
+        prop_assert!(parsed.is_ok(), "valid wire form rejected: {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&snap, &parsed);
+        let restored = SmarterYou::restore(parsed, world().server.clone());
+        prop_assert!(restored.is_ok(), "restore failed: {restored:?}");
+        let mut restored = restored.unwrap();
+
+        // Field-for-field: re-snapshotting the restored pipeline captures
+        // exactly the same state, and the observable accessors agree.
+        prop_assert_eq!(&restored.snapshot(), &snap);
+        prop_assert_eq!(restored.phase(), original.phase());
+        prop_assert_eq!(restored.events(), original.events());
+        prop_assert_eq!(restored.is_locked(), original.is_locked());
+        prop_assert_eq!(
+            restored.confidence_tracker().rolling_len(),
+            original.confidence_tracker().rolling_len()
+        );
+        prop_assert_eq!(
+            restored.confidence_tracker().windows_since_retrain(),
+            original.confidence_tracker().windows_since_retrain()
+        );
+
+        // Behavioural equality: both advance identically over the same
+        // future windows (retrains included — the RNG stream must match).
+        for w in future_windows(&mut gen, 6) {
+            let a = original.process_window(&w).expect("original");
+            let b = restored.process_window(&w).expect("restored");
+            match (a, b) {
+                (
+                    ProcessOutcome::Decision { decision: da, action: aa, retrained: ra },
+                    ProcessOutcome::Decision { decision: db, action: ab, retrained: rb },
+                ) => {
+                    prop_assert_eq!(da.confidence.to_bits(), db.confidence.to_bits());
+                    prop_assert_eq!(da.accepted, db.accepted);
+                    prop_assert_eq!(da.context, db.context);
+                    prop_assert_eq!(aa, ab);
+                    prop_assert_eq!(ra, rb);
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+        prop_assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_not_panics(
+        params in (0..1_000usize, 0..256u32)
+    ) {
+        let (cut, flip) = params;
+        static WIRE: OnceLock<String> = OnceLock::new();
+        let wire = WIRE.get_or_init(|| {
+            let (sys, _) = arbitrary_pipeline(42, 0, 16, 6, 4);
+            sys.snapshot().to_json()
+        });
+
+        // Truncation at an arbitrary byte: typed error, never a panic.
+        let at = (cut * wire.len() / 1_000).min(wire.len() - 1);
+        prop_assert!(wire.is_char_boundary(at));
+        prop_assert!(PipelineSnapshot::from_json(&wire[..at]).is_err());
+
+        // Single-byte corruption anywhere: must never panic. (It may still
+        // parse — flipping a digit yields a different but valid snapshot —
+        // so only the absence of a crash is asserted.)
+        let pos = (flip as usize * 997) % wire.len();
+        let mut bytes = wire.clone().into_bytes();
+        bytes[pos] = bytes[pos].wrapping_add(1).clamp(0x20, 0x7e);
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = PipelineSnapshot::from_json(&s);
+        }
+    }
+}
+
+#[test]
+fn versioned_header_mismatch_is_a_typed_error() {
+    let (sys, _) = arbitrary_pipeline(7, 1, 16, 4, 3);
+    let wire = sys.snapshot().to_json();
+
+    let future = wire.replacen("\"version\":1", "\"version\":9", 1);
+    assert_ne!(future, wire);
+    assert!(matches!(
+        PipelineSnapshot::from_json(&future),
+        Err(PersistError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        })
+    ));
+
+    let alien = wire.replacen("smarteryou.pipeline", "acme.toaster", 1);
+    assert!(matches!(
+        PipelineSnapshot::from_json(&alien),
+        Err(PersistError::WrongFormat(f)) if f == "acme.toaster"
+    ));
+
+    // Dropping the header entirely is malformed, not a panic.
+    assert!(matches!(
+        PipelineSnapshot::from_json("{}"),
+        Err(PersistError::Malformed(_))
+    ));
+    assert!(matches!(
+        PipelineSnapshot::from_json("not json at all"),
+        Err(PersistError::Malformed(_))
+    ));
+}

@@ -1,7 +1,7 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::solve::{Cholesky, Lu};
 use crate::LinalgError;
@@ -24,11 +24,25 @@ use crate::LinalgError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+/// Hand-written (rather than derived) so deserialization is shape-checked:
+/// a snapshot whose `data` length disagrees with `rows × cols` — truncated,
+/// corrupted, or forged — is rejected with a typed error instead of
+/// producing a matrix whose indexing would later panic.
+impl serde::Deserialize for Matrix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let rows: usize = serde::__private::get_field(v, "Matrix", "rows")?;
+        let cols: usize = serde::__private::get_field(v, "Matrix", "cols")?;
+        let data: Vec<f64> = serde::__private::get_field(v, "Matrix", "data")?;
+        Matrix::from_vec(rows, cols, data)
+            .map_err(|e| serde::DeError::custom(format!("Matrix: {e}")))
+    }
 }
 
 impl Matrix {
@@ -56,10 +70,14 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::InvalidShape`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
-        if data.len() != rows * cols {
+        // checked_mul: untrusted dimensions (e.g. a forged snapshot) must
+        // not wrap in release builds and slip past the length check.
+        let expected = rows.checked_mul(cols).ok_or_else(|| {
+            LinalgError::InvalidShape(format!("{rows}x{cols} matrix size overflows"))
+        })?;
+        if data.len() != expected {
             return Err(LinalgError::InvalidShape(format!(
-                "expected {} elements for a {rows}x{cols} matrix, got {}",
-                rows * cols,
+                "expected {expected} elements for a {rows}x{cols} matrix, got {}",
                 data.len()
             )));
         }
@@ -460,6 +478,28 @@ mod tests {
             Matrix::from_vec(2, 2, vec![1.0; 3]),
             Err(LinalgError::InvalidShape(_))
         ));
+    }
+
+    #[test]
+    fn deserialize_is_shape_checked() {
+        let m = Matrix::from_rows(&[&[1.5, -2.0], &[0.25, 4.0]]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        // Same dims, short data: typed error, not a panic later.
+        let bad = json.replace("[1.5,-2.0,0.25,4.0]", "[1.5,-2.0,0.25]");
+        assert_ne!(bad, json, "corruption must have applied");
+        assert!(serde_json::from_str::<Matrix>(&bad).is_err());
+        // Inconsistent dims with plausible data length.
+        let bad = json.replace("\"rows\":2", "\"rows\":3");
+        assert!(serde_json::from_str::<Matrix>(&bad).is_err());
+        // Forged dims whose product wraps usize: typed error, not a
+        // zero-storage matrix that panics on first index.
+        let huge = (1usize << 32).to_string();
+        let bad = json
+            .replace("\"rows\":2", &format!("\"rows\":{huge}"))
+            .replace("\"cols\":2", &format!("\"cols\":{huge}"));
+        assert!(serde_json::from_str::<Matrix>(&bad).is_err());
     }
 
     #[test]

@@ -18,6 +18,24 @@ pub struct WindowSpec {
 }
 
 impl WindowSpec {
+    /// A window of exactly `samples` samples at `sample_rate` Hz — the
+    /// direct form used by persisted pipeline snapshots, whose FFT plan key
+    /// is a sample count rather than a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero or `sample_rate` is non-positive.
+    pub fn new(samples: usize, sample_rate: f64) -> Self {
+        assert!(
+            samples > 0 && sample_rate > 0.0,
+            "window spec must be positive"
+        );
+        WindowSpec {
+            samples,
+            sample_rate,
+        }
+    }
+
     /// A window of `secs` seconds at `rate` Hz.
     ///
     /// # Panics

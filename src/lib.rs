@@ -49,6 +49,15 @@
 //!
 //! `cargo run --release -p smarteryou-bench --bin fleet` prints the
 //! windows/sec baseline at 100 / 1k / 10k simulated users.
+//!
+//! At fleet scale most users are idle between ticks, so the engine can cap
+//! how many pipelines stay resident:
+//! [`FleetEngine::with_eviction`](core::engine::FleetEngine::with_eviction)
+//! snapshots the least recently submitted pipelines into a pluggable
+//! [`SnapshotStore`](core::persist::SnapshotStore) (versioned JSON wire
+//! format, see [`core::persist`]) and rehydrates them lazily on submit —
+//! with decisions, scores, and retrain events **bit-identical** to a
+//! never-evicted engine (`tests/persist_parity.rs`).
 
 pub use smarteryou_core as core;
 pub use smarteryou_dsp as dsp;

@@ -4,161 +4,34 @@
 //! the contract that lets the fleet engine replace the one-window-at-a-time
 //! hot path without changing any authentication outcome.
 
-use std::sync::Arc;
+mod common;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use common::{assert_outcomes_identical, build_world as build_common_world, World, WorldSeeds};
 use smarteryou::core::engine::FleetEngine;
-use smarteryou::core::{
-    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
-    ResponsePolicy, SmarterYou, SystemConfig, TrainingServer,
-};
-use smarteryou::sensors::{
-    DualDeviceWindow, Population, RawContext, TraceGenerator, UserId, UserProfile, WindowSpec,
-};
-
-struct World {
-    cfg: SystemConfig,
-    detector: ContextDetector,
-    server: Arc<Mutex<TrainingServer>>,
-    spec: WindowSpec,
-    users: Vec<UserProfile>,
-}
+use smarteryou::core::{ProcessOutcome, ResponsePolicy, SmarterYou};
+use smarteryou::sensors::{DualDeviceWindow, UserId};
 
 fn build_world(num_users: usize) -> World {
     build_world_with_window(num_users, 2.0)
 }
 
 fn build_world_with_window(num_users: usize, window_secs: f64) -> World {
-    let population = Population::generate(num_users + 4, 77_001);
-    let cfg = SystemConfig::paper_default()
-        .with_window_secs(window_secs)
-        .with_data_size(40);
-    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
-    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
-
-    // The last four users provide the anonymized pool and detector data.
-    let mut ctx_features = Vec::new();
-    let mut ctx_labels = Vec::new();
-    let mut server = TrainingServer::new();
-    for user in &population.users()[num_users..] {
-        let mut gen = TraceGenerator::new(user.clone(), 7);
-        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
-            let windows = gen.generate_windows(raw, spec, 25);
-            for w in &windows {
-                ctx_features.push(extractor.context_features(w));
-                ctx_labels.push(raw.coarse());
-            }
-            server.contribute(
-                raw.coarse(),
-                windows
-                    .iter()
-                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
-            );
-        }
-    }
-    let mut rng = StdRng::seed_from_u64(5);
-    let detector = ContextDetector::train(
-        extractor,
-        &ctx_features,
-        &ctx_labels,
-        ContextDetectorConfig {
-            num_trees: 16,
-            max_depth: 8,
+    // Seeds pin this suite's historical window streams and decisions.
+    build_common_world(
+        num_users,
+        window_secs,
+        WorldSeeds {
+            population: 77_001,
+            pool_gen: 7,
+            detector_rng: 5,
         },
-        &mut rng,
     )
-    .expect("detector trains");
-
-    World {
-        cfg,
-        detector,
-        server: Arc::new(Mutex::new(server)),
-        spec,
-        users: population.users()[..num_users].to_vec(),
-    }
 }
 
-impl World {
-    fn pipeline(&self, seed: u64) -> SmarterYou {
-        SmarterYou::new(
-            self.cfg.clone(),
-            self.detector.clone(),
-            self.server.clone(),
-            seed,
-        )
-        .expect("valid config")
-        // Keep scoring after rejections so long impostor-free runs and
-        // mixed batches both stay comparable window for window.
-        .with_response_policy(ResponsePolicy { rejects_to_lock: 3 })
-    }
-
-    /// Enrollment windows followed by a mixed-context authentication run.
-    fn window_stream(
-        &self,
-        user: &UserProfile,
-        seed: u64,
-        auth_windows: usize,
-    ) -> Vec<DualDeviceWindow> {
-        let mut gen = TraceGenerator::new(user.clone(), seed);
-        let mut windows = Vec::new();
-        // Alternate contexts so both enrollment buffers fill (the target is
-        // data_size/2 = 20 per context; 26 rounds give 26 per context, with
-        // headroom for occasional context misdetections).
-        for round in 0..26 {
-            let ctx = if round % 2 == 0 {
-                RawContext::SittingStanding
-            } else {
-                RawContext::MovingAround
-            };
-            windows.extend(gen.generate_windows(ctx, self.spec, 2));
-        }
-        for round in 0..auth_windows.div_ceil(4) {
-            let ctx = if round % 2 == 0 {
-                RawContext::MovingAround
-            } else {
-                RawContext::SittingStanding
-            };
-            windows.extend(gen.generate_windows(ctx, self.spec, 4));
-        }
-        windows
-    }
-}
-
-/// Two outcomes are bit-identical: same variant, same counts, and the
-/// decision's confidence matches at the bit level.
-fn assert_outcomes_identical(a: &[ProcessOutcome], b: &[ProcessOutcome], label: &str) {
-    assert_eq!(a.len(), b.len(), "{label}: outcome counts differ");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        match (x, y) {
-            (
-                ProcessOutcome::Decision {
-                    decision: dx,
-                    action: ax,
-                    retrained: rx,
-                },
-                ProcessOutcome::Decision {
-                    decision: dy,
-                    action: ay,
-                    retrained: ry,
-                },
-            ) => {
-                assert_eq!(
-                    dx.confidence.to_bits(),
-                    dy.confidence.to_bits(),
-                    "{label}: window {i} confidence diverges ({} vs {})",
-                    dx.confidence,
-                    dy.confidence
-                );
-                assert_eq!(dx.accepted, dy.accepted, "{label}: window {i} verdict");
-                assert_eq!(dx.context, dy.context, "{label}: window {i} context");
-                assert_eq!(ax, ay, "{label}: window {i} action");
-                assert_eq!(rx, ry, "{label}: window {i} retrain flag");
-            }
-            (x, y) => assert_eq!(x, y, "{label}: window {i}"),
-        }
-    }
+/// This suite's pipeline: keep scoring after rejections so long
+/// impostor-free runs and mixed batches stay comparable window for window.
+fn pipeline(world: &World, seed: u64) -> SmarterYou {
+    world.pipeline_with(seed, ResponsePolicy { rejects_to_lock: 3 }, None)
 }
 
 #[test]
@@ -167,13 +40,13 @@ fn process_batch_matches_sequential_processing() {
     for (u, user) in world.users.iter().enumerate() {
         let windows = world.window_stream(user, 900 + u as u64, 24);
 
-        let mut sequential = world.pipeline(u as u64 + 1);
+        let mut sequential = pipeline(&world, u as u64 + 1);
         let seq_outcomes: Vec<ProcessOutcome> = windows
             .iter()
             .map(|w| sequential.process_window(w).expect("sequential"))
             .collect();
 
-        let mut batched = world.pipeline(u as u64 + 1);
+        let mut batched = pipeline(&world, u as u64 + 1);
         let batch_outcomes = batched.process_batch(&windows).expect("batched");
 
         assert_outcomes_identical(&seq_outcomes, &batch_outcomes, &format!("user {u}"));
@@ -195,13 +68,13 @@ fn process_batch_matches_sequential_at_paper_window() {
     let user = &world.users[0];
     let windows = world.window_stream(user, 4_100, 16);
 
-    let mut sequential = world.pipeline(31);
+    let mut sequential = pipeline(&world, 31);
     let seq_outcomes: Vec<ProcessOutcome> = windows
         .iter()
         .map(|w| sequential.process_window(w).expect("sequential"))
         .collect();
 
-    let mut batched = world.pipeline(31);
+    let mut batched = pipeline(&world, 31);
     let batch_outcomes = batched.process_batch(&windows).expect("batched");
 
     assert_outcomes_identical(&seq_outcomes, &batch_outcomes, "paper window");
@@ -222,11 +95,11 @@ fn fleet_engine_matches_sequential_population() {
     // Reference: each user's stream through a sequential pipeline.
     let mut reference: Vec<Vec<ProcessOutcome>> = Vec::new();
     for (u, stream) in streams.iter().enumerate() {
-        let mut pipeline = world.pipeline(u as u64 + 1);
+        let mut sequential = pipeline(&world, u as u64 + 1);
         reference.push(
             stream
                 .iter()
-                .map(|w| pipeline.process_window(w).expect("sequential"))
+                .map(|w| sequential.process_window(w).expect("sequential"))
                 .collect(),
         );
     }
@@ -236,7 +109,7 @@ fn fleet_engine_matches_sequential_population() {
     let mut engine = FleetEngine::new();
     for u in 0..num_users {
         engine
-            .register(UserId(u), world.pipeline(u as u64 + 1))
+            .register(UserId(u), pipeline(&world, u as u64 + 1))
             .expect("register");
     }
     let mut cursors = vec![0usize; num_users];
@@ -272,7 +145,7 @@ fn tick_report_aggregates_population_counters() {
     let mut engine = FleetEngine::new();
     for u in 0..2usize {
         engine
-            .register(UserId(u), world.pipeline(u as u64 + 9))
+            .register(UserId(u), pipeline(&world, u as u64 + 9))
             .expect("register");
     }
     let mut total = 0usize;

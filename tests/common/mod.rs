@@ -1,0 +1,185 @@
+//! Shared fixture for the parity integration suites (`batch_parity`,
+//! `persist_parity`): a seeded population split into device owners and a
+//! reserve that trains the user-agnostic context detector and fills the
+//! anonymized negative pool. Seeds are parameters so each suite keeps its
+//! historical, bit-pinned window streams.
+//!
+//! (`snapshot_compat` deliberately does **not** use this fixture: its
+//! golden pipeline must stay byte-stable against unrelated fixture
+//! changes, so it builds its own.)
+
+#![allow(dead_code)] // each test binary uses a subset of this module
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou::core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
+    ResponsePolicy, RetrainPolicy, SmarterYou, SystemConfig, TrainingServer,
+};
+use smarteryou::sensors::{
+    DualDeviceWindow, Population, RawContext, TraceGenerator, UserProfile, WindowSpec,
+};
+
+/// Seeds that pin a suite's generated population and detector.
+pub struct WorldSeeds {
+    /// `Population::generate` seed.
+    pub population: u64,
+    /// Trace-generator seed for the reserve users' pool/detector windows.
+    pub pool_gen: u64,
+    /// RNG seed for the detector's forest training.
+    pub detector_rng: u64,
+}
+
+pub struct World {
+    pub cfg: SystemConfig,
+    pub detector: ContextDetector,
+    pub server: Arc<Mutex<TrainingServer>>,
+    pub spec: WindowSpec,
+    pub users: Vec<UserProfile>,
+}
+
+/// Builds a world of `num_users` device owners plus four reserve users
+/// whose windows train the context detector and fill the server's
+/// anonymized negative pool.
+pub fn build_world(num_users: usize, window_secs: f64, seeds: WorldSeeds) -> World {
+    let population = Population::generate(num_users + 4, seeds.population);
+    let cfg = SystemConfig::paper_default()
+        .with_window_secs(window_secs)
+        .with_data_size(40);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[num_users..] {
+        let mut gen = TraceGenerator::new(user.clone(), seeds.pool_gen);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+            let windows = gen.generate_windows(raw, spec, 25);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seeds.detector_rng);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig {
+            num_trees: 16,
+            max_depth: 8,
+        },
+        &mut rng,
+    )
+    .expect("detector trains");
+
+    World {
+        cfg,
+        detector,
+        server: Arc::new(Mutex::new(server)),
+        spec,
+        users: population.users()[..num_users].to_vec(),
+    }
+}
+
+impl World {
+    /// A pipeline wired to this world's detector and server, with the
+    /// suite's response policy and (optionally) a non-default retrain
+    /// policy.
+    pub fn pipeline_with(
+        &self,
+        seed: u64,
+        response: ResponsePolicy,
+        retrain: Option<RetrainPolicy>,
+    ) -> SmarterYou {
+        let pipeline = SmarterYou::new(
+            self.cfg.clone(),
+            self.detector.clone(),
+            self.server.clone(),
+            seed,
+        )
+        .expect("valid config")
+        .with_response_policy(response);
+        match retrain {
+            Some(policy) => pipeline.with_retrain_policy(policy),
+            None => pipeline,
+        }
+    }
+
+    /// Enrollment windows followed by a mixed-context authentication run:
+    /// 26 alternating two-window enrollment rounds (the data_size/2 = 20
+    /// per-context target plus headroom for context misdetections), then
+    /// `auth_windows` in alternating four-window bursts.
+    pub fn window_stream(
+        &self,
+        user: &UserProfile,
+        seed: u64,
+        auth_windows: usize,
+    ) -> Vec<DualDeviceWindow> {
+        let mut gen = TraceGenerator::new(user.clone(), seed);
+        let mut windows = Vec::new();
+        for round in 0..26 {
+            let ctx = if round % 2 == 0 {
+                RawContext::SittingStanding
+            } else {
+                RawContext::MovingAround
+            };
+            windows.extend(gen.generate_windows(ctx, self.spec, 2));
+        }
+        for round in 0..auth_windows.div_ceil(4) {
+            let ctx = if round % 2 == 0 {
+                RawContext::MovingAround
+            } else {
+                RawContext::SittingStanding
+            };
+            windows.extend(gen.generate_windows(ctx, self.spec, 4));
+        }
+        windows
+    }
+}
+
+/// Two outcome streams are bit-identical: same variants, same counts, and
+/// every decision's confidence matches at the bit level.
+pub fn assert_outcomes_identical(a: &[ProcessOutcome], b: &[ProcessOutcome], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: outcome counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        match (x, y) {
+            (
+                ProcessOutcome::Decision {
+                    decision: dx,
+                    action: ax,
+                    retrained: rx,
+                },
+                ProcessOutcome::Decision {
+                    decision: dy,
+                    action: ay,
+                    retrained: ry,
+                },
+            ) => {
+                assert_eq!(
+                    dx.confidence.to_bits(),
+                    dy.confidence.to_bits(),
+                    "{label}: window {i} confidence diverges ({} vs {})",
+                    dx.confidence,
+                    dy.confidence
+                );
+                assert_eq!(dx.accepted, dy.accepted, "{label}: window {i} verdict");
+                assert_eq!(dx.context, dy.context, "{label}: window {i} context");
+                assert_eq!(ax, ay, "{label}: window {i} action");
+                assert_eq!(rx, ry, "{label}: window {i} retrain flag");
+            }
+            (x, y) => assert_eq!(x, y, "{label}: window {i}"),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Forward-compatibility guard for the pipeline snapshot format: a golden
+//! version-1 snapshot is committed under `fixtures/`, and this suite fails
+//! if the current code can no longer restore it — the CI tripwire that
+//! forces any format-affecting change to either stay compatible or bump
+//! `SNAPSHOT_VERSION` with an explicit migration.
+//!
+//! Regenerate the fixture (only when intentionally re-baselining, which
+//! requires a version bump if the old fixture no longer restores) with:
+//!
+//! ```text
+//! cargo test --test snapshot_compat regenerate -- --ignored
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smarteryou::core::persist::PipelineSnapshot;
+use smarteryou::core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ResponsePolicy,
+    SmarterYou, SystemConfig, TrainingServer, SNAPSHOT_VERSION,
+};
+use smarteryou::sensors::{Population, RawContext, TraceGenerator, UsageContext, WindowSpec};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn snapshot_path() -> PathBuf {
+    fixture_dir().join("pipeline_v1.snapshot.json")
+}
+
+fn expected_path() -> PathBuf {
+    fixture_dir().join("pipeline_v1.expected.json")
+}
+
+/// Behaviour pinned alongside the golden snapshot. The probe is a fixed
+/// synthetic feature vector scored through pure arithmetic (no
+/// platform-dependent transcendentals), so the confidence bits are stable
+/// across machines.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenExpectation {
+    snapshot_version: u32,
+    enrolled: bool,
+    num_features: usize,
+    events: usize,
+    probe_confidence_bits: u64,
+    probe_accepted: bool,
+}
+
+/// Deterministic probe of `width` features in a plausible scaled range.
+fn probe_vector(width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|i| ((i * 37 + 11) % 23) as f64 * 0.25 - 2.5)
+        .collect()
+}
+
+fn expectation_for(
+    snapshot: &PipelineSnapshot,
+    server: Arc<Mutex<TrainingServer>>,
+) -> GoldenExpectation {
+    let pipeline = SmarterYou::restore(snapshot.clone(), server).expect("golden snapshot restores");
+    let auth = pipeline
+        .authenticator()
+        .expect("golden snapshot is enrolled");
+    let probe = probe_vector(auth.num_features());
+    let decision = auth.authenticate(UsageContext::Stationary, &probe);
+    GoldenExpectation {
+        snapshot_version: snapshot.version(),
+        enrolled: snapshot.is_enrolled(),
+        num_features: auth.num_features(),
+        events: pipeline.events().len(),
+        probe_confidence_bits: decision.confidence.to_bits(),
+        probe_accepted: decision.accepted,
+    }
+}
+
+/// Builds the deterministic enrolled pipeline the golden fixture captures.
+fn build_golden_pipeline() -> SmarterYou {
+    let cfg = SystemConfig::paper_default()
+        .with_window_secs(2.0)
+        .with_data_size(40);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let population = Population::generate(5, 424_242);
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[1..] {
+        let mut gen = TraceGenerator::new(user.clone(), 17);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+            let windows = gen.generate_windows(raw, spec, 20);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(13);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig {
+            num_trees: 8,
+            max_depth: 6,
+        },
+        &mut rng,
+    )
+    .expect("detector trains");
+
+    let mut sys = SmarterYou::new(cfg, detector, Arc::new(Mutex::new(server)), 7)
+        .expect("valid config")
+        .with_response_policy(ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        });
+    let owner = population.users()[0].clone();
+    let mut gen = TraceGenerator::new(owner, 29);
+    let mut guard = 0;
+    while sys.authenticator().is_none() && guard < 500 {
+        guard += 1;
+        let ctx = if guard % 2 == 0 {
+            RawContext::SittingStanding
+        } else {
+            RawContext::MovingAround
+        };
+        for w in gen.generate_windows(ctx, spec, 5) {
+            sys.process_window(&w).expect("process");
+        }
+    }
+    assert!(sys.authenticator().is_some(), "enrollment stuck");
+    // A few authenticated windows so the tracker and retrain buffers carry
+    // non-trivial state into the fixture.
+    for w in gen.generate_windows(RawContext::SittingStanding, spec, 6) {
+        sys.process_window(&w).expect("process");
+    }
+    sys
+}
+
+#[test]
+fn restores_committed_golden_snapshot() {
+    let json = std::fs::read_to_string(snapshot_path()).expect(
+        "fixtures/pipeline_v1.snapshot.json missing — run \
+         `cargo test --test snapshot_compat regenerate -- --ignored`",
+    );
+    let snapshot = PipelineSnapshot::from_json(&json)
+        .expect("current code must keep restoring the committed v1 snapshot");
+    assert_eq!(snapshot.version(), SNAPSHOT_VERSION);
+
+    let expected: GoldenExpectation = serde_json::from_str(
+        &std::fs::read_to_string(expected_path()).expect("expected-values fixture missing"),
+    )
+    .expect("expected-values fixture parses");
+    let got = expectation_for(&snapshot, Arc::new(Mutex::new(TrainingServer::new())));
+    assert_eq!(
+        got, expected,
+        "restored snapshot behaviour diverged from the committed baseline"
+    );
+
+    // The wire form re-serializes losslessly: parse(serialize(parse(x)))
+    // is identical to parse(x).
+    let again = PipelineSnapshot::from_json(&snapshot.to_json()).expect("reserialize");
+    assert_eq!(again, snapshot);
+}
+
+#[test]
+#[ignore = "regenerates the committed golden fixture; run explicitly when re-baselining"]
+fn regenerate() {
+    let pipeline = build_golden_pipeline();
+    let snapshot = pipeline.snapshot();
+    std::fs::create_dir_all(fixture_dir()).expect("fixtures dir");
+    std::fs::write(snapshot_path(), snapshot.to_json()).expect("write snapshot fixture");
+    let expected = expectation_for(&snapshot, Arc::new(Mutex::new(TrainingServer::new())));
+    std::fs::write(
+        expected_path(),
+        serde_json::to_string_pretty(&expected).expect("expectation serializes"),
+    )
+    .expect("write expectation fixture");
+    println!(
+        "wrote {} and {}",
+        snapshot_path().display(),
+        expected_path().display()
+    );
+}

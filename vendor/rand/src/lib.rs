@@ -190,6 +190,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's internal xoshiro256++ state, for checkpointing.
+        ///
+        /// Together with [`StdRng::from_state`] this lets a serialized
+        /// system resume the exact random stream it was suspended on — the
+        /// real `rand` offers the same through its serde feature.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] checkpoint. The
+        /// restored generator continues the stream bit-for-bit.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
@@ -258,6 +275,19 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn state_checkpoint_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.random::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        assert_eq!(a, b);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
     }
 
     #[test]

@@ -213,6 +213,21 @@ impl Deserialize for std::time::Duration {
     }
 }
 
+/// A [`Value`] serializes to itself, so callers can parse a document once,
+/// inspect parts of the tree (e.g. a version envelope), and then decode the
+/// body from the same tree — mirroring `serde_json::Value`'s behaviour.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null
