@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use serde::Serialize;
-use smarteryou_bench::fleet::FleetFixture;
+use smarteryou_bench::fleet::{FleetFixture, ShardFixture};
 use smarteryou_dsp::{dft_fallback_count, SpectrumPlan, SpectrumScratch};
 
 /// The paper's deployed window: 6 s at 50 Hz = 300 samples.
@@ -66,6 +66,49 @@ struct EvictionChurnBench {
 }
 
 #[derive(Debug, Serialize)]
+struct ResidentScanRow {
+    registered: usize,
+    parked: usize,
+    ticks: usize,
+    windows: usize,
+    secs: f64,
+    windows_per_sec: f64,
+}
+
+/// The O(resident) proof row: tick cost with a huge registered-but-parked
+/// tail vs the same resident set alone.
+#[derive(Debug, Serialize)]
+struct ResidentScanBench {
+    resident: usize,
+    rows: Vec<ResidentScanRow>,
+    /// `rows[1].secs / rows[0].secs` — ≈1.0 when the tick is O(resident).
+    parked_overhead_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardRow {
+    scenario: &'static str,
+    ticks: usize,
+    windows: usize,
+    migrations: u64,
+    evictions: u64,
+    rehydrations: u64,
+    secs: f64,
+    windows_per_sec: f64,
+}
+
+/// UserId-routed shards over one shared, epoch-fenced snapshot store —
+/// steady-state scoring plus a forced-migration churn row (each migration
+/// is a fenced evict on the source shard + adopt/rehydrate on the target).
+#[derive(Debug, Serialize)]
+struct ShardBench {
+    users: usize,
+    shards: usize,
+    capacity_per_shard: usize,
+    rows: Vec<ShardRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct SpectrumMicrobench {
     samples: usize,
     planned_spectra_per_sec: f64,
@@ -90,6 +133,13 @@ struct BenchReport {
     /// engine (`tests/persist_parity.rs`); this measures what the churn
     /// costs.
     eviction_churn: EvictionChurnBench,
+    /// Tick cost is O(resident), not O(registered): a 99× parked tail must
+    /// cost ≈ nothing.
+    resident_scan: ResidentScanBench,
+    /// 4-shard routed fleet over a shared store, incl. forced-migration
+    /// churn. Decisions stay bit-identical to a single engine
+    /// (`tests/shard_parity.rs`).
+    shard: ShardBench,
     spectrum_microbench: SpectrumMicrobench,
 }
 
@@ -194,6 +244,128 @@ fn measure_churn(num_users: usize, capacity: usize) -> EvictionChurnBench {
     }
 }
 
+/// Measures tick throughput for a fixed 100-resident working set, first
+/// with nothing else registered and then with `parked` additional
+/// registered-but-parked users. Before the resident-slot index, every tick
+/// walked all registered slots; now the parked tail must be free.
+fn measure_resident_scan(parked: usize) -> ResidentScanBench {
+    let resident = 100usize;
+    let mut rows = Vec::new();
+    for parked in [0usize, parked] {
+        let mut fixture =
+            FleetFixture::build_with_window(resident, WINDOW_SECS, 0xD1CE).expect("fixture builds");
+        fixture.enable_eviction(resident + 28);
+        fixture.park_users(parked);
+        // Warm-up tick.
+        fixture.submit_tick(1);
+        fixture.tick();
+        let ticks = 10;
+        let mut windows = 0usize;
+        let start = Instant::now();
+        for _ in 0..ticks {
+            windows += fixture.submit_tick(1);
+            let report = fixture.tick();
+            assert_eq!(report.scanned_slots(), resident, "tick walked parked slots");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let throughput = windows as f64 / secs;
+        println!(
+            "{:>7} registered ({resident} resident)  {windows:>6} windows in {secs:>7.3}s  \
+             {throughput:>10.0} windows/sec",
+            resident + parked
+        );
+        rows.push(ResidentScanRow {
+            registered: resident + parked,
+            parked,
+            ticks,
+            windows,
+            secs,
+            windows_per_sec: throughput,
+        });
+    }
+    let parked_overhead_ratio = rows[1].secs / rows[0].secs;
+    println!("parked-tail overhead ratio: {parked_overhead_ratio:.2}× (≈1.0 = O(resident))");
+    ResidentScanBench {
+        resident,
+        rows,
+        parked_overhead_ratio,
+    }
+}
+
+/// Measures the 4-shard routed fleet: steady-state scoring (all users
+/// submitting on their home shards) and a forced-migration churn row where
+/// a block of users is rebalanced to neighbouring shards every tick.
+fn measure_shard(num_users: usize, num_shards: usize) -> ShardBench {
+    // 10% headroom over the mean shard load: hash routing is balanced but
+    // not exact, and the steady row must measure scoring, not avoidable
+    // eviction churn on the fullest shard.
+    let mean = num_users.div_ceil(num_shards);
+    let capacity_per_shard = mean + (mean / 10).max(64);
+    let build_start = Instant::now();
+    let mut fixture = ShardFixture::build(
+        num_users,
+        num_shards,
+        capacity_per_shard,
+        WINDOW_SECS,
+        0x5AD5,
+    )
+    .expect("fixture builds");
+    println!(
+        "{num_users:>7} users / {num_shards} shards  fixture build: {:.2}s",
+        build_start.elapsed().as_secs_f64()
+    );
+    // Warm-up tick.
+    fixture.submit_tick();
+    fixture.tick();
+
+    let migration_block = (num_users / 40).max(1);
+    let mut rows = Vec::new();
+    for (scenario, block) in [("steady", 0usize), ("migration_churn", migration_block)] {
+        let ticks = 5;
+        let mut windows = 0usize;
+        let mut migrations = 0u64;
+        let totals_before: (u64, u64) = (0..num_shards)
+            .map(|s| fixture.fleet().shard(s).eviction_totals())
+            .fold((0, 0), |(e, r), (te, tr)| (e + te, r + tr));
+        let start = Instant::now();
+        for _ in 0..ticks {
+            migrations += fixture.migrate_block(block) as u64;
+            windows += fixture.submit_tick();
+            fixture.tick();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let totals_after: (u64, u64) = (0..num_shards)
+            .map(|s| fixture.fleet().shard(s).eviction_totals())
+            .fold((0, 0), |(e, r), (te, tr)| (e + te, r + tr));
+        let throughput = windows as f64 / secs;
+        println!(
+            "{num_users:>7} users / {num_shards} shards  {scenario:<15}  {windows:>7} windows in \
+             {secs:>7.3}s  {throughput:>10.0} windows/sec  (migrations {migrations})"
+        );
+        rows.push(ShardRow {
+            scenario,
+            ticks,
+            windows,
+            migrations,
+            evictions: totals_after.0 - totals_before.0,
+            rehydrations: totals_after.1 - totals_before.1,
+            secs,
+            windows_per_sec: throughput,
+        });
+    }
+    assert_eq!(
+        fixture.fleet().migrations(),
+        rows.iter().map(|r| r.migrations).sum::<u64>(),
+        "fleet migration counter disagrees with the bench schedule"
+    );
+    ShardBench {
+        users: num_users,
+        shards: num_shards,
+        capacity_per_shard,
+        rows,
+    }
+}
+
 /// Times the planned spectrum against the O(n²) reference at the deployed
 /// 300-sample window. The reference intentionally calls [`smarteryou_dsp::dft`],
 /// so this must run *after* the fallback counter has been checked.
@@ -270,6 +442,13 @@ fn main() {
     let (churn_users, churn_capacity) = if quick { (200, 50) } else { (1_000, 250) };
     let eviction_churn = measure_churn(churn_users, churn_capacity);
     println!();
+    // O(resident) proof: 100 hot users against a parked tail 19×/99× the
+    // resident set.
+    let resident_scan = measure_resident_scan(if quick { 1_900 } else { 9_900 });
+    println!();
+    // The sharded fleet, steady and under forced-migration rebalancing.
+    let shard = measure_shard(if quick { 1_000 } else { 10_000 }, 4);
+    println!();
     let fallbacks = dft_fallback_count() - baseline;
 
     // The microbench runs the reference DFT on purpose; check the fleet
@@ -285,6 +464,8 @@ fn main() {
         dft_fallbacks_during_fleet: fallbacks,
         fleet,
         eviction_churn,
+        resident_scan,
+        shard,
         spectrum_microbench: microbench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

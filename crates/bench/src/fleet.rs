@@ -1,6 +1,7 @@
-//! Shared fixture for the fleet-engine throughput benchmarks: a simulated
-//! population of enrolled pipelines behind a [`FleetEngine`], plus a window
-//! feed that keeps every tick supplied with fresh sensor windows.
+//! Shared fixtures for the fleet-engine throughput benchmarks: a simulated
+//! population of enrolled pipelines behind a [`FleetEngine`] (or a
+//! [`ShardedFleet`]), plus a window feed that keeps every tick supplied
+//! with fresh sensor windows.
 //!
 //! Used by `benches/fleet.rs` (criterion latency samples) and the
 //! `fleet` binary (windows/sec at 100 / 1k / 10k users). Distinct sensor
@@ -14,19 +15,116 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smarteryou_core::engine::{FleetEngine, TickReport};
+use smarteryou_core::engine::{FleetEngine, ShardedFleet, TickReport};
+use smarteryou_core::persist::MemorySnapshotStore;
 use smarteryou_core::{
     ContextDetector, ContextDetectorConfig, CoreError, DeviceSet, FeatureExtractor, ResponsePolicy,
-    SmarterYou, SystemConfig, TrainingServer,
+    SmarterYou, SystemConfig, TrainingHandle, TrainingServer,
 };
 use smarteryou_sensors::{
     DualDeviceWindow, Population, RawContext, TraceGenerator, UserId, WindowSpec,
 };
 
+/// Cap on distinct sensor profiles (fixture construction cost is linear in
+/// this, while user count can grow to fleet scale).
+const MAX_PROFILES: usize = 32;
+
+/// The shared infrastructure every benchmark fleet is built on: a trained
+/// context detector, an anonymized negative pool, and per-profile
+/// enrollment + authentication window material.
+struct FleetWorld {
+    cfg: SystemConfig,
+    detector: ContextDetector,
+    server: Arc<Mutex<TrainingServer>>,
+    /// Enrollment windows per profile (shared by all users of the profile).
+    enrollment: Vec<Vec<DualDeviceWindow>>,
+    /// Authentication windows per profile, cycled per tick.
+    feed: Vec<Vec<DualDeviceWindow>>,
+    profiles: usize,
+}
+
+fn build_world(num_users: usize, window_secs: f64, seed: u64) -> Result<FleetWorld, CoreError> {
+    assert!(num_users > 0, "fleet needs at least one user");
+    let profiles = num_users.min(MAX_PROFILES);
+    let population = Population::generate(profiles + 4, seed);
+    let cfg = SystemConfig::paper_default()
+        .with_window_secs(window_secs)
+        .with_data_size(40);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+
+    // Anonymized negative pool + user-agnostic context detector from the
+    // four reserve users.
+    let mut ctx_features = Vec::new();
+    let mut ctx_labels = Vec::new();
+    let mut server = TrainingServer::new();
+    for user in &population.users()[profiles..] {
+        let mut gen = TraceGenerator::new(user.clone(), seed ^ 0x9E37);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+            let windows = gen.generate_windows(raw, spec, 25);
+            for w in &windows {
+                ctx_features.push(extractor.context_features(w));
+                ctx_labels.push(raw.coarse());
+            }
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let detector = ContextDetector::train(
+        extractor,
+        &ctx_features,
+        &ctx_labels,
+        ContextDetectorConfig {
+            num_trees: 16,
+            max_depth: 8,
+        },
+        &mut rng,
+    )?;
+    let server = Arc::new(Mutex::new(server));
+
+    // Per-profile window material: one enrollment stream (shared by all
+    // users of the profile) and one authentication feed.
+    let mut enrollment: Vec<Vec<DualDeviceWindow>> = Vec::with_capacity(profiles);
+    let mut feed: Vec<Vec<DualDeviceWindow>> = Vec::with_capacity(profiles);
+    for (p, user) in population.users()[..profiles].iter().enumerate() {
+        let mut gen = TraceGenerator::new(user.clone(), seed ^ (p as u64) << 3);
+        let mut enroll = Vec::new();
+        for round in 0..26 {
+            let ctx = if round % 2 == 0 {
+                RawContext::SittingStanding
+            } else {
+                RawContext::MovingAround
+            };
+            enroll.extend(gen.generate_windows(ctx, spec, 2));
+        }
+        enrollment.push(enroll);
+        let mut ticks = Vec::new();
+        for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
+            ticks.extend(gen.generate_windows(ctx, spec, 16));
+        }
+        feed.push(ticks);
+    }
+
+    Ok(FleetWorld {
+        cfg,
+        detector,
+        server,
+        enrollment,
+        feed,
+        profiles,
+    })
+}
+
 /// A ready-to-tick fleet: every registered user has finished enrollment and
 /// authenticates windows drawn from their sensor profile.
 pub struct FleetFixture {
     engine: FleetEngine,
+    server: Arc<Mutex<TrainingServer>>,
     /// Authentication windows per profile, cycled per tick.
     feed: Vec<Vec<DualDeviceWindow>>,
     /// Profile index per registered user.
@@ -37,7 +135,7 @@ pub struct FleetFixture {
 impl FleetFixture {
     /// Cap on distinct sensor profiles (fixture construction cost is linear
     /// in this, while user count can grow to fleet scale).
-    pub const MAX_PROFILES: usize = 32;
+    pub const MAX_PROFILES: usize = MAX_PROFILES;
 
     /// Builds a fleet of `num_users` enrolled pipelines on short 2 s
     /// windows (the historical baseline configuration).
@@ -71,82 +169,18 @@ impl FleetFixture {
         window_secs: f64,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        assert!(num_users > 0, "fleet needs at least one user");
-        let profiles = num_users.min(Self::MAX_PROFILES);
-        let population = Population::generate(profiles + 4, seed);
-        let cfg = SystemConfig::paper_default()
-            .with_window_secs(window_secs)
-            .with_data_size(40);
-        let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
-        let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
-
-        // Anonymized negative pool + user-agnostic context detector from the
-        // four reserve users.
-        let mut ctx_features = Vec::new();
-        let mut ctx_labels = Vec::new();
-        let mut server = TrainingServer::new();
-        for user in &population.users()[profiles..] {
-            let mut gen = TraceGenerator::new(user.clone(), seed ^ 0x9E37);
-            for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
-                let windows = gen.generate_windows(raw, spec, 25);
-                for w in &windows {
-                    ctx_features.push(extractor.context_features(w));
-                    ctx_labels.push(raw.coarse());
-                }
-                server.contribute(
-                    raw.coarse(),
-                    windows
-                        .iter()
-                        .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
-                );
-            }
-        }
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
-        let detector = ContextDetector::train(
-            extractor,
-            &ctx_features,
-            &ctx_labels,
-            ContextDetectorConfig {
-                num_trees: 16,
-                max_depth: 8,
-            },
-            &mut rng,
-        )?;
-        let server = Arc::new(Mutex::new(server));
-
-        // Per-profile window material: one enrollment stream (shared by all
-        // users of the profile) and one authentication feed.
-        let mut enrollment: Vec<Vec<DualDeviceWindow>> = Vec::with_capacity(profiles);
-        let mut feed: Vec<Vec<DualDeviceWindow>> = Vec::with_capacity(profiles);
-        for (p, user) in population.users()[..profiles].iter().enumerate() {
-            let mut gen = TraceGenerator::new(user.clone(), seed ^ (p as u64) << 3);
-            let mut enroll = Vec::new();
-            for round in 0..26 {
-                let ctx = if round % 2 == 0 {
-                    RawContext::SittingStanding
-                } else {
-                    RawContext::MovingAround
-                };
-                enroll.extend(gen.generate_windows(ctx, spec, 2));
-            }
-            enrollment.push(enroll);
-            let mut ticks = Vec::new();
-            for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
-                ticks.extend(gen.generate_windows(ctx, spec, 16));
-            }
-            feed.push(ticks);
-        }
+        let world = build_world(num_users, window_secs, seed)?;
 
         // Register and enroll the whole fleet through the batch path.
         let mut engine = FleetEngine::new();
         let mut profile_of = Vec::with_capacity(num_users);
         for u in 0..num_users {
-            let profile = u % profiles;
+            let profile = u % world.profiles;
             profile_of.push(profile);
             let pipeline = SmarterYou::new(
-                cfg.clone(),
-                detector.clone(),
-                server.clone(),
+                world.cfg.clone(),
+                world.detector.clone(),
+                world.server.clone(),
                 seed ^ (u as u64 + 1),
             )?
             // Fleet monitoring keeps scoring after rejections; locking every
@@ -157,8 +191,8 @@ impl FleetFixture {
             });
             engine.register(UserId(u), pipeline)?;
         }
-        for u in 0..num_users {
-            engine.submit_many(UserId(u), enrollment[profile_of[u]].iter().cloned())?;
+        for (u, &profile) in profile_of.iter().enumerate() {
+            engine.submit_many(UserId(u), world.enrollment[profile].iter().cloned())?;
         }
         assert!(engine.tick().errors().is_empty(), "enrollment tick failed");
         // Context misdetections can leave a buffer short; top up the
@@ -177,7 +211,7 @@ impl FleetFixture {
                 break;
             }
             for &u in &stragglers {
-                engine.submit_many(UserId(u), enrollment[profile_of[u]].iter().cloned())?;
+                engine.submit_many(UserId(u), world.enrollment[profile_of[u]].iter().cloned())?;
             }
             assert!(engine.tick().errors().is_empty(), "enrollment tick failed");
         }
@@ -194,13 +228,14 @@ impl FleetFixture {
 
         Ok(FleetFixture {
             engine,
-            feed,
+            server: world.server,
+            feed: world.feed,
             profile_of,
             cursor: 0,
         })
     }
 
-    /// Number of registered users.
+    /// Number of registered users (resident or parked).
     pub fn num_users(&self) -> usize {
         self.engine.len()
     }
@@ -211,10 +246,24 @@ impl FleetFixture {
     /// the measured churn cost includes full encode/decode). Called after
     /// enrollment so fixture construction itself is unaffected.
     pub fn enable_eviction(&mut self, capacity: usize) {
-        self.engine.enable_eviction(
-            Box::new(smarteryou_core::persist::MemorySnapshotStore::new()),
-            capacity,
-        );
+        self.engine
+            .enable_eviction(Box::new(MemorySnapshotStore::new()), capacity);
+    }
+
+    /// Registers `count` additional users as **parked** entries (no
+    /// pipeline, no snapshot — they never submit): the registered-but-idle
+    /// long tail a production shard carries. Requires
+    /// [`FleetFixture::enable_eviction`] first. This is what the
+    /// `resident_scan` bench scenario scales up to prove ticks are
+    /// O(resident).
+    pub fn park_users(&mut self, count: usize) {
+        let base = self.engine.len();
+        for k in 0..count {
+            let server: Arc<dyn TrainingHandle> = self.server.clone();
+            self.engine
+                .register_parked(UserId(base + k), server)
+                .expect("park user");
+        }
     }
 
     /// Queues `per_user` fresh windows for each user in `users` (indices
@@ -246,10 +295,12 @@ impl FleetFixture {
         &mut self.engine
     }
 
-    /// Queues `per_user` fresh windows for every user; returns the number
-    /// of windows queued.
+    /// Queues `per_user` fresh windows for every user with a pipeline (the
+    /// first `num_users` registered; parked extras from
+    /// [`FleetFixture::park_users`] stay idle); returns the number of
+    /// windows queued.
     pub fn submit_tick(&mut self, per_user: usize) -> usize {
-        let users = self.engine.len();
+        let users = self.profile_of.len();
         self.submit_tick_for(0..users, per_user)
     }
 
@@ -266,5 +317,148 @@ impl FleetFixture {
             report.errors()
         );
         report
+    }
+}
+
+/// A ready-to-tick **sharded** fleet: `num_users` enrolled pipelines routed
+/// over N shards that share one in-memory snapshot store.
+///
+/// Construction enrolls one pipeline per sensor profile and fans it out to
+/// the profile's users through the snapshot wire format (restore per user)
+/// — every user still owns a full in-memory pipeline, but the fixture
+/// build stays linear in profile count instead of paying per-user
+/// enrollment, which is what makes a 10k-user shard scenario practical in
+/// CI.
+pub struct ShardFixture {
+    fleet: ShardedFleet,
+    feed: Vec<Vec<DualDeviceWindow>>,
+    profile_of: Vec<usize>,
+    cursor: usize,
+    /// Rotating cursor for forced-migration churn.
+    migrate_next: usize,
+}
+
+impl ShardFixture {
+    /// Builds `num_users` enrolled users over `num_shards` shards with
+    /// `capacity_per_shard` resident pipelines each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline construction/training failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_users`, `num_shards` or `capacity_per_shard` is zero,
+    /// or if a profile pipeline fails to finish enrollment.
+    pub fn build(
+        num_users: usize,
+        num_shards: usize,
+        capacity_per_shard: usize,
+        window_secs: f64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let world = build_world(num_users, window_secs, seed)?;
+
+        // Enroll one template pipeline per profile, sequentially.
+        let mut templates = Vec::with_capacity(world.profiles);
+        for p in 0..world.profiles {
+            let mut pipeline = SmarterYou::new(
+                world.cfg.clone(),
+                world.detector.clone(),
+                world.server.clone(),
+                seed ^ (p as u64 + 1),
+            )?
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            });
+            for _pass in 0..9 {
+                if pipeline.authenticator().is_some() {
+                    break;
+                }
+                for w in &world.enrollment[p] {
+                    pipeline.process_window(w)?;
+                }
+            }
+            assert!(
+                pipeline.authenticator().is_some(),
+                "profile {p} failed to enroll"
+            );
+            templates.push(pipeline.snapshot());
+        }
+
+        let mut fleet = ShardedFleet::new(
+            num_shards,
+            Box::new(MemorySnapshotStore::new()),
+            capacity_per_shard,
+        );
+        let mut profile_of = Vec::with_capacity(num_users);
+        for u in 0..num_users {
+            let profile = u % world.profiles;
+            profile_of.push(profile);
+            let pipeline = SmarterYou::restore(templates[profile].clone(), world.server.clone())?;
+            fleet.register(UserId(u), pipeline)?;
+        }
+
+        Ok(ShardFixture {
+            fleet,
+            feed: world.feed,
+            profile_of,
+            cursor: 0,
+            migrate_next: 0,
+        })
+    }
+
+    /// Number of registered users.
+    pub fn num_users(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Borrows the sharded fleet.
+    pub fn fleet(&self) -> &ShardedFleet {
+        &self.fleet
+    }
+
+    /// Queues one fresh window for every user on their owning shard.
+    pub fn submit_tick(&mut self) -> usize {
+        for u in 0..self.profile_of.len() {
+            let pool = &self.feed[self.profile_of[u]];
+            let window = pool[self.cursor % pool.len()].clone();
+            self.fleet.submit(UserId(u), window).expect("registered");
+        }
+        self.cursor += 1;
+        self.profile_of.len()
+    }
+
+    /// Force-migrates the next `count` users (round-robin over the fleet)
+    /// to their owning shard's neighbour — the rebalancing churn the
+    /// `migration_churn` bench row measures. Returns how many migrations
+    /// were performed.
+    pub fn migrate_block(&mut self, count: usize) -> usize {
+        let num_users = self.profile_of.len();
+        let num_shards = self.fleet.num_shards();
+        for _ in 0..count {
+            let id = UserId(self.migrate_next % num_users);
+            self.migrate_next += 1;
+            let target = (self.fleet.shard_of(id).expect("registered") + 1) % num_shards;
+            self.fleet.migrate(id, target).expect("migrate");
+        }
+        count
+    }
+
+    /// Ticks every shard; returns the per-shard reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pipeline failures (not expected after enrollment).
+    pub fn tick(&mut self) -> Vec<TickReport> {
+        let reports = self.fleet.tick();
+        for report in &reports {
+            assert!(
+                report.errors().is_empty(),
+                "tick failed: {:?}",
+                report.errors()
+            );
+        }
+        reports
     }
 }

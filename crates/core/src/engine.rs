@@ -17,11 +17,11 @@
 //! Decisions are **bit-identical** to feeding the same windows through
 //! sequential [`SmarterYou::process_window`] calls user by user: per-user
 //! window order is preserved, every pipeline owns its own state and RNG, and
-//! the shared [`TrainingServer`](crate::TrainingServer) is only consulted
-//! under its mutex during (re)training. The batch-parity integration tests
-//! assert this equivalence on a seeded population.
+//! the shared [`TrainingHandle`] is only consulted during (re)training. The
+//! batch-parity integration tests assert this equivalence on a seeded
+//! population.
 //!
-//! # Idle-pipeline eviction
+//! # Idle-pipeline eviction — and the O(resident) contract
 //!
 //! At fleet scale most registered users are idle between ticks, and resident
 //! pipelines are not free: each holds trained KRR models, a detector forest,
@@ -33,12 +33,34 @@
 //! dropped. A later [`FleetEngine::submit`] for an evicted user rehydrates
 //! the pipeline lazily from its snapshot before queueing the window.
 //!
+//! The engine is **two-tier** so that parked users cost nothing per tick:
+//! live pipelines sit in a dense resident array that scoring and the
+//! eviction scan walk, while registered-but-parked users are plain map
+//! entries that no per-tick path ever visits. `tick()` is `O(resident)`,
+//! not `O(registered)` — one engine (or shard) can hold millions of
+//! registered users as long as the *active* set fits the residency cap.
+//! [`TickReport::scanned_slots`] exposes the walked count so regressions
+//! are testable.
+//!
 //! Eviction is **behaviour-free**: because snapshot/restore round-trips are
 //! bit-identical (see [`crate::persist`]), an engine with aggressive
 //! eviction produces exactly the decisions, scores, and retrain events of
 //! an engine that never evicts — enforced by `tests/persist_parity.rs`.
 //! [`TickReport::evictions`], [`TickReport::rehydrations`] and
 //! [`TickReport::resident_pipelines`] expose the churn for monitoring.
+//!
+//! # Ownership epochs and sharding
+//!
+//! When several engines share one snapshot store — the shards of a
+//! [`shard::ShardedFleet`] — the store arbitrates ownership with a
+//! monotonic per-user **epoch** (see [`SnapshotStore::acquire`]): an engine
+//! claims the epoch when it registers a user against a store, and every
+//! snapshot save is fenced on it. Moving a user between shards is an evict
+//! on the source followed by [`FleetEngine::register_parked`] + lazy
+//! rehydration on the target; the target's claim bumps the epoch, so a
+//! late save from the source is rejected with
+//! [`PersistError::StaleEpoch`] instead of clobbering newer state. Two
+//! engines can never both persist a live pipeline for one user.
 //!
 //! # Example
 //!
@@ -61,38 +83,63 @@
 //! ```
 
 pub mod batch;
+pub mod shard;
 
 use std::collections::HashMap;
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use smarteryou_sensors::{DualDeviceWindow, UserId};
 
 use crate::parallel::parallel_map_mut;
 use crate::persist::{PersistError, SnapshotStore};
 use crate::pipeline::{ProcessOutcome, SmarterYou};
-use crate::server::TrainingServer;
+use crate::server::TrainingHandle;
 use crate::CoreError;
 
 pub use batch::{TickReport, UserOutcomes};
+pub use shard::{ShardRouter, ShardedFleet};
 
-/// One registered user: their on-device pipeline (or its evicted stand-in)
-/// plus the windows queued for the next tick.
+/// A live pipeline in the dense resident array — the only per-user state
+/// the per-tick paths ever walk.
 #[derive(Debug)]
-struct UserSlot {
+struct ResidentSlot {
     id: UserId,
-    /// `None` while the pipeline lives in the snapshot store.
-    pipeline: Option<SmarterYou>,
-    /// Shared training-server handle, retained across eviction so
-    /// rehydration reattaches the restored pipeline to the same cloud
-    /// state. An `Arc` clone, not a copy of the server.
-    server: Arc<Mutex<TrainingServer>>,
+    /// Registration sequence number; tick outcomes and LRU ties order by
+    /// it, so reporting stays deterministic however the dense array is
+    /// permuted by eviction churn.
+    seq: u64,
+    pipeline: SmarterYou,
     inbox: Vec<DualDeviceWindow>,
-    /// Engine clock at the most recent submit for this user (registration
-    /// counts as activity); the eviction LRU orders by this.
-    last_submit_tick: u64,
 }
+
+/// A registered user, resident or parked. Deliberately tiny while parked:
+/// a map entry plus a shared training handle, never visited by `tick()`.
+#[derive(Debug)]
+struct UserEntry {
+    seq: u64,
+    /// Index into the resident array, or `None` while the pipeline lives
+    /// in the snapshot store.
+    resident: Option<usize>,
+    /// Ownership epoch claimed against the snapshot store (0 when the
+    /// engine has no store, or for users registered before one was
+    /// installed — an unclaimed epoch that any later claim fences out).
+    epoch: u64,
+    /// Engine clock at the most recent submit (registration counts as
+    /// activity); the eviction LRU orders by this.
+    last_submit_tick: u64,
+    /// Shared training-service handle, retained across eviction so
+    /// rehydration reattaches the restored pipeline to the same service.
+    server: Arc<dyn TrainingHandle>,
+    /// Windows stashed while the user is parked (a migration carried them
+    /// in but the pipeline could not be rehydrated at that moment). Drained
+    /// into the inbox, ahead of newer submissions, at the next successful
+    /// rehydration. Always empty while resident.
+    stashed: Vec<DualDeviceWindow>,
+}
+
+/// One slot's tick result, tagged with its registration sequence so the
+/// report can be re-ordered after the dense array's permutation.
+type SlotTickResult = (u64, Result<UserOutcomes, (UserId, CoreError)>);
 
 /// Eviction policy + store, present only when eviction is enabled.
 #[derive(Debug)]
@@ -107,14 +154,24 @@ struct EvictionState {
 /// parallel, batch by batch. See the [module docs](self) for the model.
 #[derive(Debug, Default)]
 pub struct FleetEngine {
-    slots: Vec<UserSlot>,
-    index: HashMap<UserId, usize>,
+    users: HashMap<UserId, UserEntry>,
+    /// Registration order, kept as a sorted map so
+    /// [`FleetEngine::user_ids`] is a lazy ordered walk instead of an
+    /// allocate-and-sort over every registered user.
+    by_seq: std::collections::BTreeMap<u64, UserId>,
+    /// Dense array of live pipelines; every per-tick path is linear in
+    /// this, never in `users`.
+    resident: Vec<ResidentSlot>,
     eviction: Option<EvictionState>,
     /// Monotone tick counter; drives the idle LRU.
     clock: u64,
+    next_seq: u64,
     /// Rehydrations performed since the last tick, reported by the next
     /// [`TickReport`].
     rehydrations_since_tick: usize,
+    /// Total windows stashed on parked users (see `UserEntry::stashed`),
+    /// so [`FleetEngine::pending`] stays O(resident).
+    stashed_windows: usize,
 }
 
 impl FleetEngine {
@@ -144,6 +201,10 @@ impl FleetEngine {
     /// replacing the store while users are parked in the old one would
     /// strand their trained state; rehydrate them first. Lifetime
     /// eviction/rehydration totals survive re-configuration.
+    ///
+    /// Users registered before the store was installed keep the unclaimed
+    /// ownership epoch 0 — their saves pass the fence until some other
+    /// engine claims them through the shared store (see the module docs).
     ///
     /// # Panics
     ///
@@ -179,57 +240,209 @@ impl FleetEngine {
         self.eviction.as_mut().map(|e| &mut *e.store as _)
     }
 
-    /// Pipelines currently resident in memory.
+    /// Pipelines currently resident in memory. O(1): residency is a dense
+    /// array, not a scan over registered users.
     pub fn resident_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.pipeline.is_some()).count()
+        self.resident.len()
     }
 
     /// Whether a registered user's pipeline is currently resident
     /// (`None` for unregistered users).
     pub fn is_resident(&self, id: UserId) -> Option<bool> {
-        self.index
-            .get(&id)
-            .map(|&i| self.slots[i].pipeline.is_some())
+        self.users.get(&id).map(|e| e.resident.is_some())
+    }
+
+    /// The ownership epoch this engine holds for a registered user
+    /// (`None` for unregistered users; 0 means unclaimed — no store was
+    /// present at registration).
+    pub fn epoch_of(&self, id: UserId) -> Option<u64> {
+        self.users.get(&id).map(|e| e.epoch)
     }
 
     /// Registers a user's pipeline. Tick outcomes are reported in
-    /// registration order.
+    /// registration order. When a snapshot store is configured the engine
+    /// claims the user's ownership epoch in it, fencing out any engine
+    /// that previously owned the same user through a shared store.
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] if the user is already registered.
+    /// [`CoreError::InvalidConfig`] if the user is already registered;
+    /// [`CoreError::Persist`] if the ownership claim cannot be persisted.
     pub fn register(&mut self, id: UserId, pipeline: SmarterYou) -> Result<(), CoreError> {
-        if self.index.contains_key(&id) {
+        if self.users.contains_key(&id) {
             return Err(CoreError::InvalidConfig(format!(
                 "user {} already registered",
                 id.0
             )));
         }
-        self.index.insert(id, self.slots.len());
-        let server = pipeline.training_server().clone();
-        self.slots.push(UserSlot {
+        let epoch = match self.eviction.as_mut() {
+            Some(e) => e.store.acquire(id)?,
+            None => 0,
+        };
+        let server = pipeline.training_handle().clone();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.users.insert(
             id,
-            pipeline: Some(pipeline),
-            server,
+            UserEntry {
+                seq,
+                resident: Some(self.resident.len()),
+                epoch,
+                last_submit_tick: self.clock,
+                server,
+                stashed: Vec::new(),
+            },
+        );
+        self.by_seq.insert(seq, id);
+        self.resident.push(ResidentSlot {
+            id,
+            seq,
+            pipeline,
             inbox: Vec::new(),
-            last_submit_tick: self.clock,
         });
         Ok(())
     }
 
-    /// Number of registered users (resident or evicted).
+    /// Registers a user whose pipeline already lives in the snapshot store
+    /// as a parked entry — the adoption half of a shard migration, and the
+    /// cheap way to enroll an engine with millions of known-but-idle users.
+    /// Claims the user's ownership epoch (fencing the previous owner); the
+    /// pipeline rehydrates lazily on the first submit, attached to
+    /// `server`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if the user is already registered or no
+    /// snapshot store is configured; [`CoreError::Persist`] if the
+    /// ownership claim cannot be persisted.
+    pub fn register_parked(
+        &mut self,
+        id: UserId,
+        server: Arc<dyn TrainingHandle>,
+    ) -> Result<(), CoreError> {
+        if self.users.contains_key(&id) {
+            return Err(CoreError::InvalidConfig(format!(
+                "user {} already registered",
+                id.0
+            )));
+        }
+        let eviction = self.eviction.as_mut().ok_or_else(|| {
+            CoreError::InvalidConfig(
+                "register_parked requires a snapshot store — enable eviction first".into(),
+            )
+        })?;
+        let epoch = eviction.store.acquire(id)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.users.insert(
+            id,
+            UserEntry {
+                seq,
+                resident: None,
+                epoch,
+                last_submit_tick: self.clock,
+                server,
+                stashed: Vec::new(),
+            },
+        );
+        self.by_seq.insert(seq, id);
+        Ok(())
+    }
+
+    /// Unregisters a user, parking their pipeline in the snapshot store —
+    /// the source half of a shard migration. A resident pipeline is
+    /// snapshotted under this engine's ownership epoch (so a migration that
+    /// already lost the ownership race fails with
+    /// [`PersistError::StaleEpoch`] instead of clobbering the new owner's
+    /// state); an already-parked user is simply forgotten. Returns the
+    /// user's undelivered queued windows plus their training handle, for
+    /// the adopting engine to re-submit and reattach.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] for unregistered users;
+    /// [`CoreError::InvalidConfig`] when no snapshot store is configured;
+    /// [`CoreError::Persist`] when the parking save fails — the user stays
+    /// registered and resident, nothing is lost.
+    #[allow(clippy::type_complexity)]
+    pub fn release(
+        &mut self,
+        id: UserId,
+    ) -> Result<(Vec<DualDeviceWindow>, Arc<dyn TrainingHandle>), CoreError> {
+        let entry = self.users.get(&id).ok_or(CoreError::UnknownUser(id))?;
+        let windows = match entry.resident {
+            Some(idx) => {
+                if self.eviction.is_none() {
+                    return Err(CoreError::InvalidConfig(
+                        "release requires a snapshot store — enable eviction first".into(),
+                    ));
+                }
+                let epoch = entry.epoch;
+                let mut eviction = self.eviction.take().expect("checked above");
+                let ResidentSlot {
+                    seq,
+                    pipeline,
+                    inbox,
+                    ..
+                } = self.resident.swap_remove(idx);
+                // Consuming snapshot: the pipeline leaves memory either way.
+                let snapshot = pipeline.into_snapshot();
+                let result = eviction.store.save_fenced(id, epoch, &snapshot);
+                match result {
+                    Ok(()) => eviction.total_evictions += 1,
+                    Err(e) => {
+                        // Never drop unsaved state: rebuild from the
+                        // snapshot still in hand and keep the user.
+                        let server = self.users[&id].server.clone();
+                        self.resident.push(ResidentSlot {
+                            id,
+                            seq,
+                            pipeline: SmarterYou::restore(snapshot, server)
+                                .expect("snapshot of a live pipeline restores"),
+                            inbox,
+                        });
+                        self.eviction = Some(eviction);
+                        // Only two slots moved: the one swapped into `idx`
+                        // and the rebuilt pipeline at the tail.
+                        self.fix_resident_index(idx);
+                        self.fix_resident_index(self.resident.len() - 1);
+                        return Err(CoreError::Persist(e));
+                    }
+                }
+                self.eviction = Some(eviction);
+                self.users.get_mut(&id).expect("looked up above").resident = None;
+                // A single swap_remove: only the slot swapped into `idx`
+                // (if any) changed position — no full O(resident) rebuild.
+                self.fix_resident_index(idx);
+                inbox
+            }
+            None => Vec::new(),
+        };
+        let mut entry = self.users.remove(&id).expect("looked up above");
+        self.by_seq.remove(&entry.seq);
+        // A parked user may hold stashed windows from an earlier migration
+        // whose delivery never happened; hand them to the adopter too.
+        let mut windows = windows;
+        self.stashed_windows -= entry.stashed.len();
+        windows.append(&mut entry.stashed);
+        Ok((windows, entry.server))
+    }
+
+    /// Number of registered users (resident or parked).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.users.len()
     }
 
     /// Whether no users are registered.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.users.is_empty()
     }
 
-    /// Registered user ids, in registration order.
+    /// Registered user ids, in registration order — a lazy walk of the
+    /// sequence index, no allocation or sort however many users are
+    /// registered.
     pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
-        self.slots.iter().map(|s| s.id)
+        self.by_seq.values().copied()
     }
 
     /// Borrows a registered user's pipeline. Returns `None` for
@@ -237,18 +450,20 @@ impl FleetEngine {
     /// currently evicted — call [`FleetEngine::rehydrate`] first to force
     /// residency.
     pub fn pipeline(&self, id: UserId) -> Option<&SmarterYou> {
-        self.index
+        self.users
             .get(&id)
-            .and_then(|&i| self.slots[i].pipeline.as_ref())
+            .and_then(|e| e.resident)
+            .map(|idx| &self.resident[idx].pipeline)
     }
 
     /// Mutably borrows a registered user's pipeline (e.g. to unlock after
     /// explicit authentication or advance its clock). `None` when
     /// unregistered or evicted, like [`FleetEngine::pipeline`].
     pub fn pipeline_mut(&mut self, id: UserId) -> Option<&mut SmarterYou> {
-        self.index
+        self.users
             .get(&id)
-            .and_then(|&i| self.slots[i].pipeline.as_mut())
+            .and_then(|e| e.resident)
+            .map(|idx| &mut self.resident[idx].pipeline)
     }
 
     /// Forces a user's pipeline into memory, rehydrating it from the
@@ -259,37 +474,83 @@ impl FleetEngine {
     /// # Errors
     ///
     /// [`CoreError::UnknownUser`] for unregistered users;
-    /// [`CoreError::Persist`] when the snapshot is missing or corrupt.
+    /// [`CoreError::Persist`] when the snapshot is missing or corrupt, or
+    /// when this engine lost the user's ownership race
+    /// ([`PersistError::StaleEpoch`]).
     pub fn rehydrate(&mut self, id: UserId) -> Result<(), CoreError> {
-        let i = *self.index.get(&id).ok_or(CoreError::UnknownUser(id))?;
-        self.ensure_resident(i)
+        if !self.users.contains_key(&id) {
+            return Err(CoreError::UnknownUser(id));
+        }
+        self.ensure_resident(id)
     }
 
-    /// Loads slot `i`'s pipeline from the snapshot store if it is evicted.
-    fn ensure_resident(&mut self, i: usize) -> Result<(), CoreError> {
-        if self.slots[i].pipeline.is_some() {
+    /// Loads a registered user's pipeline from the snapshot store if it is
+    /// parked. The caller has already checked registration.
+    fn ensure_resident(&mut self, id: UserId) -> Result<(), CoreError> {
+        let entry = &self.users[&id];
+        if entry.resident.is_some() {
             return Ok(());
         }
-        let id = self.slots[i].id;
+        let (seq, held) = (entry.seq, entry.epoch);
+        let server = entry.server.clone();
         let eviction = self
             .eviction
             .as_mut()
-            .expect("evicted slot implies an eviction store");
+            .expect("parked slot implies an eviction store");
         let snapshot = eviction
             .store
             .load(id)?
             .ok_or(CoreError::Persist(PersistError::MissingSnapshot(id)))?;
-        let pipeline = SmarterYou::restore(snapshot, self.slots[i].server.clone())?;
+        // Read-side ownership fence: if another engine claimed this user
+        // since we did, its state is the live one — rehydrating our stale
+        // copy would fork the pipeline into two owners.
+        let stored = eviction.store.epoch(id)?;
+        if stored != held {
+            return Err(CoreError::Persist(PersistError::StaleEpoch {
+                id,
+                held,
+                stored,
+            }));
+        }
+        let pipeline = SmarterYou::restore(snapshot, server)?;
         // The stored snapshot stays put as a crash-recovery copy: it can
         // never be *read* while the pipeline is resident (loads only happen
-        // for evicted slots, and eviction overwrites the entry first), and
+        // for parked entries, and eviction overwrites the entry first), and
         // deleting it would leave a durable store with no copy at all until
         // the next eviction — losing everything instead of just the
         // post-rehydration progress if the process dies.
         eviction.total_rehydrations += 1;
         self.rehydrations_since_tick += 1;
-        self.slots[i].pipeline = Some(pipeline);
+        let entry = self.users.get_mut(&id).expect("looked up above");
+        entry.resident = Some(self.resident.len());
+        // Windows stashed while parked are delivered first, ahead of
+        // whatever the caller is about to submit — their original order.
+        let inbox = std::mem::take(&mut entry.stashed);
+        self.stashed_windows -= inbox.len();
+        self.resident.push(ResidentSlot {
+            id,
+            seq,
+            pipeline,
+            inbox,
+        });
         Ok(())
+    }
+
+    /// Stashes windows on a **parked** user, to be delivered at their next
+    /// successful rehydration — the fallback a migration uses when carried
+    /// windows cannot be re-queued right now (the target store failed to
+    /// rehydrate); the windows survive instead of being dropped.
+    pub(crate) fn stash_windows(&mut self, id: UserId, windows: Vec<DualDeviceWindow>) {
+        let entry = self
+            .users
+            .get_mut(&id)
+            .expect("stash for a registered user");
+        assert!(
+            entry.resident.is_none(),
+            "stash is only for parked users — submit to a resident one"
+        );
+        self.stashed_windows += windows.len();
+        entry.stashed.extend(windows);
     }
 
     /// Queues one window for `id`, to be scored by the next
@@ -303,12 +564,7 @@ impl FleetEngine {
     /// path, so callers can tell "no such user" from "known user whose
     /// state could not be loaded".
     pub fn submit(&mut self, id: UserId, window: DualDeviceWindow) -> Result<(), CoreError> {
-        let i = *self.index.get(&id).ok_or(CoreError::UnknownUser(id))?;
-        self.ensure_resident(i)?;
-        let slot = &mut self.slots[i];
-        slot.inbox.push(window);
-        slot.last_submit_tick = self.clock;
-        Ok(())
+        self.submit_many(id, [window])
     }
 
     /// Queues a whole stream of windows for `id`, preserving order.
@@ -323,22 +579,28 @@ impl FleetEngine {
         id: UserId,
         windows: impl IntoIterator<Item = DualDeviceWindow>,
     ) -> Result<(), CoreError> {
-        let i = *self.index.get(&id).ok_or(CoreError::UnknownUser(id))?;
-        self.ensure_resident(i)?;
-        let slot = &mut self.slots[i];
-        slot.inbox.extend(windows);
-        slot.last_submit_tick = self.clock;
+        if !self.users.contains_key(&id) {
+            return Err(CoreError::UnknownUser(id));
+        }
+        self.ensure_resident(id)?;
+        let entry = self.users.get_mut(&id).expect("checked above");
+        entry.last_submit_tick = self.clock;
+        let idx = entry.resident.expect("made resident above");
+        self.resident[idx].inbox.extend(windows);
         Ok(())
     }
 
-    /// Windows currently queued across all users.
+    /// Windows currently queued across all users — resident inboxes plus
+    /// any stashed on parked users awaiting rehydration. O(resident).
     pub fn pending(&self) -> usize {
-        self.slots.iter().map(|s| s.inbox.len()).sum()
+        self.resident.iter().map(|s| s.inbox.len()).sum::<usize>() + self.stashed_windows
     }
 
     /// Drains every queued window, advancing all affected pipelines in
     /// parallel. Outcomes are grouped per user in registration order; each
-    /// user's outcomes are in their submission order.
+    /// user's outcomes are in their submission order. The tick walks only
+    /// the resident array — parked users cost nothing, however many are
+    /// registered.
     ///
     /// A pipeline failure (e.g. a retrain hitting
     /// [`CoreError::InsufficientData`]) is isolated to its user: the error
@@ -354,31 +616,24 @@ impl FleetEngine {
     /// failure in [`TickReport::eviction_errors`] — separate from scoring
     /// errors, because the tick's outcomes are still valid.
     pub fn tick(&mut self) -> TickReport {
-        let results: Vec<Result<UserOutcomes, (UserId, CoreError)>> =
-            parallel_map_mut(&mut self.slots, |slot| {
-                let windows = std::mem::take(&mut slot.inbox);
-                match slot.pipeline.as_mut() {
-                    Some(pipeline) => match pipeline.process_batch(&windows) {
-                        Ok(outcomes) => Ok(UserOutcomes {
-                            user: slot.id,
-                            outcomes,
-                        }),
-                        Err(e) => Err((slot.id, e)),
-                    },
-                    // Evicted slots cannot accumulate windows (submit
-                    // rehydrates first); nothing to score.
-                    None => {
-                        debug_assert!(windows.is_empty(), "windows queued for evicted pipeline");
-                        Ok(UserOutcomes {
-                            user: slot.id,
-                            outcomes: Vec::new(),
-                        })
-                    }
-                }
-            });
+        let scanned = self.resident.len();
+        let mut results: Vec<SlotTickResult> = parallel_map_mut(&mut self.resident, |slot| {
+            let windows = std::mem::take(&mut slot.inbox);
+            let outcome = match slot.pipeline.process_batch(&windows) {
+                Ok(outcomes) => Ok(UserOutcomes {
+                    user: slot.id,
+                    outcomes,
+                }),
+                Err(e) => Err((slot.id, e)),
+            };
+            (slot.seq, outcome)
+        });
+        // Eviction churn permutes the dense array; registration order is
+        // restored from the sequence numbers.
+        results.sort_unstable_by_key(|&(seq, _)| seq);
         let mut users = Vec::with_capacity(results.len());
         let mut errors = Vec::new();
-        for result in results {
+        for (_, result) in results {
             match result {
                 Ok(user) => {
                     if !user.outcomes.is_empty() {
@@ -391,11 +646,12 @@ impl FleetEngine {
         let (evicted, eviction_errors) = self.evict_idle();
         let rehydrated = std::mem::take(&mut self.rehydrations_since_tick);
         self.clock += 1;
-        let resident = self.resident_count();
+        let resident = self.resident.len();
         TickReport::new(users, errors).with_fleet_state(
             evicted,
             rehydrated,
             resident,
+            scanned,
             eviction_errors,
         )
     }
@@ -403,46 +659,113 @@ impl FleetEngine {
     /// Trims residency to the configured capacity, evicting the least
     /// recently submitted pipelines first. Returns how many were evicted
     /// plus the save failures; a failed save keeps its pipeline resident.
+    /// O(resident): only the dense array is scanned.
     fn evict_idle(&mut self) -> (usize, Vec<(UserId, PersistError)>) {
         let mut errors = Vec::new();
-        let Some(eviction) = self.eviction.as_mut() else {
+        let Some(mut eviction) = self.eviction.take() else {
             return (0, errors);
         };
-        let mut resident: Vec<usize> = (0..self.slots.len())
-            .filter(|&i| self.slots[i].pipeline.is_some())
-            .collect();
-        if resident.len() <= eviction.capacity {
+        if self.resident.len() <= eviction.capacity {
+            self.eviction = Some(eviction);
             return (0, errors);
         }
         // Oldest submit first; ties broken by registration order so the
-        // pass is deterministic.
-        resident.sort_by_key(|&i| (self.slots[i].last_submit_tick, i));
-        let excess = resident.len() - eviction.capacity;
+        // pass is deterministic whatever the dense array's permutation.
+        let mut order: Vec<usize> = (0..self.resident.len()).collect();
+        order.sort_unstable_by_key(|&i| {
+            let slot = &self.resident[i];
+            (self.users[&slot.id].last_submit_tick, slot.seq)
+        });
+        let excess = self.resident.len() - eviction.capacity;
+        let mut victims = order[..excess].to_vec();
+        // Descending, so each swap_remove leaves earlier victim indices
+        // valid (the swapped-in tail element always has a larger index).
+        victims.sort_unstable_by(|a, b| b.cmp(a));
         let mut evicted = 0;
-        for &i in &resident[..excess] {
-            let slot = &mut self.slots[i];
-            let pipeline = slot.pipeline.take().expect("selected as resident");
+        for i in victims {
+            // Pre-check the ownership fence before consuming the pipeline:
+            // a fenced-out user would be selected again every tick, and
+            // without this check each tick would pay a full snapshot +
+            // restore round-trip just to have the save rejected. The cheap
+            // epoch read reports the same typed error instead.
+            let held = self.users[&self.resident[i].id].epoch;
+            match eviction.store.epoch(self.resident[i].id) {
+                Ok(stored) if held < stored => {
+                    errors.push((
+                        self.resident[i].id,
+                        PersistError::StaleEpoch {
+                            id: self.resident[i].id,
+                            held,
+                            stored,
+                        },
+                    ));
+                    continue;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    errors.push((self.resident[i].id, e));
+                    continue;
+                }
+            }
+            let ResidentSlot {
+                id,
+                seq,
+                pipeline,
+                inbox,
+            } = self.resident.swap_remove(i);
+            let epoch = self.users[&id].epoch;
             // Consuming snapshot: the pipeline is leaving memory anyway, so
             // its state moves into the snapshot instead of being cloned.
             let snapshot = pipeline.into_snapshot();
-            match eviction.store.save(slot.id, &snapshot) {
+            match eviction.store.save_fenced(id, epoch, &snapshot) {
                 Ok(()) => {
                     evicted += 1;
                     eviction.total_evictions += 1;
+                    self.users.get_mut(&id).expect("registered").resident = None;
                 }
                 Err(e) => {
                     // Never drop unsaved state: rebuild the pipeline from
                     // the snapshot still in hand (a snapshot taken from a
                     // live pipeline always restores) and surface the error.
-                    slot.pipeline = Some(
-                        SmarterYou::restore(snapshot, slot.server.clone())
+                    let server = self.users[&id].server.clone();
+                    self.resident.push(ResidentSlot {
+                        id,
+                        seq,
+                        pipeline: SmarterYou::restore(snapshot, server)
                             .expect("snapshot of a live pipeline restores"),
-                    );
-                    errors.push((slot.id, e));
+                        inbox,
+                    });
+                    errors.push((id, e));
                 }
             }
         }
+        self.eviction = Some(eviction);
+        self.reindex_residents();
         (evicted, errors)
+    }
+
+    /// Repairs one entry's index after a single `swap_remove` moved the
+    /// tail slot into `idx`. No-op when `idx` is past the end (the removed
+    /// slot was the tail itself).
+    fn fix_resident_index(&mut self, idx: usize) {
+        if let Some(slot_id) = self.resident.get(idx).map(|s| s.id) {
+            self.users
+                .get_mut(&slot_id)
+                .expect("resident implies registered")
+                .resident = Some(idx);
+        }
+    }
+
+    /// Rebuilds every resident entry's index after the dense array was
+    /// permuted (batch eviction). O(resident).
+    fn reindex_residents(&mut self) {
+        for idx in 0..self.resident.len() {
+            let id = self.resident[idx].id;
+            self.users
+                .get_mut(&id)
+                .expect("resident implies registered")
+                .resident = Some(idx);
+        }
     }
 
     /// Lifetime eviction and rehydration totals (`(0, 0)` when eviction is
@@ -475,7 +798,7 @@ impl FleetEngine {
     ) -> Result<Vec<(UserId, ProcessOutcome)>, CoreError> {
         // Validate before mutating any inbox so an unknown id is atomic.
         for (id, _) in &batch {
-            if !self.index.contains_key(id) {
+            if !self.users.contains_key(id) {
                 return Err(CoreError::UnknownUser(*id));
             }
         }
@@ -484,13 +807,13 @@ impl FleetEngine {
         let mut positions = Vec::with_capacity(batch.len());
         let mut order: Vec<UserId> = Vec::with_capacity(batch.len());
         for (id, window) in batch {
-            let i = self.index[&id];
-            self.ensure_resident(i)?;
-            let slot = &mut self.slots[i];
+            self.ensure_resident(id)?;
+            let entry = self.users.get_mut(&id).expect("validated above");
+            entry.last_submit_tick = self.clock;
+            let slot = &mut self.resident[entry.resident.expect("made resident above")];
             positions.push(slot.inbox.len());
             order.push(id);
             slot.inbox.push(window);
-            slot.last_submit_tick = self.clock;
         }
         let report = self.tick();
         if let Some((_, error)) = report.errors().first() {
@@ -531,6 +854,7 @@ mod tests {
         assert!(engine.pipeline(UserId(0)).is_none());
         assert!(engine.pipeline_mut(UserId(0)).is_none());
         assert_eq!(engine.is_resident(UserId(0)), None);
+        assert_eq!(engine.epoch_of(UserId(0)), None);
         let outcomes = engine.score_ticked(vec![]).expect("empty batch is fine");
         assert!(outcomes.is_empty());
         let report = engine.tick();
@@ -538,6 +862,7 @@ mod tests {
         assert_eq!(report.evictions(), 0);
         assert_eq!(report.rehydrations(), 0);
         assert_eq!(report.resident_pipelines(), 0);
+        assert_eq!(report.scanned_slots(), 0);
     }
 
     #[test]
@@ -560,6 +885,21 @@ mod tests {
             engine.rehydrate(UserId(4)),
             Err(CoreError::UnknownUser(UserId(4)))
         );
+        assert!(matches!(
+            engine.release(UserId(4)),
+            Err(CoreError::UnknownUser(UserId(4)))
+        ));
+    }
+
+    #[test]
+    fn register_parked_requires_a_store() {
+        let mut engine = FleetEngine::new();
+        let server: Arc<dyn TrainingHandle> =
+            Arc::new(parking_lot::Mutex::new(crate::server::TrainingServer::new()));
+        assert!(matches!(
+            engine.register_parked(UserId(0), server),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

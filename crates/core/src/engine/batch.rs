@@ -39,6 +39,7 @@ pub struct TickReport {
     evictions: usize,
     rehydrations: usize,
     resident: usize,
+    scanned: usize,
     eviction_errors: Vec<(UserId, PersistError)>,
 }
 
@@ -85,11 +86,13 @@ impl TickReport {
         evictions: usize,
         rehydrations: usize,
         resident: usize,
+        scanned: usize,
         eviction_errors: Vec<(UserId, PersistError)>,
     ) -> Self {
         self.evictions = evictions;
         self.rehydrations = rehydrations;
         self.resident = resident;
+        self.scanned = scanned;
         self.eviction_errors = eviction_errors;
         self
     }
@@ -161,6 +164,13 @@ impl TickReport {
     /// Pipelines resident in memory after this tick's eviction pass.
     pub fn resident_pipelines(&self) -> usize {
         self.resident
+    }
+
+    /// Slots the tick actually walked — the O(resident) contract made
+    /// observable: this tracks the resident count at tick start, never the
+    /// registered-user count, however many users are parked.
+    pub fn scanned_slots(&self) -> usize {
+        self.scanned
     }
 }
 

@@ -90,7 +90,10 @@ pub fn drift_experiment(cfg: &ExperimentConfig, days: usize, drift_scale: f64) -
     .with_response_policy(ResponsePolicy {
         rejects_to_lock: usize::MAX,
     })
-    .with_retrain_policy(RetrainPolicy::default());
+    .with_retrain_policy(RetrainPolicy::default())
+    // The runtime tracker keeps only a rolling window of scores; this
+    // harness plots the whole run's daily series, so retain everything.
+    .with_history_retention(usize::MAX);
 
     let owner_gen_cfg = GeneratorConfig {
         drift_scale,

@@ -51,12 +51,12 @@ pub use engine::{FleetEngine, TickReport, UserOutcomes};
 pub use error::CoreError;
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
 pub use persist::{
-    FileSnapshotStore, MemorySnapshotStore, PersistError, PipelineSnapshot, SnapshotStore,
-    SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+    FileSnapshotStore, MemorySnapshotStore, PersistError, PipelineSnapshot, SharedSnapshotStore,
+    SnapshotStore, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
-pub use pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase};
+pub use pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase, DEFAULT_EVENT_CAPACITY};
 pub use power::{BatteryRow, OverheadReport};
 pub use response::{ResponseAction, ResponseModule, ResponsePolicy};
 pub use retrain::{ConfidenceTracker, RetrainPolicy};
-pub use server::TrainingServer;
+pub use server::{NegativeEpoch, TrainingHandle, TrainingServer};
 pub use window_features::{FeatureScratch, WindowFeatures};

@@ -5,11 +5,26 @@
 //! a panicking worker propagates to the caller. Work is split into one
 //! contiguous chunk per thread, which preserves output order by
 //! construction and keeps per-item overhead at a single index computation.
+//!
+//! # Nesting
+//!
+//! Calls are **nesting-aware** through a thread-local *thread budget*: a
+//! top-level map may use up to `available_parallelism` threads, and each
+//! worker it spawns inherits an equal share of that budget for any maps it
+//! runs in turn — so total concurrency stays ≈ the core count however
+//! deeply maps nest. The sharded fleet relies on this: a
+//! [`ShardedFleet::tick`](crate::engine::shard::ShardedFleet::tick) maps
+//! over its shards in parallel and each shard's engine maps over its
+//! resident pipelines; on a 16-core box a 4-shard tick runs 4 shard
+//! workers × 4 pipeline threads each instead of either 4×16
+//! oversubscription or 4×1 idle cores. The ordering guarantee is identical
+//! at every depth.
 
 /// Order-preserving parallel map over a slice.
 ///
 /// Uses up to `available_parallelism` threads (falling back to 4 when the
-/// parallelism probe fails) and degrades to a plain sequential map for
+/// parallelism probe fails; bounded by the inherited budget when nested —
+/// see the module docs) and degrades to a plain sequential map for
 /// single-item or single-thread workloads, so callers can use it
 /// unconditionally.
 ///
@@ -22,16 +37,20 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = num_threads(items.len());
+    let budget = thread_budget();
+    let threads = budget.min(items.len().max(1));
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
+    let child_budget = (budget / threads).max(1);
     let chunk = items.len().div_ceil(threads);
     let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                s.spawn(move || in_worker(child_budget, || c.iter().map(f).collect::<Vec<R>>()))
+            })
             .collect();
         handles
             .into_iter()
@@ -54,16 +73,20 @@ where
     R: Send,
     F: Fn(&mut T) -> R + Sync,
 {
-    let threads = num_threads(items.len());
+    let budget = thread_budget();
+    let threads = budget.min(items.len().max(1));
     if threads <= 1 {
         return items.iter_mut().map(&f).collect();
     }
+    let child_budget = (budget / threads).max(1);
     let chunk = items.len().div_ceil(threads);
     let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
-            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                s.spawn(move || in_worker(child_budget, || c.iter_mut().map(f).collect::<Vec<R>>()))
+            })
             .collect();
         handles
             .into_iter()
@@ -72,11 +95,31 @@ where
     })
 }
 
-fn num_threads(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.max(1))
+thread_local! {
+    /// The nested-map thread budget for the current thread: `None` at top
+    /// level (use the machine's parallelism), `Some(n)` inside a map
+    /// worker (this thread's share of its parent's budget).
+    static THREAD_BUDGET: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Threads the current context may use for a map: the inherited worker
+/// share, or the machine parallelism at top level.
+fn thread_budget() -> usize {
+    THREAD_BUDGET.with(|b| b.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    })
+}
+
+/// Runs `work` with the current thread's budget set to `budget`. Worker
+/// threads are fresh per scope, but save/restore anyway so the behaviour
+/// does not depend on that detail.
+fn in_worker<R>(budget: usize, work: impl FnOnce() -> R) -> R {
+    let previous = THREAD_BUDGET.with(|b| b.replace(Some(budget)));
+    let result = work();
+    THREAD_BUDGET.with(|b| b.set(previous));
+    result
 }
 
 #[cfg(test)]
@@ -114,5 +157,36 @@ mod tests {
         assert!(parallel_map_mut(&mut empty, |x| *x).is_empty());
         let mut one = vec![7];
         assert_eq!(parallel_map_mut(&mut one, |x| *x * 3), vec![21]);
+    }
+
+    #[test]
+    fn nested_maps_split_the_thread_budget_and_stay_ordered() {
+        // An outer parallel map whose items each run an inner map: every
+        // worker's inner budget must be its fair share of the machine
+        // budget (total concurrency ≈ core count, never outer × cores),
+        // and the combined output must stay in order.
+        let machine = thread_budget();
+        let outer: Vec<u64> = (0..16).collect();
+        let outer_threads = machine.min(outer.len());
+        let expected_inner_budget = (machine / outer_threads.max(1)).max(1);
+        let out = parallel_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..8).collect();
+            let inner_budget = thread_budget();
+            let sums = parallel_map(&inner, |&y| x * 100 + y);
+            (inner_budget, sums)
+        });
+        for (x, (inner_budget, sums)) in out.iter().enumerate() {
+            // Single-thread runners never spawn workers, so the inner call
+            // sees the full (=1) machine budget rather than a worker share.
+            if outer_threads > 1 {
+                assert_eq!(
+                    *inner_budget, expected_inner_budget,
+                    "worker budget must be the parent's share"
+                );
+                assert!(*inner_budget * outer_threads <= machine.max(outer_threads));
+            }
+            let expected: Vec<u64> = (0..8).map(|y| x as u64 * 100 + y).collect();
+            assert_eq!(sums, &expected);
+        }
     }
 }

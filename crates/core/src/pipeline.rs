@@ -1,9 +1,9 @@
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+use smarteryou_ml::KrrFitCache;
 use smarteryou_sensors::{DualDeviceWindow, UsageContext, WindowSpec};
 
 use crate::auth::{AuthDecision, Authenticator};
@@ -13,9 +13,15 @@ use crate::features::FeatureExtractor;
 use crate::persist::{PipelineSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
 use crate::retrain::{ConfidenceTracker, RetrainPolicy};
-use crate::server::TrainingServer;
+use crate::server::{NegativeEpoch, TrainingHandle};
 use crate::window_features::FeatureScratch;
 use crate::CoreError;
+
+/// Default bound on the per-pipeline [`SystemEvent`] ring buffer. Events
+/// are rare (one per enrollment, retrain, or lock transition), but
+/// unbounded they ride along in every snapshot for the life of the user;
+/// the default keeps months of typical churn while capping the wire cost.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
 
 /// Lifecycle phase of the on-device system (§IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,14 +78,16 @@ pub enum ProcessOutcome {
 /// → per-context authentication → response, plus enrollment buffering and
 /// confidence-score-driven retraining (Figure 1's testing module).
 ///
-/// The [`TrainingServer`] is shared behind a mutex, modelling the cloud
-/// service that many devices talk to.
+/// The training service is reached through a shared [`TrainingHandle`] —
+/// today an in-process [`TrainingServer`](crate::TrainingServer) behind a
+/// mutex (the `Arc<Mutex<TrainingServer>>` coerces), later an
+/// out-of-process service.
 #[derive(Debug, Clone)]
 pub struct SmarterYou {
     cfg: SystemConfig,
     extractor: FeatureExtractor,
     detector: ContextDetector,
-    server: Arc<Mutex<TrainingServer>>,
+    server: Arc<dyn TrainingHandle>,
     authenticator: Option<Authenticator>,
     response: ResponseModule,
     tracker: ConfidenceTracker,
@@ -87,7 +95,9 @@ pub struct SmarterYou {
     buffers: [Vec<Vec<f64>>; 2],
     /// Ring buffers of recently accepted windows, used for retraining.
     recent: [Vec<Vec<f64>>; 2],
+    /// Ring buffer of notable events, capped at `event_capacity`.
     events: Vec<SystemEvent>,
+    event_capacity: usize,
     day: f64,
     rng: StdRng,
     /// Planned-FFT workspace reused across windows (see [`FeatureScratch`]).
@@ -96,6 +106,14 @@ pub struct SmarterYou {
     /// [`WindowFeatures`](crate::WindowFeatures) pass serve context
     /// detection *and* authentication.
     shared_extractor: bool,
+    /// Frozen negative sample for epoch-stable retrains; `None` until the
+    /// first retrain pins one. Persisted in snapshots (a restored pipeline
+    /// must not redraw it — that would consume different randomness).
+    negative_epoch: Option<NegativeEpoch>,
+    /// Per-context KRR fit caches for the retrain path. Transient: a
+    /// restored pipeline starts cold and simply refactors once — cache
+    /// state never changes any trained model bit.
+    fit_caches: [KrrFitCache; 2],
 }
 
 impl SmarterYou {
@@ -107,7 +125,7 @@ impl SmarterYou {
     pub fn new(
         cfg: SystemConfig,
         detector: ContextDetector,
-        server: Arc<Mutex<TrainingServer>>,
+        server: Arc<dyn TrainingHandle>,
         seed: u64,
     ) -> Result<Self, CoreError> {
         cfg.validate()?;
@@ -124,10 +142,13 @@ impl SmarterYou {
             buffers: [Vec::new(), Vec::new()],
             recent: [Vec::new(), Vec::new()],
             events: Vec::new(),
+            event_capacity: DEFAULT_EVENT_CAPACITY,
             day: 0.0,
             rng: rand::SeedableRng::seed_from_u64(seed),
             scratch: FeatureScratch::default(),
             shared_extractor,
+            negative_epoch: None,
+            fit_caches: Default::default(),
         })
     }
 
@@ -140,6 +161,30 @@ impl SmarterYou {
     /// Overrides the retraining policy (default: ε = 0.2 over 30 windows).
     pub fn with_retrain_policy(mut self, policy: RetrainPolicy) -> Self {
         self.tracker = ConfidenceTracker::new(policy);
+        self
+    }
+
+    /// Overrides how many `(day, score)` pairs the confidence tracker
+    /// retains for plotting (see
+    /// [`ConfidenceTracker::with_history_retention`]). Experiment harnesses
+    /// regenerating Figure 7 pass a run-length retention; the runtime
+    /// default keeps one rolling window's worth.
+    pub fn with_history_retention(mut self, retention: usize) -> Self {
+        self.tracker = self.tracker.with_history_retention(retention);
+        self
+    }
+
+    /// Overrides the [`SystemEvent`] ring-buffer bound
+    /// ([`DEFAULT_EVENT_CAPACITY`] by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the response logic reads the latest
+    /// event).
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "event capacity must be positive");
+        self.event_capacity = capacity;
+        self.truncate_events();
         self
     }
 
@@ -162,9 +207,47 @@ impl SmarterYou {
         self.authenticator.as_ref()
     }
 
-    /// Events emitted so far.
+    /// Most recent events, oldest first — a ring buffer bounded at
+    /// [`SmarterYou::event_capacity`], so a long-lived pipeline reports its
+    /// latest `capacity` events rather than growing (and snapshotting)
+    /// without bound.
     pub fn events(&self) -> &[SystemEvent] {
         &self.events
+    }
+
+    /// The configured [`SystemEvent`] ring-buffer bound.
+    pub fn event_capacity(&self) -> usize {
+        self.event_capacity
+    }
+
+    /// Cumulative (hits, misses) of the per-context KRR fit caches the
+    /// retrain path runs through: a hit means a retrain reused the cached
+    /// Cholesky factorisation because its design matrix was unchanged
+    /// (epoch-stable negative sampling makes that possible — see
+    /// [`crate::TrainingServer::train_authenticator_epoch`]).
+    pub fn fit_cache_stats(&self) -> (u64, u64) {
+        self.fit_caches
+            .iter()
+            .fold((0, 0), |(h, m), c| (h + c.hits(), m + c.misses()))
+    }
+
+    /// Appends to the bounded event log, dropping the oldest entry at
+    /// capacity.
+    fn push_event(&mut self, event: SystemEvent) {
+        if self.events.len() == self.event_capacity {
+            // O(capacity) shift, but events are rare (retrains and lock
+            // transitions) and the capacity small.
+            self.events.remove(0);
+        }
+        self.events.push(event);
+    }
+
+    /// Enforces the event bound (after restore or a capacity change),
+    /// keeping the most recent entries.
+    fn truncate_events(&mut self) {
+        if self.events.len() > self.event_capacity {
+            self.events.drain(..self.events.len() - self.event_capacity);
+        }
     }
 
     /// The confidence-score tracker (Figure 7's time series).
@@ -187,10 +270,10 @@ impl SmarterYou {
         self.cfg.data_size() / 2
     }
 
-    /// The shared cloud training-server handle this pipeline talks to.
-    /// The fleet engine retains it across eviction so rehydration reattaches
-    /// the restored pipeline to the same server state.
-    pub(crate) fn training_server(&self) -> &Arc<Mutex<TrainingServer>> {
+    /// The shared training-service handle this pipeline talks to. The
+    /// fleet engine retains it across eviction so rehydration reattaches
+    /// the restored pipeline to the same service state.
+    pub(crate) fn training_handle(&self) -> &Arc<dyn TrainingHandle> {
         &self.server
     }
 
@@ -232,8 +315,10 @@ impl SmarterYou {
             buffers: self.buffers,
             recent: self.recent,
             events: self.events,
+            event_capacity: self.event_capacity,
             day: self.day,
             planned_window,
+            negative_epoch: self.negative_epoch,
         }
     }
 
@@ -250,7 +335,7 @@ impl SmarterYou {
     /// when its captured configuration is out of range.
     pub fn restore(
         snapshot: PipelineSnapshot,
-        server: Arc<Mutex<TrainingServer>>,
+        server: Arc<dyn TrainingHandle>,
     ) -> Result<Self, CoreError> {
         snapshot.validate()?;
         snapshot.cfg.validate()?;
@@ -260,7 +345,7 @@ impl SmarterYou {
         if let Some(spec) = snapshot.planned_window {
             scratch.prepare(spec.samples);
         }
-        Ok(SmarterYou {
+        let mut restored = SmarterYou {
             cfg: snapshot.cfg,
             extractor,
             detector: snapshot.detector,
@@ -271,11 +356,19 @@ impl SmarterYou {
             buffers: snapshot.buffers,
             recent: snapshot.recent,
             events: snapshot.events,
+            event_capacity: snapshot.event_capacity,
             day: snapshot.day,
             rng: rand::rngs::StdRng::from_state(snapshot.rng_state),
             scratch,
             shared_extractor,
-        })
+            negative_epoch: snapshot.negative_epoch,
+            // Cold caches: the first post-restore retrain refactors once.
+            fit_caches: Default::default(),
+        };
+        // A legacy snapshot may carry an over-long event log from before
+        // the ring bound existed; keep its most recent entries.
+        restored.truncate_events();
+        Ok(restored)
     }
 
     /// Feeds one captured window through the pipeline.
@@ -413,8 +506,7 @@ impl SmarterYou {
         };
         if ready {
             self.train_from_buffers()?;
-            self.events
-                .push(SystemEvent::EnrollmentComplete { day: self.day });
+            self.push_event(SystemEvent::EnrollmentComplete { day: self.day });
         }
         Ok(ProcessOutcome::Enrolling {
             stationary: st,
@@ -434,7 +526,7 @@ impl SmarterYou {
         if action == ResponseAction::Lock
             && !matches!(self.events.last(), Some(SystemEvent::Locked { .. }))
         {
-            self.events.push(SystemEvent::Locked { day: self.day });
+            self.push_event(SystemEvent::Locked { day: self.day });
         }
         let mut retrained = false;
         if decision.accepted {
@@ -448,7 +540,7 @@ impl SmarterYou {
             if self.tracker.record(self.day, decision.confidence) {
                 self.retrain()?;
                 retrained = true;
-                self.events.push(SystemEvent::Retrained { day: self.day });
+                self.push_event(SystemEvent::Retrained { day: self.day });
             }
         } else {
             // Rejected windows still inform the tracker (they reset
@@ -467,7 +559,6 @@ impl SmarterYou {
         let positives = [self.buffers[0].clone(), self.buffers[1].clone()];
         let auth = self
             .server
-            .lock()
             .train_authenticator(&positives, &self.cfg, &mut self.rng)?;
         // Seed the retraining buffers with the enrollment data.
         self.recent = positives;
@@ -476,16 +567,22 @@ impl SmarterYou {
     }
 
     /// Retrains from the most recent accepted windows (§V-I: "upload the
-    /// legitimate user's latest authentication feature vectors").
+    /// legitimate user's latest authentication feature vectors") with
+    /// epoch-stable negative sampling: the frozen sample in
+    /// `negative_epoch` is reused while the server pool is unchanged, so a
+    /// retrain whose positives also did not move (e.g. the other context's
+    /// model during a one-context usage streak) presents an identical
+    /// design matrix and reuses the cached Cholesky factorisation in
+    /// `fit_caches` (observable via [`SmarterYou::fit_cache_stats`]).
     fn retrain(&mut self) -> Result<(), CoreError> {
-        // Note: the server's `train_authenticator_cached` variant exists,
-        // but negative sampling reshuffles the design matrix per fit, so a
-        // per-device cache would never hit here — see ROADMAP "Open items".
         let positives = [self.recent[0].clone(), self.recent[1].clone()];
-        let auth = self
-            .server
-            .lock()
-            .train_authenticator(&positives, &self.cfg, &mut self.rng)?;
+        let auth = self.server.train_authenticator_epoch(
+            &positives,
+            &self.cfg,
+            &mut self.rng,
+            &mut self.negative_epoch,
+            &mut self.fit_caches,
+        )?;
         self.authenticator = Some(auth);
         self.tracker.mark_retrained();
         Ok(())
@@ -496,6 +593,8 @@ impl SmarterYou {
 mod tests {
     use super::*;
     use crate::context_detect::ContextDetectorConfig;
+    use crate::server::TrainingServer;
+    use parking_lot::Mutex;
     use rand::SeedableRng;
     use smarteryou_sensors::{
         Population, RawContext, TraceGenerator, UsageContext, UserProfile, WindowSpec,
@@ -695,6 +794,41 @@ mod tests {
             .with_retrain_policy(eager_retrain(5));
         enroll(&mut c, &f.owner, f.spec);
         assert_ne!(a.authenticator(), c.authenticator());
+    }
+
+    #[test]
+    fn one_context_usage_streak_hits_the_krr_fit_cache() {
+        // After the first retrain pins the negative epoch, a streak of
+        // stationary-only windows leaves the *moving* context's recent
+        // buffer untouched — so the next retrain presents the moving model
+        // with an identical design matrix and must reuse the cached
+        // Cholesky factorisation (ROADMAP "KRR fit cache" item).
+        let f = fixture();
+        let mut sys = SmarterYou::new(f.cfg.clone(), f.detector.clone(), f.server.clone(), 21)
+            .unwrap()
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            })
+            .with_retrain_policy(eager_retrain(4));
+        enroll(&mut sys, &f.owner, f.spec);
+        assert_eq!(sys.fit_cache_stats(), (0, 0), "caches start cold");
+
+        let mut gen = TraceGenerator::new(f.owner.clone(), 91);
+        let mut retrains = 0;
+        for w in gen.generate_windows(RawContext::SittingStanding, f.spec, 30) {
+            if let ProcessOutcome::Decision {
+                retrained: true, ..
+            } = sys.process_window(&w).unwrap()
+            {
+                retrains += 1;
+            }
+        }
+        assert!(retrains >= 2, "streak produced only {retrains} retrains");
+        let (hits, misses) = sys.fit_cache_stats();
+        assert!(
+            hits > 0,
+            "label-stable refits never hit the fit cache ({misses} misses)"
+        );
     }
 
     #[test]

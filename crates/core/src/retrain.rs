@@ -37,16 +37,57 @@ impl Default for RetrainPolicy {
 
 /// Tracks the time series of confidence scores and decides when retraining
 /// is warranted (the right-hand plot of Figure 7).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The retrain decision only ever reads the rolling window of the last
+/// `period` scores; the `(day, score)` history exists for the Figure 7
+/// plots. At one window a minute an unbounded history grows by ~500k
+/// entries a year — and rides along in every pipeline snapshot — so it is
+/// ring-buffered to [`ConfidenceTracker::history_retention`] entries: the
+/// runtime default keeps just the rolling window's worth, and experiment
+/// harnesses that plot the series opt into a larger retention with
+/// [`ConfidenceTracker::with_history_retention`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ConfidenceTracker {
     policy: RetrainPolicy,
     recent: VecDeque<f64>,
     since_retrain: usize,
-    history: Vec<(f64, f64)>,
+    /// Ring of the last `retention` scores; a deque so the one-in-one-out
+    /// at the cap is O(1) whatever the retention (serialized as a plain
+    /// JSON array either way).
+    history: VecDeque<(f64, f64)>,
+    retention: usize,
+}
+
+/// Hand-written so snapshots written before the history ring existed (no
+/// `retention` field) still parse: they restore with the default retention
+/// and an over-long legacy history is truncated to its most recent
+/// entries. The vendored serde derive has no `#[serde(default)]`.
+impl serde::Deserialize for ConfidenceTracker {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::__private::get_field;
+        let policy: RetrainPolicy = get_field(v, "ConfidenceTracker", "policy")?;
+        let retention = match v.get("retention") {
+            Some(entry) => usize::from_value(entry)
+                .map_err(|e| serde::DeError::custom(format!("ConfidenceTracker.retention: {e}")))?,
+            None => policy.period,
+        };
+        let mut history: VecDeque<(f64, f64)> = get_field(v, "ConfidenceTracker", "history")?;
+        if history.len() > retention {
+            history.drain(..history.len() - retention);
+        }
+        Ok(ConfidenceTracker {
+            policy,
+            recent: get_field(v, "ConfidenceTracker", "recent")?,
+            since_retrain: get_field(v, "ConfidenceTracker", "since_retrain")?,
+            history,
+            retention,
+        })
+    }
 }
 
 impl ConfidenceTracker {
-    /// Creates a tracker with the given policy.
+    /// Creates a tracker with the given policy and the default history
+    /// retention (one rolling window's worth of entries).
     ///
     /// # Panics
     ///
@@ -57,8 +98,26 @@ impl ConfidenceTracker {
             policy,
             recent: VecDeque::with_capacity(policy.period),
             since_retrain: 0,
-            history: Vec::new(),
+            history: VecDeque::new(),
+            retention: policy.period,
         }
+    }
+
+    /// Overrides how many `(day, score)` history entries are retained for
+    /// plotting (the retrain decision never reads beyond the rolling
+    /// window). Experiment harnesses regenerating Figure 7 pass a retention
+    /// covering the whole run; truncates immediately if already over.
+    pub fn with_history_retention(mut self, retention: usize) -> Self {
+        self.retention = retention;
+        if self.history.len() > retention {
+            self.history.drain(..self.history.len() - retention);
+        }
+        self
+    }
+
+    /// The configured history ring size.
+    pub fn history_retention(&self) -> usize {
+        self.retention
     }
 
     /// The active policy.
@@ -71,7 +130,12 @@ impl ConfidenceTracker {
     /// legitimate confidence — the caller should retrain and then call
     /// [`ConfidenceTracker::mark_retrained`].
     pub fn record(&mut self, day: f64, confidence: f64) -> bool {
-        self.history.push((day, confidence));
+        if self.retention > 0 {
+            if self.history.len() == self.retention {
+                self.history.pop_front();
+            }
+            self.history.push_back((day, confidence));
+        }
         if self.recent.len() == self.policy.period {
             self.recent.pop_front();
         }
@@ -117,8 +181,9 @@ impl ConfidenceTracker {
             .count()
     }
 
-    /// Full `(day, confidence)` history, in arrival order.
-    pub fn history(&self) -> &[(f64, f64)] {
+    /// Retained `(day, confidence)` history, oldest first (the most recent
+    /// [`ConfidenceTracker::history_retention`] entries).
+    pub fn history(&self) -> &VecDeque<(f64, f64)> {
         &self.history
     }
 
@@ -238,5 +303,37 @@ mod tests {
     #[should_panic(expected = "period")]
     fn zero_period_is_rejected() {
         tracker(0);
+    }
+
+    #[test]
+    fn history_is_ring_buffered_to_the_retention() {
+        let mut t = tracker(4); // default retention = period = 4
+        assert_eq!(t.history_retention(), 4);
+        for i in 0..10 {
+            t.record(i as f64 * 0.01, 0.5 + i as f64);
+        }
+        // Only the last four (day, score) pairs survive; the rolling
+        // window and trigger logic are unaffected by the trim.
+        assert_eq!(t.history().len(), 4);
+        assert!((t.history()[0].1 - 6.5).abs() < 1e-12);
+        assert!((t.history()[3].1 - 9.5).abs() < 1e-12);
+        assert_eq!(t.rolling_len(), 4);
+    }
+
+    #[test]
+    fn custom_retention_keeps_more_and_truncates_on_shrink() {
+        let mut t = tracker(3).with_history_retention(100);
+        for i in 0..50 {
+            t.record(i as f64, 0.5);
+        }
+        assert_eq!(t.history().len(), 50);
+        let t = t.with_history_retention(10);
+        assert_eq!(t.history().len(), 10);
+        assert!((t.history()[0].0 - 40.0).abs() < 1e-12);
+        // Zero retention keeps no plot history at all (pure runtime mode).
+        let mut t = tracker(3).with_history_retention(0);
+        assert!(!t.record(0.0, 0.1));
+        assert!(t.history().is_empty());
+        assert_eq!(t.rolling_len(), 1, "rolling window still tracks");
     }
 }

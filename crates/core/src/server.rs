@@ -1,3 +1,6 @@
+use std::fmt;
+
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -26,6 +29,17 @@ use crate::CoreError;
 pub struct TrainingServer {
     /// Negative pools per [`UsageContext::index`].
     pools: [Vec<Vec<f64>>; 2],
+    /// Bumped on every pool-changing contribution; a device's frozen
+    /// [`NegativeEpoch`] records the version it sampled, so an unchanged
+    /// pool lets retrains reuse the sample (and with it the KRR fit
+    /// cache).
+    pool_version: u64,
+    /// Order-sensitive running fingerprint of the pool contents, checked
+    /// *alongside* the version: a snapshot's [`NegativeEpoch`] outlives
+    /// this process, and a rebuilt server could coincidentally reach the
+    /// same bare counter with entirely different data — the fingerprint
+    /// ties the staleness check to what the pool actually holds.
+    pool_fingerprint: u64,
 }
 
 impl TrainingServer {
@@ -35,12 +49,40 @@ impl TrainingServer {
     }
 
     /// Uploads anonymized feature vectors observed under `context`.
+    /// An empty contribution changes nothing — devices' pinned negative
+    /// epochs stay valid.
     pub fn contribute(
         &mut self,
         context: UsageContext,
         features: impl IntoIterator<Item = Vec<f64>>,
     ) {
-        self.pools[context.index()].extend(features);
+        let pool = &mut self.pools[context.index()];
+        let before = pool.len();
+        for row in features {
+            // Fold the row into the running fingerprint (FNV-1a over the
+            // context tag and raw f64 bits, rotated so ordering matters).
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ context.index() as u64;
+            for &v in &row {
+                h = (h ^ v.to_bits()).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            self.pool_fingerprint = self.pool_fingerprint.rotate_left(1) ^ h;
+            pool.push(row);
+        }
+        if self.pools[context.index()].len() > before {
+            self.pool_version += 1;
+        }
+    }
+
+    /// Version counter of the anonymized pool, bumped per pool-changing
+    /// contribution.
+    pub fn pool_version(&self) -> u64 {
+        self.pool_version
+    }
+
+    /// The `(version, content fingerprint)` pair a [`NegativeEpoch`] is
+    /// pinned against.
+    fn pool_stamp(&self) -> (u64, u64) {
+        (self.pool_version, self.pool_fingerprint)
     }
 
     /// Number of pooled vectors for a context.
@@ -128,16 +170,7 @@ impl TrainingServer {
             rows.push(negatives[i]);
             y.push(-1.0);
         }
-        let x = Matrix::from_rows(&rows)
-            .map_err(|e| CoreError::InsufficientData(format!("ragged features: {e}")))?;
-        let scaler = Scaler::fit(&x);
-        let xs = scaler.transform(&x);
-        let trainer = KernelRidge::new(cfg.rho());
-        let krr = match cache {
-            Some(cache) => trainer.fit_with_cache(cache, &xs, &y)?,
-            None => trainer.fit(&xs, &y)?,
-        };
-        Ok(AuthModel::new(scaler, krr))
+        fit_model(rows, &y, cfg, cache)
     }
 
     /// Trains the full [`Authenticator`] for a user according to the
@@ -191,6 +224,247 @@ impl TrainingServer {
                 Authenticator::per_context(models, cfg.accept_threshold())
             }
         }
+    }
+
+    /// Draws a device's frozen negative sample for the current pool
+    /// version: `data_size/2` pooled vectors per model (per context, or one
+    /// pooled draw in unified mode), shuffled by `rng` and then **pinned**.
+    /// Retrains against a pinned sample keep the design-matrix rows stable,
+    /// which is what lets [`KernelRidge::fit_with_cache`] reuse its
+    /// Cholesky factorisation (see
+    /// [`TrainingServer::train_authenticator_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InsufficientData`] when a required pool is empty.
+    pub fn sample_negative_epoch(
+        &self,
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<NegativeEpoch, CoreError> {
+        let per_class = cfg.data_size() / 2;
+        let sample = |pool: Vec<&Vec<f64>>, rng: &mut StdRng| -> Result<Vec<Vec<f64>>, CoreError> {
+            if pool.is_empty() {
+                return Err(CoreError::InsufficientData("empty negative pool".into()));
+            }
+            let mut idx: Vec<usize> = (0..pool.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(per_class.min(pool.len()));
+            Ok(idx.into_iter().map(|i| pool[i].clone()).collect())
+        };
+        let rows = match cfg.context_mode() {
+            ContextMode::PerContext => [
+                sample(self.pools[0].iter().collect(), rng)?,
+                sample(self.pools[1].iter().collect(), rng)?,
+            ],
+            ContextMode::Unified => [
+                sample(self.pools.iter().flatten().collect(), rng)?,
+                Vec::new(),
+            ],
+        };
+        Ok(NegativeEpoch {
+            pool_version: self.pool_version,
+            pool_fingerprint: self.pool_fingerprint,
+            rows,
+        })
+    }
+
+    /// Retrains the [`Authenticator`] with **epoch-stable sampling**: the
+    /// negatives come from `epoch`'s frozen sample, (re)drawn only when the
+    /// anonymized pool has changed since it was pinned, and the positives
+    /// are the most recent `data_size/2` buffered windows in buffer order —
+    /// no per-fit shuffling. A retrain whose inputs did not change between
+    /// fits therefore presents the *identical* design matrix and reuses the
+    /// cached Cholesky factorisation in `caches` (an `O(dim³)` →
+    /// `O(dim²)` refit); inspect [`KrrFitCache::hits`] to observe it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InsufficientData`] when either side of a model's
+    /// training set is empty; training failures are propagated.
+    pub fn train_authenticator_epoch(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+    ) -> Result<Authenticator, CoreError> {
+        if epoch
+            .as_ref()
+            .is_none_or(|e| (e.pool_version, e.pool_fingerprint) != self.pool_stamp())
+        {
+            *epoch = Some(self.sample_negative_epoch(cfg, rng)?);
+        }
+        let epoch = epoch.as_ref().expect("pinned above");
+        match cfg.context_mode() {
+            ContextMode::Unified => {
+                let all: Vec<Vec<f64>> = positives.iter().flatten().cloned().collect();
+                let model = self.train_model_frozen(&all, &epoch.rows[0], cfg, &mut caches[0])?;
+                Ok(Authenticator::unified(model, cfg.accept_threshold()))
+            }
+            ContextMode::PerContext => {
+                let mut models = Vec::with_capacity(2);
+                for ctx in UsageContext::ALL {
+                    models.push(self.train_model_frozen(
+                        &positives[ctx.index()],
+                        &epoch.rows[ctx.index()],
+                        cfg,
+                        &mut caches[ctx.index()],
+                    )?);
+                }
+                Authenticator::per_context(models, cfg.accept_threshold())
+            }
+        }
+    }
+
+    /// One model fit over a deterministic design matrix: the most recent
+    /// `data_size/2` positives (buffer order — §V-I retrains on the
+    /// "latest authentication feature vectors") stacked over the frozen
+    /// negatives, scaler fitted on the stack, KRR solved through the fit
+    /// cache. Consumes no randomness.
+    fn train_model_frozen(
+        &self,
+        positives: &[Vec<f64>],
+        negatives: &[Vec<f64>],
+        cfg: &SystemConfig,
+        cache: &mut KrrFitCache,
+    ) -> Result<AuthModel, CoreError> {
+        if positives.is_empty() || negatives.is_empty() {
+            return Err(CoreError::InsufficientData(format!(
+                "positives={}, frozen negatives={}",
+                positives.len(),
+                negatives.len()
+            )));
+        }
+        let per_class = cfg.data_size() / 2;
+        let tail = positives.len().saturating_sub(per_class);
+        let mut rows: Vec<&[f64]> = Vec::with_capacity(positives.len() - tail + negatives.len());
+        let mut y = Vec::with_capacity(rows.capacity());
+        for row in &positives[tail..] {
+            rows.push(row);
+            y.push(1.0);
+        }
+        for row in negatives {
+            rows.push(row);
+            y.push(-1.0);
+        }
+        fit_model(rows, &y, cfg, Some(cache))
+    }
+}
+
+/// The shared fit tail: stacks the assembled `(rows, labels)` into a
+/// matrix, fits the scaler on it, and solves the KRR system (through the
+/// cache when one is supplied). Both the per-fit-sampled and the
+/// frozen-epoch training paths end here, so scaling and error semantics
+/// cannot diverge between them.
+fn fit_model(
+    rows: Vec<&[f64]>,
+    y: &[f64],
+    cfg: &SystemConfig,
+    cache: Option<&mut KrrFitCache>,
+) -> Result<AuthModel, CoreError> {
+    let x = Matrix::from_rows(&rows)
+        .map_err(|e| CoreError::InsufficientData(format!("ragged features: {e}")))?;
+    let scaler = Scaler::fit(&x);
+    let xs = scaler.transform(&x);
+    let trainer = KernelRidge::new(cfg.rho());
+    let krr = match cache {
+        Some(cache) => trainer.fit_with_cache(cache, &xs, y)?,
+        None => trainer.fit(&xs, y)?,
+    };
+    Ok(AuthModel::new(scaler, krr))
+}
+
+/// A device's frozen negative sample: the pooled vectors it trains against
+/// until the anonymized pool changes. Rides along in the pipeline snapshot
+/// so an evicted-and-rehydrated device retrains bit-identically to one
+/// that never left memory (resampling on restore would consume different
+/// randomness).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NegativeEpoch {
+    /// [`TrainingServer::pool_version`] the sample was drawn at.
+    pool_version: u64,
+    /// Content fingerprint of the pool the sample was drawn from. The
+    /// epoch outlives the server process inside pipeline snapshots, and a
+    /// rebuilt server's bare counter could coincidentally match; the
+    /// fingerprint ties staleness to the actual pool contents.
+    pool_fingerprint: u64,
+    /// Sampled negative rows per [`UsageContext::index`]; unified mode
+    /// keeps its single pooled draw in slot 0.
+    rows: [Vec<Vec<f64>>; 2],
+}
+
+impl NegativeEpoch {
+    /// Pool version the sample was pinned at.
+    pub fn pool_version(&self) -> u64 {
+        self.pool_version
+    }
+
+    /// Sampled rows per context slot.
+    pub(crate) fn rows(&self) -> &[Vec<Vec<f64>>; 2] {
+        &self.rows
+    }
+}
+
+/// How a pipeline reaches its training service. Today the only deployment
+/// is the in-process [`TrainingServer`] behind a mutex (every
+/// `Arc<Mutex<TrainingServer>>` coerces straight into
+/// `Arc<dyn TrainingHandle>`), but the pipeline and fleet engine only ever
+/// see this trait — the seam where a future out-of-process training
+/// service (RPC to a real cloud tier) plugs in without touching the
+/// per-user state machine. Shards share one handle across threads, hence
+/// `Send + Sync` with interior locking.
+pub trait TrainingHandle: fmt::Debug + Send + Sync {
+    /// Trains the initial [`Authenticator`] from enrollment buffers (see
+    /// [`TrainingServer::train_authenticator`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    fn train_authenticator(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<Authenticator, CoreError>;
+
+    /// Retrains with epoch-stable negative sampling (see
+    /// [`TrainingServer::train_authenticator_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    fn train_authenticator_epoch(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+    ) -> Result<Authenticator, CoreError>;
+}
+
+impl TrainingHandle for Mutex<TrainingServer> {
+    fn train_authenticator(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<Authenticator, CoreError> {
+        self.lock().train_authenticator(positives, cfg, rng)
+    }
+
+    fn train_authenticator_epoch(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+    ) -> Result<Authenticator, CoreError> {
+        self.lock()
+            .train_authenticator_epoch(positives, cfg, rng, epoch, caches)
     }
 }
 
@@ -284,6 +558,132 @@ mod tests {
         let a = auth.authenticate(UsageContext::Stationary, &[2.0, 2.0]);
         let b = auth.authenticate(UsageContext::Moving, &[2.0, 2.0]);
         assert_eq!(a.confidence, b.confidence);
+    }
+
+    #[test]
+    fn epoch_retrain_reuses_the_sample_and_hits_the_fit_cache() {
+        let (server, pos) = setup();
+        let cfg = small_cfg();
+        let positives = [pos.clone(), pos.clone()];
+        let mut rng = rng();
+        let mut epoch = None;
+        let mut caches: [KrrFitCache; 2] = Default::default();
+
+        let a = server
+            .train_authenticator_epoch(&positives, &cfg, &mut rng, &mut epoch, &mut caches)
+            .unwrap();
+        let pinned = epoch.clone().expect("epoch pinned by first fit");
+        assert_eq!(pinned.pool_version(), server.pool_version());
+        assert_eq!(caches.iter().map(|c| c.hits()).sum::<u64>(), 0);
+
+        // Same positives, unchanged pool: the sample is reused (no RNG
+        // draw), every design matrix is identical, and both context fits
+        // reuse their cached factorisation — bit-identical models.
+        let b = server
+            .train_authenticator_epoch(&positives, &cfg, &mut rng, &mut epoch, &mut caches)
+            .unwrap();
+        assert_eq!(epoch.as_ref(), Some(&pinned));
+        assert_eq!(caches.iter().map(|c| c.hits()).sum::<u64>(), 2);
+        assert_eq!(a, b);
+
+        // A pool contribution bumps the version: the next retrain resamples
+        // and refactors.
+        let mut server = server;
+        server.contribute(UsageContext::Stationary, vec![vec![0.0, 0.0]]);
+        server
+            .train_authenticator_epoch(&positives, &cfg, &mut rng, &mut epoch, &mut caches)
+            .unwrap();
+        assert_ne!(epoch.as_ref(), Some(&pinned));
+        assert_eq!(
+            epoch.as_ref().unwrap().pool_version(),
+            server.pool_version()
+        );
+        assert_eq!(caches.iter().map(|c| c.hits()).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn epoch_retrain_takes_the_most_recent_positives() {
+        // With more positives than data_size/2, the frozen path must train
+        // on the tail (the latest windows), not the head: shifting one new
+        // window in changes the model even though the sample is frozen.
+        let (server, pos) = setup();
+        let cfg = SystemConfig::paper_default().with_data_size(40); // 20 per class
+        let mut rng = rng();
+        let mut epoch = None;
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let positives = [pos.clone(), pos.clone()];
+        let a = server
+            .train_authenticator_epoch(&positives, &cfg, &mut rng, &mut epoch, &mut caches)
+            .unwrap();
+        let mut shifted = pos.clone();
+        shifted.push(vec![3.5, 3.5]);
+        let positives = [shifted.clone(), shifted];
+        let b = server
+            .train_authenticator_epoch(&positives, &cfg, &mut rng, &mut epoch, &mut caches)
+            .unwrap();
+        assert_ne!(a, b, "a fresh window must reach the training set");
+    }
+
+    #[test]
+    fn empty_contribution_does_not_invalidate_epochs() {
+        let (mut server, _) = setup();
+        let stamp = server.pool_stamp();
+        server.contribute(UsageContext::Stationary, std::iter::empty());
+        assert_eq!(
+            server.pool_stamp(),
+            stamp,
+            "an empty upload must not devalidate pinned negative epochs"
+        );
+        server.contribute(UsageContext::Stationary, vec![vec![1.0, 1.0]]);
+        assert_ne!(server.pool_stamp(), stamp);
+    }
+
+    #[test]
+    fn rebuilt_pool_with_matching_version_is_caught_by_the_fingerprint() {
+        // A NegativeEpoch outlives the server process inside snapshots: a
+        // rebuilt server can reach the same bare version count with
+        // different data, and the content fingerprint must still force a
+        // resample.
+        let mut a = TrainingServer::new();
+        let mut b = TrainingServer::new();
+        for i in 0..4 {
+            for ctx in UsageContext::ALL {
+                a.contribute(ctx, vec![vec![i as f64, 0.0]]);
+                b.contribute(ctx, vec![vec![i as f64, 7.0]]);
+            }
+        }
+        assert_eq!(a.pool_version(), b.pool_version());
+        assert_ne!(a.pool_stamp(), b.pool_stamp());
+        let cfg = small_cfg();
+        let mut rng = rng();
+        let epoch_a = a.sample_negative_epoch(&cfg, &mut rng).unwrap();
+        // An epoch pinned against server A is stale on server B even
+        // though the version counters agree.
+        let mut epoch = Some(epoch_a.clone());
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let positives = [vec![vec![2.0, 2.0]; 4], vec![vec![2.0, 2.0]; 4]];
+        b.train_authenticator_epoch(
+            &positives,
+            &SystemConfig::paper_default().with_data_size(20),
+            &mut rng,
+            &mut epoch,
+            &mut caches,
+        )
+        .unwrap();
+        assert_ne!(
+            epoch.as_ref(),
+            Some(&epoch_a),
+            "fingerprint forced a resample"
+        );
+    }
+
+    #[test]
+    fn empty_pool_fails_epoch_sampling() {
+        let server = TrainingServer::new();
+        let err = server
+            .sample_negative_epoch(&small_cfg(), &mut rng())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientData(_)));
     }
 
     #[test]

@@ -223,6 +223,80 @@ proptest! {
     }
 }
 
+/// An over-long **legacy** snapshot — written before the event log and
+/// tracker history were ring-buffered, so both arrays are huge and the
+/// bounding fields are absent — must restore with the logs truncated to
+/// their most recent entries, without a version bump (the fields were
+/// always plain JSON arrays).
+#[test]
+fn overlong_legacy_snapshot_restores_truncated() {
+    use serde::Value;
+    use smarteryou_core::DEFAULT_EVENT_CAPACITY;
+
+    fn obj_remove(value: &mut Value, key: &str) {
+        if let Value::Object(entries) = value {
+            entries.retain(|(k, _)| k != key);
+        }
+    }
+    fn obj_get_mut<'v>(value: &'v mut Value, key: &str) -> &'v mut Value {
+        match value {
+            Value::Object(entries) => entries
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .expect("key present"),
+            other => panic!("expected object, found {}", other.kind()),
+        }
+    }
+
+    let (sys, _) = arbitrary_pipeline(11, 2, 16, 9, 4);
+    let period = sys.confidence_tracker().policy().period;
+    let mut value: Value =
+        serde_json::from_str(&sys.snapshot().to_json()).expect("snapshot parses as a value tree");
+
+    // Strip the post-v1 fields, turning this into a legacy document …
+    obj_remove(&mut value, "event_capacity");
+    obj_remove(&mut value, "negative_epoch");
+    obj_remove(obj_get_mut(&mut value, "tracker"), "retention");
+    // … and blow up both unbounded-era logs far past today's bounds.
+    let events: Vec<Value> = (0..DEFAULT_EVENT_CAPACITY + 700)
+        .map(|i| {
+            Value::Object(vec![(
+                "Retrained".to_string(),
+                Value::Object(vec![("day".to_string(), Value::Float(i as f64))]),
+            )])
+        })
+        .collect();
+    *obj_get_mut(&mut value, "events") = Value::Array(events);
+    let history: Vec<Value> = (0..5_000)
+        .map(|i| Value::Array(vec![Value::Float(i as f64), Value::Float(0.5)]))
+        .collect();
+    *obj_get_mut(obj_get_mut(&mut value, "tracker"), "history") = Value::Array(history);
+
+    let legacy_json = serde_json::to_string(&value).expect("value tree serializes");
+    let parsed = PipelineSnapshot::from_json(&legacy_json).expect("legacy wire form parses");
+    let restored =
+        SmarterYou::restore(parsed, world().server.clone()).expect("legacy snapshot restores");
+
+    // Both logs come back bounded, keeping their most recent entries.
+    assert_eq!(restored.event_capacity(), DEFAULT_EVENT_CAPACITY);
+    assert_eq!(restored.events().len(), DEFAULT_EVENT_CAPACITY);
+    assert!(matches!(
+        restored.events().last(),
+        Some(smarteryou_core::SystemEvent::Retrained { day })
+            if *day == (DEFAULT_EVENT_CAPACITY + 700 - 1) as f64
+    ));
+    let tracker = restored.confidence_tracker();
+    assert_eq!(tracker.history_retention(), period);
+    assert_eq!(tracker.history().len(), period);
+    assert!((tracker.history().back().unwrap().0 - 4_999.0).abs() < 1e-12);
+
+    // And the bounded state round-trips stably from here on.
+    let again = restored.snapshot();
+    let back = PipelineSnapshot::from_json(&again.to_json()).expect("reserialize");
+    assert_eq!(back, again);
+}
+
 #[test]
 fn versioned_header_mismatch_is_a_typed_error() {
     let (sys, _) = arbitrary_pipeline(7, 1, 16, 4, 3);

@@ -57,7 +57,18 @@
 //! [`SnapshotStore`](core::persist::SnapshotStore) (versioned JSON wire
 //! format, see [`core::persist`]) and rehydrates them lazily on submit —
 //! with decisions, scores, and retrain events **bit-identical** to a
-//! never-evicted engine (`tests/persist_parity.rs`).
+//! never-evicted engine (`tests/persist_parity.rs`). Ticks cost
+//! O(resident), never O(registered), so parked users are free.
+//!
+//! One engine is one shard:
+//! [`ShardedFleet`](core::engine::shard::ShardedFleet) routes users over N
+//! engines by a pure `UserId` hash
+//! ([`ShardRouter`](core::engine::shard::ShardRouter)), all sharing one
+//! epoch-fenced snapshot store — migrating a user between shards is an
+//! evict + rehydrate, a stale owner's write is a typed
+//! [`StaleEpoch`](core::persist::PersistError::StaleEpoch) rejection, and
+//! decisions stay bit-identical across migrations
+//! (`tests/shard_parity.rs`; design notes in `docs/sharding.md`).
 
 pub use smarteryou_core as core;
 pub use smarteryou_dsp as dsp;

@@ -1,0 +1,397 @@
+//! Parity and ownership tests for the sharded fleet: a [`ShardedFleet`]
+//! that routes users over several eviction-churning shards **and migrates
+//! them between shards mid-stream** must produce bit-identical decisions,
+//! scores, and retrain events to a single eviction-disabled [`FleetEngine`]
+//! fed the same windows. Also pins the ownership-epoch protocol (a stale
+//! shard's save or rehydrate is a typed [`PersistError::StaleEpoch`], never
+//! a fork of the pipeline), the router's purity/stability, and the
+//! O(resident) tick contract.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::{assert_outcomes_identical, build_world as build_common_world, World, WorldSeeds};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use smarteryou::core::engine::{FleetEngine, ShardRouter, ShardedFleet};
+use smarteryou::core::persist::{MemorySnapshotStore, PersistError, SharedSnapshotStore};
+use smarteryou::core::{
+    CoreError, ProcessOutcome, ResponsePolicy, RetrainPolicy, SmarterYou, TrainingHandle,
+    TrainingServer,
+};
+use smarteryou::sensors::{DualDeviceWindow, UserId};
+
+fn build_world(num_users: usize, window_secs: f64) -> World {
+    // Seeds pin this suite's window streams independently of the other
+    // parity suites'.
+    build_common_world(
+        num_users,
+        window_secs,
+        WorldSeeds {
+            population: 33_007,
+            pool_gen: 11,
+            detector_rng: 21,
+        },
+    )
+}
+
+/// This suite's pipeline: keeps scoring after rejections and retrains
+/// eagerly, so parity runs exercise the retrain path — including the RNG
+/// draws and the frozen negative epoch that must survive migrations.
+fn pipeline(world: &World, seed: u64, retrain_period: usize) -> SmarterYou {
+    world.pipeline_with(
+        seed,
+        ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        },
+        Some(RetrainPolicy {
+            threshold: 1e9,
+            period: retrain_period,
+            max_reject_fraction: 1.0,
+        }),
+    )
+}
+
+/// The headline invariant: a 4-shard fleet with per-shard eviction churn
+/// **and forced cross-shard migrations mid-stream** is bit-identical to one
+/// eviction-disabled engine, over 6 users at the paper's deployed
+/// 6 s × 50 Hz = 300-sample window.
+#[test]
+fn sharded_fleet_with_migrations_matches_single_engine() {
+    let num_users = 6;
+    let num_shards = 4;
+    let world = build_world(num_users, 6.0);
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 9_000 + u as u64, 12))
+        .collect();
+
+    let mut reference = FleetEngine::new();
+    // Capacity 1 per shard: every tick forces snapshot round-trips through
+    // the shared store on top of the migration churn.
+    let mut fleet = ShardedFleet::new(num_shards, Box::new(MemorySnapshotStore::new()), 1);
+    for u in 0..num_users {
+        reference
+            .register(UserId(u), pipeline(&world, u as u64 + 1, 5))
+            .expect("register");
+        fleet
+            .register(UserId(u), pipeline(&world, u as u64 + 1, 5))
+            .expect("register");
+    }
+
+    let mut cursors = vec![0usize; num_users];
+    let mut ref_outcomes: Vec<Vec<ProcessOutcome>> = vec![Vec::new(); num_users];
+    let mut fleet_outcomes: Vec<Vec<ProcessOutcome>> = vec![Vec::new(); num_users];
+    let mut round = 0usize;
+    let (mut total_retrains_ref, mut total_retrains_fleet) = (0usize, 0usize);
+    while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+        // Churn a user to another shard every round, cycling through users
+        // and targets — mid-enrollment, mid-retrain-window, whenever the
+        // schedule lands.
+        let user = UserId(round % num_users);
+        let target = (fleet.shard_of(user).expect("registered") + 1) % num_shards;
+        fleet.migrate(user, target).expect("migrate");
+        assert_eq!(fleet.shard_of(user), Some(target));
+
+        // Vary both the tick size and which users participate, so some
+        // pipelines idle several ticks and age out of shard LRUs.
+        let per_user = round % 3 + 1;
+        for (u, stream) in streams.iter().enumerate() {
+            if !round.is_multiple_of(u % 3 + 1) {
+                continue; // user u skips this tick
+            }
+            for _ in 0..per_user {
+                if cursors[u] < stream.len() {
+                    let w = stream[cursors[u]].clone();
+                    cursors[u] += 1;
+                    reference.submit(UserId(u), w.clone()).expect("submit");
+                    fleet.submit(UserId(u), w).expect("submit");
+                }
+            }
+        }
+        // Every third round, migrate a user *after* their windows were
+        // queued: release must carry the undelivered inbox to the target
+        // shard, which scores it this very tick.
+        if round % 3 == 2 {
+            let user = UserId((round / 3) % num_users);
+            let target = (fleet.shard_of(user).expect("registered") + 2) % num_shards;
+            fleet.migrate(user, target).expect("mid-queue migrate");
+        }
+        let ref_report = reference.tick();
+        assert!(ref_report.errors().is_empty(), "{:?}", ref_report.errors());
+        assert_eq!(ref_report.evictions(), 0);
+        total_retrains_ref += ref_report.retrains();
+        for user in ref_report.users() {
+            ref_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+        }
+        for report in fleet.tick() {
+            assert!(report.errors().is_empty(), "{:?}", report.errors());
+            assert!(report.eviction_errors().is_empty());
+            total_retrains_fleet += report.retrains();
+            for user in report.users() {
+                fleet_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+            }
+        }
+        round += 1;
+    }
+
+    assert!(
+        fleet.migrations() as usize >= num_users,
+        "every user must migrate at least once (got {})",
+        fleet.migrations()
+    );
+    let churn: u64 = (0..num_shards)
+        .map(|s| fleet.shard(s).eviction_totals().0)
+        .sum();
+    assert!(churn > 0, "parity run produced no eviction churn");
+    assert!(
+        total_retrains_ref > 0,
+        "parity run never exercised the retrain path"
+    );
+    assert_eq!(total_retrains_ref, total_retrains_fleet);
+    for u in 0..num_users {
+        assert_outcomes_identical(&ref_outcomes[u], &fleet_outcomes[u], &format!("user {u}"));
+    }
+}
+
+/// Migrating a user whose confidence tracker sits mid-retrain-window (and
+/// whose negative epoch is already pinned from an earlier retrain) must not
+/// perturb when the next retrain fires or what it trains.
+#[test]
+fn migrating_a_mid_retrain_user_preserves_parity() {
+    let world = build_world(1, 2.0);
+    let stream = world.window_stream(&world.users[0], 4_321, 24);
+    let id = UserId(0);
+
+    let mut reference = FleetEngine::new();
+    reference
+        .register(id, pipeline(&world, 7, 6))
+        .expect("register");
+    let mut fleet = ShardedFleet::new(3, Box::new(MemorySnapshotStore::new()), 1);
+    fleet
+        .register(id, pipeline(&world, 7, 6))
+        .expect("register");
+
+    let mut ref_outcomes = Vec::new();
+    let mut fleet_outcomes = Vec::new();
+    let mut migrated_mid_window = false;
+    for (i, w) in stream.iter().enumerate() {
+        // Once in continuous auth, migrate at a point where the rolling
+        // window is partially filled (i.e. strictly between retrains).
+        let rolling = fleet.shard_of(id).map(|s| {
+            fleet
+                .shard_mut(s)
+                .rehydrate(id)
+                .expect("rehydrate for inspection");
+            fleet
+                .shard(s)
+                .pipeline(id)
+                .expect("resident")
+                .confidence_tracker()
+                .rolling_len()
+        });
+        if let Some(rolling) = rolling {
+            if rolling % 6 >= 2 {
+                let target = (fleet.shard_of(id).unwrap() + 1) % 3;
+                fleet.migrate(id, target).expect("migrate");
+                migrated_mid_window = true;
+            }
+        }
+        reference.submit(id, w.clone()).expect("submit");
+        fleet.submit(id, w.clone()).expect("submit");
+        let ref_report = reference.tick();
+        assert!(ref_report.errors().is_empty(), "window {i}");
+        for user in ref_report.users() {
+            ref_outcomes.extend(user.outcomes.iter().cloned());
+        }
+        for report in fleet.tick() {
+            assert!(report.errors().is_empty(), "window {i}");
+            for user in report.users() {
+                fleet_outcomes.extend(user.outcomes.iter().cloned());
+            }
+        }
+    }
+    assert!(migrated_mid_window, "schedule never migrated mid-window");
+    assert!(
+        ref_outcomes.iter().any(|o| matches!(
+            o,
+            ProcessOutcome::Decision {
+                retrained: true,
+                ..
+            }
+        )),
+        "run never retrained"
+    );
+    assert_outcomes_identical(&ref_outcomes, &fleet_outcomes, "mid-retrain migration");
+}
+
+/// The rehydrate race: once another engine claims a user through the shared
+/// store, the previous owner's save **and** rehydrate are rejected with a
+/// typed stale-epoch error — its copy can neither clobber nor fork the new
+/// owner's state.
+#[test]
+fn stale_epoch_rejects_the_losing_side_of_a_race() {
+    let world = build_world(2, 2.0);
+    let store = SharedSnapshotStore::new(Box::new(MemorySnapshotStore::new()));
+    let id = UserId(0);
+
+    // Engine A owns both users (capacity 1, so user 0 can be parked).
+    let mut a = FleetEngine::new().with_eviction(Box::new(store.clone()), 1);
+    a.register(id, pipeline(&world, 1, 6)).expect("register");
+    a.register(UserId(1), pipeline(&world, 2, 6))
+        .expect("register");
+    assert_eq!(a.epoch_of(id), Some(1));
+
+    // Park user 0: submit only user 1 and tick, LRU evicts user 0.
+    let w = world.window_stream(&world.users[1], 55, 0)[0].clone();
+    a.submit(UserId(1), w.clone()).expect("submit");
+    let report = a.tick();
+    assert_eq!(report.evictions(), 1);
+    assert_eq!(a.is_resident(id), Some(false));
+
+    // A re-inspects the user, pulling the pipeline back into memory while
+    // its claim is still current (stored epoch == held epoch).
+    a.rehydrate(id).expect("owner can rehydrate");
+    assert_eq!(a.is_resident(id), Some(true));
+
+    // Engine B adopts user 0 through the shared store: claims epoch 2.
+    let server: Arc<dyn TrainingHandle> = Arc::new(Mutex::new(TrainingServer::new()));
+    let mut b = FleetEngine::new().with_eviction(Box::new(store.clone()), 4);
+    b.register_parked(id, server).expect("adopt");
+    assert_eq!(b.epoch_of(id), Some(2));
+
+    // A still holds a resident copy from before the claim. Its eviction
+    // save now loses the fence: the tick reports a stale-epoch eviction
+    // error and keeps the pipeline resident rather than dropping state.
+    let report = a.tick();
+    assert_eq!(report.evictions(), 0);
+    assert_eq!(report.eviction_errors().len(), 1);
+    assert!(matches!(
+        report.eviction_errors()[0],
+        (user, PersistError::StaleEpoch { held: 1, stored: 2, .. }) if user == id
+    ));
+    assert_eq!(a.is_resident(id), Some(true));
+
+    // An explicit release (the migration path) is the same typed error.
+    assert!(matches!(
+        a.release(id),
+        Err(CoreError::Persist(PersistError::StaleEpoch {
+            held: 1,
+            stored: 2,
+            ..
+        }))
+    ));
+
+    // And had A's copy been parked instead, rehydrating it is rejected
+    // too: drop A's claim to residency by building a fresh engine that
+    // thinks it owns epoch 1... which is exactly engine C below.
+    let mut c = FleetEngine::new().with_eviction(Box::new(store.clone()), 4);
+    let server: Arc<dyn TrainingHandle> = Arc::new(Mutex::new(TrainingServer::new()));
+    c.register_parked(id, server).expect("adopt on C"); // claims epoch 3
+    let w0 = world.window_stream(&world.users[0], 77, 0)[0].clone();
+    // B's claim (2) is now stale relative to C's (3): B cannot rehydrate.
+    assert!(matches!(
+        b.submit(id, w0),
+        Err(CoreError::Persist(PersistError::StaleEpoch {
+            held: 2,
+            stored: 3,
+            ..
+        }))
+    ));
+}
+
+/// The routing function is pure and restart-stable: these assignments are
+/// pinned constants — if they ever change, parked users would rehydrate on
+/// the wrong shard after a redeploy, so a change here must ship an explicit
+/// re-routing migration.
+#[test]
+fn router_assignments_are_pinned() {
+    let router = ShardRouter::new(4);
+    let expected = [3, 1, 2, 1, 2, 2, 0, 3, 2, 0, 2, 1];
+    let got: Vec<usize> = (0..expected.len())
+        .map(|u| router.shard_of(UserId(u)))
+        .collect();
+    assert_eq!(got, expected, "UserId→shard mapping must stay stable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routing is a pure function of `UserId` and the shard count: two
+    /// independently constructed routers agree, the result is in range,
+    /// and re-querying never flips.
+    #[test]
+    fn routing_is_pure_and_in_range(id in 0..5_000_000usize, shards in 1..64usize) {
+        let a = ShardRouter::new(shards);
+        let b = ShardRouter::new(shards);
+        let shard = a.shard_of(UserId(id));
+        prop_assert!(shard < shards);
+        prop_assert_eq!(shard, b.shard_of(UserId(id)));
+        prop_assert_eq!(shard, a.shard_of(UserId(id)));
+    }
+}
+
+/// The O(resident) regression guard: an engine with 100 resident pipelines
+/// and 100k registered-but-parked users must tick in (about) the same time
+/// as one with just the 100 — and must report that it scanned only the
+/// resident slots. Before the resident-slot index, tick and the eviction
+/// scan walked every registered slot.
+#[test]
+fn tick_cost_is_o_resident_not_o_registered() {
+    let world = build_world(1, 2.0);
+    let resident_users = 100usize;
+    let parked_users = 100_000usize;
+
+    let build = |parked: usize| {
+        let mut engine = FleetEngine::new()
+            .with_eviction(Box::new(MemorySnapshotStore::new()), resident_users + 28);
+        for u in 0..resident_users {
+            engine
+                .register(UserId(u), pipeline(&world, u as u64 + 1, 6))
+                .expect("register");
+        }
+        for p in 0..parked {
+            let server: Arc<dyn TrainingHandle> = world.server.clone();
+            engine
+                .register_parked(UserId(resident_users + p), server)
+                .expect("register_parked");
+        }
+        engine
+    };
+    // Minimum over repeated rounds of empty ticks: the scan cost without
+    // scoring noise.
+    let measure = |engine: &mut FleetEngine| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..200 {
+                engine.tick();
+            }
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+
+    let mut small = build(0);
+    let mut large = build(parked_users);
+    assert_eq!(large.len(), resident_users + parked_users);
+
+    // Structural guarantee: the tick walks resident slots only.
+    let report = large.tick();
+    assert_eq!(report.scanned_slots(), resident_users);
+    assert_eq!(report.resident_pipelines(), resident_users);
+
+    let small_time = measure(&mut small);
+    let large_time = measure(&mut large);
+    // "Within noise": generous 8× bound — an O(registered) walk over
+    // 1 000× the users would blow through it by orders of magnitude.
+    assert!(
+        large_time < small_time * 8 + Duration::from_millis(20),
+        "tick with {parked_users} parked users took {large_time:?} \
+         vs {small_time:?} for none — not O(resident)"
+    );
+}
