@@ -19,7 +19,9 @@ use std::time::Instant;
 
 use serde::Serialize;
 use smarteryou_bench::fleet::{FleetFixture, ShardFixture};
+use smarteryou_core::engine::BackpressurePolicy;
 use smarteryou_dsp::{dft_fallback_count, SpectrumPlan, SpectrumScratch};
+use smarteryou_sensors::UserId;
 
 /// The paper's deployed window: 6 s at 50 Hz = 300 samples.
 const WINDOW_SECS: f64 = 6.0;
@@ -109,6 +111,36 @@ struct ShardBench {
 }
 
 #[derive(Debug, Serialize)]
+struct IngestRow {
+    scenario: &'static str,
+    policy: &'static str,
+    queue_capacity_per_shard: usize,
+    ticks: usize,
+    windows_submitted: usize,
+    /// Windows the shard ticks actually scored. Under `BlockingWait` this
+    /// **must** equal `windows_submitted` — the run fails otherwise.
+    windows_scored: usize,
+    secs: f64,
+    windows_per_sec: f64,
+}
+
+/// Async ingestion in front of the sharded fleet: producers push through
+/// the bounded per-shard queues ([`smarteryou_core::engine::IngestRouter`])
+/// instead of holding `&mut` fleet access. `steady` feeds one window per
+/// user per tick from one thread (queues sized so backpressure never
+/// engages); `burst` hammers deliberately tiny `BlockingWait` queues from
+/// four concurrent producer threads while the main thread ticks — the
+/// worst-case handoff pattern, and the guard that blocking backpressure
+/// loses nothing.
+#[derive(Debug, Serialize)]
+struct IngestBench {
+    users: usize,
+    shards: usize,
+    producer_threads: usize,
+    rows: Vec<IngestRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct SpectrumMicrobench {
     samples: usize,
     planned_spectra_per_sec: f64,
@@ -140,6 +172,10 @@ struct BenchReport {
     /// churn. Decisions stay bit-identical to a single engine
     /// (`tests/shard_parity.rs`).
     shard: ShardBench,
+    /// Bounded async ingestion queues in front of the 4-shard fleet,
+    /// steady + burst. Decisions stay bit-identical to the synchronous
+    /// path (`tests/ingest_parity.rs`); `BlockingWait` must lose nothing.
+    ingest: IngestBench,
     spectrum_microbench: SpectrumMicrobench,
 }
 
@@ -366,6 +402,142 @@ fn measure_shard(num_users: usize, num_shards: usize) -> ShardBench {
     }
 }
 
+/// Measures the async ingestion front door on a 4-shard fleet. `steady`:
+/// one producer, one window per user per tick, `Reject` queues sized so
+/// backpressure never engages — the pure routing+queue overhead vs the
+/// synchronous `shard` rows. `burst`: four producer threads blocking-push
+/// three windows per user into deliberately tiny `BlockingWait` queues
+/// while the main thread ticks — concurrent handoff under constant
+/// backpressure. Returns the rows; the caller fails the run if the burst
+/// scored fewer windows than were submitted (blocking backpressure must
+/// lose nothing).
+fn measure_ingest(num_users: usize, num_shards: usize) -> IngestBench {
+    let mean = num_users.div_ceil(num_shards);
+    let capacity_per_shard = mean + (mean / 10).max(64);
+    let producer_threads = 4;
+    let build_start = Instant::now();
+    // Same seed as the shard scenario: its per-profile enrollment streams
+    // are known to converge for every profile.
+    let mut fixture = ShardFixture::build(
+        num_users,
+        num_shards,
+        capacity_per_shard,
+        WINDOW_SECS,
+        0x5AD5,
+    )
+    .expect("fixture builds");
+    println!(
+        "{num_users:>7} users / {num_shards} shards  ingest fixture build: {:.2}s",
+        build_start.elapsed().as_secs_f64()
+    );
+    let mut rows = Vec::new();
+
+    // Steady: queues comfortably above the per-shard tick load (hash
+    // routing is balanced but not exact).
+    let steady_capacity = mean * 2;
+    let router = fixture.enable_ingest(steady_capacity, BackpressurePolicy::Reject);
+    fixture.ingest_tick(&router);
+    fixture.tick(); // warm-up
+    let ticks = 5;
+    let mut submitted = 0usize;
+    let mut scored = 0usize;
+    let start = Instant::now();
+    for _ in 0..ticks {
+        submitted += fixture.ingest_tick(&router);
+        for report in fixture.tick() {
+            assert!(report.ingest_errors().is_empty(), "ingest delivery failed");
+            scored += report.windows_scored();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let throughput = scored as f64 / secs;
+    println!(
+        "{num_users:>7} users / {num_shards} shards  async_ingest steady  {scored:>7} windows in \
+         {secs:>7.3}s  {throughput:>10.0} windows/sec  (queue cap {steady_capacity}/shard)"
+    );
+    rows.push(IngestRow {
+        scenario: "steady",
+        policy: "Reject",
+        queue_capacity_per_shard: steady_capacity,
+        ticks,
+        windows_submitted: submitted,
+        windows_scored: scored,
+        secs,
+        windows_per_sec: throughput,
+    });
+
+    // Burst: tiny BlockingWait queues, four concurrent producers pushing
+    // three windows per user, main thread draining via ticks.
+    let burst_capacity = (mean / 4).max(1);
+    let router = fixture.enable_ingest(burst_capacity, BackpressurePolicy::BlockingWait);
+    let burst_per_user = 3usize;
+    let submitted = num_users * burst_per_user;
+    // Producers clone windows out of the shared per-profile pool on the
+    // fly: queued memory stays bounded by the queue capacity.
+    let feed: Vec<Vec<_>> = fixture.feed().to_vec();
+    let profile_of: Vec<usize> = (0..num_users).map(|u| fixture.profile_of(u)).collect();
+    let mut scored = 0usize;
+    let mut ticks = 0usize;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let chunk = num_users.div_ceil(producer_threads);
+        for range in (0..num_users).collect::<Vec<_>>().chunks(chunk) {
+            let router = router.clone();
+            let feed = &feed;
+            let profile_of = &profile_of;
+            let range = range.to_vec();
+            s.spawn(move || {
+                for u in range {
+                    let pool = &feed[profile_of[u]];
+                    for k in 0..burst_per_user {
+                        let window = pool[k % pool.len()].clone();
+                        router
+                            .submit(UserId(u), window)
+                            .expect("BlockingWait producers park, they never fail");
+                    }
+                }
+            });
+        }
+        while scored < submitted {
+            for report in fixture.tick() {
+                assert!(report.ingest_errors().is_empty(), "ingest delivery failed");
+                scored += report.windows_scored();
+            }
+            ticks += 1;
+            if ticks >= 100_000 {
+                // Wake parked producers before panicking, so the scope's
+                // implicit join cannot hang on a blocked thread.
+                router.close();
+                panic!("burst scenario never drained");
+            }
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let throughput = scored as f64 / secs;
+    println!(
+        "{num_users:>7} users / {num_shards} shards  async_ingest burst   {scored:>7} windows in \
+         {secs:>7.3}s  {throughput:>10.0} windows/sec  (queue cap {burst_capacity}/shard, \
+         {producer_threads} producers, {ticks} ticks)"
+    );
+    rows.push(IngestRow {
+        scenario: "burst",
+        policy: "BlockingWait",
+        queue_capacity_per_shard: burst_capacity,
+        ticks,
+        windows_submitted: submitted,
+        windows_scored: scored,
+        secs,
+        windows_per_sec: throughput,
+    });
+
+    IngestBench {
+        users: num_users,
+        shards: num_shards,
+        producer_threads,
+        rows,
+    }
+}
+
 /// Times the planned spectrum against the O(n²) reference at the deployed
 /// 300-sample window. The reference intentionally calls [`smarteryou_dsp::dft`],
 /// so this must run *after* the fallback counter has been checked.
@@ -449,6 +621,10 @@ fn main() {
     // The sharded fleet, steady and under forced-migration rebalancing.
     let shard = measure_shard(if quick { 1_000 } else { 10_000 }, 4);
     println!();
+    // Async ingestion in front of the shards: steady single-producer rows
+    // plus a threaded BlockingWait burst.
+    let ingest = measure_ingest(if quick { 1_000 } else { 10_000 }, 4);
+    println!();
     let fallbacks = dft_fallback_count() - baseline;
 
     // The microbench runs the reference DFT on purpose; check the fleet
@@ -466,6 +642,7 @@ fn main() {
         eviction_churn,
         resident_scan,
         shard,
+        ingest,
         spectrum_microbench: microbench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -481,5 +658,18 @@ fn main() {
              during fleet scoring — the planned FFT must cover the production window"
         );
         std::process::exit(1);
+    }
+    // The async ingest scenario must account for every submitted window:
+    // BlockingWait is contractually loss-free, and the steady Reject row
+    // sizes its queues so backpressure never engages.
+    for row in &report.ingest.rows {
+        if row.windows_scored != row.windows_submitted {
+            eprintln!(
+                "FAIL: async_ingest {} row dropped windows ({} submitted, {} scored) — \
+                 bounded ingestion must never lose a window",
+                row.scenario, row.windows_submitted, row.windows_scored
+            );
+            std::process::exit(1);
+        }
     }
 }

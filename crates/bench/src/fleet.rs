@@ -15,7 +15,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smarteryou_core::engine::{FleetEngine, ShardedFleet, TickReport};
+use smarteryou_core::engine::{
+    BackpressurePolicy, FleetEngine, IngestRouter, ShardedFleet, TickReport,
+};
 use smarteryou_core::persist::MemorySnapshotStore;
 use smarteryou_core::{
     ContextDetector, ContextDetectorConfig, CoreError, DeviceSet, FeatureExtractor, ResponsePolicy,
@@ -416,6 +418,49 @@ impl ShardFixture {
     /// Borrows the sharded fleet.
     pub fn fleet(&self) -> &ShardedFleet {
         &self.fleet
+    }
+
+    /// Enables (or reconfigures, once the queues are empty) the async
+    /// ingestion front door — see
+    /// [`ShardedFleet::enable_ingest`].
+    pub fn enable_ingest(
+        &mut self,
+        queue_capacity_per_shard: usize,
+        policy: BackpressurePolicy,
+    ) -> IngestRouter {
+        self.fleet.enable_ingest(queue_capacity_per_shard, policy)
+    }
+
+    /// The per-profile authentication window pool — producer threads clone
+    /// windows out of this on the fly (cloning per push keeps the bench's
+    /// memory bounded by the queue capacity, not the burst size).
+    pub fn feed(&self) -> &[Vec<DualDeviceWindow>] {
+        &self.feed
+    }
+
+    /// The sensor profile backing user `u`.
+    pub fn profile_of(&self, u: usize) -> usize {
+        self.profile_of[u]
+    }
+
+    /// Queues one fresh window for every user **through the ingest
+    /// router** instead of the synchronous submit path; returns the number
+    /// of windows queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router rejects a window — steady-state rows must size
+    /// their queues so backpressure never engages.
+    pub fn ingest_tick(&mut self, router: &IngestRouter) -> usize {
+        for u in 0..self.profile_of.len() {
+            let pool = &self.feed[self.profile_of[u]];
+            let window = pool[self.cursor % pool.len()].clone();
+            router
+                .submit(UserId(u), window)
+                .expect("steady ingest must not hit backpressure");
+        }
+        self.cursor += 1;
+        self.profile_of.len()
     }
 
     /// Queues one fresh window for every user on their owning shard.

@@ -49,6 +49,20 @@
 //! [`TickReport::evictions`], [`TickReport::rehydrations`] and
 //! [`TickReport::resident_pipelines`] expose the churn for monitoring.
 //!
+//! # Async ingestion
+//!
+//! Producers need not hold `&mut` access to the engine per window: an
+//! attached bounded [`ingest::IngestQueue`] accepts `(UserId,
+//! DualDeviceWindow)` pushes from any thread (typed backpressure — see
+//! [`ingest::BackpressurePolicy`]) and every [`FleetEngine::tick`] drains
+//! whatever has arrived before scoring, rehydrating parked users lazily
+//! exactly as [`FleetEngine::submit`] would. Drained windows whose user is
+//! unknown to this engine come back in
+//! [`TickReport::misrouted`] — at fleet level the
+//! [`shard::ShardedFleet`] re-delivers them to the user's current owning
+//! shard, so migrations never lose in-queue windows. Decisions stay
+//! bit-identical to the synchronous path (`tests/ingest_parity.rs`).
+//!
 //! # Ownership epochs and sharding
 //!
 //! When several engines share one snapshot store — the shards of a
@@ -83,6 +97,7 @@
 //! ```
 
 pub mod batch;
+pub mod ingest;
 pub mod shard;
 
 use std::collections::HashMap;
@@ -97,6 +112,7 @@ use crate::server::TrainingHandle;
 use crate::CoreError;
 
 pub use batch::{TickReport, UserOutcomes};
+pub use ingest::{BackpressurePolicy, IngestQueue, IngestRouter, RejectedWindow, WindowQueue};
 pub use shard::{ShardRouter, ShardedFleet};
 
 /// A live pipeline in the dense resident array — the only per-user state
@@ -172,6 +188,9 @@ pub struct FleetEngine {
     /// Total windows stashed on parked users (see `UserEntry::stashed`),
     /// so [`FleetEngine::pending`] stays O(resident).
     stashed_windows: usize,
+    /// Attached async ingestion queue, drained at the start of every tick.
+    /// `None` for engines fed only through the synchronous submit path.
+    ingest: Option<Arc<WindowQueue>>,
 }
 
 impl FleetEngine {
@@ -259,6 +278,54 @@ impl FleetEngine {
         self.users.get(&id).map(|e| e.epoch)
     }
 
+    /// Attaches an async ingestion queue: every subsequent
+    /// [`FleetEngine::tick`] starts by draining whatever producers have
+    /// pushed (see [`ingest`] for the model), before scoring. Producers
+    /// keep a clone of the [`Arc`] and push from any thread. Replacing a
+    /// queue closes the old one first (producers still holding it get
+    /// [`IngestError::Closed`](crate::IngestError::Closed) rather than
+    /// pushing into a queue nothing drains) and is allowed only once it is
+    /// empty — its undrained windows would otherwise be stranded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previously attached queue still holds windows. The old
+    /// queue is closed *before* the emptiness check, so a racing producer
+    /// cannot slip a window in between check and replacement.
+    pub fn attach_ingest(&mut self, queue: Arc<WindowQueue>) {
+        if let Some(old) = &self.ingest {
+            old.close();
+            assert!(
+                old.is_empty(),
+                "cannot replace an ingest queue that still holds windows — drain it first"
+            );
+        }
+        self.ingest = Some(queue);
+    }
+
+    /// Builder/convenience form of [`FleetEngine::attach_ingest`] for a
+    /// standalone (unsharded) engine: creates a bounded queue, attaches
+    /// it, and returns the producer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, or as [`FleetEngine::attach_ingest`].
+    pub fn enable_ingest(
+        &mut self,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Arc<WindowQueue> {
+        let queue = Arc::new(IngestQueue::new(capacity, policy));
+        self.attach_ingest(queue.clone());
+        queue
+    }
+
+    /// The attached ingestion queue's producer handle (`None` when no
+    /// queue is attached).
+    pub fn ingest_queue(&self) -> Option<Arc<WindowQueue>> {
+        self.ingest.clone()
+    }
+
     /// Registers a user's pipeline. Tick outcomes are reported in
     /// registration order. When a snapshot store is configured the engine
     /// claims the user's ownership epoch in it, fencing out any engine
@@ -266,14 +333,12 @@ impl FleetEngine {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] if the user is already registered;
+    /// [`CoreError::AlreadyRegistered`] if the user is already registered
+    /// (the existing registration is untouched);
     /// [`CoreError::Persist`] if the ownership claim cannot be persisted.
     pub fn register(&mut self, id: UserId, pipeline: SmarterYou) -> Result<(), CoreError> {
         if self.users.contains_key(&id) {
-            return Err(CoreError::InvalidConfig(format!(
-                "user {} already registered",
-                id.0
-            )));
+            return Err(CoreError::AlreadyRegistered(id));
         }
         let epoch = match self.eviction.as_mut() {
             Some(e) => e.store.acquire(id)?,
@@ -312,7 +377,11 @@ impl FleetEngine {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] if the user is already registered or no
+    /// [`CoreError::AlreadyRegistered`] if the user is already registered
+    /// — **resident or parked**. A silent overwrite here would fork
+    /// ownership: the claim would bump the store epoch and fence this
+    /// engine's own live pipeline out of ever saving again. The existing
+    /// registration is left untouched. [`CoreError::InvalidConfig`] if no
     /// snapshot store is configured; [`CoreError::Persist`] if the
     /// ownership claim cannot be persisted.
     pub fn register_parked(
@@ -321,10 +390,7 @@ impl FleetEngine {
         server: Arc<dyn TrainingHandle>,
     ) -> Result<(), CoreError> {
         if self.users.contains_key(&id) {
-            return Err(CoreError::InvalidConfig(format!(
-                "user {} already registered",
-                id.0
-            )));
+            return Err(CoreError::AlreadyRegistered(id));
         }
         let eviction = self.eviction.as_mut().ok_or_else(|| {
             CoreError::InvalidConfig(
@@ -592,8 +658,72 @@ impl FleetEngine {
 
     /// Windows currently queued across all users — resident inboxes plus
     /// any stashed on parked users awaiting rehydration. O(resident).
+    /// Windows still sitting in an attached ingest queue are **not**
+    /// counted until a tick drains them; see [`FleetEngine::ingest_queue`]
+    /// ([`IngestQueue::len`]) for that backlog.
     pub fn pending(&self) -> usize {
         self.resident.iter().map(|s| s.inbox.len()).sum::<usize>() + self.stashed_windows
+    }
+
+    /// Queues one drained-ingest window for a **registered** user,
+    /// rehydrating a parked pipeline first. When rehydration fails the
+    /// window is stashed on the parked entry (delivered at the next
+    /// successful rehydration, ahead of newer windows) and the failure is
+    /// returned — the window is retained either way, never lost.
+    pub(crate) fn deliver_ingest(
+        &mut self,
+        id: UserId,
+        window: DualDeviceWindow,
+    ) -> Result<(), CoreError> {
+        debug_assert!(self.users.contains_key(&id), "deliver to a registered user");
+        match self.ensure_resident(id) {
+            Ok(()) => {
+                let entry = self.users.get_mut(&id).expect("registered");
+                entry.last_submit_tick = self.clock;
+                let idx = entry.resident.expect("made resident above");
+                self.resident[idx].inbox.push(window);
+                Ok(())
+            }
+            Err(e) => {
+                self.stash_windows(id, vec![window]);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drains the attached ingest queue (everything present at drain
+    /// start) into per-user inboxes. Returns `(ingested, misrouted,
+    /// errors)`: `ingested` counts windows retained for this engine's
+    /// users (inbox or, on a failed rehydration, the parked stash);
+    /// `misrouted` carries windows for users this engine does not know —
+    /// at fleet level the sharded tick re-delivers them to the owning
+    /// shard; `errors` records rehydration failures (the window is
+    /// stashed, not lost).
+    #[allow(clippy::type_complexity)]
+    fn drain_ingest(
+        &mut self,
+    ) -> (
+        usize,
+        Vec<(UserId, DualDeviceWindow)>,
+        Vec<(UserId, CoreError)>,
+    ) {
+        let Some(queue) = self.ingest.clone() else {
+            return (0, Vec::new(), Vec::new());
+        };
+        let mut ingested = 0;
+        let mut misrouted = Vec::new();
+        let mut errors = Vec::new();
+        for (id, window) in queue.drain_pending() {
+            if !self.users.contains_key(&id) {
+                misrouted.push((id, window));
+                continue;
+            }
+            ingested += 1;
+            if let Err(e) = self.deliver_ingest(id, window) {
+                errors.push((id, e));
+            }
+        }
+        (ingested, misrouted, errors)
     }
 
     /// Drains every queued window, advancing all affected pipelines in
@@ -615,7 +745,14 @@ impl FleetEngine {
     /// pipeline resident (state is never dropped unsaved) and reports the
     /// failure in [`TickReport::eviction_errors`] — separate from scoring
     /// errors, because the tick's outcomes are still valid.
+    ///
+    /// When an ingest queue is attached the tick *starts* by draining it:
+    /// every window present when the drain begins is delivered (with lazy
+    /// rehydration) and scored this very tick, in per-user FIFO order.
+    /// [`TickReport::ingested`], [`TickReport::ingest_errors`] and
+    /// [`TickReport::misrouted`] report the drain.
     pub fn tick(&mut self) -> TickReport {
+        let (ingested, misrouted, ingest_errors) = self.drain_ingest();
         let scanned = self.resident.len();
         let mut results: Vec<SlotTickResult> = parallel_map_mut(&mut self.resident, |slot| {
             let windows = std::mem::take(&mut slot.inbox);
@@ -647,13 +784,9 @@ impl FleetEngine {
         let rehydrated = std::mem::take(&mut self.rehydrations_since_tick);
         self.clock += 1;
         let resident = self.resident.len();
-        TickReport::new(users, errors).with_fleet_state(
-            evicted,
-            rehydrated,
-            resident,
-            scanned,
-            eviction_errors,
-        )
+        TickReport::new(users, errors)
+            .with_fleet_state(evicted, rehydrated, resident, scanned, eviction_errors)
+            .with_ingest(ingested, misrouted, ingest_errors)
     }
 
     /// Trims residency to the configured capacity, evicting the least
@@ -829,6 +962,17 @@ impl FleetEngine {
     }
 }
 
+impl Drop for FleetEngine {
+    fn drop(&mut self) {
+        // Wake any producer parked on a full attached queue: the engine
+        // that would have drained it is going away, so they get a typed
+        // `Closed` error instead of blocking forever on the condvar.
+        if let Some(queue) = &self.ingest {
+            queue.close();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -857,12 +1001,17 @@ mod tests {
         assert_eq!(engine.epoch_of(UserId(0)), None);
         let outcomes = engine.score_ticked(vec![]).expect("empty batch is fine");
         assert!(outcomes.is_empty());
+        assert!(engine.ingest_queue().is_none());
         let report = engine.tick();
         assert_eq!(report.windows_scored(), 0);
         assert_eq!(report.evictions(), 0);
         assert_eq!(report.rehydrations(), 0);
         assert_eq!(report.resident_pipelines(), 0);
         assert_eq!(report.scanned_slots(), 0);
+        assert_eq!(report.ingested(), 0);
+        assert_eq!(report.ingest_forwarded(), 0);
+        assert!(report.ingest_errors().is_empty());
+        assert!(report.misrouted().is_empty());
     }
 
     #[test]
@@ -906,5 +1055,38 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_eviction_capacity_is_rejected() {
         FleetEngine::new().enable_eviction(Box::new(crate::persist::MemorySnapshotStore::new()), 0);
+    }
+
+    #[test]
+    fn ingest_queue_attaches_and_reattaches_only_when_drained() {
+        let mut engine = FleetEngine::new();
+        let queue = engine.enable_ingest(2, BackpressurePolicy::Reject);
+        assert!(engine.ingest_queue().is_some());
+        queue.push((UserId(0), some_window())).expect("space");
+        // The queued (unknown-user) window surfaces as misrouted, counted
+        // by nothing else, and the drain empties the queue.
+        let report = engine.tick();
+        assert_eq!(report.ingested(), 0);
+        assert_eq!(report.misrouted().len(), 1);
+        assert!(queue.is_empty());
+        // Empty queue: replacement allowed.
+        engine.attach_ingest(Arc::new(IngestQueue::new(
+            4,
+            BackpressurePolicy::BlockingWait,
+        )));
+        assert_eq!(
+            engine.ingest_queue().expect("attached").capacity(),
+            4,
+            "replacement queue installed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drain it first")]
+    fn replacing_a_nonempty_ingest_queue_is_rejected() {
+        let mut engine = FleetEngine::new();
+        let queue = engine.enable_ingest(2, BackpressurePolicy::Reject);
+        queue.push((UserId(0), some_window())).expect("space");
+        engine.attach_ingest(Arc::new(IngestQueue::new(2, BackpressurePolicy::Reject)));
     }
 }

@@ -7,7 +7,7 @@
 //! [`SmarterYou::process_window`](crate::SmarterYou::process_window) calls
 //! would report (see `tests/batch_parity.rs`).
 
-use smarteryou_sensors::UserId;
+use smarteryou_sensors::{DualDeviceWindow, UserId};
 
 use crate::persist::PersistError;
 use crate::pipeline::ProcessOutcome;
@@ -41,6 +41,10 @@ pub struct TickReport {
     resident: usize,
     scanned: usize,
     eviction_errors: Vec<(UserId, PersistError)>,
+    ingested: usize,
+    ingest_forwarded: usize,
+    ingest_errors: Vec<(UserId, CoreError)>,
+    misrouted: Vec<(UserId, DualDeviceWindow)>,
 }
 
 impl TickReport {
@@ -95,6 +99,37 @@ impl TickReport {
         self.scanned = scanned;
         self.eviction_errors = eviction_errors;
         self
+    }
+
+    /// Records the tick's ingest-drain results.
+    pub(crate) fn with_ingest(
+        mut self,
+        ingested: usize,
+        misrouted: Vec<(UserId, DualDeviceWindow)>,
+        ingest_errors: Vec<(UserId, CoreError)>,
+    ) -> Self {
+        self.ingested = ingested;
+        self.misrouted = misrouted;
+        self.ingest_errors = ingest_errors;
+        self
+    }
+
+    /// Takes the misrouted windows out of the report — the sharded fleet's
+    /// tick consumes them to re-deliver to the owning shard.
+    pub(crate) fn take_misrouted(&mut self) -> Vec<(UserId, DualDeviceWindow)> {
+        std::mem::take(&mut self.misrouted)
+    }
+
+    /// Appends an ingest-delivery error discovered after the shard tick
+    /// (fleet-level forwarding).
+    pub(crate) fn push_ingest_error(&mut self, id: UserId, error: CoreError) {
+        self.ingest_errors.push((id, error));
+    }
+
+    /// Records how many of this shard's misrouted windows the fleet
+    /// re-delivered to their owning shards.
+    pub(crate) fn note_forwarded(&mut self, forwarded: usize) {
+        self.ingest_forwarded = forwarded;
     }
 
     /// Per-user outcomes, in engine registration order.
@@ -171,6 +206,43 @@ impl TickReport {
     /// registered-user count, however many users are parked.
     pub fn scanned_slots(&self) -> usize {
         self.scanned
+    }
+
+    /// Windows this tick drained from the attached ingest queue and
+    /// retained for this engine's users (delivered into an inbox — and
+    /// scored this tick — or, on a failed rehydration, stashed on the
+    /// parked entry). Zero when no queue is attached.
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// Misrouted windows (see [`TickReport::misrouted`]) the fleet
+    /// re-delivered to the user's current owning shard after this shard's
+    /// tick — they score on the owner's next tick. Only ever nonzero on
+    /// reports returned by
+    /// [`ShardedFleet::tick`](crate::engine::ShardedFleet::tick).
+    pub fn ingest_forwarded(&self) -> usize {
+        self.ingest_forwarded
+    }
+
+    /// Ingest deliveries that hit a typed failure this tick: a rehydration
+    /// failure (the window is stashed on the parked entry, not lost) or —
+    /// at fleet level — a window for a user no shard knows
+    /// ([`CoreError::UnknownUser`]; the only path that drops a window, and
+    /// it is reported, never silent).
+    pub fn ingest_errors(&self) -> &[(UserId, CoreError)] {
+        &self.ingest_errors
+    }
+
+    /// Drained windows whose user is not registered on this engine. On a
+    /// standalone [`FleetEngine`](crate::engine::FleetEngine) they stay
+    /// here for the caller to reroute; a
+    /// [`ShardedFleet`](crate::engine::ShardedFleet) tick consumes them
+    /// (re-delivering to the owning shard, see
+    /// [`TickReport::ingest_forwarded`]), so fleet-returned reports show
+    /// an empty slice.
+    pub fn misrouted(&self) -> &[(UserId, DualDeviceWindow)] {
+        &self.misrouted
     }
 }
 

@@ -64,6 +64,7 @@ use std::sync::Arc;
 
 use smarteryou_sensors::{DualDeviceWindow, UserId};
 
+use crate::engine::ingest::{BackpressurePolicy, IngestQueue, IngestRouter};
 use crate::engine::{FleetEngine, TickReport};
 use crate::parallel::parallel_map_mut;
 use crate::persist::{SharedSnapshotStore, SnapshotStore};
@@ -131,6 +132,9 @@ pub struct ShardedFleet {
     owner: HashMap<UserId, usize>,
     /// Lifetime count of completed cross-shard migrations.
     migrations: u64,
+    /// Async ingestion front door, when enabled: one bounded queue per
+    /// shard, drained by each shard's tick.
+    ingest: Option<IngestRouter>,
 }
 
 impl ShardedFleet {
@@ -157,7 +161,55 @@ impl ShardedFleet {
             store,
             owner: HashMap::new(),
             migrations: 0,
+            ingest: None,
         }
+    }
+
+    /// Enables async ingestion: one bounded queue (capacity
+    /// `queue_capacity_per_shard`, backpressure `policy`) per shard,
+    /// attached so each shard's tick drains its own queue. Returns the
+    /// cloneable [`IngestRouter`] producers submit through; retrieve it
+    /// again with [`ShardedFleet::ingest_router`].
+    ///
+    /// Reconfiguring (new capacity and/or policy) is allowed only while
+    /// every queue is empty; the old queues are closed **before** the
+    /// emptiness check — producers still holding the old router get
+    /// [`IngestError::Closed`](crate::IngestError::Closed) instead of
+    /// pushing into a queue nothing drains, and a racing push cannot slip
+    /// in between check and swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity_per_shard` is zero, or if a previously
+    /// enabled router's queues still hold undrained windows.
+    pub fn enable_ingest(
+        &mut self,
+        queue_capacity_per_shard: usize,
+        policy: BackpressurePolicy,
+    ) -> IngestRouter {
+        if let Some(old) = &self.ingest {
+            old.close();
+            assert_eq!(
+                old.backlog(),
+                0,
+                "cannot reconfigure ingest while queues hold windows — tick until drained first"
+            );
+        }
+        let queues: Vec<_> = (0..self.shards.len())
+            .map(|_| Arc::new(IngestQueue::new(queue_capacity_per_shard, policy)))
+            .collect();
+        for (shard, queue) in self.shards.iter_mut().zip(&queues) {
+            shard.attach_ingest(queue.clone());
+        }
+        let router = IngestRouter::new(self.router, queues);
+        self.ingest = Some(router.clone());
+        router
+    }
+
+    /// The ingestion front door (`None` until
+    /// [`ShardedFleet::enable_ingest`]).
+    pub fn ingest_router(&self) -> Option<IngestRouter> {
+        self.ingest.clone()
     }
 
     /// The routing function.
@@ -223,10 +275,7 @@ impl ShardedFleet {
     /// As [`FleetEngine::register`].
     pub fn register(&mut self, id: UserId, pipeline: SmarterYou) -> Result<usize, CoreError> {
         if self.owner.contains_key(&id) {
-            return Err(CoreError::InvalidConfig(format!(
-                "user {} already registered",
-                id.0
-            )));
+            return Err(CoreError::AlreadyRegistered(id));
         }
         let shard = self.router.shard_of(id);
         self.shards[shard].register(id, pipeline)?;
@@ -247,10 +296,7 @@ impl ShardedFleet {
         server: Arc<dyn TrainingHandle>,
     ) -> Result<usize, CoreError> {
         if self.owner.contains_key(&id) {
-            return Err(CoreError::InvalidConfig(format!(
-                "user {} already registered",
-                id.0
-            )));
+            return Err(CoreError::AlreadyRegistered(id));
         }
         let shard = self.router.shard_of(id);
         self.shards[shard].register_parked(id, server)?;
@@ -289,8 +335,40 @@ impl ShardedFleet {
     /// the shard workers, so total concurrency stays ≈ the core count —
     /// see [`crate::parallel`]). Returns one report per shard,
     /// index-aligned with the shard array.
+    ///
+    /// With ingest enabled, each shard's tick first drains its own queue
+    /// (windows score on this very tick). Drained windows whose user was
+    /// [migrated](ShardedFleet::migrate) away from their home shard are
+    /// then re-delivered to the current owning shard — counted in
+    /// [`TickReport::ingest_forwarded`] on the *home* shard's report —
+    /// and score on the owner's next tick. A window is never scored on a
+    /// stale shard; the only drop path is a user no shard knows, reported
+    /// as a typed [`CoreError::UnknownUser`] in
+    /// [`TickReport::ingest_errors`].
     pub fn tick(&mut self) -> Vec<TickReport> {
-        parallel_map_mut(&mut self.shards, FleetEngine::tick)
+        let mut reports = parallel_map_mut(&mut self.shards, FleetEngine::tick);
+        for report in &mut reports {
+            let misrouted = report.take_misrouted();
+            if misrouted.is_empty() {
+                continue;
+            }
+            let mut forwarded = 0;
+            for (id, window) in misrouted {
+                let Some(&owner) = self.owner.get(&id) else {
+                    report.push_ingest_error(id, CoreError::UnknownUser(id));
+                    continue;
+                };
+                forwarded += 1;
+                // A failed rehydration stashes the window on the owner's
+                // parked entry — retained, delivered at the next
+                // successful rehydration — so the error is informational.
+                if let Err(e) = self.shards[owner].deliver_ingest(id, window) {
+                    report.push_ingest_error(id, e);
+                }
+            }
+            report.note_forwarded(forwarded);
+        }
+        reports
     }
 
     /// Moves a user to `target` shard: fenced evict on the source
@@ -355,6 +433,17 @@ impl ShardedFleet {
             }
         }
         Ok(())
+    }
+}
+
+impl Drop for ShardedFleet {
+    fn drop(&mut self) {
+        // Wake any producer parked on a full queue: the fleet that would
+        // have drained it is going away, so they get a typed `Closed`
+        // error instead of blocking forever.
+        if let Some(ingest) = &self.ingest {
+            ingest.close();
+        }
     }
 }
 

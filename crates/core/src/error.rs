@@ -21,6 +21,11 @@ pub enum CoreError {
     /// whose evicted snapshot cannot be rehydrated reports the persistence
     /// failure, not an unknown-user error.
     UnknownUser(UserId),
+    /// A registration (`register` / `register_parked`) named a user this
+    /// engine already holds — resident or parked. Typed so callers can
+    /// branch on it; the existing registration (pipeline, epoch, queued
+    /// windows) is left untouched, never overwritten.
+    AlreadyRegistered(UserId),
     /// Snapshot/restore persistence failed (eviction, rehydration, or a
     /// snapshot store operation).
     Persist(PersistError),
@@ -34,6 +39,7 @@ impl fmt::Display for CoreError {
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::UnknownUser(id) => write!(f, "{id} is not registered"),
+            CoreError::AlreadyRegistered(id) => write!(f, "{id} is already registered"),
             CoreError::Persist(e) => write!(f, "persistence failed: {e}"),
         }
     }
@@ -61,6 +67,43 @@ impl From<PersistError> for CoreError {
     }
 }
 
+/// Why an [`IngestQueue`](crate::engine::ingest::IngestQueue) refused a
+/// window. Always paired with the window itself being handed back to the
+/// producer (see
+/// [`RejectedWindow`](crate::engine::ingest::RejectedWindow)) — refusal is
+/// backpressure, never loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// The queue is at its bound and the policy is
+    /// [`Reject`](crate::engine::ingest::BackpressurePolicy::Reject): the
+    /// producer must retry after the next drain or shed the window. A
+    /// `Reject` queue loses exactly the windows it reported this error
+    /// for, nothing more (property-tested in
+    /// `crates/core/tests/ingest_backpressure.rs`).
+    QueueFull {
+        /// The queue's fixed bound.
+        capacity: usize,
+    },
+    /// The queue was closed (fleet shutdown or ingest reconfiguration);
+    /// producers parked by
+    /// [`BlockingWait`](crate::engine::ingest::BackpressurePolicy::BlockingWait)
+    /// are woken with this error.
+    Closed,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::QueueFull { capacity } => {
+                write!(f, "ingest queue full ({capacity} windows queued)")
+            }
+            IngestError::Closed => write!(f, "ingest queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +115,17 @@ mod tests {
         let e: CoreError = MlError::InvalidParameter("rho".into()).into();
         assert!(matches!(e, CoreError::Training(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn ingest_and_registration_errors_are_typed() {
+        let full = IngestError::QueueFull { capacity: 8 };
+        assert!(format!("{full}").contains("full"));
+        assert_ne!(full, IngestError::Closed);
+        assert!(format!("{}", IngestError::Closed).contains("closed"));
+        let dup = CoreError::AlreadyRegistered(UserId(3));
+        assert!(format!("{dup}").contains("already registered"));
+        assert_ne!(dup, CoreError::UnknownUser(UserId(3)));
     }
 
     #[test]

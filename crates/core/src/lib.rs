@@ -47,8 +47,11 @@ mod window_features;
 pub use auth::{AuthDecision, AuthModel, Authenticator};
 pub use config::{ContextMode, SystemConfig};
 pub use context_detect::{ContextDetector, ContextDetectorConfig};
-pub use engine::{FleetEngine, TickReport, UserOutcomes};
-pub use error::CoreError;
+pub use engine::{
+    BackpressurePolicy, FleetEngine, IngestQueue, IngestRouter, RejectedWindow, TickReport,
+    UserOutcomes, WindowQueue,
+};
+pub use error::{CoreError, IngestError};
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
 pub use persist::{
     FileSnapshotStore, MemorySnapshotStore, PersistError, PipelineSnapshot, SharedSnapshotStore,

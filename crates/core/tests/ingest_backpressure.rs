@@ -1,0 +1,169 @@
+//! Property suite for the bounded ingest ring's backpressure contract:
+//! the queue never exceeds its bound, a `Reject` queue loses exactly the
+//! entries it reported `QueueFull` for (and hands each one back to the
+//! producer untouched), a `BlockingWait` queue loses nothing however the
+//! producers and the drainer interleave, and drain order per user is FIFO.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use smarteryou_core::engine::ingest::{BackpressurePolicy, IngestQueue};
+use smarteryou_core::IngestError;
+
+/// A deterministic single-threaded schedule step: push the next tagged
+/// entry, pop one entry, or drain everything pending.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push,
+    Pop,
+    Drain,
+}
+
+fn op_schedule() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(0u32..4, 1..200).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| match c {
+                // Pushes twice as likely as each consumer op, so full-queue
+                // rejections actually happen.
+                0 | 1 => Op::Push,
+                2 => Op::Pop,
+                _ => Op::Drain,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under any push/pop/drain interleaving the queue length never
+    /// exceeds the bound, and with the `Reject` policy the accounting is
+    /// exact: every entry is either delivered (popped/drained/still
+    /// queued) or was handed back with `QueueFull` — the two sets
+    /// partition the pushes, so the queue loses exactly what it reported.
+    #[test]
+    fn bound_holds_and_reject_loses_exactly_what_it_reports(
+        capacity in 1usize..16,
+        ops in op_schedule(),
+    ) {
+        let queue: IngestQueue<u32> = IngestQueue::new(capacity, BackpressurePolicy::Reject);
+        let mut next = 0u32;
+        let mut rejected = HashSet::new();
+        let mut delivered = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push => {
+                    let tag = next;
+                    next += 1;
+                    match queue.push(tag) {
+                        Ok(()) => prop_assert!(queue.len() <= capacity),
+                        Err((back, e)) => {
+                            // The rejected entry comes back untouched, with
+                            // the typed reason, only ever at the bound.
+                            prop_assert_eq!(back, tag);
+                            prop_assert_eq!(e, IngestError::QueueFull { capacity });
+                            prop_assert_eq!(queue.len(), capacity);
+                            rejected.insert(tag);
+                        }
+                    }
+                }
+                Op::Pop => delivered.extend(queue.pop()),
+                Op::Drain => delivered.extend(queue.drain_pending()),
+            }
+            prop_assert!(queue.len() <= capacity, "queue exceeded its bound");
+        }
+        delivered.extend(queue.drain_pending());
+        // Exact partition: pushed = delivered ∪ rejected, disjoint.
+        prop_assert_eq!(delivered.len() + rejected.len(), next as usize);
+        for tag in &delivered {
+            prop_assert!(!rejected.contains(tag), "entry {} both delivered and rejected", tag);
+        }
+        // Single producer ⇒ delivery preserves push order end to end.
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(delivered, sorted);
+    }
+
+    /// `BlockingWait` producers lose nothing: with concurrent producer
+    /// threads pushing into a tiny ring while the consumer drains, every
+    /// pushed entry is eventually delivered exactly once, and each
+    /// producer's own sequence arrives in FIFO order.
+    #[test]
+    fn blocking_wait_loses_none_and_keeps_per_producer_fifo(
+        capacity in 1usize..8,
+        producers in 1usize..5,
+        per_producer in 1usize..40,
+    ) {
+        let queue: Arc<IngestQueue<(usize, u32)>> =
+            Arc::new(IngestQueue::new(capacity, BackpressurePolicy::BlockingWait));
+        let mut delivered: Vec<(usize, u32)> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let queue = Arc::clone(&queue);
+                    s.spawn(move || {
+                        for seq in 0..per_producer as u32 {
+                            queue.push((p, seq)).expect("queue never closes mid-run");
+                        }
+                    })
+                })
+                .collect();
+            while handles.iter().any(|h| !h.is_finished()) {
+                delivered.extend(queue.drain_pending());
+            }
+            for handle in handles {
+                handle.join().expect("producer thread");
+            }
+        });
+        delivered.extend(queue.drain_pending());
+        // Nothing lost, nothing duplicated...
+        assert_eq!(delivered.len(), producers * per_producer);
+        let unique: HashSet<_> = delivered.iter().collect();
+        assert_eq!(unique.len(), delivered.len(), "duplicated delivery");
+        // ...and each producer's entries arrive in its push order.
+        let mut next_seq = vec![0u32; producers];
+        for &(p, seq) in &delivered {
+            assert_eq!(seq, next_seq[p], "producer {p} delivered out of order");
+            next_seq[p] += 1;
+        }
+    }
+
+    /// Drain order per user is FIFO even when users' pushes interleave:
+    /// one round-robin producer over several users, drained at arbitrary
+    /// points, must never reorder any single user's sequence.
+    #[test]
+    fn interleaved_users_stay_fifo_per_user(
+        capacity in 2usize..12,
+        users in 1usize..6,
+        schedule in prop::collection::vec(0u32..3, 1..120),
+    ) {
+        let queue: IngestQueue<(usize, u32)> =
+            IngestQueue::new(capacity, BackpressurePolicy::Reject);
+        let mut next_push = vec![0u32; users];
+        let mut next_deliver = vec![0u32; users];
+        let mut user = 0usize;
+        let mut check = |drained: Vec<(usize, u32)>| {
+            for (u, seq) in drained {
+                assert_eq!(seq, next_deliver[u], "user {u} drained out of order");
+                next_deliver[u] += 1;
+            }
+        };
+        for step in schedule {
+            match step {
+                0 | 1 => {
+                    // Round-robin pushes; a rejection re-tries the same
+                    // sequence number later, exactly like a real producer.
+                    if queue.push((user, next_push[user])).is_ok() {
+                        next_push[user] += 1;
+                    }
+                    user = (user + 1) % users;
+                }
+                _ => check(queue.drain_pending()),
+            }
+        }
+        check(queue.drain_pending());
+        prop_assert_eq!(next_push, next_deliver);
+    }
+}

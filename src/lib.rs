@@ -69,6 +69,18 @@
 //! [`StaleEpoch`](core::persist::PersistError::StaleEpoch) rejection, and
 //! decisions stay bit-identical across migrations
 //! (`tests/shard_parity.rs`; design notes in `docs/sharding.md`).
+//!
+//! Producers don't need `&mut` fleet access per window:
+//! [`ShardedFleet::enable_ingest`](core::engine::shard::ShardedFleet::enable_ingest)
+//! puts a bounded MPSC ring in front of every shard and hands back a
+//! cloneable [`IngestRouter`](core::engine::ingest::IngestRouter) that any
+//! thread can submit through, with typed backpressure
+//! ([`BackpressurePolicy`](core::engine::ingest::BackpressurePolicy):
+//! reject-with-the-window-back or block-until-space). Each shard's tick
+//! drains its own queue; windows queued for migrated users are forwarded
+//! to the owning shard, never scored stale, never lost — and decisions
+//! stay bit-identical to the synchronous path (`tests/ingest_parity.rs`;
+//! design notes in `docs/ingestion.md`).
 
 pub use smarteryou_core as core;
 pub use smarteryou_dsp as dsp;

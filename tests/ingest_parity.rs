@@ -1,0 +1,443 @@
+//! Parity stress suite for the async ingestion front-end: a 4-shard
+//! [`ShardedFleet`] fed exclusively through bounded [`IngestRouter`]
+//! queues — under steady load, rejection-retry bursts, forced mid-ingest
+//! migrations and capacity-1 eviction churn — must produce **bit-identical**
+//! decisions, scores, and retrain events to a single eviction-disabled
+//! [`FleetEngine`] fed the same windows synchronously, at the paper's
+//! deployed 6 s × 50 Hz = 300-sample window. Also pins the drain-side
+//! contracts: lazy rehydration on drain, typed unknown-user errors, the
+//! `Reject` policy handing windows back intact, and `BlockingWait`
+//! producers losing nothing across real threads.
+
+mod common;
+
+use common::{assert_outcomes_identical, build_world as build_common_world, World, WorldSeeds};
+use smarteryou::core::engine::{BackpressurePolicy, FleetEngine, IngestRouter, ShardedFleet};
+use smarteryou::core::persist::MemorySnapshotStore;
+use smarteryou::core::{
+    CoreError, IngestError, ProcessOutcome, ResponsePolicy, RetrainPolicy, SmarterYou, TickReport,
+};
+use smarteryou::sensors::{DualDeviceWindow, UserId};
+
+fn build_world(num_users: usize, window_secs: f64) -> World {
+    // Seeds pin this suite's window streams independently of the other
+    // parity suites'.
+    build_common_world(
+        num_users,
+        window_secs,
+        WorldSeeds {
+            population: 47_011,
+            pool_gen: 17,
+            detector_rng: 29,
+        },
+    )
+}
+
+/// This suite's pipeline: keeps scoring after rejections and retrains
+/// eagerly, so parity runs exercise the retrain path through the async
+/// ingest machinery too.
+fn pipeline(world: &World, seed: u64, retrain_period: usize) -> SmarterYou {
+    world.pipeline_with(
+        seed,
+        ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        },
+        Some(RetrainPolicy {
+            threshold: 1e9,
+            period: retrain_period,
+            max_reject_fraction: 1.0,
+        }),
+    )
+}
+
+/// Collects one fleet tick's outcomes (and aggregate counters) into the
+/// per-user streams, asserting the tick was clean.
+struct FleetCollector {
+    outcomes: Vec<Vec<ProcessOutcome>>,
+    retrains: usize,
+    forwarded: usize,
+    ingested: usize,
+}
+
+impl FleetCollector {
+    fn new(num_users: usize) -> Self {
+        FleetCollector {
+            outcomes: vec![Vec::new(); num_users],
+            retrains: 0,
+            forwarded: 0,
+            ingested: 0,
+        }
+    }
+
+    fn collect(&mut self, reports: Vec<TickReport>) {
+        for report in reports {
+            assert!(report.errors().is_empty(), "{:?}", report.errors());
+            assert!(
+                report.eviction_errors().is_empty(),
+                "{:?}",
+                report.eviction_errors()
+            );
+            assert!(
+                report.ingest_errors().is_empty(),
+                "{:?}",
+                report.ingest_errors()
+            );
+            assert!(
+                report.misrouted().is_empty(),
+                "fleet ticks must consume misroutes"
+            );
+            self.retrains += report.retrains();
+            self.forwarded += report.ingest_forwarded();
+            self.ingested += report.ingested();
+            for user in report.users() {
+                self.outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+            }
+        }
+    }
+}
+
+/// Windows still owed to the fleet: undrained queue backlog plus windows
+/// already delivered into shard inboxes/stashes.
+fn fleet_backlog(fleet: &ShardedFleet, router: &IngestRouter) -> usize {
+    router.backlog()
+        + (0..fleet.num_shards())
+            .map(|s| fleet.shard(s).pending())
+            .sum::<usize>()
+}
+
+/// The headline invariant: a 4-shard fleet fed *only* through bounded
+/// async ingest queues — steady single-window rounds, bursty rounds that
+/// overflow the queues and retry on `QueueFull`, adversarial migration
+/// churn every round (including mid-ingest, with windows still sitting in
+/// the home shard's queue), and capacity-1 eviction — is bit-identical to
+/// one eviction-disabled engine fed the same windows synchronously, at the
+/// paper's 300-sample window.
+#[test]
+fn async_ingest_with_churn_and_migrations_matches_sequential_engine() {
+    let num_users = 6;
+    let num_shards = 4;
+    let world = build_world(num_users, 6.0);
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 17_000 + u as u64, 12))
+        .collect();
+
+    let mut reference = FleetEngine::new();
+    // Capacity 1 per shard: every tick forces snapshot round-trips through
+    // the shared store on top of the queue and migration churn.
+    let mut fleet = ShardedFleet::new(num_shards, Box::new(MemorySnapshotStore::new()), 1);
+    for u in 0..num_users {
+        reference
+            .register(UserId(u), pipeline(&world, u as u64 + 1, 5))
+            .expect("register");
+        fleet
+            .register(UserId(u), pipeline(&world, u as u64 + 1, 5))
+            .expect("register");
+    }
+    // Queues deliberately smaller than a burst round's worst case, so the
+    // Reject policy actually fires and the retry path is exercised.
+    let router = fleet.enable_ingest(4, BackpressurePolicy::Reject);
+    assert_eq!(router.num_shards(), num_shards);
+
+    let mut cursors = vec![0usize; num_users];
+    let mut collector = FleetCollector::new(num_users);
+    let mut ref_outcomes: Vec<Vec<ProcessOutcome>> = vec![Vec::new(); num_users];
+    let mut ref_retrains = 0usize;
+    let mut rejections = 0usize;
+    let mut round = 0usize;
+    while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+        // Adversarial churn: migrate a user off their current shard every
+        // round — mid-enrollment, mid-retrain-window, wherever the
+        // schedule lands. Their home-shard queue keeps receiving windows,
+        // which must now take the misroute-forward path.
+        let user = UserId(round % num_users);
+        let target = (fleet.shard_of(user).expect("registered") + 1) % num_shards;
+        fleet.migrate(user, target).expect("migrate");
+        assert_eq!(fleet.shard_of(user), Some(target));
+
+        // Steady rounds feed one window per user; every fourth round
+        // bursts three, overflowing the capacity-4 shard queues.
+        let per_user = if round % 4 == 3 { 3 } else { 1 };
+        for (u, stream) in streams.iter().enumerate() {
+            if !round.is_multiple_of(u % 3 + 1) {
+                continue; // user u idles this round (ages out of shard LRUs)
+            }
+            for _ in 0..per_user {
+                if cursors[u] >= stream.len() {
+                    continue;
+                }
+                let w = stream[cursors[u]].clone();
+                cursors[u] += 1;
+                reference.submit(UserId(u), w.clone()).expect("submit");
+                // Async submission with rejection-retry: a full queue
+                // hands the window back; ticking drains the queues, then
+                // the same window goes in again. Nothing is lost.
+                let mut attempt = w;
+                loop {
+                    match router.submit(UserId(u), attempt) {
+                        Ok(()) => break,
+                        Err(rejected) => {
+                            assert_eq!(rejected.error, IngestError::QueueFull { capacity: 4 });
+                            assert_eq!(rejected.user, UserId(u));
+                            rejections += 1;
+                            collector.collect(fleet.tick());
+                            attempt = rejected.window;
+                        }
+                    }
+                }
+            }
+        }
+        // Every third round, migrate a user *after* their windows were
+        // enqueued: the stale home shard drains them, reports them
+        // misrouted, and the fleet forwards them to the new owner.
+        if round % 3 == 2 {
+            let user = UserId((round / 3) % num_users);
+            let target = (fleet.shard_of(user).expect("registered") + 2) % num_shards;
+            fleet.migrate(user, target).expect("mid-ingest migrate");
+        }
+        collector.collect(fleet.tick());
+        let ref_report = reference.tick();
+        assert!(ref_report.errors().is_empty(), "{:?}", ref_report.errors());
+        ref_retrains += ref_report.retrains();
+        for user in ref_report.users() {
+            ref_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+        }
+        round += 1;
+    }
+    // Flush: forwarded windows score one tick after their drain, so tick
+    // until neither the queues nor the shard inboxes owe anything.
+    let mut flush_ticks = 0;
+    while fleet_backlog(&fleet, &router) > 0 {
+        collector.collect(fleet.tick());
+        flush_ticks += 1;
+        assert!(flush_ticks < 64, "fleet never drained its backlog");
+    }
+
+    // The schedule exercised every stress axis it promised.
+    assert!(
+        fleet.migrations() as usize >= num_users,
+        "every user must migrate at least once (got {})",
+        fleet.migrations()
+    );
+    assert!(rejections > 0, "burst rounds never overflowed a queue");
+    assert!(
+        collector.forwarded > 0,
+        "mid-ingest migrations never exercised the misroute-forward path"
+    );
+    let churn: u64 = (0..num_shards)
+        .map(|s| fleet.shard(s).eviction_totals().0)
+        .sum();
+    assert!(churn > 0, "parity run produced no eviction churn");
+    assert!(
+        ref_retrains > 0,
+        "parity run never exercised the retrain path"
+    );
+    assert_eq!(ref_retrains, collector.retrains);
+    // Exact delivery accounting: every window either drained on its home
+    // shard (`ingested`) or was forwarded to a migrated owner — and every
+    // single one was scored exactly once.
+    let total_windows: usize = streams.iter().map(Vec::len).sum();
+    assert_eq!(collector.ingested + collector.forwarded, total_windows);
+    let scored: usize = collector.outcomes.iter().map(Vec::len).sum();
+    assert_eq!(
+        scored, total_windows,
+        "async path lost or duplicated windows"
+    );
+    for (u, reference) in ref_outcomes.iter().enumerate() {
+        assert_outcomes_identical(reference, &collector.outcomes[u], &format!("user {u}"));
+    }
+}
+
+/// `BlockingWait` across real producer threads: one thread per user pushes
+/// that user's whole stream into deliberately tiny queues while the main
+/// thread ticks the fleet. Every window must arrive (none lost, none
+/// duplicated) and the outcome streams must stay bit-identical to the
+/// synchronous reference — whatever the cross-thread interleaving.
+#[test]
+fn blocking_wait_producer_threads_lose_nothing_and_stay_bit_identical() {
+    let num_users = 4;
+    let num_shards = 4;
+    let world = build_world(num_users, 2.0);
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 23_000 + u as u64, 8))
+        .collect();
+    let total_windows: usize = streams.iter().map(Vec::len).sum();
+
+    let mut reference = FleetEngine::new();
+    let mut fleet = ShardedFleet::new(num_shards, Box::new(MemorySnapshotStore::new()), 1);
+    for u in 0..num_users {
+        reference
+            .register(UserId(u), pipeline(&world, u as u64 + 9, 6))
+            .expect("register");
+        fleet
+            .register(UserId(u), pipeline(&world, u as u64 + 9, 6))
+            .expect("register");
+    }
+    let router = fleet.enable_ingest(2, BackpressurePolicy::BlockingWait);
+
+    // Reference: the same windows, fed synchronously one per tick.
+    let mut ref_outcomes: Vec<Vec<ProcessOutcome>> = vec![Vec::new(); num_users];
+    let longest = streams.iter().map(Vec::len).max().unwrap();
+    for i in 0..longest {
+        for (u, stream) in streams.iter().enumerate() {
+            if let Some(w) = stream.get(i) {
+                reference.submit(UserId(u), w.clone()).expect("submit");
+            }
+        }
+        let report = reference.tick();
+        assert!(report.errors().is_empty());
+        for user in report.users() {
+            ref_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+        }
+    }
+
+    // Fleet: producer threads blocking-push while the main thread ticks.
+    let mut collector = FleetCollector::new(num_users);
+    std::thread::scope(|s| {
+        for (u, stream) in streams.iter().enumerate() {
+            let router = router.clone();
+            let stream = stream.clone();
+            s.spawn(move || {
+                for w in stream {
+                    router
+                        .submit(UserId(u), w)
+                        .expect("BlockingWait producers park, they never fail");
+                }
+            });
+        }
+        let mut scored = 0usize;
+        while scored < total_windows {
+            collector.collect(fleet.tick());
+            scored = collector.outcomes.iter().map(Vec::len).sum();
+        }
+    });
+
+    let scored: usize = collector.outcomes.iter().map(Vec::len).sum();
+    assert_eq!(
+        scored, total_windows,
+        "BlockingWait lost or duplicated windows"
+    );
+    for (u, reference) in ref_outcomes.iter().enumerate() {
+        assert_outcomes_identical(reference, &collector.outcomes[u], &format!("user {u}"));
+    }
+}
+
+/// Engine-level drain contract: a parked user's pipeline rehydrates lazily
+/// when the drain delivers their window — counted in the tick report — and
+/// the drained windows score on that same tick.
+#[test]
+fn drain_rehydrates_parked_users_lazily() {
+    let world = build_world(2, 2.0);
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 31_000 + u as u64, 0))
+        .collect();
+
+    let mut engine = FleetEngine::new().with_eviction(Box::new(MemorySnapshotStore::new()), 1);
+    for u in 0..2 {
+        engine
+            .register(UserId(u), pipeline(&world, u as u64 + 40, 6))
+            .expect("register");
+    }
+    let queue = engine.enable_ingest(8, BackpressurePolicy::Reject);
+    assert!(engine.ingest_queue().is_some());
+
+    // Park user 0: only user 1 submits, capacity-1 LRU evicts user 0.
+    engine
+        .submit(UserId(1), streams[1][0].clone())
+        .expect("submit");
+    let report = engine.tick();
+    assert_eq!(report.evictions(), 1);
+    assert_eq!(engine.is_resident(UserId(0)), Some(false));
+    assert_eq!(report.ingested(), 0);
+
+    // Async windows for the parked user: the drain must rehydrate and
+    // score them on this very tick.
+    for w in &streams[0][..3] {
+        queue.push((UserId(0), w.clone())).expect("queue has space");
+    }
+    assert_eq!(queue.len(), 3);
+    let report = engine.tick();
+    assert_eq!(report.ingested(), 3);
+    assert_eq!(report.rehydrations(), 1);
+    assert!(report.ingest_errors().is_empty());
+    assert!(report.misrouted().is_empty());
+    assert_eq!(report.windows_scored(), 3);
+    assert_eq!(report.users().len(), 1);
+    assert_eq!(report.users()[0].user, UserId(0));
+    assert_eq!(engine.is_resident(UserId(0)), Some(true));
+    assert!(queue.is_empty());
+}
+
+/// A window for a user nobody registered is the one drop path — and it is
+/// typed, never silent: the standalone engine reports it as misrouted (the
+/// window handed back in the report), the sharded fleet converts it to a
+/// [`CoreError::UnknownUser`] ingest error.
+#[test]
+fn unknown_user_windows_surface_as_typed_errors() {
+    let world = build_world(1, 2.0);
+    let w = world.window_stream(&world.users[0], 41_000, 0)[0].clone();
+
+    // Standalone engine: the misrouted window comes back in the report.
+    let mut engine = FleetEngine::new();
+    let queue = engine.enable_ingest(4, BackpressurePolicy::Reject);
+    queue.push((UserId(77), w.clone())).expect("space");
+    let report = engine.tick();
+    assert_eq!(report.ingested(), 0);
+    assert_eq!(report.misrouted(), &[(UserId(77), w.clone())]);
+
+    // Sharded fleet: no shard owns the user, so the fleet reports the
+    // typed error instead of silently dropping the window.
+    let mut fleet = ShardedFleet::new(2, Box::new(MemorySnapshotStore::new()), 1);
+    fleet
+        .register(UserId(0), pipeline(&world, 3, 6))
+        .expect("register");
+    let router = fleet.enable_ingest(4, BackpressurePolicy::Reject);
+    router.submit(UserId(77), w).expect("queue accepts");
+    let reports = fleet.tick();
+    let errors: Vec<_> = reports.iter().flat_map(TickReport::ingest_errors).collect();
+    assert_eq!(
+        errors,
+        vec![&(UserId(77), CoreError::UnknownUser(UserId(77)))]
+    );
+    assert!(reports.iter().all(|r| r.misrouted().is_empty()));
+}
+
+/// The `Reject` policy's contract end to end: the refused window comes
+/// back byte-identical, tagged with the home shard and the typed reason,
+/// and resubmitting it after a drain succeeds.
+#[test]
+fn reject_hands_the_window_back_intact() {
+    let world = build_world(1, 2.0);
+    let stream = world.window_stream(&world.users[0], 43_000, 0);
+    let id = UserId(0);
+
+    let mut fleet = ShardedFleet::new(2, Box::new(MemorySnapshotStore::new()), 1);
+    fleet
+        .register(id, pipeline(&world, 5, 6))
+        .expect("register");
+    let router = fleet.enable_ingest(1, BackpressurePolicy::Reject);
+
+    router.submit(id, stream[0].clone()).expect("first fits");
+    let rejected = router
+        .submit(id, stream[1].clone())
+        .expect_err("queue of 1 is full");
+    assert_eq!(rejected.user, id);
+    assert_eq!(rejected.shard, router.shard_of(id));
+    assert_eq!(rejected.error, IngestError::QueueFull { capacity: 1 });
+    assert_eq!(rejected.window, stream[1]);
+    assert_eq!(router.queue_len(router.shard_of(id)), 1);
+
+    let reports = fleet.tick();
+    assert_eq!(reports.iter().map(TickReport::ingested).sum::<usize>(), 1);
+    router
+        .submit(id, rejected.window)
+        .expect("rejected window resubmits after the drain");
+}

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use common::{assert_outcomes_identical, build_world as build_common_world, World, WorldSeeds};
 use parking_lot::Mutex;
 use proptest::prelude::*;
-use smarteryou::core::engine::{FleetEngine, ShardRouter, ShardedFleet};
+use smarteryou::core::engine::{BackpressurePolicy, FleetEngine, ShardRouter, ShardedFleet};
 use smarteryou::core::persist::{MemorySnapshotStore, PersistError, SharedSnapshotStore};
 use smarteryou::core::{
     CoreError, ProcessOutcome, ResponsePolicy, RetrainPolicy, SmarterYou, TrainingHandle,
@@ -227,6 +227,164 @@ fn migrating_a_mid_retrain_user_preserves_parity() {
         "run never retrained"
     );
     assert_outcomes_identical(&ref_outcomes, &fleet_outcomes, "mid-retrain migration");
+}
+
+/// Migrating a user whose home-shard **ingest queue** still holds their
+/// windows: the queued windows must travel with the user (drained on the
+/// stale shard only to be forwarded, scored exclusively by the new owner)
+/// and the outcome stream must stay bit-identical to the synchronous
+/// reference — no window lost, duplicated, or scored on the stale shard.
+#[test]
+fn migrate_with_queued_ingest_windows_never_scores_on_the_stale_shard() {
+    let world = build_world(1, 2.0);
+    let stream = world.window_stream(&world.users[0], 5_432, 18);
+    let id = UserId(0);
+    let num_shards = 4;
+
+    let mut reference = FleetEngine::new();
+    reference
+        .register(id, pipeline(&world, 11, 6))
+        .expect("register");
+    let mut fleet = ShardedFleet::new(num_shards, Box::new(MemorySnapshotStore::new()), 1);
+    fleet
+        .register(id, pipeline(&world, 11, 6))
+        .expect("register");
+    let router = fleet.enable_ingest(8, BackpressurePolicy::Reject);
+    let home = router.shard_of(id);
+
+    let mut ref_outcomes = Vec::new();
+    let mut fleet_outcomes = Vec::new();
+    let mut forwarded_total = 0usize;
+    for (i, w) in stream.iter().enumerate() {
+        reference.submit(id, w.clone()).expect("submit");
+        router.submit(id, w.clone()).expect("queue has space");
+        // Every third window, migrate *after* enqueueing — the window is
+        // still sitting in the home shard's queue when ownership moves.
+        if i % 3 == 0 {
+            let target = (fleet.shard_of(id).expect("registered") + 1) % num_shards;
+            fleet.migrate(id, target).expect("mid-queue migrate");
+        }
+        let owner = fleet.shard_of(id).expect("registered");
+        for (shard, report) in fleet.tick().into_iter().enumerate() {
+            assert!(report.errors().is_empty(), "window {i}");
+            assert!(report.ingest_errors().is_empty(), "window {i}");
+            assert!(
+                report.misrouted().is_empty(),
+                "fleet must consume misroutes"
+            );
+            forwarded_total += report.ingest_forwarded();
+            if shard != owner {
+                // The heart of the invariant: a shard that does not own
+                // the user never scores their windows — stale shards only
+                // ever hand them onward.
+                assert!(
+                    report.users().iter().all(|u| u.user != id),
+                    "window {i}: stale shard {shard} scored a window for a user owned by {owner}"
+                );
+            }
+            for user in report.users() {
+                fleet_outcomes.extend(user.outcomes.iter().cloned());
+            }
+        }
+        let ref_report = reference.tick();
+        assert!(ref_report.errors().is_empty(), "window {i}");
+        for user in ref_report.users() {
+            ref_outcomes.extend(user.outcomes.iter().cloned());
+        }
+    }
+    // Forwarded windows score one tick late; flush the tail.
+    let mut flush = 0;
+    while fleet_outcomes.len() < stream.len() {
+        for report in fleet.tick() {
+            assert!(report.errors().is_empty());
+            for user in report.users() {
+                fleet_outcomes.extend(user.outcomes.iter().cloned());
+            }
+        }
+        flush += 1;
+        assert!(flush < 16, "queued windows were lost in migration");
+    }
+    assert!(
+        forwarded_total > 0,
+        "schedule never left a queued window behind a migration"
+    );
+    assert!(
+        fleet.shard_of(id) != Some(home) || fleet.migrations() >= 4,
+        "user never left the home shard"
+    );
+    assert_eq!(
+        fleet_outcomes.len(),
+        stream.len(),
+        "lost or duplicated windows"
+    );
+    assert_outcomes_identical(&ref_outcomes, &fleet_outcomes, "mid-queue ingest migration");
+}
+
+/// Registering a user an engine already holds — resident *or* parked — is
+/// the typed [`CoreError::AlreadyRegistered`], and the existing
+/// registration survives untouched. A silent overwrite in
+/// `register_parked` would bump the store epoch and fence the engine's own
+/// live pipeline out of ever saving again.
+#[test]
+fn re_registering_a_known_user_is_typed_and_touches_nothing() {
+    let world = build_world(2, 2.0);
+    let store = SharedSnapshotStore::new(Box::new(MemorySnapshotStore::new()));
+    let id = UserId(0);
+
+    let mut engine = FleetEngine::new().with_eviction(Box::new(store.clone()), 2);
+    engine
+        .register(id, pipeline(&world, 1, 6))
+        .expect("register");
+    let epoch_before = engine.epoch_of(id);
+
+    // Resident user: both registration forms refuse with the typed error.
+    let server: Arc<dyn TrainingHandle> = Arc::new(Mutex::new(TrainingServer::new()));
+    assert_eq!(
+        engine.register_parked(id, server.clone()).unwrap_err(),
+        CoreError::AlreadyRegistered(id)
+    );
+    assert_eq!(
+        engine.register(id, pipeline(&world, 99, 6)).unwrap_err(),
+        CoreError::AlreadyRegistered(id)
+    );
+    // ...and nothing about the existing registration moved: still
+    // resident, same epoch claim (an overwrite would have bumped it and
+    // fenced the live pipeline's saves).
+    assert_eq!(engine.is_resident(id), Some(true));
+    assert_eq!(engine.epoch_of(id), epoch_before);
+    let mut probe = store.clone();
+    use smarteryou::core::persist::SnapshotStore;
+    assert_eq!(probe.epoch(id).expect("store epoch"), epoch_before.unwrap());
+
+    // Parked user: same contract.
+    engine
+        .register(UserId(1), pipeline(&world, 2, 6))
+        .expect("register");
+    let w = world.window_stream(&world.users[1], 66, 0)[0].clone();
+    engine.submit(UserId(1), w).expect("submit");
+    engine.enable_eviction(Box::new(store.clone()), 1);
+    engine.tick();
+    assert_eq!(engine.is_resident(id), Some(false));
+    assert_eq!(
+        engine.register_parked(id, server).unwrap_err(),
+        CoreError::AlreadyRegistered(id)
+    );
+    assert_eq!(engine.epoch_of(id), epoch_before);
+
+    // The sharded fleet surfaces the same typed error.
+    let mut fleet = ShardedFleet::new(2, Box::new(MemorySnapshotStore::new()), 1);
+    fleet
+        .register(id, pipeline(&world, 3, 6))
+        .expect("register");
+    assert_eq!(
+        fleet.register(id, pipeline(&world, 4, 6)).unwrap_err(),
+        CoreError::AlreadyRegistered(id)
+    );
+    let server: Arc<dyn TrainingHandle> = Arc::new(Mutex::new(TrainingServer::new()));
+    assert_eq!(
+        fleet.register_parked(id, server).unwrap_err(),
+        CoreError::AlreadyRegistered(id)
+    );
 }
 
 /// The rehydrate race: once another engine claims a user through the shared
