@@ -19,7 +19,8 @@ use std::time::Instant;
 
 use serde::Serialize;
 use smarteryou_bench::fleet::{FleetFixture, ShardFixture};
-use smarteryou_core::engine::BackpressurePolicy;
+use smarteryou_core::engine::{BackpressurePolicy, TrainingService};
+use smarteryou_core::RetrainPolicy;
 use smarteryou_dsp::{dft_fallback_count, SpectrumPlan, SpectrumScratch};
 use smarteryou_sensors::UserId;
 
@@ -141,6 +142,42 @@ struct IngestBench {
 }
 
 #[derive(Debug, Serialize)]
+struct TrainingRow {
+    scenario: &'static str,
+    /// Worker threads behind the [`TrainingService`]; 0 = synchronous
+    /// apply-at-tick-boundary mode (retrains execute on the tick thread).
+    workers: usize,
+    ticks: usize,
+    windows: usize,
+    retrains_started: u64,
+    retrains_completed: u64,
+    retrains_canceled: u64,
+    /// Peak `retrains_in_flight` observed across the measured ticks — the
+    /// async rows must show real overlap, the sync/idle rows must stay 0.
+    max_in_flight: usize,
+    /// `started − completed − canceled` after the drain loop. Positive =
+    /// a retrain was lost, negative = one was double-applied; either fails
+    /// the run.
+    lost_retrains: i64,
+    p50_tick_ms: f64,
+    p99_tick_ms: f64,
+}
+
+/// Deferred retraining behind the [`TrainingService`]: per-tick latency
+/// distribution with 0 retrains in flight (`deferred_idle`), with retrains
+/// executing on the tick thread at the boundary (`deferred_sync` — the
+/// bit-identical reference mode, see `tests/training_parity.rs`), and with
+/// retrains overlapping scoring on worker threads (`deferred_async`). The
+/// tick path only wins if the async p99 stays near the idle row while the
+/// sync row absorbs the full fit cost.
+#[derive(Debug, Serialize)]
+struct TrainingBench {
+    users: usize,
+    retrain_period: usize,
+    rows: Vec<TrainingRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct SpectrumMicrobench {
     samples: usize,
     planned_spectra_per_sec: f64,
@@ -176,6 +213,11 @@ struct BenchReport {
     /// steady + burst. Decisions stay bit-identical to the synchronous
     /// path (`tests/ingest_parity.rs`); `BlockingWait` must lose nothing.
     ingest: IngestBench,
+    /// Tick latency under deferred retraining: idle floor, synchronous
+    /// apply-at-boundary, and worker-backed async overlap. Sync mode stays
+    /// bit-identical to inline retraining (`tests/training_parity.rs`);
+    /// every row must account for all of its retrains.
+    training: TrainingBench,
     spectrum_microbench: SpectrumMicrobench,
 }
 
@@ -538,6 +580,108 @@ fn measure_ingest(num_users: usize, num_shards: usize) -> IngestBench {
     }
 }
 
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Measures per-tick latency (p50/p99) under deferred retraining. Three
+/// rows on identical fleets: a policy that never triggers (0 retrains in
+/// flight — the floor), an eager policy on the synchronous service (every
+/// retrain executes on the tick thread at the boundary), and the same
+/// eager policy on a 2-worker service (retrains overlap scoring; the tick
+/// only pays the apply). Each row drains to zero in flight afterwards and
+/// reports `lost_retrains` — the caller fails the run if any retrain was
+/// lost or double-applied.
+fn measure_training(num_users: usize, retrain_period: usize) -> TrainingBench {
+    // `threshold: 0.0` can never trigger (the gate is `0 ≤ median < 0`);
+    // `threshold: 1e9` triggers every `retrain_period` accepted windows.
+    let never = RetrainPolicy {
+        threshold: 0.0,
+        period: 30,
+        max_reject_fraction: 1.0,
+    };
+    let eager = RetrainPolicy {
+        threshold: 1e9,
+        period: retrain_period,
+        max_reject_fraction: 1.0,
+    };
+    let mut rows = Vec::new();
+    for (scenario, policy, workers) in [
+        ("deferred_idle", never, 0usize),
+        ("deferred_sync", eager, 0),
+        ("deferred_async", eager, 2),
+    ] {
+        let mut fixture = FleetFixture::build_deferred(num_users, WINDOW_SECS, 0x7EA1, policy)
+            .expect("fixture builds");
+        fixture.enable_training(if workers == 0 {
+            TrainingService::synchronous()
+        } else {
+            TrainingService::with_workers(workers)
+        });
+        // Warm-up: submit any retrain captured during enrollment build and
+        // drain it, so every row starts with zero retrains in flight.
+        fixture.submit_tick(1);
+        fixture.tick();
+        while fixture.engine_mut().retrains_in_flight() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            fixture.tick();
+        }
+        let base = fixture.engine_mut().retrain_totals();
+
+        let ticks = 16;
+        let mut windows = 0usize;
+        let mut max_in_flight = 0usize;
+        let mut samples_ms = Vec::with_capacity(ticks);
+        for _ in 0..ticks {
+            windows += fixture.submit_tick(1);
+            let start = Instant::now();
+            let report = fixture.tick();
+            samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            max_in_flight = max_in_flight.max(report.retrains_in_flight());
+        }
+        // Drain: empty ticks submit parked triggers and apply completed
+        // jobs; no new windows means no new triggers, so this terminates.
+        let mut drain_ticks = 0usize;
+        while fixture.engine_mut().retrains_in_flight() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            fixture.tick();
+            drain_ticks += 1;
+            assert!(drain_ticks < 100_000, "training bench never drained");
+        }
+        let totals = fixture.engine_mut().retrain_totals();
+        let (started, completed, canceled) =
+            (totals.0 - base.0, totals.1 - base.1, totals.2 - base.2);
+        let lost_retrains = started as i64 - completed as i64 - canceled as i64;
+        samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let p50_tick_ms = percentile_ms(&samples_ms, 0.50);
+        let p99_tick_ms = percentile_ms(&samples_ms, 0.99);
+        println!(
+            "{num_users:>7} users  {scenario:<14}  {workers} workers  tick p50 {p50_tick_ms:>8.2}ms  \
+             p99 {p99_tick_ms:>8.2}ms  (retrains {started} started / {completed} completed / \
+             {canceled} canceled, peak in flight {max_in_flight})"
+        );
+        rows.push(TrainingRow {
+            scenario,
+            workers,
+            ticks,
+            windows,
+            retrains_started: started,
+            retrains_completed: completed,
+            retrains_canceled: canceled,
+            max_in_flight,
+            lost_retrains,
+            p50_tick_ms,
+            p99_tick_ms,
+        });
+    }
+    TrainingBench {
+        users: num_users,
+        retrain_period,
+        rows,
+    }
+}
+
 /// Times the planned spectrum against the O(n²) reference at the deployed
 /// 300-sample window. The reference intentionally calls [`smarteryou_dsp::dft`],
 /// so this must run *after* the fallback counter has been checked.
@@ -625,6 +769,10 @@ fn main() {
     // plus a threaded BlockingWait burst.
     let ingest = measure_ingest(if quick { 1_000 } else { 10_000 }, 4);
     println!();
+    // Deferred retraining: tick latency with 0 retrains in flight, with
+    // retrains on the tick thread, and with retrains on worker threads.
+    let training = measure_training(if quick { 64 } else { 128 }, 6);
+    println!();
     let fallbacks = dft_fallback_count() - baseline;
 
     // The microbench runs the reference DFT on purpose; check the fleet
@@ -643,6 +791,7 @@ fn main() {
         resident_scan,
         shard,
         ingest,
+        training,
         spectrum_microbench: microbench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -668,6 +817,28 @@ fn main() {
                 "FAIL: async_ingest {} row dropped windows ({} submitted, {} scored) — \
                  bounded ingestion must never lose a window",
                 row.scenario, row.windows_submitted, row.windows_scored
+            );
+            std::process::exit(1);
+        }
+    }
+    // Every submitted retrain must be accounted for after the drain:
+    // started == completed + canceled exactly. Positive drift means a
+    // retrain was lost (never applied, never canceled); negative means one
+    // was applied or canceled twice.
+    for row in &report.training.rows {
+        if row.lost_retrains != 0 {
+            eprintln!(
+                "FAIL: training {} row {} a retrain ({} started, {} completed, {} canceled) — \
+                 the deferred path must never lose or double-apply a model",
+                row.scenario,
+                if row.lost_retrains > 0 {
+                    "lost"
+                } else {
+                    "double-applied"
+                },
+                row.retrains_started,
+                row.retrains_completed,
+                row.retrains_canceled
             );
             std::process::exit(1);
         }

@@ -16,12 +16,12 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smarteryou_core::engine::{
-    BackpressurePolicy, FleetEngine, IngestRouter, ShardedFleet, TickReport,
+    BackpressurePolicy, FleetEngine, IngestRouter, ShardedFleet, TickReport, TrainingService,
 };
 use smarteryou_core::persist::MemorySnapshotStore;
 use smarteryou_core::{
     ContextDetector, ContextDetectorConfig, CoreError, DeviceSet, FeatureExtractor, ResponsePolicy,
-    SmarterYou, SystemConfig, TrainingHandle, TrainingServer,
+    RetrainMode, RetrainPolicy, SmarterYou, SystemConfig, TrainingHandle, TrainingServer,
 };
 use smarteryou_sensors::{
     DualDeviceWindow, Population, RawContext, TraceGenerator, UserId, WindowSpec,
@@ -171,6 +171,39 @@ impl FleetFixture {
         window_secs: f64,
         seed: u64,
     ) -> Result<Self, CoreError> {
+        Self::build_inner(num_users, window_secs, seed, None)
+    }
+
+    /// Builds a fleet whose pipelines run [`RetrainMode::Deferred`] under
+    /// `retrain` — the training-bench configuration. The caller attaches a
+    /// [`TrainingService`] afterwards (see
+    /// [`FleetFixture::enable_training`]); any retrain triggered before the
+    /// service is attached parks as a pending request and is submitted on
+    /// the first serviced tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline construction/training failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_users` is zero or a pipeline fails to finish
+    /// enrollment on its seeded window stream.
+    pub fn build_deferred(
+        num_users: usize,
+        window_secs: f64,
+        seed: u64,
+        retrain: RetrainPolicy,
+    ) -> Result<Self, CoreError> {
+        Self::build_inner(num_users, window_secs, seed, Some(retrain))
+    }
+
+    fn build_inner(
+        num_users: usize,
+        window_secs: f64,
+        seed: u64,
+        retrain: Option<RetrainPolicy>,
+    ) -> Result<Self, CoreError> {
         let world = build_world(num_users, window_secs, seed)?;
 
         // Register and enroll the whole fleet through the batch path.
@@ -179,7 +212,7 @@ impl FleetFixture {
         for u in 0..num_users {
             let profile = u % world.profiles;
             profile_of.push(profile);
-            let pipeline = SmarterYou::new(
+            let mut pipeline = SmarterYou::new(
                 world.cfg.clone(),
                 world.detector.clone(),
                 world.server.clone(),
@@ -191,6 +224,11 @@ impl FleetFixture {
             .with_response_policy(ResponsePolicy {
                 rejects_to_lock: usize::MAX,
             });
+            if let Some(policy) = retrain {
+                pipeline = pipeline
+                    .with_retrain_policy(policy)
+                    .with_retrain_mode(RetrainMode::Deferred);
+            }
             engine.register(UserId(u), pipeline)?;
         }
         for (u, &profile) in profile_of.iter().enumerate() {
@@ -250,6 +288,15 @@ impl FleetFixture {
     pub fn enable_eviction(&mut self, capacity: usize) {
         self.engine
             .enable_eviction(Box::new(MemorySnapshotStore::new()), capacity);
+    }
+
+    /// Attaches (or, once no retrains are in flight, replaces) the
+    /// engine's [`TrainingService`]. Deferred-mode pipelines park their
+    /// retrain triggers until a service is attached, so calling this after
+    /// [`FleetFixture::build_deferred`] + warm-up gives the training bench
+    /// a clean starting point.
+    pub fn enable_training(&mut self, service: TrainingService) {
+        self.engine.enable_training(service);
     }
 
     /// Registers `count` additional users as **parked** entries (no

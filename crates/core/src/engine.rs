@@ -99,6 +99,7 @@
 pub mod batch;
 pub mod ingest;
 pub mod shard;
+pub mod training;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -114,6 +115,7 @@ use crate::CoreError;
 pub use batch::{TickReport, UserOutcomes};
 pub use ingest::{BackpressurePolicy, IngestQueue, IngestRouter, RejectedWindow, WindowQueue};
 pub use shard::{ShardRouter, ShardedFleet};
+pub use training::{JobId, TrainingService};
 
 /// A live pipeline in the dense resident array — the only per-user state
 /// the per-tick paths ever walk.
@@ -166,6 +168,28 @@ struct EvictionState {
     total_rehydrations: u64,
 }
 
+/// Deferred-retrain machinery, present only when a [`TrainingService`] is
+/// attached. Tracks which in-flight job belongs to which user so completed
+/// results can be routed back — and so results for users that have since
+/// been released or evicted are recognised as stale and discarded.
+#[derive(Debug)]
+struct TrainingState {
+    service: TrainingService,
+    /// Owner of every job this engine still expects a result for. A job
+    /// missing from this map at delivery time was abandoned (release /
+    /// eviction / migration) and its result must not be applied.
+    jobs: HashMap<JobId, UserId>,
+    total_started: u64,
+    total_completed: u64,
+    /// Canceled **or failed** jobs — both end a started job without a
+    /// model landing, and folding them together keeps the invariant
+    /// `started == completed + canceled + in_flight` exact.
+    total_canceled: u64,
+    /// Cancels performed outside the tick's training cycle (release /
+    /// eviction), folded into the next [`TickReport`].
+    canceled_since_tick: usize,
+}
+
 /// Owns many per-user [`SmarterYou`] pipelines and scores queued windows in
 /// parallel, batch by batch. See the [module docs](self) for the model.
 #[derive(Debug, Default)]
@@ -191,6 +215,9 @@ pub struct FleetEngine {
     /// Attached async ingestion queue, drained at the start of every tick.
     /// `None` for engines fed only through the synchronous submit path.
     ingest: Option<Arc<WindowQueue>>,
+    /// Attached training service for deferred retrains. `None` for engines
+    /// whose pipelines all retrain inline.
+    training: Option<TrainingState>,
 }
 
 impl FleetEngine {
@@ -326,6 +353,70 @@ impl FleetEngine {
         self.ingest.clone()
     }
 
+    /// Builder form of [`FleetEngine::enable_training`].
+    pub fn with_training(mut self, service: TrainingService) -> Self {
+        self.enable_training(service);
+        self
+    }
+
+    /// Attaches a [`TrainingService`]: pipelines in
+    /// [`RetrainMode::Deferred`](crate::pipeline::RetrainMode) have their
+    /// captured retrain requests submitted to it at every tick boundary,
+    /// and completed models are applied at the *next* tick boundary (the
+    /// very same one when the service is
+    /// [synchronous](TrainingService::synchronous)). Without a service,
+    /// deferred pipelines keep scoring on their old model forever — their
+    /// captured request just sits pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previously attached service still has jobs in flight:
+    /// their results would be lost and the owning pipelines stuck
+    /// mid-retrain.
+    pub fn enable_training(&mut self, service: TrainingService) {
+        if let Some(old) = &self.training {
+            assert!(
+                old.jobs.is_empty(),
+                "cannot replace a training service with retrains in flight — \
+                 tick until they drain first"
+            );
+        }
+        let (total_started, total_completed, total_canceled) = self.retrain_totals();
+        self.training = Some(TrainingState {
+            service,
+            jobs: HashMap::new(),
+            total_started,
+            total_completed,
+            total_canceled,
+            canceled_since_tick: 0,
+        });
+    }
+
+    /// Whether a training service is attached.
+    pub fn training_enabled(&self) -> bool {
+        self.training.is_some()
+    }
+
+    /// Lifetime `(started, completed, canceled)` retrain-job totals
+    /// (`(0, 0, 0)` when no training service has ever been attached).
+    /// Failed jobs count as canceled, so at any point
+    /// `started == completed + canceled + `[`retrains_in_flight`]`
+    /// `(self)` exactly.
+    ///
+    /// [`retrains_in_flight`]: FleetEngine::retrains_in_flight
+    pub fn retrain_totals(&self) -> (u64, u64, u64) {
+        self.training
+            .as_ref()
+            .map(|t| (t.total_started, t.total_completed, t.total_canceled))
+            .unwrap_or((0, 0, 0))
+    }
+
+    /// Retrain jobs currently in flight (submitted, neither applied nor
+    /// canceled). 0 when no training service is attached.
+    pub fn retrains_in_flight(&self) -> usize {
+        self.training.as_ref().map(|t| t.jobs.len()).unwrap_or(0)
+    }
+
     /// Registers a user's pipeline. Tick outcomes are reported in
     /// registration order. When a snapshot store is configured the engine
     /// claims the user's ownership epoch in it, fencing out any engine
@@ -447,10 +538,14 @@ impl FleetEngine {
                 let mut eviction = self.eviction.take().expect("checked above");
                 let ResidentSlot {
                     seq,
-                    pipeline,
+                    mut pipeline,
                     inbox,
                     ..
                 } = self.resident.swap_remove(idx);
+                // An in-flight retrain cannot follow the user out: cancel
+                // the job and revert to the captured request, which the
+                // snapshot carries for the adopting engine to resubmit.
+                Self::cancel_user_retrain(&mut self.training, &mut pipeline);
                 // Consuming snapshot: the pipeline leaves memory either way.
                 let snapshot = pipeline.into_snapshot();
                 let result = eviction.store.save_fenced(id, epoch, &snapshot);
@@ -780,6 +875,8 @@ impl FleetEngine {
                 Err(failure) => errors.push(failure),
             }
         }
+        let (retrains_started, retrains_completed, retrains_canceled, retrains_in_flight) =
+            self.run_training_cycle(&mut errors);
         let (evicted, eviction_errors) = self.evict_idle();
         let rehydrated = std::mem::take(&mut self.rehydrations_since_tick);
         self.clock += 1;
@@ -787,6 +884,118 @@ impl FleetEngine {
         TickReport::new(users, errors)
             .with_fleet_state(evicted, rehydrated, resident, scanned, eviction_errors)
             .with_ingest(ingested, misrouted, ingest_errors)
+            .with_training(
+                retrains_started,
+                retrains_completed,
+                retrains_canceled,
+                retrains_in_flight,
+            )
+    }
+
+    /// The tick-boundary training cycle, run after scoring and before the
+    /// eviction pass (so a completed model lands before its pipeline can be
+    /// parked). Three steps, each deterministic in registration order:
+    ///
+    /// 1. **Submit** — every resident pipeline holding a freshly captured
+    ///    retrain request ([`RetrainMode::Deferred`] trigger this tick, or
+    ///    a pending request carried in by rehydration/migration) has it
+    ///    submitted to the service.
+    /// 2. **Run** — a [synchronous](TrainingService::is_synchronous)
+    ///    service executes everything queued right here on the caller
+    ///    thread; a worker-backed one does nothing (its threads are already
+    ///    on it).
+    /// 3. **Apply** — every finished job whose owner is still known gets
+    ///    its model installed via
+    ///    [`apply_retrain`](SmarterYou::apply_retrain); results for
+    ///    abandoned jobs are discarded (they were counted as canceled when
+    ///    the engine abandoned them). Failed jobs count as canceled and
+    ///    surface in [`TickReport::errors`].
+    ///
+    /// Returns `(started, completed, canceled, in_flight)` for the
+    /// [`TickReport`]; `canceled` folds in cancels performed since the last
+    /// tick outside this cycle (release/eviction/migration).
+    ///
+    /// [`RetrainMode::Deferred`]: crate::pipeline::RetrainMode::Deferred
+    fn run_training_cycle(
+        &mut self,
+        errors: &mut Vec<(UserId, CoreError)>,
+    ) -> (usize, usize, usize, usize) {
+        let Some(mut training) = self.training.take() else {
+            return (0, 0, 0, 0);
+        };
+        let mut started = 0;
+        for slot in &mut self.resident {
+            if let Some(request) = slot.pipeline.pending_retrain_request() {
+                let handle = slot.pipeline.training_handle().clone();
+                let job = training.service.submit(handle, request);
+                slot.pipeline.note_retrain_submitted(job);
+                training.jobs.insert(job, slot.id);
+                training.total_started += 1;
+                started += 1;
+            }
+        }
+        training.service.run_pending();
+        let mut completed = 0;
+        let mut canceled = 0;
+        for (job, result) in training.service.collect_ready() {
+            let Some(user) = training.jobs.remove(&job) else {
+                // Abandoned before delivery (release/eviction/migration):
+                // already counted as canceled at abandon time, and the
+                // owning pipeline has moved on — discard the stale result.
+                continue;
+            };
+            let Some(idx) = self.users.get(&user).and_then(|e| e.resident) else {
+                // Defensive: abandonment should always have removed the
+                // mapping, but never apply a model to an absent pipeline.
+                training.total_canceled += 1;
+                canceled += 1;
+                continue;
+            };
+            let pipeline = &mut self.resident[idx].pipeline;
+            match result {
+                Ok(output) => {
+                    if pipeline.apply_retrain(job, output) {
+                        training.total_completed += 1;
+                        completed += 1;
+                    } else {
+                        training.total_canceled += 1;
+                        canceled += 1;
+                    }
+                }
+                Err(e) => {
+                    pipeline.fail_retrain(job);
+                    training.total_canceled += 1;
+                    canceled += 1;
+                    errors.push((user, e));
+                }
+            }
+        }
+        canceled += std::mem::take(&mut training.canceled_since_tick);
+        let in_flight = training.jobs.len();
+        self.training = Some(training);
+        (started, completed, canceled, in_flight)
+    }
+
+    /// Abandons a pipeline's in-flight retrain as it leaves residency
+    /// (release, eviction, migration): the service job is canceled — its
+    /// result, even if the worker already finished, will never be applied —
+    /// and the pipeline reverts to holding the captured request, so the
+    /// snapshot carries it and the next owner resubmits after rehydration.
+    /// Counted as canceled *here*, at abandonment, regardless of how the
+    /// cancel races the worker: the accounting is deterministic even when
+    /// the execution is not.
+    fn cancel_user_retrain(training: &mut Option<TrainingState>, pipeline: &mut SmarterYou) {
+        let Some(training) = training.as_mut() else {
+            return;
+        };
+        if let Some(job) = pipeline.retrain_job() {
+            training.service.cancel(job);
+            if training.jobs.remove(&job).is_some() {
+                training.total_canceled += 1;
+                training.canceled_since_tick += 1;
+            }
+            pipeline.abandon_retrain_job();
+        }
     }
 
     /// Trims residency to the configured capacity, evicting the least
@@ -843,10 +1052,14 @@ impl FleetEngine {
             let ResidentSlot {
                 id,
                 seq,
-                pipeline,
+                mut pipeline,
                 inbox,
             } = self.resident.swap_remove(i);
             let epoch = self.users[&id].epoch;
+            // A parked pipeline cannot receive a job result: cancel any
+            // in-flight retrain and persist the captured request instead,
+            // so rehydration resubmits rather than applying a stale model.
+            Self::cancel_user_retrain(&mut self.training, &mut pipeline);
             // Consuming snapshot: the pipeline is leaving memory anyway, so
             // its state moves into the snapshot instead of being cloned.
             let snapshot = pipeline.into_snapshot();
@@ -1002,6 +1215,9 @@ mod tests {
         let outcomes = engine.score_ticked(vec![]).expect("empty batch is fine");
         assert!(outcomes.is_empty());
         assert!(engine.ingest_queue().is_none());
+        assert!(!engine.training_enabled());
+        assert_eq!(engine.retrain_totals(), (0, 0, 0));
+        assert_eq!(engine.retrains_in_flight(), 0);
         let report = engine.tick();
         assert_eq!(report.windows_scored(), 0);
         assert_eq!(report.evictions(), 0);
@@ -1012,6 +1228,10 @@ mod tests {
         assert_eq!(report.ingest_forwarded(), 0);
         assert!(report.ingest_errors().is_empty());
         assert!(report.misrouted().is_empty());
+        assert_eq!(report.retrains_started(), 0);
+        assert_eq!(report.retrains_completed(), 0);
+        assert_eq!(report.retrains_canceled(), 0);
+        assert_eq!(report.retrains_in_flight(), 0);
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct TickReport {
     ingest_forwarded: usize,
     ingest_errors: Vec<(UserId, CoreError)>,
     misrouted: Vec<(UserId, DualDeviceWindow)>,
+    retrains_started: usize,
+    retrains_completed: usize,
+    retrains_canceled: usize,
+    retrains_in_flight: usize,
 }
 
 impl TickReport {
@@ -111,6 +115,21 @@ impl TickReport {
         self.ingested = ingested;
         self.misrouted = misrouted;
         self.ingest_errors = ingest_errors;
+        self
+    }
+
+    /// Records the tick's training-cycle results (deferred-retrain jobs).
+    pub(crate) fn with_training(
+        mut self,
+        started: usize,
+        completed: usize,
+        canceled: usize,
+        in_flight: usize,
+    ) -> Self {
+        self.retrains_started = started;
+        self.retrains_completed = completed;
+        self.retrains_canceled = canceled;
+        self.retrains_in_flight = in_flight;
         self
     }
 
@@ -232,6 +251,41 @@ impl TickReport {
     /// it is reported, never silent).
     pub fn ingest_errors(&self) -> &[(UserId, CoreError)] {
         &self.ingest_errors
+    }
+
+    /// Deferred-retrain jobs this tick's training cycle submitted to the
+    /// attached [`TrainingService`](crate::engine::TrainingService) —
+    /// freshly triggered this tick, or pending requests carried in by
+    /// rehydration/migration. Inline-mode pipelines never appear here (see
+    /// [`TickReport::retrains`] for trigger counts in either mode).
+    pub fn retrains_started(&self) -> usize {
+        self.retrains_started
+    }
+
+    /// Deferred-retrain jobs whose fitted model was applied at this tick's
+    /// boundary.
+    pub fn retrains_completed(&self) -> usize {
+        self.retrains_completed
+    }
+
+    /// Deferred-retrain jobs abandoned since the previous report: canceled
+    /// by release/eviction/migration of their user, or failed in training
+    /// (those also appear in [`TickReport::errors`]). Every started job
+    /// ends as exactly one of completed or canceled, so across a run
+    /// `Σstarted == Σcompleted + Σcanceled + ` final
+    /// [`retrains_in_flight`](TickReport::retrains_in_flight).
+    pub fn retrains_canceled(&self) -> usize {
+        self.retrains_canceled
+    }
+
+    /// Deferred-retrain jobs still in flight after this tick's training
+    /// cycle (always zero with a
+    /// [synchronous](crate::engine::TrainingService::synchronous) service).
+    /// Cancels performed by this tick's *eviction pass* (which runs after
+    /// the training cycle) are still counted in here; they surface in the
+    /// next report's [`retrains_canceled`](TickReport::retrains_canceled).
+    pub fn retrains_in_flight(&self) -> usize {
+        self.retrains_in_flight
     }
 
     /// Drained windows whose user is not registered on this engine. On a

@@ -65,6 +65,7 @@ use std::sync::Arc;
 use smarteryou_sensors::{DualDeviceWindow, UserId};
 
 use crate::engine::ingest::{BackpressurePolicy, IngestQueue, IngestRouter};
+use crate::engine::training::TrainingService;
 use crate::engine::{FleetEngine, TickReport};
 use crate::parallel::parallel_map_mut;
 use crate::persist::{SharedSnapshotStore, SnapshotStore};
@@ -210,6 +211,48 @@ impl ShardedFleet {
     /// [`ShardedFleet::enable_ingest`]).
     pub fn ingest_router(&self) -> Option<IngestRouter> {
         self.ingest.clone()
+    }
+
+    /// Attaches one [`TrainingService`] **per shard**, built by `make`
+    /// (e.g. `|| TrainingService::with_workers(2)`). Services cannot be
+    /// shared across shards: each shard's engine routes completed jobs
+    /// through its own job→user map, so a shared service would deliver one
+    /// shard's results into another's collection pass. Deferred retrains
+    /// canceled by a [migration](ShardedFleet::migrate) re-issue on the
+    /// target shard automatically — the captured request travels inside
+    /// the snapshot and the target's next tick resubmits it.
+    ///
+    /// # Panics
+    ///
+    /// As [`FleetEngine::enable_training`]: panics if any shard's previous
+    /// service still has jobs in flight.
+    pub fn enable_training(&mut self, mut make: impl FnMut() -> TrainingService) {
+        for shard in &mut self.shards {
+            shard.enable_training(make());
+        }
+    }
+
+    /// Whether every shard has a training service attached.
+    pub fn training_enabled(&self) -> bool {
+        self.shards.iter().all(FleetEngine::training_enabled)
+    }
+
+    /// Fleet-wide lifetime `(started, completed, canceled)` retrain-job
+    /// totals, summed over the shards (see
+    /// [`FleetEngine::retrain_totals`]).
+    pub fn retrain_totals(&self) -> (u64, u64, u64) {
+        self.shards.iter().fold((0, 0, 0), |acc, shard| {
+            let (s, c, x) = shard.retrain_totals();
+            (acc.0 + s, acc.1 + c, acc.2 + x)
+        })
+    }
+
+    /// Retrain jobs currently in flight across all shards.
+    pub fn retrains_in_flight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(FleetEngine::retrains_in_flight)
+            .sum()
     }
 
     /// The routing function.

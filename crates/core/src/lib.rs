@@ -49,7 +49,7 @@ pub use config::{ContextMode, SystemConfig};
 pub use context_detect::{ContextDetector, ContextDetectorConfig};
 pub use engine::{
     BackpressurePolicy, FleetEngine, IngestQueue, IngestRouter, RejectedWindow, TickReport,
-    UserOutcomes, WindowQueue,
+    TrainingService, UserOutcomes, WindowQueue,
 };
 pub use error::{CoreError, IngestError};
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
@@ -57,7 +57,9 @@ pub use persist::{
     FileSnapshotStore, MemorySnapshotStore, PersistError, PipelineSnapshot, SharedSnapshotStore,
     SnapshotStore, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
-pub use pipeline::{ProcessOutcome, SmarterYou, SystemEvent, SystemPhase, DEFAULT_EVENT_CAPACITY};
+pub use pipeline::{
+    ProcessOutcome, RetrainMode, SmarterYou, SystemEvent, SystemPhase, DEFAULT_EVENT_CAPACITY,
+};
 pub use power::{BatteryRow, OverheadReport};
 pub use response::{ResponseAction, ResponseModule, ResponsePolicy};
 pub use retrain::{ConfidenceTracker, RetrainPolicy};

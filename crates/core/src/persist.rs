@@ -64,7 +64,8 @@ use smarteryou_sensors::{UserId, WindowSpec};
 use crate::auth::Authenticator;
 use crate::config::SystemConfig;
 use crate::context_detect::ContextDetector;
-use crate::pipeline::SystemEvent;
+use crate::engine::training::RetrainRequest;
+use crate::pipeline::{RetrainMode, SystemEvent};
 use crate::response::ResponseModule;
 use crate::retrain::ConfidenceTracker;
 use crate::server::NegativeEpoch;
@@ -148,6 +149,44 @@ struct SnapshotHeader {
     version: u32,
 }
 
+/// The wire form of an outstanding deferred retrain: the trigger-time
+/// request minus what restore can rebuild locally — fit caches come back
+/// cold (they never change model bits) and the config is the pipeline's
+/// own. A job id is deliberately not persisted: it is meaningless outside
+/// the engine that issued it, and a restored pipeline always re-enters the
+/// *pending* state for its owning engine to resubmit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistedRetrain {
+    pub(crate) positives: [Vec<Vec<f64>>; 2],
+    pub(crate) rng_state: [u64; 4],
+    pub(crate) negative_epoch: Option<NegativeEpoch>,
+    pub(crate) day: f64,
+}
+
+impl PersistedRetrain {
+    /// Strips a live request down to its wire form.
+    pub(crate) fn from_request(request: &RetrainRequest) -> Self {
+        PersistedRetrain {
+            positives: request.positives.clone(),
+            rng_state: request.rng_state,
+            negative_epoch: request.negative_epoch.clone(),
+            day: request.day,
+        }
+    }
+
+    /// Rebuilds a live request for the restored pipeline (cold caches).
+    pub(crate) fn into_request(self, cfg: SystemConfig) -> RetrainRequest {
+        RetrainRequest {
+            positives: self.positives,
+            cfg,
+            rng_state: self.rng_state,
+            negative_epoch: self.negative_epoch,
+            fit_caches: Default::default(),
+            day: self.day,
+        }
+    }
+}
+
 /// A self-contained capture of one [`SmarterYou`] pipeline's state — see
 /// the [module docs](self) for the format and compatibility policy.
 ///
@@ -180,6 +219,12 @@ pub struct PipelineSnapshot {
     /// (see [`NegativeEpoch`]); `None` until the first retrain drew one.
     /// Absent in pre-epoch snapshots, which restore with `None`.
     pub(crate) negative_epoch: Option<NegativeEpoch>,
+    /// How retrain triggers execute ([`RetrainMode::Inline`] historically
+    /// and by default; absent in pre-training-service snapshots).
+    pub(crate) retrain_mode: RetrainMode,
+    /// An outstanding deferred retrain, captured at trigger time. `None`
+    /// when idle — and always `None` in inline mode.
+    pub(crate) retrain_in_flight: Option<PersistedRetrain>,
 }
 
 /// Hand-written so that fields added after version 1 shipped can default
@@ -216,6 +261,8 @@ impl serde::Deserialize for PipelineSnapshot {
             planned_window: get_field(v, "PipelineSnapshot", "planned_window")?,
             event_capacity: field_or(v, "event_capacity", crate::pipeline::DEFAULT_EVENT_CAPACITY)?,
             negative_epoch: field_or(v, "negative_epoch", None)?,
+            retrain_mode: field_or(v, "retrain_mode", RetrainMode::Inline)?,
+            retrain_in_flight: field_or(v, "retrain_in_flight", None)?,
         })
     }
 }
@@ -307,6 +354,21 @@ impl PipelineSnapshot {
         if self.event_capacity == 0 {
             return Err(PersistError::Malformed("event log capacity is zero".into()));
         }
+        if let Some(retrain) = &self.retrain_in_flight {
+            // The captured request replays a training call: its RNG state
+            // and day obey the same invariants as the pipeline's own.
+            if retrain.rng_state == [0u64; 4] {
+                return Err(PersistError::Malformed(
+                    "all-zero RNG state in the in-flight retrain".into(),
+                ));
+            }
+            if !retrain.day.is_finite() {
+                return Err(PersistError::Malformed(format!(
+                    "non-finite in-flight retrain day {}",
+                    retrain.day
+                )));
+            }
+        }
         // Every buffered feature vector must share one width, and that
         // width must match the models that will score future windows.
         let mut width: Option<usize> = self.authenticator.as_ref().map(|a| a.num_features());
@@ -315,10 +377,16 @@ impl PipelineSnapshot {
             .iter()
             .flat_map(|e| e.rows().iter().enumerate())
             .map(|(ctx, buf)| ("negative epoch", ctx, buf));
+        let retrain_rows = self
+            .retrain_in_flight
+            .iter()
+            .flat_map(|r| r.positives.iter().enumerate())
+            .map(|(ctx, buf)| ("in-flight retrain", ctx, buf));
         for (kind, ctx, buf) in [("enrollment", &self.buffers), ("retrain", &self.recent)]
             .into_iter()
             .flat_map(|(kind, buffers)| buffers.iter().enumerate().map(move |(c, b)| (kind, c, b)))
             .chain(epoch_rows)
+            .chain(retrain_rows)
         {
             for row in buf {
                 match width {
@@ -742,6 +810,8 @@ mod tests {
             planned_window: Some(WindowSpec::from_seconds(6.0, 50.0)),
             event_capacity: crate::pipeline::DEFAULT_EVENT_CAPACITY,
             negative_epoch: None,
+            retrain_mode: RetrainMode::Inline,
+            retrain_in_flight: None,
         }
     }
 
@@ -822,15 +892,54 @@ mod tests {
                 ),
                 "",
             )
-            .replace(",\"negative_epoch\":null", "");
+            .replace(",\"negative_epoch\":null", "")
+            .replace(",\"retrain_mode\":\"Inline\"", "")
+            .replace(",\"retrain_in_flight\":null", "");
         assert!(legacy.len() < json.len(), "fields were not stripped");
+        assert!(
+            !legacy.contains("retrain_mode") && !legacy.contains("retrain_in_flight"),
+            "training-service fields were not stripped"
+        );
         let parsed = PipelineSnapshot::from_json(&legacy).expect("legacy v1 parses");
         assert_eq!(
             parsed.event_capacity,
             crate::pipeline::DEFAULT_EVENT_CAPACITY
         );
         assert_eq!(parsed.negative_epoch, None);
+        assert_eq!(parsed.retrain_mode, RetrainMode::Inline);
+        assert_eq!(parsed.retrain_in_flight, None);
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn in_flight_retrain_roundtrips_and_is_validated() {
+        // An outstanding deferred retrain rides the wire with the
+        // trigger-time request; its rows join the width check and its RNG
+        // state obeys the non-degenerate rule.
+        let mut snap = minimal_snapshot();
+        snap.retrain_mode = RetrainMode::Deferred;
+        snap.retrain_in_flight = Some(PersistedRetrain {
+            positives: [vec![vec![3.0, 4.0]], Vec::new()],
+            rng_state: [9, 8, 7, 6],
+            negative_epoch: None,
+            day: 1.25,
+        });
+        let back = PipelineSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+
+        let mut ragged = snap.clone();
+        ragged.retrain_in_flight.as_mut().unwrap().positives[1].push(vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            ragged.validate(),
+            Err(PersistError::Malformed(msg)) if msg.contains("in-flight retrain")
+        ));
+
+        let mut degenerate = snap;
+        degenerate.retrain_in_flight.as_mut().unwrap().rng_state = [0; 4];
+        assert!(matches!(
+            degenerate.validate(),
+            Err(PersistError::Malformed(msg)) if msg.contains("in-flight retrain")
+        ));
     }
 
     #[test]

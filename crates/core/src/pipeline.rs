@@ -9,6 +9,7 @@ use smarteryou_sensors::{DualDeviceWindow, UsageContext, WindowSpec};
 use crate::auth::{AuthDecision, Authenticator};
 use crate::config::{ContextMode, SystemConfig};
 use crate::context_detect::ContextDetector;
+use crate::engine::training::{JobId, RetrainOutput, RetrainRequest};
 use crate::features::FeatureExtractor;
 use crate::persist::{PipelineSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
@@ -51,6 +52,38 @@ pub enum SystemEvent {
         /// Simulated day.
         day: f64,
     },
+}
+
+/// How a retrain trigger is executed (§V-I's model refresh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetrainMode {
+    /// Retrain synchronously inside the triggering
+    /// [`SmarterYou::process_window`] call — the historical behaviour, and
+    /// still the default.
+    Inline,
+    /// Capture a self-contained [`RetrainRequest`] instead and keep scoring
+    /// on the old model until a
+    /// [`TrainingService`](crate::engine::training::TrainingService) hands
+    /// the fitted replacement back (applied at a fleet-engine tick
+    /// boundary). A standalone pipeline in this mode never completes a
+    /// retrain by itself — it needs an engine with training enabled
+    /// ([`FleetEngine::enable_training`](crate::engine::FleetEngine::enable_training)).
+    Deferred,
+}
+
+/// Where a deferred retrain stands. The captured request travels with the
+/// state: the pipeline's `recent` buffers keep growing while the job is
+/// out, so abandoning a job (eviction, migration) must fall back to the
+/// *trigger-time* request, not a recapture.
+#[derive(Debug, Clone)]
+pub(crate) enum RetrainState {
+    /// No retrain outstanding.
+    Idle,
+    /// Triggered but not yet submitted to a training service.
+    Pending { request: RetrainRequest },
+    /// Submitted; scoring continues on the old model until the engine
+    /// applies (or abandons) job `job` at a tick boundary.
+    InFlight { job: JobId, request: RetrainRequest },
 }
 
 /// Result of feeding one window through [`SmarterYou::process_window`].
@@ -114,6 +147,10 @@ pub struct SmarterYou {
     /// restored pipeline starts cold and simply refactors once — cache
     /// state never changes any trained model bit.
     fit_caches: [KrrFitCache; 2],
+    /// Whether retrain triggers run inline or defer to a training service.
+    retrain_mode: RetrainMode,
+    /// Deferred-retrain state machine; always `Idle` in inline mode.
+    retrain_state: RetrainState,
 }
 
 impl SmarterYou {
@@ -149,6 +186,8 @@ impl SmarterYou {
             shared_extractor,
             negative_epoch: None,
             fit_caches: Default::default(),
+            retrain_mode: RetrainMode::Inline,
+            retrain_state: RetrainState::Idle,
         })
     }
 
@@ -162,6 +201,30 @@ impl SmarterYou {
     pub fn with_retrain_policy(mut self, policy: RetrainPolicy) -> Self {
         self.tracker = ConfidenceTracker::new(policy);
         self
+    }
+
+    /// Overrides how retrain triggers execute (default:
+    /// [`RetrainMode::Inline`]). Switching to [`RetrainMode::Deferred`]
+    /// with a retrain already captured would orphan it, so this is a
+    /// construction-time builder like the policy overrides.
+    pub fn with_retrain_mode(mut self, mode: RetrainMode) -> Self {
+        debug_assert!(
+            matches!(self.retrain_state, RetrainState::Idle),
+            "retrain mode set after a retrain was captured"
+        );
+        self.retrain_mode = mode;
+        self
+    }
+
+    /// How retrain triggers execute on this pipeline.
+    pub fn retrain_mode(&self) -> RetrainMode {
+        self.retrain_mode
+    }
+
+    /// Whether a deferred retrain is outstanding (captured or submitted).
+    /// Always `false` in inline mode.
+    pub fn retrain_outstanding(&self) -> bool {
+        !matches!(self.retrain_state, RetrainState::Idle)
     }
 
     /// Overrides how many `(day, score)` pairs the confidence tracker
@@ -277,6 +340,112 @@ impl SmarterYou {
         &self.server
     }
 
+    // --- Deferred-retrain state machine (engine-facing) -----------------
+    //
+    // The engine drives these at tick boundaries: a captured request is
+    // submitted (`pending_retrain_request` + `note_retrain_submitted`), a
+    // completed job is installed (`apply_retrain`) or surfaced as an error
+    // (`fail_retrain`), and eviction/migration abandons an in-flight job
+    // back to `Pending` (`abandon_retrain_job`) so snapshots carry the
+    // trigger-time request and the target engine can reissue it.
+
+    /// The captured-but-unsubmitted retrain request, if any (cloned; the
+    /// original rides into `InFlight` on submit).
+    pub(crate) fn pending_retrain_request(&self) -> Option<RetrainRequest> {
+        match &self.retrain_state {
+            RetrainState::Pending { request } => Some(request.clone()),
+            _ => None,
+        }
+    }
+
+    /// Records that the pending request was submitted as `job`.
+    pub(crate) fn note_retrain_submitted(&mut self, job: JobId) {
+        let state = std::mem::replace(&mut self.retrain_state, RetrainState::Idle);
+        match state {
+            RetrainState::Pending { request } => {
+                self.retrain_state = RetrainState::InFlight { job, request };
+            }
+            other => {
+                debug_assert!(false, "submit noted without a pending retrain");
+                self.retrain_state = other;
+            }
+        }
+    }
+
+    /// The in-flight job id, if a submitted retrain is outstanding.
+    pub(crate) fn retrain_job(&self) -> Option<JobId> {
+        match &self.retrain_state {
+            RetrainState::InFlight { job, .. } => Some(*job),
+            _ => None,
+        }
+    }
+
+    /// Abandons the in-flight job (its result, if any ever arrives, must
+    /// be discarded by the caller) and reverts to `Pending` with the
+    /// trigger-time request, so the retrain is reissued — possibly by a
+    /// different engine after migration — rather than lost.
+    pub(crate) fn abandon_retrain_job(&mut self) {
+        let state = std::mem::replace(&mut self.retrain_state, RetrainState::Idle);
+        self.retrain_state = match state {
+            RetrainState::InFlight { request, .. } => RetrainState::Pending { request },
+            other => other,
+        };
+    }
+
+    /// Installs a completed retrain: the fitted model plus the post-train
+    /// RNG/epoch/cache state inline retraining would have left. Returns
+    /// `false` (and changes nothing) unless `job` matches the in-flight
+    /// job — the guard that a stale result from an abandoned job can never
+    /// land.
+    pub(crate) fn apply_retrain(&mut self, job: JobId, output: RetrainOutput) -> bool {
+        match &self.retrain_state {
+            RetrainState::InFlight { job: expected, .. } if *expected == job => {}
+            _ => return false,
+        }
+        let RetrainOutput {
+            authenticator,
+            rng_state,
+            negative_epoch,
+            fit_caches,
+            day,
+        } = output;
+        self.authenticator = Some(authenticator);
+        // Nothing consumes pipeline randomness between trigger and apply
+        // (scoring draws none; re-triggers are suppressed while a retrain
+        // is outstanding), so installing the post-train state keeps the
+        // stream in lockstep with inline retraining.
+        self.rng = StdRng::from_state(rng_state);
+        self.negative_epoch = negative_epoch;
+        self.fit_caches = fit_caches;
+        self.retrain_state = RetrainState::Idle;
+        self.push_event(SystemEvent::Retrained { day });
+        true
+    }
+
+    /// Drops the in-flight job after its execution failed; a later trigger
+    /// starts fresh. Fit caches travel with the failed job and come back
+    /// cold — irrelevant to model bits.
+    pub(crate) fn fail_retrain(&mut self, job: JobId) {
+        if self.retrain_job() == Some(job) {
+            self.retrain_state = RetrainState::Idle;
+        }
+    }
+
+    /// Captures everything [`crate::engine::training::execute`] needs to
+    /// reproduce an inline retrain bit-for-bit, as of the trigger window.
+    fn capture_retrain_request(&mut self) -> RetrainRequest {
+        RetrainRequest {
+            positives: [self.recent[0].clone(), self.recent[1].clone()],
+            cfg: self.cfg.clone(),
+            rng_state: self.rng.state(),
+            negative_epoch: self.negative_epoch.clone(),
+            // The caches travel with the job (the worker refits through
+            // them) and are reinstalled on apply.
+            fit_caches: std::mem::take(&mut self.fit_caches),
+            day: self.day,
+        }
+    }
+
     /// Captures the pipeline's complete per-user state as a versioned
     /// [`PipelineSnapshot`] — configuration, detector forest, per-context
     /// KRR models, enrollment + retrain buffers, confidence tracker,
@@ -303,6 +472,17 @@ impl SmarterYou {
             .scratch
             .planned_len()
             .map(|n| WindowSpec::new(n, self.cfg.sample_rate()));
+        // Any outstanding deferred retrain persists as its trigger-time
+        // request (a job id is meaningless outside its engine): restore
+        // reverts to `Pending` and the owning engine resubmits. Fit caches
+        // and cfg are dropped from the wire form — caches never change
+        // model bits, and the request's cfg is the pipeline's own.
+        let retrain_in_flight = match &self.retrain_state {
+            RetrainState::Idle => None,
+            RetrainState::Pending { request } | RetrainState::InFlight { request, .. } => {
+                Some(crate::persist::PersistedRetrain::from_request(request))
+            }
+        };
         PipelineSnapshot {
             format: SNAPSHOT_FORMAT.to_string(),
             version: SNAPSHOT_VERSION,
@@ -319,6 +499,8 @@ impl SmarterYou {
             day: self.day,
             planned_window,
             negative_epoch: self.negative_epoch,
+            retrain_mode: self.retrain_mode,
+            retrain_in_flight,
         }
     }
 
@@ -345,6 +527,15 @@ impl SmarterYou {
         if let Some(spec) = snapshot.planned_window {
             scratch.prepare(spec.samples);
         }
+        // An outstanding deferred retrain rehydrates as `Pending` with the
+        // persisted trigger-time request (cold caches; the pipeline's own
+        // cfg) — the owning engine resubmits it at the next tick boundary.
+        let retrain_state = match snapshot.retrain_in_flight {
+            Some(persisted) => RetrainState::Pending {
+                request: persisted.into_request(snapshot.cfg.clone()),
+            },
+            None => RetrainState::Idle,
+        };
         let mut restored = SmarterYou {
             cfg: snapshot.cfg,
             extractor,
@@ -364,6 +555,8 @@ impl SmarterYou {
             negative_epoch: snapshot.negative_epoch,
             // Cold caches: the first post-restore retrain refactors once.
             fit_caches: Default::default(),
+            retrain_mode: snapshot.retrain_mode,
+            retrain_state,
         };
         // A legacy snapshot may carry an over-long event log from before
         // the ring bound existed; keep its most recent entries.
@@ -455,10 +648,13 @@ impl SmarterYou {
                         }
                     );
                     out.push(outcome);
-                    if retrained {
+                    if retrained && self.retrain_mode == RetrainMode::Inline {
                         // Model swapped: the remaining prepared windows are
                         // re-scored by the new model, exactly as sequential
-                        // processing would score them.
+                        // processing would score them. (A deferred trigger
+                        // swaps nothing mid-batch — the old model keeps
+                        // scoring until the engine applies the replacement
+                        // at a tick boundary.)
                         break;
                     }
                 }
@@ -538,9 +734,31 @@ impl SmarterYou {
                 buf.remove(0);
             }
             if self.tracker.record(self.day, decision.confidence) {
-                self.retrain()?;
-                retrained = true;
-                self.push_event(SystemEvent::Retrained { day: self.day });
+                match self.retrain_mode {
+                    RetrainMode::Inline => {
+                        self.retrain()?;
+                        retrained = true;
+                        self.push_event(SystemEvent::Retrained { day: self.day });
+                    }
+                    RetrainMode::Deferred => {
+                        if matches!(self.retrain_state, RetrainState::Idle) {
+                            // Capture now, fit later: scoring continues on
+                            // the old model. The tracker resets here (as
+                            // inline would) so it stays in lockstep with
+                            // the inline path; the `Retrained` event waits
+                            // for the apply. The outcome flag marks the
+                            // *trigger*, same window as inline.
+                            let request = self.capture_retrain_request();
+                            self.retrain_state = RetrainState::Pending { request };
+                            self.tracker.mark_retrained();
+                            retrained = true;
+                        }
+                        // A trigger with a retrain already outstanding is
+                        // suppressed: the tracker was cleared at capture,
+                        // so this only fires after another full period of
+                        // low-confidence windows while the job is out.
+                    }
+                }
             }
         } else {
             // Rejected windows still inform the tracker (they reset

@@ -112,6 +112,14 @@ fn run_parity(world: &World, capacity: usize, auth_windows: usize, retrain_perio
         total_rehydrations += churn_report.rehydrations();
         total_retrains += churn_report.retrains();
         assert_eq!(churn_report.retrains(), ref_report.retrains());
+        // Inline-mode pipelines never touch the training service: the
+        // deferred-retrain counters must stay exactly zero through churn.
+        for report in [&ref_report, &churn_report] {
+            assert_eq!(report.retrains_started(), 0);
+            assert_eq!(report.retrains_completed(), 0);
+            assert_eq!(report.retrains_canceled(), 0);
+            assert_eq!(report.retrains_in_flight(), 0);
+        }
         for user in ref_report.users() {
             ref_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
         }

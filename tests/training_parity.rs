@@ -1,0 +1,448 @@
+//! Deferred-retrain parity for the fleet engine's [`TrainingService`]:
+//!
+//! 1. **Sync apply-at-tick-boundary ≡ inline.** An engine whose pipelines
+//!    run [`RetrainMode::Deferred`] against a
+//!    [`TrainingService::synchronous`] service must produce **bit-identical**
+//!    decisions, scores, and retrain events to inline retraining, fed one
+//!    window per user per tick (so the deferred apply lands at the same
+//!    boundary the inline fit ran at). Parity must also survive aggressive
+//!    eviction churn mid-stream.
+//! 2. **Exact retrain accounting.** Every started job ends as exactly one
+//!    of completed or canceled:
+//!    `Σstarted == Σcompleted + Σcanceled + in_flight`, per report and in
+//!    the engine's lifetime totals. Inline-mode engines report all-zero
+//!    training counters.
+//! 3. **Eviction mid-retrain** (regression): evicting a user whose retrain
+//!    job is in flight cancels the job, never applies the late result, and
+//!    rehydration restores the captured request so the retrain re-issues
+//!    and applies exactly once — with the user's ownership epoch untouched
+//!    and the whole interleaving bit-reproducible.
+//!
+//! [`TrainingService`]: smarteryou::core::engine::TrainingService
+//! [`TrainingService::synchronous`]:
+//!     smarteryou::core::engine::TrainingService::synchronous
+//! [`RetrainMode::Deferred`]: smarteryou::core::RetrainMode::Deferred
+
+mod common;
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use common::{assert_outcomes_identical, build_world as build_common_world, World, WorldSeeds};
+use rand::rngs::StdRng;
+use smarteryou::core::engine::{FleetEngine, TrainingService};
+use smarteryou::core::persist::MemorySnapshotStore;
+use smarteryou::core::{
+    Authenticator, CoreError, NegativeEpoch, ProcessOutcome, ResponsePolicy, RetrainMode,
+    RetrainPolicy, SmarterYou, SystemConfig, SystemEvent, TrainingHandle,
+};
+use smarteryou::ml::KrrFitCache;
+use smarteryou::sensors::{DualDeviceWindow, UserId};
+
+fn build_world(num_users: usize, window_secs: f64) -> World {
+    // Seeds pin this suite's window streams independently of the other
+    // parity suites'.
+    build_common_world(
+        num_users,
+        window_secs,
+        WorldSeeds {
+            population: 91_007,
+            pool_gen: 5,
+            detector_rng: 11,
+        },
+    )
+}
+
+/// This suite's pipeline: keeps scoring after rejections and retrains
+/// eagerly so short runs exercise the deferred-retrain path.
+fn pipeline(world: &World, seed: u64, retrain_period: usize, mode: RetrainMode) -> SmarterYou {
+    world
+        .pipeline_with(
+            seed,
+            ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            },
+            Some(RetrainPolicy {
+                threshold: 1e9,
+                period: retrain_period,
+                max_reject_fraction: 1.0,
+            }),
+        )
+        .with_retrain_mode(mode)
+}
+
+/// Drives an inline reference engine and a deferred engine (synchronous
+/// service, optional eviction churn) through the same one-window-per-tick
+/// schedule, asserting bit-identical outcomes and exact counter accounting.
+fn run_sync_parity(world: &World, churn_capacity: Option<usize>, auth_windows: usize) {
+    let num_users = world.users.len();
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 9_000 + u as u64, auth_windows))
+        .collect();
+
+    let mut inline_engine = FleetEngine::new();
+    let mut deferred = FleetEngine::new().with_training(TrainingService::synchronous());
+    if let Some(capacity) = churn_capacity {
+        deferred.enable_eviction(Box::new(MemorySnapshotStore::new()), capacity);
+    }
+    for u in 0..num_users {
+        inline_engine
+            .register(
+                UserId(u),
+                pipeline(world, u as u64 + 1, 6, RetrainMode::Inline),
+            )
+            .expect("register");
+        deferred
+            .register(
+                UserId(u),
+                pipeline(world, u as u64 + 1, 6, RetrainMode::Deferred),
+            )
+            .expect("register");
+    }
+    assert!(deferred.training_enabled());
+    assert!(!inline_engine.training_enabled());
+
+    let mut cursors = vec![0usize; num_users];
+    let mut inline_outcomes: Vec<Vec<ProcessOutcome>> = vec![Vec::new(); num_users];
+    let mut deferred_outcomes: Vec<Vec<ProcessOutcome>> = vec![Vec::new(); num_users];
+    let (mut total_started, mut total_evictions) = (0usize, 0usize);
+    while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+        // One window per user per tick: the trigger window is always the
+        // last the user scores this tick, so the synchronous apply at this
+        // tick's boundary is exactly where inline retraining ran.
+        for (u, stream) in streams.iter().enumerate() {
+            if cursors[u] < stream.len() {
+                let w = stream[cursors[u]].clone();
+                cursors[u] += 1;
+                inline_engine.submit(UserId(u), w.clone()).expect("submit");
+                deferred.submit(UserId(u), w).expect("submit");
+            }
+        }
+        let inline_report = inline_engine.tick();
+        let deferred_report = deferred.tick();
+        assert!(inline_report.errors().is_empty());
+        assert!(deferred_report.errors().is_empty());
+        // Inline engines never touch the training counters.
+        assert_eq!(inline_report.retrains_started(), 0);
+        assert_eq!(inline_report.retrains_completed(), 0);
+        assert_eq!(inline_report.retrains_canceled(), 0);
+        assert_eq!(inline_report.retrains_in_flight(), 0);
+        // Synchronous service: every job started this tick completed at
+        // this very boundary; nothing is canceled or left in flight.
+        assert_eq!(
+            deferred_report.retrains_started(),
+            deferred_report.retrains_completed()
+        );
+        assert_eq!(deferred_report.retrains_canceled(), 0);
+        assert_eq!(deferred_report.retrains_in_flight(), 0);
+        // Trigger counts line up across modes, and every deferred trigger
+        // became exactly one job.
+        assert_eq!(deferred_report.retrains(), inline_report.retrains());
+        assert_eq!(
+            deferred_report.retrains_started(),
+            deferred_report.retrains()
+        );
+        total_started += deferred_report.retrains_started();
+        total_evictions += deferred_report.evictions();
+        for user in inline_report.users() {
+            inline_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+        }
+        for user in deferred_report.users() {
+            deferred_outcomes[user.user.0].extend(user.outcomes.iter().cloned());
+        }
+    }
+
+    assert!(total_started > 0, "run never exercised the deferred path");
+    if churn_capacity.is_some() {
+        assert!(total_evictions > 0, "churn run produced no evictions");
+    }
+    assert_eq!(
+        deferred.retrain_totals(),
+        (total_started as u64, total_started as u64, 0)
+    );
+    assert_eq!(deferred.retrains_in_flight(), 0);
+    assert_eq!(inline_engine.retrain_totals(), (0, 0, 0));
+    for u in 0..num_users {
+        assert_outcomes_identical(
+            &inline_outcomes[u],
+            &deferred_outcomes[u],
+            &format!("user {u}"),
+        );
+        // The event streams (enrollment, retrains with their trigger-day
+        // stamps, locks) must match bit-for-bit too.
+        deferred.rehydrate(UserId(u)).expect("rehydrate");
+        assert_eq!(
+            inline_engine
+                .pipeline(UserId(u))
+                .expect("resident")
+                .events(),
+            deferred.pipeline(UserId(u)).expect("resident").events(),
+            "user {u} event streams diverge"
+        );
+    }
+}
+
+#[test]
+fn deferred_sync_apply_matches_inline_retraining() {
+    let world = build_world(4, 2.0);
+    run_sync_parity(&world, None, 18);
+}
+
+#[test]
+fn deferred_sync_parity_survives_eviction_churn() {
+    // Capacity 2 over 4 users: most pipelines round-trip through the
+    // snapshot store between almost every pair of ticks.
+    let world = build_world(4, 2.0);
+    run_sync_parity(&world, Some(2), 14);
+}
+
+/// A [`TrainingHandle`] whose *retrain* path blocks on a gate until the
+/// test opens it — the deterministic way to hold a worker-mode job in
+/// flight across tick boundaries. Enrollment training passes straight
+/// through.
+#[derive(Debug)]
+struct GatedHandle {
+    inner: Arc<dyn TrainingHandle>,
+    open: Mutex<bool>,
+    opened: Condvar,
+    /// Retrain calls that have entered the gate (blocked or passing).
+    entered: Mutex<usize>,
+    /// Retrain calls that have finished the delegated fit.
+    finished: Mutex<usize>,
+}
+
+impl GatedHandle {
+    fn new(inner: Arc<dyn TrainingHandle>) -> Self {
+        GatedHandle {
+            inner,
+            open: Mutex::new(false),
+            opened: Condvar::new(),
+            entered: Mutex::new(0),
+            finished: Mutex::new(0),
+        }
+    }
+
+    fn open_gate(&self) {
+        *self.open.lock().expect("gate") = true;
+        self.opened.notify_all();
+    }
+
+    /// Spins until `counter` reaches at least `target` (the worker thread
+    /// advances it) — with a hard timeout so a regression fails instead of
+    /// hanging the suite.
+    fn await_count(counter: &Mutex<usize>, target: usize) {
+        for _ in 0..2_000 {
+            if *counter.lock().expect("counter") >= target {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("gated training call never reached count {target}");
+    }
+}
+
+impl TrainingHandle for GatedHandle {
+    fn train_authenticator(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<Authenticator, CoreError> {
+        self.inner.train_authenticator(positives, cfg, rng)
+    }
+
+    fn train_authenticator_epoch(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+    ) -> Result<Authenticator, CoreError> {
+        *self.entered.lock().expect("entered") += 1;
+        let mut open = self.open.lock().expect("gate");
+        while !*open {
+            open = self.opened.wait(open).expect("gate");
+        }
+        drop(open);
+        let result = self
+            .inner
+            .train_authenticator_epoch(positives, cfg, rng, epoch, caches);
+        *self.finished.lock().expect("finished") += 1;
+        result
+    }
+}
+
+/// One full eviction-mid-retrain interleaving; returns user 0's outcome
+/// stream and final event log so the caller can pin bit-reproducibility.
+fn run_eviction_mid_retrain() -> (Vec<ProcessOutcome>, Vec<SystemEvent>) {
+    let world = build_world(2, 2.0);
+    let gated = Arc::new(GatedHandle::new(world.server.clone()));
+    let mut engine = FleetEngine::new()
+        .with_eviction(Box::new(MemorySnapshotStore::new()), 1)
+        .with_training(TrainingService::with_workers(1));
+
+    // User 0: deferred + eager retrains, behind the gate. User 1 exists to
+    // push user 0 out of the single resident slot; it never retrains.
+    let user0 = SmarterYou::new(world.cfg.clone(), world.detector.clone(), gated.clone(), 1)
+        .expect("valid config")
+        .with_response_policy(ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        })
+        .with_retrain_policy(RetrainPolicy {
+            threshold: 1e9,
+            period: 4,
+            max_reject_fraction: 1.0,
+        })
+        .with_retrain_mode(RetrainMode::Deferred);
+    engine.register(UserId(0), user0).expect("register");
+    engine
+        .register(
+            UserId(1),
+            world.pipeline_with(
+                2,
+                ResponsePolicy {
+                    rejects_to_lock: usize::MAX,
+                },
+                // Never triggers: a trigger needs `0 <= median < threshold`,
+                // which no median satisfies at threshold 0.
+                Some(RetrainPolicy {
+                    threshold: 0.0,
+                    period: 30,
+                    max_reject_fraction: 1.0,
+                }),
+            ),
+        )
+        .expect("register");
+    let epoch0 = engine.epoch_of(UserId(0)).expect("registered");
+
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 41 + u as u64, 16))
+        .collect();
+    let mut cursors = vec![0usize; 2];
+    let mut outcomes0: Vec<ProcessOutcome> = Vec::new();
+    let tick_both = |engine: &mut FleetEngine,
+                     cursors: &mut Vec<usize>,
+                     users: &[usize],
+                     outcomes0: &mut Vec<ProcessOutcome>| {
+        for &u in users {
+            if cursors[u] < streams[u].len() {
+                engine
+                    .submit(UserId(u), streams[u][cursors[u]].clone())
+                    .expect("submit");
+                cursors[u] += 1;
+            }
+        }
+        let report = engine.tick();
+        assert!(report.errors().is_empty(), "{:?}", report.errors());
+        for user in report.users() {
+            if user.user == UserId(0) {
+                outcomes0.extend(user.outcomes.iter().cloned());
+            }
+        }
+    };
+
+    // Phase 1: drive user 0 (one window per tick; user 1 idles out of the
+    // single resident slot after the first tick) until a deferred retrain
+    // triggers. The gate is closed, so the job stays in flight.
+    while engine.retrain_totals().0 == 0 {
+        assert!(
+            cursors[0] < streams[0].len(),
+            "stream exhausted before a retrain triggered"
+        );
+        tick_both(&mut engine, &mut cursors, &[0], &mut outcomes0);
+    }
+    assert_eq!(engine.retrain_totals(), (1, 0, 0));
+    assert_eq!(engine.retrains_in_flight(), 1);
+    // Make the interleaving deterministic: wait until the worker is
+    // actually *inside* the gated fit before evicting its user.
+    GatedHandle::await_count(&gated.entered, 1);
+
+    // Phase 2: user 1 keeps submitting, user 0 idles out of the single
+    // resident slot — the eviction must cancel the in-flight job and
+    // persist the captured request.
+    while engine.is_resident(UserId(0)) == Some(true) {
+        tick_both(&mut engine, &mut cursors, &[1], &mut outcomes0);
+    }
+    assert_eq!(engine.retrain_totals(), (1, 0, 1));
+    assert_eq!(engine.retrains_in_flight(), 0);
+
+    // Phase 3: open the gate. The canceled job finishes its fit, loses the
+    // commit race by construction, and its result is discarded — no tick
+    // may ever count it as completed.
+    gated.open_gate();
+    GatedHandle::await_count(&gated.finished, 1);
+    tick_both(&mut engine, &mut cursors, &[1], &mut outcomes0);
+    tick_both(&mut engine, &mut cursors, &[1], &mut outcomes0);
+    assert_eq!(engine.retrain_totals(), (1, 0, 1), "stale job was applied");
+
+    // Phase 4: user 0 returns. Rehydration restores the captured request
+    // (retrain outstanding), the next tick re-issues it, and — the gate
+    // now open — the fit completes and applies at a tick boundary.
+    engine.rehydrate(UserId(0)).expect("rehydrate");
+    assert!(
+        engine
+            .pipeline(UserId(0))
+            .expect("resident")
+            .retrain_outstanding(),
+        "snapshot dropped the in-flight retrain"
+    );
+    tick_both(&mut engine, &mut cursors, &[0], &mut outcomes0);
+    assert_eq!(
+        engine.retrain_totals().0,
+        2,
+        "pending request not re-issued"
+    );
+    for _ in 0..2_000 {
+        if engine.retrain_totals().1 == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        tick_both(&mut engine, &mut cursors, &[], &mut outcomes0);
+    }
+    assert_eq!(engine.retrain_totals(), (2, 1, 1));
+    assert_eq!(engine.retrains_in_flight(), 0);
+
+    // Phase 5: score a couple more windows on the retrained model — few
+    // enough that no *second* retrain can trigger (period 4; one window
+    // already scored between rehydration and the apply).
+    let stop = (cursors[0] + 2).min(streams[0].len());
+    while cursors[0] < stop {
+        tick_both(&mut engine, &mut cursors, &[0], &mut outcomes0);
+    }
+
+    // The retrain applied exactly once, and ownership never churned.
+    engine.rehydrate(UserId(0)).expect("rehydrate");
+    let events: Vec<SystemEvent> = engine
+        .pipeline(UserId(0))
+        .expect("resident")
+        .events()
+        .to_vec();
+    let retrained = events
+        .iter()
+        .filter(|e| matches!(e, SystemEvent::Retrained { .. }))
+        .count();
+    assert_eq!(
+        retrained, 1,
+        "expected exactly one applied retrain: {events:?}"
+    );
+    assert_eq!(engine.epoch_of(UserId(0)), Some(epoch0));
+    (outcomes0, events)
+}
+
+#[test]
+fn eviction_mid_retrain_cancels_and_never_applies_a_stale_model() {
+    let (outcomes_a, events_a) = run_eviction_mid_retrain();
+    // The whole interleaving — trigger, cancel, late discard, re-issue,
+    // single apply — is bit-reproducible: decisions and event stamps
+    // cannot depend on how the canceled worker raced the eviction.
+    let (outcomes_b, events_b) = run_eviction_mid_retrain();
+    assert_outcomes_identical(&outcomes_a, &outcomes_b, "eviction-mid-retrain reruns");
+    assert_eq!(events_a, events_b, "event streams diverge across reruns");
+}
