@@ -46,6 +46,24 @@ struct FleetSize {
 }
 
 #[derive(Debug, Serialize)]
+struct EnrollRow {
+    users: usize,
+    build_secs: f64,
+    users_per_sec: f64,
+}
+
+/// Fixture-construction (enrollment) cost per fleet size, derived from the
+/// `fleet` rows — no extra builds. Since enrollment went through
+/// `FleetEngine::enroll_many` (one shared negative epoch + Gram workspace
+/// per fleet), the per-user cost is a closed-form fit and build time must
+/// scale near-linearly; the exit guard holds a 10× fleet to ≤ ~15× the
+/// build time.
+#[derive(Debug, Serialize)]
+struct EnrollBench {
+    rows: Vec<EnrollRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct ChurnRow {
     /// How the per-tick working set moves: 0 keeps the same `capacity`
     /// users hot (steady state, no churn after warm-up); `capacity` shifts
@@ -196,6 +214,9 @@ struct BenchReport {
     /// zero: the production window is served by the planned Bluestein path.
     dft_fallbacks_during_fleet: u64,
     fleet: Vec<FleetSize>,
+    /// Batched-enrollment scaling: fixture build cost per fleet size, with
+    /// an exit guard against superlinear regressions.
+    enroll: EnrollBench,
     /// Throughput with bounded residency: idle pipelines snapshotted to an
     /// in-memory store (full JSON encode/decode per round-trip) and
     /// rehydrated on submit. Decisions stay bit-identical to the unevicted
@@ -779,6 +800,24 @@ fn main() {
     // fallback count first so the guard only sees production work.
     let microbench = spectrum_microbench();
 
+    let enroll = EnrollBench {
+        rows: fleet
+            .iter()
+            .map(|f| EnrollRow {
+                users: f.users,
+                build_secs: f.build_secs,
+                users_per_sec: f.users as f64 / f.build_secs.max(1e-9),
+            })
+            .collect(),
+    };
+    for row in &enroll.rows {
+        println!(
+            "enroll {:>7} users in {:>7.3}s  ({:>9.0} users/sec)",
+            row.users, row.build_secs, row.users_per_sec
+        );
+    }
+    println!();
+
     let report = BenchReport {
         bench: "fleet".to_string(),
         quick,
@@ -787,6 +826,7 @@ fn main() {
         window_samples: WINDOW_SAMPLES,
         dft_fallbacks_during_fleet: fallbacks,
         fleet,
+        enroll,
         eviction_churn,
         resident_scan,
         shard,
@@ -801,6 +841,22 @@ fn main() {
     std::fs::write("BENCH_fleet.json", json + "\n").expect("BENCH_fleet.json written");
     println!("wrote BENCH_fleet.json");
 
+    // Enrollment must stay near-linear in fleet size: with the shared
+    // negative-Gram workspace a 10× fleet costs ≈1× extra (fixed world
+    // setup dominates), so ≤ ~15× is a loose ceiling that still catches a
+    // return to per-user refactorisation (historically ~40× per decade).
+    for pair in report.enroll.rows.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if b.users == a.users * 10 && b.build_secs > 15.0 * a.build_secs {
+            eprintln!(
+                "FAIL: enrollment build cost is superlinear — {} users took {:.2}s but \
+                 {} users took {:.2}s (> 15× for 10× the fleet); batched enrollment \
+                 must reuse the shared negative workspace",
+                a.users, a.build_secs, b.users, b.build_secs
+            );
+            std::process::exit(1);
+        }
+    }
     if fallbacks > 0 {
         eprintln!(
             "FAIL: {fallbacks} spectral computation(s) fell back to the O(n²) DFT \

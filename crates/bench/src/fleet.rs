@@ -122,6 +122,48 @@ fn build_world(num_users: usize, window_secs: f64, seed: u64) -> Result<FleetWor
     })
 }
 
+/// Enrolls one scratch template pipeline per profile through the
+/// per-window path and harvests its per-context enrollment buffers — the
+/// feature-level material batched enrollment
+/// ([`FleetEngine::enroll_many`]) installs into every user of the
+/// profile. O(profiles), bounded by [`FleetFixture::MAX_PROFILES`], so the
+/// per-user cost of fixture construction is the shared-workspace fit, not
+/// window processing.
+fn harvest_enrollment_buffers(
+    world: &FleetWorld,
+    seed: u64,
+) -> Result<Vec<[Vec<Vec<f64>>; 2]>, CoreError> {
+    let mut buffers = Vec::with_capacity(world.profiles);
+    for p in 0..world.profiles {
+        let mut template = SmarterYou::new(
+            world.cfg.clone(),
+            world.detector.clone(),
+            world.server.clone(),
+            // Scratch seed, distinct from any registered user's stream.
+            seed ^ 0xE17A ^ ((p as u64) << 7),
+        )?
+        .with_response_policy(ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        });
+        // Context misdetections can leave a buffer short; repeat the
+        // profile's enrollment stream until the buffers fill.
+        for _pass in 0..9 {
+            if template.authenticator().is_some() {
+                break;
+            }
+            for w in &world.enrollment[p] {
+                template.process_window(w)?;
+            }
+        }
+        assert!(
+            template.authenticator().is_some(),
+            "profile {p} failed to enroll"
+        );
+        buffers.push(template.enrollment_buffers().clone());
+    }
+    Ok(buffers)
+}
+
 /// A ready-to-tick fleet: every registered user has finished enrollment and
 /// authenticates windows drawn from their sensor profile.
 pub struct FleetFixture {
@@ -205,8 +247,10 @@ impl FleetFixture {
         retrain: Option<RetrainPolicy>,
     ) -> Result<Self, CoreError> {
         let world = build_world(num_users, window_secs, seed)?;
+        // Window processing happens once per *profile*; users enroll on the
+        // harvested feature buffers through the batched entry point below.
+        let buffers = harvest_enrollment_buffers(&world, seed)?;
 
-        // Register and enroll the whole fleet through the batch path.
         let mut engine = FleetEngine::new();
         let mut profile_of = Vec::with_capacity(num_users);
         for u in 0..num_users {
@@ -231,30 +275,18 @@ impl FleetFixture {
             }
             engine.register(UserId(u), pipeline)?;
         }
-        for (u, &profile) in profile_of.iter().enumerate() {
-            engine.submit_many(UserId(u), world.enrollment[profile].iter().cloned())?;
-        }
-        assert!(engine.tick().errors().is_empty(), "enrollment tick failed");
-        // Context misdetections can leave a buffer short; top up the
-        // stragglers with further passes of their enrollment stream.
-        for _pass in 0..8 {
-            let stragglers: Vec<usize> = (0..num_users)
-                .filter(|&u| {
-                    engine
-                        .pipeline(UserId(u))
-                        .expect("registered")
-                        .authenticator()
-                        .is_none()
-                })
-                .collect();
-            if stragglers.is_empty() {
-                break;
-            }
-            for &u in &stragglers {
-                engine.submit_many(UserId(u), world.enrollment[profile_of[u]].iter().cloned())?;
-            }
-            assert!(engine.tick().errors().is_empty(), "enrollment tick failed");
-        }
+        // One pinned negative epoch + shared Gram workspace for the whole
+        // fleet: per-user cost is the closed-form fit off the shared block.
+        let batch: Vec<(UserId, [Vec<Vec<f64>>; 2])> = profile_of
+            .iter()
+            .enumerate()
+            .map(|(u, &p)| (UserId(u), buffers[p].clone()))
+            .collect();
+        let enrolled = engine.enroll_many(batch, &mut StdRng::seed_from_u64(seed ^ 0xBA7C4))?;
+        assert_eq!(
+            enrolled, num_users,
+            "batched enrollment must cover the fleet"
+        );
         for u in 0..num_users {
             assert!(
                 engine
@@ -372,12 +404,13 @@ impl FleetFixture {
 /// A ready-to-tick **sharded** fleet: `num_users` enrolled pipelines routed
 /// over N shards that share one in-memory snapshot store.
 ///
-/// Construction enrolls one pipeline per sensor profile and fans it out to
-/// the profile's users through the snapshot wire format (restore per user)
-/// — every user still owns a full in-memory pipeline, but the fixture
-/// build stays linear in profile count instead of paying per-user
-/// enrollment, which is what makes a 10k-user shard scenario practical in
-/// CI.
+/// Construction processes enrollment windows once per sensor profile and
+/// then enrolls every user through [`ShardedFleet::enroll_many`] — one
+/// shared negative epoch and Gram workspace per shard, with each user
+/// paying only the closed-form fit. Every user owns a full in-memory
+/// pipeline with its own RNG stream, but window-level work stays linear in
+/// profile count, which is what makes a 10k-user shard scenario practical
+/// in CI.
 pub struct ShardFixture {
     fleet: ShardedFleet,
     feed: Vec<Vec<DualDeviceWindow>>,
@@ -407,33 +440,7 @@ impl ShardFixture {
         seed: u64,
     ) -> Result<Self, CoreError> {
         let world = build_world(num_users, window_secs, seed)?;
-
-        // Enroll one template pipeline per profile, sequentially.
-        let mut templates = Vec::with_capacity(world.profiles);
-        for p in 0..world.profiles {
-            let mut pipeline = SmarterYou::new(
-                world.cfg.clone(),
-                world.detector.clone(),
-                world.server.clone(),
-                seed ^ (p as u64 + 1),
-            )?
-            .with_response_policy(ResponsePolicy {
-                rejects_to_lock: usize::MAX,
-            });
-            for _pass in 0..9 {
-                if pipeline.authenticator().is_some() {
-                    break;
-                }
-                for w in &world.enrollment[p] {
-                    pipeline.process_window(w)?;
-                }
-            }
-            assert!(
-                pipeline.authenticator().is_some(),
-                "profile {p} failed to enroll"
-            );
-            templates.push(pipeline.snapshot());
-        }
+        let buffers = harvest_enrollment_buffers(&world, seed)?;
 
         let mut fleet = ShardedFleet::new(
             num_shards,
@@ -444,9 +451,27 @@ impl ShardFixture {
         for u in 0..num_users {
             let profile = u % world.profiles;
             profile_of.push(profile);
-            let pipeline = SmarterYou::restore(templates[profile].clone(), world.server.clone())?;
+            let pipeline = SmarterYou::new(
+                world.cfg.clone(),
+                world.detector.clone(),
+                world.server.clone(),
+                seed ^ (u as u64 + 1),
+            )?
+            .with_response_policy(ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            });
             fleet.register(UserId(u), pipeline)?;
         }
+        let batch: Vec<(UserId, [Vec<Vec<f64>>; 2])> = profile_of
+            .iter()
+            .enumerate()
+            .map(|(u, &p)| (UserId(u), buffers[p].clone()))
+            .collect();
+        let enrolled = fleet.enroll_many(batch, &mut StdRng::seed_from_u64(seed ^ 0xBA7C4))?;
+        assert_eq!(
+            enrolled, num_users,
+            "batched enrollment must cover the fleet"
+        );
 
         Ok(ShardFixture {
             fleet,

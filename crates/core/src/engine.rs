@@ -104,6 +104,8 @@ pub mod training;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+
 use smarteryou_sensors::{DualDeviceWindow, UserId};
 
 use crate::parallel::parallel_map_mut;
@@ -189,6 +191,11 @@ struct TrainingState {
     /// eviction), folded into the next [`TickReport`].
     canceled_since_tick: usize,
 }
+
+/// One user's batched-enrollment input: the per-context enrollment
+/// feature buffers (as harvested via [`SmarterYou::enrollment_buffers`])
+/// to train against the batch's shared negative workspace.
+pub type EnrollmentEntry = (UserId, [Vec<Vec<f64>>; 2]);
 
 /// Owns many per-user [`SmarterYou`] pipelines and scores queued windows in
 /// parallel, batch by batch. See the [module docs](self) for the model.
@@ -749,6 +756,62 @@ impl FleetEngine {
         let idx = entry.resident.expect("made resident above");
         self.resident[idx].inbox.extend(windows);
         Ok(())
+    }
+
+    /// Batched fleet enrollment: completes enrollment for every user in
+    /// `batch` against **one** shared negative epoch and its precomputed
+    /// Gram workspace (see [`TrainingServer::enrollment_workspace`]),
+    /// instead of each pipeline paying a fresh negative-sampling pass and
+    /// full refactorisation. Each user's enrollment buffers are installed
+    /// via [`SmarterYou::enroll_with`]; enrollment counts as submit
+    /// activity for eviction recency. Returns the number of users
+    /// enrolled.
+    ///
+    /// The workspace is built from the first user's training handle and
+    /// configuration — the batch must share both (one fleet, one server),
+    /// which every fixture and deployment here does.
+    ///
+    /// [`TrainingServer::enrollment_workspace`]: crate::TrainingServer::enrollment_workspace
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if **any** user in the batch is
+    /// unregistered (checked up front, before anything enrolls);
+    /// rehydration and training failures abort the remainder of the batch
+    /// (already-enrolled users keep their models).
+    pub fn enroll_many(
+        &mut self,
+        batch: Vec<EnrollmentEntry>,
+        rng: &mut StdRng,
+    ) -> Result<usize, CoreError> {
+        for (id, _) in &batch {
+            if !self.users.contains_key(id) {
+                return Err(CoreError::UnknownUser(*id));
+            }
+        }
+        let Some(first) = batch.first().map(|(id, _)| *id) else {
+            return Ok(0);
+        };
+        self.ensure_resident(first)?;
+        let (handle, cfg) = {
+            let entry = &self.users[&first];
+            let idx = entry.resident.expect("made resident above");
+            (
+                entry.server.clone(),
+                self.resident[idx].pipeline.config().clone(),
+            )
+        };
+        let ws = handle.enrollment_workspace(&cfg, rng)?;
+        let mut enrolled = 0;
+        for (id, buffers) in batch {
+            self.ensure_resident(id)?;
+            let entry = self.users.get_mut(&id).expect("checked above");
+            entry.last_submit_tick = self.clock;
+            let idx = entry.resident.expect("made resident above");
+            self.resident[idx].pipeline.enroll_with(&ws, buffers)?;
+            enrolled += 1;
+        }
+        Ok(enrolled)
     }
 
     /// Windows currently queued across all users — resident inboxes plus

@@ -62,11 +62,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+
 use smarteryou_sensors::{DualDeviceWindow, UserId};
 
 use crate::engine::ingest::{BackpressurePolicy, IngestQueue, IngestRouter};
 use crate::engine::training::TrainingService;
-use crate::engine::{FleetEngine, TickReport};
+use crate::engine::{EnrollmentEntry, FleetEngine, TickReport};
 use crate::parallel::parallel_map_mut;
 use crate::persist::{SharedSnapshotStore, SnapshotStore};
 use crate::pipeline::SmarterYou;
@@ -371,6 +373,37 @@ impl ShardedFleet {
     ) -> Result<(), CoreError> {
         let shard = *self.owner.get(&id).ok_or(CoreError::UnknownUser(id))?;
         self.shards[shard].submit_many(id, windows)
+    }
+
+    /// Batched enrollment across the fleet: groups `batch` by owning
+    /// shard and runs one [`FleetEngine::enroll_many`] per shard, so each
+    /// shard builds one shared negative-Gram workspace for its whole
+    /// group (shard order, preserving `batch` order within a shard).
+    /// Returns the total number of users enrolled.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUser`] if any user is unowned (checked before
+    /// any shard enrolls); per-shard failures abort the remaining shards.
+    pub fn enroll_many(
+        &mut self,
+        batch: Vec<EnrollmentEntry>,
+        rng: &mut StdRng,
+    ) -> Result<usize, CoreError> {
+        let mut per_shard: Vec<Vec<EnrollmentEntry>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (id, buffers) in batch {
+            let shard = *self.owner.get(&id).ok_or(CoreError::UnknownUser(id))?;
+            per_shard[shard].push((id, buffers));
+        }
+        let mut enrolled = 0;
+        for (shard, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            enrolled += self.shards[shard].enroll_many(group, rng)?;
+        }
+        Ok(enrolled)
     }
 
     /// Ticks every shard concurrently (one [`FleetEngine::tick`] each; the

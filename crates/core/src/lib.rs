@@ -48,8 +48,8 @@ pub use auth::{AuthDecision, AuthModel, Authenticator};
 pub use config::{ContextMode, SystemConfig};
 pub use context_detect::{ContextDetector, ContextDetectorConfig};
 pub use engine::{
-    BackpressurePolicy, FleetEngine, IngestQueue, IngestRouter, RejectedWindow, TickReport,
-    TrainingService, UserOutcomes, WindowQueue,
+    BackpressurePolicy, EnrollmentEntry, FleetEngine, IngestQueue, IngestRouter, RejectedWindow,
+    TickReport, TrainingService, UserOutcomes, WindowQueue,
 };
 pub use error::{CoreError, IngestError};
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
@@ -63,5 +63,5 @@ pub use pipeline::{
 pub use power::{BatteryRow, OverheadReport};
 pub use response::{ResponseAction, ResponseModule, ResponsePolicy};
 pub use retrain::{ConfidenceTracker, RetrainPolicy};
-pub use server::{NegativeEpoch, TrainingHandle, TrainingServer};
+pub use server::{EnrollmentWorkspace, NegativeEpoch, TrainingHandle, TrainingServer};
 pub use window_features::{FeatureScratch, WindowFeatures};

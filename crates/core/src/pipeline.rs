@@ -14,7 +14,7 @@ use crate::features::FeatureExtractor;
 use crate::persist::{PipelineSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
 use crate::retrain::{ConfidenceTracker, RetrainPolicy};
-use crate::server::{NegativeEpoch, TrainingHandle};
+use crate::server::{EnrollmentWorkspace, NegativeEpoch, TrainingHandle};
 use crate::window_features::FeatureScratch;
 use crate::CoreError;
 
@@ -781,6 +781,56 @@ impl SmarterYou {
         // Seed the retraining buffers with the enrollment data.
         self.recent = positives;
         self.authenticator = Some(auth);
+        Ok(())
+    }
+
+    /// The per-context enrollment buffers accumulated so far — the windows
+    /// the owner contributed during [`SystemPhase::Enrollment`]. Batched
+    /// enrollment harvests these from a template pipeline and hands them
+    /// to [`SmarterYou::enroll_with`] on each user's own pipeline.
+    pub fn enrollment_buffers(&self) -> &[Vec<Vec<f64>>; 2] {
+        &self.buffers
+    }
+
+    /// The system configuration this pipeline runs under.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Completes enrollment in one step against a prebuilt
+    /// [`EnrollmentWorkspace`]: `buffers` become the pipeline's enrollment
+    /// buffers and retrain seed, the authenticator is fitted off the
+    /// workspace's shared negative block, and the workspace's epoch is
+    /// adopted so later retrains stay pinned to the same frozen sample.
+    ///
+    /// Unlike the per-window path ([`SmarterYou::process_window`] during
+    /// [`SystemPhase::Enrollment`]), this consumes **no pipeline
+    /// randomness** — the negative sample was drawn once when the
+    /// workspace was built — and its decisions agree with the sequential
+    /// path to tight epsilon rather than bit-for-bit (see the
+    /// `enroll_parity` suite).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] if the pipeline is already enrolled;
+    /// training failures are propagated with the pipeline left in the
+    /// enrollment phase.
+    pub fn enroll_with(
+        &mut self,
+        ws: &EnrollmentWorkspace,
+        buffers: [Vec<Vec<f64>>; 2],
+    ) -> Result<(), CoreError> {
+        if self.phase() != SystemPhase::Enrollment {
+            return Err(CoreError::InvalidConfig(
+                "enroll_with called on an already-enrolled pipeline".into(),
+            ));
+        }
+        let auth = ws.train_authenticator(&buffers, &self.cfg, &mut self.fit_caches)?;
+        self.recent = buffers.clone();
+        self.buffers = buffers;
+        self.authenticator = Some(auth);
+        self.negative_epoch = Some(ws.epoch().clone());
+        self.push_event(SystemEvent::EnrollmentComplete { day: self.day });
         Ok(())
     }
 

@@ -6,7 +6,7 @@ use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
 use smarteryou_linalg::Matrix;
-use smarteryou_ml::{KernelRidge, KrrFitCache, Scaler};
+use smarteryou_ml::{KernelRidge, KrrFitCache, KrrSharedWorkspace, Scaler};
 use smarteryou_sensors::UsageContext;
 
 use crate::auth::{AuthModel, Authenticator};
@@ -318,6 +318,57 @@ impl TrainingServer {
         }
     }
 
+    /// Pins a fresh [`NegativeEpoch`] and precomputes the per-context
+    /// [`KrrSharedWorkspace`] blocks over it — the shared prefix of every
+    /// enrollment fit against this pool sample. Build once per enrollment
+    /// batch, then call [`EnrollmentWorkspace::train_authenticator`] per
+    /// user: each user pays O(n_pos·M² + M³) instead of a fresh pass over
+    /// the negatives plus a full refactorisation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InsufficientData`] when a required pool is empty;
+    /// workspace construction failures are propagated.
+    pub fn enrollment_workspace(
+        &self,
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<EnrollmentWorkspace, CoreError> {
+        let epoch = self.sample_negative_epoch(cfg, rng)?;
+        EnrollmentWorkspace::over(epoch, cfg)
+    }
+
+    /// Batched fleet enrollment: pins **one** negative epoch, precomputes
+    /// the shared workspace over it, and fits every user's authenticator
+    /// against the shared block. Returns the pinned epoch (each enrolled
+    /// pipeline should adopt it so later retrains stay epoch-stable)
+    /// alongside one authenticator per entry of `users`, in order.
+    ///
+    /// Decisions agree with per-user [`train_authenticator_epoch`]
+    /// (seeded with the same epoch) to tight epsilon — pinned by the
+    /// workspace-root `enroll_parity` suite.
+    ///
+    /// [`train_authenticator_epoch`]: TrainingServer::train_authenticator_epoch
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InsufficientData`] when a required pool is empty or a
+    /// user has no positive windows; fit failures fail the whole batch.
+    pub fn enroll_many(
+        &self,
+        users: &[[Vec<Vec<f64>>; 2]],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<(NegativeEpoch, Vec<Authenticator>), CoreError> {
+        let ws = self.enrollment_workspace(cfg, rng)?;
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let auths = users
+            .iter()
+            .map(|positives| ws.train_authenticator(positives, cfg, &mut caches))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((ws.epoch, auths))
+    }
+
     /// One model fit over a deterministic design matrix: the most recent
     /// `data_size/2` positives (buffer order — §V-I retrains on the
     /// "latest authentication feature vectors") stacked over the frozen
@@ -407,6 +458,119 @@ impl NegativeEpoch {
     }
 }
 
+/// A pinned [`NegativeEpoch`] bundled with the precomputed shared-Gram
+/// blocks every enrollment fit against it reuses ([`KrrSharedWorkspace`]
+/// per context slot). Built once per enrollment batch by
+/// [`TrainingServer::enrollment_workspace`]; immutable thereafter, so one
+/// workspace can serve any number of users.
+#[derive(Debug, Clone)]
+pub struct EnrollmentWorkspace {
+    /// The frozen negative sample the blocks were computed over. Enrolled
+    /// pipelines adopt it so their later retrains reuse the same rows.
+    epoch: NegativeEpoch,
+    /// Trainer configuration shared by every fit (must match the one the
+    /// workspace blocks were built under).
+    trainer: KernelRidge,
+    /// Shared negative blocks per [`UsageContext::index`]; `None` for a
+    /// slot the epoch holds no rows for (unified mode leaves slot 1
+    /// empty).
+    workspaces: [Option<KrrSharedWorkspace>; 2],
+}
+
+impl EnrollmentWorkspace {
+    /// Precomputes the shared blocks over an already-pinned epoch.
+    fn over(epoch: NegativeEpoch, cfg: &SystemConfig) -> Result<Self, CoreError> {
+        let trainer = KernelRidge::new(cfg.rho());
+        let mut workspaces = [None, None];
+        for (slot, rows) in epoch.rows.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let neg = Matrix::from_rows(&refs)
+                .map_err(|e| CoreError::InsufficientData(format!("ragged negatives: {e}")))?;
+            workspaces[slot] = Some(trainer.shared_workspace(neg)?);
+        }
+        Ok(EnrollmentWorkspace {
+            epoch,
+            trainer,
+            workspaces,
+        })
+    }
+
+    /// The negative epoch the shared blocks were computed over.
+    pub fn epoch(&self) -> &NegativeEpoch {
+        &self.epoch
+    }
+
+    /// Fits one user's [`Authenticator`] against the shared blocks,
+    /// mirroring [`TrainingServer::train_authenticator_epoch`]'s frozen
+    /// path: tail-`data_size/2` positives per model, scaler fitted over
+    /// the stacked rows (via the closed-form moments), no randomness
+    /// consumed. `caches` records a shared-block hit or fallback miss per
+    /// fit.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InsufficientData`] when a model has no positives or
+    /// the epoch holds no negatives for its slot; fit failures are
+    /// propagated.
+    pub fn train_authenticator(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        caches: &mut [KrrFitCache; 2],
+    ) -> Result<Authenticator, CoreError> {
+        match cfg.context_mode() {
+            ContextMode::Unified => {
+                let all: Vec<Vec<f64>> = positives.iter().flatten().cloned().collect();
+                let model = self.train_model_shared(&all, 0, cfg, &mut caches[0])?;
+                Ok(Authenticator::unified(model, cfg.accept_threshold()))
+            }
+            ContextMode::PerContext => {
+                let mut models = Vec::with_capacity(2);
+                for ctx in UsageContext::ALL {
+                    models.push(self.train_model_shared(
+                        &positives[ctx.index()],
+                        ctx.index(),
+                        cfg,
+                        &mut caches[ctx.index()],
+                    )?);
+                }
+                Authenticator::per_context(models, cfg.accept_threshold())
+            }
+        }
+    }
+
+    /// One shared-block model fit: the same design matrix as
+    /// `train_model_frozen` (tail positives over the epoch's negatives),
+    /// solved through [`KernelRidge::fit_scaled_shared_cached`].
+    fn train_model_shared(
+        &self,
+        positives: &[Vec<f64>],
+        slot: usize,
+        cfg: &SystemConfig,
+        cache: &mut KrrFitCache,
+    ) -> Result<AuthModel, CoreError> {
+        let ws = self.workspaces[slot].as_ref().ok_or_else(|| {
+            CoreError::InsufficientData(format!("no frozen negatives for context slot {slot}"))
+        })?;
+        if positives.is_empty() {
+            return Err(CoreError::InsufficientData(format!(
+                "positives=0, frozen negatives={}",
+                ws.num_negatives()
+            )));
+        }
+        let per_class = cfg.data_size() / 2;
+        let tail = positives.len().saturating_sub(per_class);
+        let rows: Vec<&[f64]> = positives[tail..].iter().map(Vec::as_slice).collect();
+        let pos = Matrix::from_rows(&rows)
+            .map_err(|e| CoreError::InsufficientData(format!("ragged features: {e}")))?;
+        let (scaler, krr) = self.trainer.fit_scaled_shared_cached(cache, ws, &pos)?;
+        Ok(AuthModel::new(scaler, krr))
+    }
+}
+
 /// How a pipeline reaches its training service. Today the only deployment
 /// is the in-process [`TrainingServer`] behind a mutex (every
 /// `Arc<Mutex<TrainingServer>>` coerces straight into
@@ -443,6 +607,19 @@ pub trait TrainingHandle: fmt::Debug + Send + Sync {
         epoch: &mut Option<NegativeEpoch>,
         caches: &mut [KrrFitCache; 2],
     ) -> Result<Authenticator, CoreError>;
+
+    /// Pins a negative epoch and precomputes the shared enrollment blocks
+    /// over it (see [`TrainingServer::enrollment_workspace`]) — the entry
+    /// point batched fleet enrollment builds once and reuses per user.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and workspace-construction failures.
+    fn enrollment_workspace(
+        &self,
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<EnrollmentWorkspace, CoreError>;
 }
 
 impl TrainingHandle for Mutex<TrainingServer> {
@@ -465,6 +642,14 @@ impl TrainingHandle for Mutex<TrainingServer> {
     ) -> Result<Authenticator, CoreError> {
         self.lock()
             .train_authenticator_epoch(positives, cfg, rng, epoch, caches)
+    }
+
+    fn enrollment_workspace(
+        &self,
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<EnrollmentWorkspace, CoreError> {
+        self.lock().enrollment_workspace(cfg, rng)
     }
 }
 
@@ -675,6 +860,77 @@ mod tests {
             Some(&epoch_a),
             "fingerprint forced a resample"
         );
+    }
+
+    #[test]
+    fn enroll_many_matches_per_user_epoch_training() {
+        let (server, pos) = setup();
+        let cfg = SystemConfig::paper_default().with_data_size(40);
+        let users: Vec<[Vec<Vec<f64>>; 2]> = (0..4)
+            .map(|u| {
+                let shifted: Vec<Vec<f64>> = pos
+                    .iter()
+                    .map(|r| r.iter().map(|v| v + 0.05 * u as f64).collect())
+                    .collect();
+                [shifted.clone(), shifted]
+            })
+            .collect();
+        let (epoch, auths) = server.enroll_many(&users, &cfg, &mut rng()).unwrap();
+        assert_eq!(auths.len(), users.len());
+        assert_eq!(epoch.pool_version(), server.pool_version());
+        // Per-user sequential path, seeded with the same pinned epoch —
+        // the frozen fit consumes no RNG, so decisions must agree to
+        // tight epsilon.
+        for (user, batched) in users.iter().zip(&auths) {
+            let mut pinned = Some(epoch.clone());
+            let mut caches: [KrrFitCache; 2] = Default::default();
+            let sequential = server
+                .train_authenticator_epoch(user, &cfg, &mut rng(), &mut pinned, &mut caches)
+                .unwrap();
+            assert_eq!(pinned.as_ref(), Some(&epoch), "epoch must stay pinned");
+            for ctx in UsageContext::ALL {
+                for probe in [[2.1, 1.9], [-2.0, -2.2], [0.3, -0.4]] {
+                    let a = batched.authenticate(ctx, &probe).confidence;
+                    let b = sequential.authenticate(ctx, &probe).confidence;
+                    assert!((a - b).abs() < 1e-9, "batched {a} vs sequential {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enroll_many_unified_mode_and_counters() {
+        let (server, pos) = setup();
+        let cfg = small_cfg().with_context_mode(ContextMode::Unified);
+        let ws = server.enrollment_workspace(&cfg, &mut rng()).unwrap();
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let positives = [pos.clone(), pos];
+        let auth = ws
+            .train_authenticator(&positives, &cfg, &mut caches)
+            .unwrap();
+        assert_eq!(auth.mode(), ContextMode::Unified);
+        assert!(
+            auth.authenticate(UsageContext::Moving, &[2.0, 2.0])
+                .accepted
+        );
+        // Production config is linear/primal: the fit must come off the
+        // shared block, not the fallback.
+        assert_eq!((caches[0].hits(), caches[0].misses()), (1, 0));
+    }
+
+    #[test]
+    fn enroll_many_fails_on_empty_pool_or_user() {
+        let empty = TrainingServer::new();
+        assert!(matches!(
+            empty.enroll_many(&[], &small_cfg(), &mut rng()),
+            Err(CoreError::InsufficientData(_))
+        ));
+        let (server, pos) = setup();
+        let users = [[pos, Vec::new()]];
+        assert!(matches!(
+            server.enroll_many(&users, &small_cfg(), &mut rng()),
+            Err(CoreError::InsufficientData(_))
+        ));
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub enum LinalgError {
     /// A constructor was given data whose length does not match the
     /// requested shape, or an empty/ragged row set.
     InvalidShape(String),
+    /// A rank-1 downdate (or row removal) would drive the factored matrix
+    /// out of positive definiteness: the subtracted `v vᵀ` removes at
+    /// least as much mass as some pivot holds. The factor is left
+    /// unchanged; callers should refactor from scratch if the downdated
+    /// matrix is expected to be SPD.
+    DowndateNotPositiveDefinite,
 }
 
 impl fmt::Display for LinalgError {
@@ -35,6 +41,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not symmetric positive definite")
             }
             LinalgError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            LinalgError::DowndateNotPositiveDefinite => write!(
+                f,
+                "rank-1 downdate would lose positive definiteness to working precision"
+            ),
         }
     }
 }

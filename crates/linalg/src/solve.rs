@@ -206,8 +206,23 @@ impl Cholesky {
     /// # Errors
     ///
     /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // substitution kernels read clearest with indices
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = b.to_vec();
+        self.solve_into(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place: on entry `b` holds the right-hand side,
+    /// on exit the solution. The allocation-free variant of
+    /// [`Cholesky::solve`] — same arithmetic, so results are bit-identical;
+    /// hot refit paths reuse one buffer across many solves.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`; `b`
+    /// is untouched on error.
+    #[allow(clippy::needless_range_loop)] // substitution kernels read clearest with indices
+    pub fn solve_into(&self, b: &mut [f64]) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -217,23 +232,22 @@ impl Cholesky {
             });
         }
         // Forward: L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
-            let mut sum = y[i];
+            let mut sum = b[i];
             for j in 0..i {
-                sum -= self.l[(i, j)] * y[j];
+                sum -= self.l[(i, j)] * b[j];
             }
-            y[i] = sum / self.l[(i, i)];
+            b[i] = sum / self.l[(i, i)];
         }
         // Backward: Lᵀ x = y.
         for i in (0..n).rev() {
-            let mut sum = y[i];
+            let mut sum = b[i];
             for j in (i + 1)..n {
-                sum -= self.l[(j, i)] * y[j];
+                sum -= self.l[(j, i)] * b[j];
             }
-            y[i] = sum / self.l[(i, i)];
+            b[i] = sum / self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Solves `A X = B` for every column of `B` with one stored
@@ -246,6 +260,21 @@ impl Cholesky {
     ///
     /// [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`.
     pub fn solve_many(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let mut out = b.clone();
+        self.solve_many_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A X = B` column-by-column in place: on entry `b` holds the
+    /// right-hand sides, on exit the solutions. The allocation-light
+    /// variant of [`Cholesky::solve_many`] (one scratch column, however
+    /// many right-hand sides) with identical per-column arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.rows() != self.dim()`; `b`
+    /// is untouched on error.
+    pub fn solve_many_into(&self, b: &mut Matrix) -> Result<(), LinalgError> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -254,18 +283,206 @@ impl Cholesky {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
         let mut col = vec![0.0; n];
         for c in 0..b.cols() {
             for r in 0..n {
                 col[r] = b[(r, c)];
             }
-            let x = self.solve(&col)?;
+            self.solve_into(&mut col)?;
             for r in 0..n {
-                out[(r, c)] = x[r];
+                b[(r, c)] = col[r];
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Rank-1 **update**: rewrites the factor so it factors `A + v vᵀ`,
+    /// in O(n²) instead of the O(n³) refactorisation. Uses the classic
+    /// sequence of Givens-style plane rotations (one per pivot); an update
+    /// can never lose positive definiteness, so it is infallible apart
+    /// from the length check.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `v.len() != self.dim()`.
+    pub fn update(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky update",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut w = v.to_vec();
+        for k in 0..n {
+            if w[k] == 0.0 {
+                // c=1, s=0 — an exact no-op for this pivot; skipping keeps
+                // rows untouched by the update bit-identical (remove_row
+                // relies on this for its leading block).
+                continue;
+            }
+            let lkk = self.l[(k, k)];
+            let r = (lkk * lkk + w[k] * w[k]).sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            self.l[(k, k)] = r;
+            for (i, wi) in w.iter_mut().enumerate().skip(k + 1) {
+                self.l[(i, k)] = (self.l[(i, k)] + s * *wi) / c;
+                *wi = c * *wi - s * self.l[(i, k)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-1 **downdate**: rewrites the factor so it factors `A − v vᵀ`,
+    /// in O(n²). Unlike [`Cholesky::update`] this can fail — subtracting
+    /// `v vᵀ` may drive a pivot to (or below, or within rounding of) zero.
+    /// The feasibility of every pivot is checked on a scratch copy first,
+    /// so on error the stored factor is **unchanged** and holds no NaNs.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `v.len() != self.dim()`;
+    /// [`LinalgError::DowndateNotPositiveDefinite`] when the downdated
+    /// matrix is not SPD to working precision (pivot² would fall below
+    /// `ε · pivot²` of the current factor).
+    pub fn downdate(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky downdate",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut l = self.l.clone();
+        let mut w = v.to_vec();
+        for k in 0..n {
+            if w[k] == 0.0 {
+                continue;
+            }
+            let lkk = l[(k, k)];
+            let d = lkk * lkk - w[k] * w[k];
+            // Relative guard: a pivot collapsing to within rounding error
+            // of zero means the downdated matrix is (numerically) rank
+            // deficient — surface a typed error instead of sqrt of a
+            // negative (NaN) or a catastrophically cancelled pivot.
+            if d <= f64::EPSILON * lkk * lkk {
+                return Err(LinalgError::DowndateNotPositiveDefinite);
+            }
+            let r = d.sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            l[(k, k)] = r;
+            for i in (k + 1)..n {
+                l[(i, k)] = (l[(i, k)] - s * w[i]) / c;
+                w[i] = c * w[i] - s * l[(i, k)];
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// **Bordering** extension: grows the factor of the n×n matrix `A`
+    /// into the factor of the (n+1)×(n+1) matrix `[[A, b], [bᵀ, c]]` in
+    /// O(n²) — one forward solve (`L l₂₁ = b`) plus a scalar pivot
+    /// `l₂₂ = √(c − ‖l₂₁‖²)`. This is how a shared negative-block factor
+    /// is extended with one positive sample per enrolling user without
+    /// refactoring the shared block.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`;
+    /// [`LinalgError::NotPositiveDefinite`] when the bordered matrix is
+    /// not SPD to working precision (`c − ‖l₂₁‖²` not safely positive).
+    /// The factor is unchanged on error.
+    pub fn append_row(&mut self, b: &[f64], c: f64) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky append_row",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward solve L l21 = b.
+        let mut l21 = b.to_vec();
+        for i in 0..n {
+            let mut sum = l21[i];
+            for (j, &lj) in l21.iter().enumerate().take(i) {
+                sum -= self.l[(i, j)] * lj;
+            }
+            l21[i] = sum / self.l[(i, i)];
+        }
+        let d = c - l21.iter().map(|x| x * x).sum::<f64>();
+        if d <= f64::EPSILON * c.abs().max(1.0) {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                grown[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for (j, &v) in l21.iter().enumerate() {
+            grown[(n, j)] = v;
+        }
+        grown[(n, n)] = d.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+
+    /// Removes row/column `k` from the factored matrix in O(n²): rows
+    /// above `k` are kept, and the trailing block absorbs the deleted
+    /// column's mass through a rank-1 [update](Cholesky::update) with the
+    /// sub-diagonal segment `l₃₂` (`L₃₃' L₃₃'ᵀ = L₃₃ L₃₃ᵀ + l₃₂ l₃₂ᵀ`).
+    /// Removal only ever *adds* mass to the trailing pivots, so it cannot
+    /// lose positive definiteness.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::InvalidShape`] if `k` is out of bounds or the factor
+    /// is 1×1 (nothing would remain).
+    pub fn remove_row(&mut self, k: usize) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if k >= n || n < 2 {
+            return Err(LinalgError::InvalidShape(format!(
+                "cannot remove row {k} from a {n}x{n} Cholesky factor"
+            )));
+        }
+        let mut shrunk = Matrix::zeros(n - 1, n - 1);
+        // Leading block (rows/cols before k) is untouched.
+        for i in 0..k {
+            for j in 0..=i {
+                shrunk[(i, j)] = self.l[(i, j)];
+            }
+        }
+        // Trailing rows shift up; the deleted column's sub-diagonal
+        // segment l32 is folded back in with a rank-1 update below.
+        let mut l32 = Vec::with_capacity(n - 1 - k);
+        for i in (k + 1)..n {
+            for j in 0..n {
+                if j == k {
+                    l32.push(self.l[(i, k)]);
+                    continue;
+                }
+                let jj = if j < k { j } else { j - 1 };
+                if jj < i {
+                    shrunk[(i - 1, jj)] = self.l[(i, j)];
+                }
+            }
+        }
+        let mut next = Cholesky { l: shrunk };
+        if !l32.is_empty() {
+            // Update only the trailing (n-1-k)×(n-1-k) block: pad the
+            // update vector with zeros for the untouched leading rows.
+            let mut v = vec![0.0; n - 1];
+            v[k..].copy_from_slice(&l32);
+            next.update(&v)?;
+        }
+        self.l = next.l;
+        Ok(())
     }
 }
 

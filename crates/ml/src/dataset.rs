@@ -142,6 +142,20 @@ impl Scaler {
         Scaler { means, stds }
     }
 
+    /// Builds a scaler directly from precomputed per-column moments —
+    /// used by the shared-workspace enrollment path, which derives the
+    /// moments from cached Gram/sum blocks instead of a data pass. The
+    /// caller is responsible for applying the same zero-variance clamp
+    /// as [`Scaler::fit`] (std of 1 for degenerate columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub(crate) fn from_moments(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "moment width mismatch");
+        Scaler { means, stds }
+    }
+
     /// Number of features the scaler was fitted on.
     pub fn num_features(&self) -> usize {
         self.means.len()

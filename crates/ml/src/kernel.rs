@@ -62,7 +62,27 @@ impl Kernel {
 
     /// Kernel vector `[k(x₁, q), …, k(xₙ, q)]` against the rows of `x`.
     pub fn against(&self, x: &Matrix, q: &[f64]) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.eval(x.row(i), q)).collect()
+        let mut out = Vec::new();
+        self.against_into(x, q, &mut out);
+        out
+    }
+
+    /// [`Kernel::against`] into a caller-owned buffer (cleared first), so
+    /// batch scoring can reuse one allocation across many queries. Same
+    /// per-entry arithmetic, so results are bit-identical.
+    pub fn against_into(&self, x: &Matrix, q: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..x.rows()).map(|i| self.eval(x.row(i), q)));
+    }
+
+    /// Whether `k(a + t, b + t) = k(a, b)` for every translation `t`.
+    ///
+    /// Translation-invariant kernels commute with feature centring, which
+    /// is what lets a shared negative-block Gram (and its Cholesky factor)
+    /// be computed once on raw rows and reused across users whose centring
+    /// means differ — see `KrrSharedWorkspace`.
+    pub fn is_translation_invariant(&self) -> bool {
+        matches!(self, Kernel::Rbf { .. })
     }
 }
 

@@ -47,9 +47,9 @@ pub enum KrrSolver {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct KernelRidge {
-    rho: f64,
-    kernel: Kernel,
-    solver: KrrSolver,
+    pub(crate) rho: f64,
+    pub(crate) kernel: Kernel,
+    pub(crate) solver: KrrSolver,
 }
 
 impl KernelRidge {
@@ -136,8 +136,13 @@ impl KernelRidge {
             .collect()
     }
 
+    /// Returns the configured kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
     /// Resolves the effective solver for this configuration on `n`×`m` data.
-    fn resolve_solver(&self, n: usize, m: usize) -> Result<KrrSolver, MlError> {
+    pub(crate) fn resolve_solver(&self, n: usize, m: usize) -> Result<KrrSolver, MlError> {
         Ok(match (self.solver, self.kernel) {
             (KrrSolver::Primal, Kernel::Linear) => KrrSolver::Primal,
             (KrrSolver::Primal, _) => {
@@ -189,14 +194,15 @@ impl KernelRidge {
         let kind = match solver {
             KrrSolver::Primal | KrrSolver::Auto => {
                 // Eq. 7: w* = [S + ρ I_M]⁻¹ X y with S = Σ xₖxₖᵀ (M×M).
-                let xty = factored.xc.transpose().matvec(&yc)?;
-                let w = factored.chol.solve(&xty)?;
+                let mut w = factored.xc.transpose().matvec(&yc)?;
+                factored.chol.solve_into(&mut w)?;
                 KrrKind::Linear { w }
             }
             KrrSolver::Dual => {
                 // Eq. 6: α = [K + ρ I_N]⁻¹ y; for the linear kernel collapse
                 // to explicit weights w = Xᵀα so prediction cost matches.
-                let alphas = factored.chol.solve(&yc)?;
+                let mut alphas = yc.clone();
+                factored.chol.solve_into(&mut alphas)?;
                 match self.kernel {
                     Kernel::Linear => {
                         let w = factored.xc.transpose().matvec(&alphas)?;
@@ -223,7 +229,7 @@ impl KernelRidge {
 /// The label-independent part of a KRR fit: centred features plus the
 /// Cholesky factor of the regularised system.
 #[derive(Debug, Clone)]
-struct KrrFactorization {
+pub(crate) struct KrrFactorization {
     x_mean: Vec<f64>,
     xc: Matrix,
     chol: Cholesky,
@@ -316,6 +322,21 @@ impl KrrFitCache {
         self.key = None;
         self.factored = None;
     }
+
+    /// Records a fit served off a shared enrollment workspace: the
+    /// label-independent prefix (negative Gram block / factor) was reused
+    /// rather than recomputed, which is the same economy a key match in
+    /// [`KernelRidge::fit_with_cache`] buys.
+    pub fn note_shared_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a shared-workspace fit that could not reuse the shared
+    /// prefix (unsupported kernel/solver combination) and fell back to a
+    /// full factorisation.
+    pub fn note_shared_miss(&mut self) {
+        self.misses += 1;
+    }
 }
 
 impl BinaryTrainer for KernelRidge {
@@ -327,7 +348,7 @@ impl BinaryTrainer for KernelRidge {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum KrrKind {
+pub(crate) enum KrrKind {
     Linear {
         w: Vec<f64>,
     },
@@ -344,10 +365,10 @@ enum KrrKind {
 /// paper's confidence score `CS(k) = xₖᵀ w*` (§V-I) is [`KrrModel::decision`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KrrModel {
-    kind: KrrKind,
-    x_mean: Vec<f64>,
-    y_mean: f64,
-    rho: f64,
+    pub(crate) kind: KrrKind,
+    pub(crate) x_mean: Vec<f64>,
+    pub(crate) y_mean: f64,
+    pub(crate) rho: f64,
 }
 
 impl KrrModel {
@@ -405,10 +426,18 @@ impl KrrModel {
                 kernel,
                 train,
                 alphas,
-            } => xc
-                .iter_rows()
-                .map(|q| vector::dot(&kernel.against(train, q), alphas) + self.y_mean)
-                .collect(),
+            } => {
+                // One kernel-row buffer reused across queries
+                // ([`Kernel::against_into`]); per-entry arithmetic matches
+                // the scalar path, so scores stay bit-identical.
+                let mut k = Vec::with_capacity(train.rows());
+                xc.iter_rows()
+                    .map(|q| {
+                        kernel.against_into(train, q, &mut k);
+                        vector::dot(&k, alphas) + self.y_mean
+                    })
+                    .collect()
+            }
         }
     }
 

@@ -43,6 +43,7 @@ mod naive_bayes;
 mod svm;
 mod traits;
 mod tree;
+mod workspace;
 
 pub use dataset::{k_fold_indices, stratified_k_fold, train_test_split, Dataset, Scaler};
 pub use error::MlError;
@@ -56,6 +57,7 @@ pub use naive_bayes::{GaussianNaiveBayes, GaussianNaiveBayesModel};
 pub use svm::{Svm, SvmModel};
 pub use traits::{BinaryClassifier, BinaryTrainer};
 pub use tree::{DecisionTree, DecisionTreeModel};
+pub use workspace::KrrSharedWorkspace;
 
 use rand::rngs::StdRng;
 use smarteryou_linalg::Matrix;

@@ -1,0 +1,264 @@
+//! Parity suite for batched enrollment: `TrainingServer::enroll_many`
+//! (one pinned negative epoch + shared Gram workspace for the whole
+//! batch) must produce authenticators whose decisions agree with the
+//! sequential per-user path — `train_authenticator_epoch` seeded with the
+//! same pinned epoch — to tight epsilon on the paper's deployed
+//! 300-sample window (6 s × 50 Hz). The shared path reorders float
+//! summations, so the pin is epsilon parity, not bit parity (the existing
+//! `batch_parity`/`persist_parity` suites keep the per-window paths
+//! bit-identical).
+//!
+//! Also covers the pipeline/fleet plumbing: `SmarterYou::enroll_with`
+//! completes the enrollment phase in one step, records the
+//! `EnrollmentComplete` event, adopts the workspace epoch, and serves its
+//! fits off the shared block (observable as fit-cache hits);
+//! `FleetEngine::enroll_many` batches a whole fleet against one workspace.
+
+mod common;
+
+use common::{build_world, World, WorldSeeds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou::core::{
+    CoreError, FleetEngine, ResponsePolicy, SystemEvent, SystemPhase, TrainingHandle,
+};
+use smarteryou::ml::KrrFitCache;
+use smarteryou::sensors::{UsageContext, UserId, UserProfile};
+
+const SEEDS: WorldSeeds = WorldSeeds {
+    population: 0xE27011,
+    pool_gen: 0xE27012,
+    detector_rng: 0xE27013,
+};
+
+/// The paper's deployed window: 6 s at 50 Hz = 300 samples.
+const WINDOW_SECS: f64 = 6.0;
+
+/// Decisions between the shared-workspace and sequential fits may differ
+/// only by float summation order and the closed-form moment algebra
+/// (`G − n·μμᵀ` vs a two-pass variance on raw sensor features whose
+/// scales span orders of magnitude). Observed divergence is ~1e-9;
+/// pinned at 1e-6 — six orders below the accept threshold's scale.
+const EPS: f64 = 1e-6;
+
+/// Harvests a user's per-context enrollment buffers by running a scratch
+/// pipeline through the per-window enrollment path.
+fn enroll_buffers(world: &World, user: &UserProfile, seed: u64) -> [Vec<Vec<f64>>; 2] {
+    let mut pipeline = world.pipeline_with(
+        seed,
+        ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        },
+        None,
+    );
+    let stream = world.window_stream(user, seed, 0);
+    for _pass in 0..9 {
+        if pipeline.authenticator().is_some() {
+            break;
+        }
+        for w in &stream {
+            pipeline.process_window(w).expect("window processes");
+        }
+    }
+    assert!(
+        pipeline.authenticator().is_some(),
+        "scratch pipeline failed to enroll"
+    );
+    pipeline.enrollment_buffers().clone()
+}
+
+#[test]
+fn enroll_many_matches_sequential_epoch_training() {
+    let world = build_world(3, WINDOW_SECS, SEEDS);
+    let users: Vec<[Vec<Vec<f64>>; 2]> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, profile)| enroll_buffers(&world, profile, 0xA11CE ^ (u as u64 + 1)))
+        .collect();
+
+    let (epoch, batched) = world
+        .server
+        .lock()
+        .enroll_many(&users, &world.cfg, &mut StdRng::seed_from_u64(0xBEEF))
+        .expect("batched enrollment");
+    assert_eq!(batched.len(), users.len());
+
+    // Probe set: genuine rows from every user (both contexts), so the
+    // comparison covers accept- and reject-side confidences.
+    let probes: Vec<Vec<f64>> = users
+        .iter()
+        .flat_map(|buffers| buffers.iter().flat_map(|slot| slot.iter().take(3).cloned()))
+        .collect();
+
+    for (user, batch_auth) in users.iter().zip(&batched) {
+        // The frozen epoch fit consumes no randomness, so seeding the
+        // sequential path with the batch's pinned epoch must reproduce
+        // its training set exactly.
+        let mut pinned = Some(epoch.clone());
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let sequential = world
+            .server
+            .lock()
+            .train_authenticator_epoch(
+                user,
+                &world.cfg,
+                &mut StdRng::seed_from_u64(0xD00D),
+                &mut pinned,
+                &mut caches,
+            )
+            .expect("sequential training");
+        assert_eq!(
+            pinned.as_ref().map(|e| e.pool_version()),
+            Some(epoch.pool_version()),
+            "sequential path must reuse the batch epoch, not resample"
+        );
+        for ctx in UsageContext::ALL {
+            for probe in &probes {
+                let a = batch_auth.authenticate(ctx, probe).confidence;
+                let b = sequential.authenticate(ctx, probe).confidence;
+                assert!(
+                    (a - b).abs() < EPS,
+                    "{ctx:?}: batched confidence {a} vs sequential {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn enroll_with_completes_enrollment_and_hits_the_shared_block() {
+    let world = build_world(1, WINDOW_SECS, SEEDS);
+    let buffers = enroll_buffers(&world, &world.users[0], 0x5EED);
+
+    let ws = world
+        .server
+        .enrollment_workspace(&world.cfg, &mut StdRng::seed_from_u64(0xFACE))
+        .expect("workspace builds");
+
+    let mut pipeline = world.pipeline_with(
+        0x0DD1,
+        ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        },
+        None,
+    );
+    assert_eq!(pipeline.phase(), SystemPhase::Enrollment);
+    assert_eq!(pipeline.fit_cache_stats(), (0, 0));
+
+    pipeline
+        .enroll_with(&ws, buffers.clone())
+        .expect("batched enrollment");
+    assert_eq!(pipeline.phase(), SystemPhase::ContinuousAuth);
+    assert!(matches!(
+        pipeline.events().last(),
+        Some(SystemEvent::EnrollmentComplete { .. })
+    ));
+    // The production config is linear/primal: both per-context fits must
+    // come off the shared negative block, never the sequential fallback.
+    let (hits, misses) = pipeline.fit_cache_stats();
+    assert!(hits >= 2, "expected ≥2 shared-block hits, saw {hits}");
+    assert_eq!(misses, 0, "no fit may fall back to a full factorisation");
+    assert_eq!(pipeline.enrollment_buffers(), &buffers);
+
+    // Re-enrolling an enrolled pipeline is a typed error, not a retrain.
+    assert!(matches!(
+        pipeline.enroll_with(&ws, buffers),
+        Err(CoreError::InvalidConfig(_))
+    ));
+
+    // The installed model matches the sequential frozen fit against the
+    // same pinned epoch (the server-level parity is pinned exhaustively
+    // by `enroll_many_matches_sequential_epoch_training`; this spot-check
+    // proves the pipeline installed *that* model, wired to its adopted
+    // epoch).
+    let mut pinned = Some(ws.epoch().clone());
+    let mut caches: [KrrFitCache; 2] = Default::default();
+    let sequential = world
+        .server
+        .lock()
+        .train_authenticator_epoch(
+            pipeline.enrollment_buffers(),
+            &world.cfg,
+            &mut StdRng::seed_from_u64(0xD00D),
+            &mut pinned,
+            &mut caches,
+        )
+        .expect("sequential training");
+    let installed = pipeline.authenticator().expect("enrolled");
+    for ctx in UsageContext::ALL {
+        for probe in pipeline.enrollment_buffers()[ctx.index()].iter().take(4) {
+            let a = installed.authenticate(ctx, probe).confidence;
+            let b = sequential.authenticate(ctx, probe).confidence;
+            assert!((a - b).abs() < EPS, "{ctx:?}: installed {a} vs frozen {b}");
+        }
+    }
+
+    // And the enrolled pipeline scores fresh windows end-to-end.
+    let stream = world.window_stream(&world.users[0], 0x7E57, 4);
+    for w in &stream[stream.len() - 4..] {
+        let outcome = pipeline.process_window(w).expect("scores after enrollment");
+        assert!(
+            matches!(outcome, smarteryou::core::ProcessOutcome::Decision { .. }),
+            "batched-enrolled pipeline must authenticate, got {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn fleet_engine_enroll_many_batches_the_whole_fleet() {
+    let world = build_world(3, WINDOW_SECS, SEEDS);
+    let mut engine = FleetEngine::new();
+    for u in 0..world.users.len() {
+        let pipeline = world.pipeline_with(
+            0xF1EE7 ^ (u as u64 + 1),
+            ResponsePolicy {
+                rejects_to_lock: usize::MAX,
+            },
+            None,
+        );
+        engine.register(UserId(u), pipeline).expect("registers");
+    }
+    let batch: Vec<(UserId, [Vec<Vec<f64>>; 2])> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, profile)| {
+            (
+                UserId(u),
+                enroll_buffers(&world, profile, 0xA11CE ^ (u as u64 + 1)),
+            )
+        })
+        .collect();
+
+    // An unknown user anywhere in the batch fails up front — nobody
+    // enrolls.
+    let mut poisoned = batch.clone();
+    poisoned.push((UserId(99), poisoned[0].1.clone()));
+    assert!(matches!(
+        engine.enroll_many(poisoned, &mut StdRng::seed_from_u64(1)),
+        Err(CoreError::UnknownUser(UserId(99)))
+    ));
+    for u in 0..world.users.len() {
+        assert!(engine
+            .pipeline(UserId(u))
+            .expect("registered")
+            .authenticator()
+            .is_none());
+    }
+
+    let enrolled = engine
+        .enroll_many(batch, &mut StdRng::seed_from_u64(0xCAB))
+        .expect("batched enrollment");
+    assert_eq!(enrolled, world.users.len());
+    for u in 0..world.users.len() {
+        let pipeline = engine.pipeline(UserId(u)).expect("registered");
+        assert!(pipeline.authenticator().is_some(), "user {u} not enrolled");
+        let (hits, misses) = pipeline.fit_cache_stats();
+        assert!(
+            hits >= 2,
+            "user {u}: expected shared-block hits, saw {hits}"
+        );
+        assert_eq!(misses, 0, "user {u}: unexpected fallback fit");
+    }
+}

@@ -33,8 +33,8 @@ use rand::rngs::StdRng;
 use smarteryou::core::engine::{FleetEngine, TrainingService};
 use smarteryou::core::persist::MemorySnapshotStore;
 use smarteryou::core::{
-    Authenticator, CoreError, NegativeEpoch, ProcessOutcome, ResponsePolicy, RetrainMode,
-    RetrainPolicy, SmarterYou, SystemConfig, SystemEvent, TrainingHandle,
+    Authenticator, CoreError, EnrollmentWorkspace, NegativeEpoch, ProcessOutcome, ResponsePolicy,
+    RetrainMode, RetrainPolicy, SmarterYou, SystemConfig, SystemEvent, TrainingHandle,
 };
 use smarteryou::ml::KrrFitCache;
 use smarteryou::sensors::{DualDeviceWindow, UserId};
@@ -273,6 +273,14 @@ impl TrainingHandle for GatedHandle {
             .train_authenticator_epoch(positives, cfg, rng, epoch, caches);
         *self.finished.lock().expect("finished") += 1;
         result
+    }
+
+    fn enrollment_workspace(
+        &self,
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+    ) -> Result<EnrollmentWorkspace, CoreError> {
+        self.inner.enrollment_workspace(cfg, rng)
     }
 }
 
