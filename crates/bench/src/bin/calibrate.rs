@@ -4,7 +4,7 @@
 //!
 //! Not part of the repro suite — a development tool.
 
-use smarteryou_bench::{header, pct};
+use smarteryou_bench::{flag_error, flag_value, header, pct};
 use smarteryou_core::experiment::{
     collect_population_features, evaluate_authentication, evaluate_per_context,
     masquerade_experiment, ExperimentConfig, MasqueradeConfig,
@@ -12,20 +12,23 @@ use smarteryou_core::experiment::{
 use smarteryou_core::{ContextMode, DeviceSet};
 use smarteryou_ml::Algorithm;
 
+const USAGE: &str = "calibrate [--users N] [--windows N] [--noise F] [--threshold F] \
+     [--repeats N] [--drift F] [--outliers F] [--skip-table6] [--per-user] [--skip-fig6]";
+
 fn main() {
     let mut cfg = ExperimentConfig::paper_default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--users" => cfg.num_users = args.next().unwrap().parse().unwrap(),
-            "--windows" => cfg.windows_per_context = args.next().unwrap().parse().unwrap(),
-            "--noise" => cfg.generator.noise_scale = args.next().unwrap().parse().unwrap(),
-            "--threshold" => cfg.accept_threshold = args.next().unwrap().parse().unwrap(),
-            "--repeats" => cfg.repeats = args.next().unwrap().parse().unwrap(),
-            "--drift" => cfg.generator.drift_scale = args.next().unwrap().parse().unwrap(),
-            "--outliers" => cfg.generator.outlier_prob = args.next().unwrap().parse().unwrap(),
+            "--users" => cfg.num_users = flag_value(&a, args.next(), USAGE),
+            "--windows" => cfg.windows_per_context = flag_value(&a, args.next(), USAGE),
+            "--noise" => cfg.generator.noise_scale = flag_value(&a, args.next(), USAGE),
+            "--threshold" => cfg.accept_threshold = flag_value(&a, args.next(), USAGE),
+            "--repeats" => cfg.repeats = flag_value(&a, args.next(), USAGE),
+            "--drift" => cfg.generator.drift_scale = flag_value(&a, args.next(), USAGE),
+            "--outliers" => cfg.generator.outlier_prob = flag_value(&a, args.next(), USAGE),
             "--skip-table6" | "--per-user" | "--skip-fig6" => {}
-            other => panic!("unknown flag {other}"),
+            other => flag_error(other, "unknown flag", USAGE),
         }
     }
     let skip_table6 = std::env::args().any(|a| a == "--skip-table6");

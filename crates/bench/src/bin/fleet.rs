@@ -17,11 +17,14 @@
 
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
-use smarteryou_bench::fleet::{FleetFixture, ShardFixture};
+use smarteryou_bench::fleet::{retrain_material, FleetFixture, ShardFixture};
 use smarteryou_core::engine::{BackpressurePolicy, TrainingService};
-use smarteryou_core::RetrainPolicy;
+use smarteryou_core::{NegativeEpoch, RetrainPolicy, RetrainWorkspaceCache};
 use smarteryou_dsp::{dft_fallback_count, SpectrumPlan, SpectrumScratch};
+use smarteryou_ml::{KrrFitCache, KrrTailState};
 use smarteryou_sensors::UserId;
 
 /// The paper's deployed window: 6 s at 50 Hz = 300 samples.
@@ -196,6 +199,39 @@ struct TrainingBench {
 }
 
 #[derive(Debug, Serialize)]
+struct RetrainRow {
+    scenario: &'static str,
+    /// Retrain jobs executed (users × rounds).
+    jobs: usize,
+    /// Per-job fit latency — one confidence-retrain resolved end to end.
+    p50_fit_ms: f64,
+    p99_fit_ms: f64,
+    /// Fit-cache traffic summed over every job's caches: `shared_hits`
+    /// are closed-form solves off the shared negative-Gram workspace
+    /// (incl. incremental tail slides), `keyed_hits` are per-user keyed
+    /// reuse, `misses` are true full-cost stack-and-fit fallbacks.
+    shared_hits: u64,
+    keyed_hits: u64,
+    misses: u64,
+}
+
+/// Confidence-retrain latency, legacy stack-and-fit vs the shared-workspace
+/// path, at the deployed config: every user retrains against the same
+/// pinned negative epoch (the storm shape), then twice more after sliding
+/// its positive buffer by one window — the tail-slide case. The storm row
+/// must report **zero true fit-cache misses** (the run fails otherwise):
+/// one workspace build amortizes across the fleet and every job resolves
+/// as an m×m closed-form solve or an incremental Cholesky slide.
+#[derive(Debug, Serialize)]
+struct RetrainBench {
+    users: usize,
+    rounds: usize,
+    rows: Vec<RetrainRow>,
+    /// Legacy p50 / shared p50 — the headline per-job win.
+    speedup_p50: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct SpectrumMicrobench {
     samples: usize,
     planned_spectra_per_sec: f64,
@@ -239,6 +275,11 @@ struct BenchReport {
     /// bit-identical to inline retraining (`tests/training_parity.rs`);
     /// every row must account for all of its retrains.
     training: TrainingBench,
+    /// Per-job confidence-retrain fit latency, legacy stack-and-fit vs the
+    /// shared negative-Gram workspace + incremental Cholesky tail slides.
+    /// Results agree to 1e-6 (`tests/training_parity.rs`); the storm row
+    /// must run with zero true fit-cache misses.
+    retrain: RetrainBench,
     spectrum_microbench: SpectrumMicrobench,
 }
 
@@ -703,6 +744,119 @@ fn measure_training(num_users: usize, retrain_period: usize) -> TrainingBench {
     }
 }
 
+/// Measures per-job confidence-retrain fit latency at the deployed config.
+/// Every user retrains against the same pinned negative epoch — the storm
+/// shape the fleet produces when a drift event trips many trackers in one
+/// tick — then `rounds - 1` more times after sliding its positive buffer
+/// by one window per context. `legacy_stack_and_fit` re-runs the full
+/// negative pass + O(n³) refit per job; `shared_workspace_storm` resolves
+/// each job off one shared negative-Gram workspace (closed-form m×m solve,
+/// then incremental Cholesky tail slides).
+fn measure_retrain(num_users: usize, rounds: usize) -> RetrainBench {
+    let material =
+        retrain_material(num_users, WINDOW_SECS, 0x2E7A).expect("retrain material builds");
+    let server = material.server.lock();
+    let profiles = material.buffers.len();
+    // Per-user positive buffers, slid by one window per context between
+    // rounds (pop the oldest, re-append it: removed = added = 1, well
+    // inside the tail-slide budget, and fully deterministic).
+    let mut positives: Vec<[Vec<Vec<f64>>; 2]> = (0..num_users)
+        .map(|u| material.buffers[u % profiles].clone())
+        .collect();
+    let slide = |positives: &mut [[Vec<Vec<f64>>; 2]]| {
+        for per_user in positives.iter_mut() {
+            for buf in per_user.iter_mut() {
+                let oldest = buf.remove(0);
+                buf.push(oldest);
+            }
+        }
+    };
+
+    // Identical retrain-RNG seeds pin every user to the same sampled
+    // negative epoch, as a synchronized drift event would.
+    let mut rows = Vec::new();
+    let mut p50s = Vec::new();
+    for scenario in ["legacy_stack_and_fit", "shared_workspace_storm"] {
+        let shared = scenario == "shared_workspace_storm";
+        let ws_cache = RetrainWorkspaceCache::new();
+        let mut rngs: Vec<StdRng> = (0..num_users)
+            .map(|_| StdRng::seed_from_u64(0xD21F7))
+            .collect();
+        let mut epochs: Vec<Option<NegativeEpoch>> = vec![None; num_users];
+        let mut caches: Vec<[KrrFitCache; 2]> = (0..num_users)
+            .map(|_| [KrrFitCache::default(), KrrFitCache::default()])
+            .collect();
+        let mut tails: Vec<[Option<KrrTailState>; 2]> = vec![[None, None]; num_users];
+        let mut samples_ms = Vec::with_capacity(num_users * rounds);
+        for round in 0..rounds {
+            if round > 0 {
+                slide(&mut positives);
+            }
+            for u in 0..num_users {
+                let start = Instant::now();
+                let fitted = if shared {
+                    server.train_authenticator_epoch_shared(
+                        &positives[u],
+                        &material.cfg,
+                        &mut rngs[u],
+                        &mut epochs[u],
+                        &mut caches[u],
+                        &mut tails[u],
+                        &ws_cache,
+                    )
+                } else {
+                    server.train_authenticator_epoch(
+                        &positives[u],
+                        &material.cfg,
+                        &mut rngs[u],
+                        &mut epochs[u],
+                        &mut caches[u],
+                    )
+                };
+                samples_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                fitted.expect("retrain fits");
+            }
+        }
+        // Rewind the buffers so both scenarios refit identical positives.
+        for _ in 1..rounds {
+            slide(&mut positives);
+        }
+        let (shared_hits, keyed_hits, misses) = caches
+            .iter()
+            .flatten()
+            .fold((0u64, 0u64, 0u64), |(s, k, m), c| {
+                (s + c.shared_hits(), k + c.keyed_hits(), m + c.misses())
+            });
+        samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let p50_fit_ms = percentile_ms(&samples_ms, 0.50);
+        let p99_fit_ms = percentile_ms(&samples_ms, 0.99);
+        p50s.push(p50_fit_ms);
+        println!(
+            "{num_users:>7} users  retrain {scenario:<22}  {} jobs  fit p50 {p50_fit_ms:>7.3}ms  \
+             p99 {p99_fit_ms:>7.3}ms  (cache: {shared_hits} shared / {keyed_hits} keyed / \
+             {misses} miss)",
+            samples_ms.len()
+        );
+        rows.push(RetrainRow {
+            scenario,
+            jobs: samples_ms.len(),
+            p50_fit_ms,
+            p99_fit_ms,
+            shared_hits,
+            keyed_hits,
+            misses,
+        });
+    }
+    let speedup_p50 = p50s[0] / p50s[1].max(1e-9);
+    println!("retrain per-job p50 speedup (legacy / shared): {speedup_p50:.1}×");
+    RetrainBench {
+        users: num_users,
+        rounds,
+        rows,
+        speedup_p50,
+    }
+}
+
 /// Times the planned spectrum against the O(n²) reference at the deployed
 /// 300-sample window. The reference intentionally calls [`smarteryou_dsp::dft`],
 /// so this must run *after* the fallback counter has been checked.
@@ -794,6 +948,10 @@ fn main() {
     // retrains on the tick thread, and with retrains on worker threads.
     let training = measure_training(if quick { 64 } else { 128 }, 6);
     println!();
+    // Per-job retrain fit latency: legacy stack-and-fit vs the shared
+    // negative-Gram workspace with incremental tail slides.
+    let retrain = measure_retrain(if quick { 48 } else { 128 }, 3);
+    println!();
     let fallbacks = dft_fallback_count() - baseline;
 
     // The microbench runs the reference DFT on purpose; check the fleet
@@ -832,6 +990,7 @@ fn main() {
         shard,
         ingest,
         training,
+        retrain,
         spectrum_microbench: microbench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -873,6 +1032,21 @@ fn main() {
                 "FAIL: async_ingest {} row dropped windows ({} submitted, {} scored) — \
                  bounded ingestion must never lose a window",
                 row.scenario, row.windows_submitted, row.windows_scored
+            );
+            std::process::exit(1);
+        }
+    }
+    // The production-config retrain storm must resolve every job off the
+    // shared negative-Gram workspace: a true fit-cache miss means a job
+    // fell back to the full-cost stack-and-fit, which is exactly the
+    // regression the shared path exists to prevent.
+    for row in &report.retrain.rows {
+        if row.scenario == "shared_workspace_storm" && row.misses > 0 {
+            eprintln!(
+                "FAIL: shared-workspace retrain storm took {} true fit-cache miss(es) over \
+                 {} jobs ({} shared hits, {} keyed hits) — every storm job must resolve off \
+                 the shared negative-Gram block or an incremental tail slide",
+                row.misses, row.jobs, row.shared_hits, row.keyed_hits
             );
             std::process::exit(1);
         }

@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use smarteryou_bench::pct;
+use smarteryou_bench::{flag_error, flag_value, pct};
 use smarteryou_core::experiment::{collect_population_features, ExperimentConfig};
 use smarteryou_core::DeviceSet;
 use smarteryou_ml::{evaluate_binary, stratified_k_fold, Dataset, Kernel, KernelRidge, Scaler};
@@ -12,14 +12,16 @@ use smarteryou_sensors::UsageContext;
 #[allow(unused_imports)]
 use smarteryou_stats as _stats_link;
 
+const USAGE: &str = "probe [--noise F] [--rho F]";
+
 fn main() {
     let mut cfg = ExperimentConfig::paper_default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--noise" => cfg.generator.noise_scale = args.next().unwrap().parse().unwrap(),
-            "--rho" => cfg.rho = args.next().unwrap().parse().unwrap(),
-            other => panic!("unknown flag {other}"),
+            "--noise" => cfg.generator.noise_scale = flag_value(&a, args.next(), USAGE),
+            "--rho" => cfg.rho = flag_value(&a, args.next(), USAGE),
+            other => flag_error(other, "unknown flag", USAGE),
         }
     }
     let data = collect_population_features(&cfg);

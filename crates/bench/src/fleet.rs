@@ -164,6 +164,45 @@ fn harvest_enrollment_buffers(
     Ok(buffers)
 }
 
+/// Material for the retrain-latency bench rows: the shared training
+/// server (with its anonymized negative pool), the deployed system config,
+/// and per-profile enrollment feature buffers — the positive class a
+/// confidence-triggered retrain refits on.
+pub struct RetrainMaterial {
+    /// Deployed system configuration (window length, data size, ρ).
+    pub cfg: SystemConfig,
+    /// Training server holding the anonymized negative pool.
+    pub server: Arc<Mutex<TrainingServer>>,
+    /// Per-profile positive feature buffers, one `[stationary, moving]`
+    /// pair each; users beyond the profile cap cycle through these.
+    pub buffers: Vec<[Vec<Vec<f64>>; 2]>,
+}
+
+/// Builds the world + harvested enrollment buffers the retrain bench
+/// refits against, without registering a fleet (the bench times the
+/// training-handle calls directly, not engine ticks).
+///
+/// # Errors
+///
+/// Propagates pipeline construction/training failures.
+///
+/// # Panics
+///
+/// Panics if `num_users` is zero or a profile fails to enroll.
+pub fn retrain_material(
+    num_users: usize,
+    window_secs: f64,
+    seed: u64,
+) -> Result<RetrainMaterial, CoreError> {
+    let world = build_world(num_users, window_secs, seed)?;
+    let buffers = harvest_enrollment_buffers(&world, seed)?;
+    Ok(RetrainMaterial {
+        cfg: world.cfg,
+        server: world.server,
+        buffers,
+    })
+}
+
 /// A ready-to-tick fleet: every registered user has finished enrollment and
 /// authenticates windows drawn from their sensor profile.
 pub struct FleetFixture {

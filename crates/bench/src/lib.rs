@@ -54,6 +54,37 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Reports a CLI flag error — naming the offending flag — prints the
+/// binary's usage line, and exits with status 1. For development tools
+/// that hand-roll flag loops; a typo should produce a diagnosis, not a
+/// panic backtrace.
+pub fn flag_error(flag: &str, problem: &str, usage: &str) -> ! {
+    eprintln!("error: {flag}: {problem}");
+    eprintln!("usage: {usage}");
+    std::process::exit(1);
+}
+
+/// Parses the value of `flag` from the argument stream: `value` is the
+/// token following the flag (if any). Missing or unparsable values print
+/// the usage line and exit 1, naming the flag.
+pub fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>, usage: &str) -> T {
+    let raw = match value {
+        Some(raw) => raw,
+        None => flag_error(flag, "expected a value", usage),
+    };
+    match raw.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => flag_error(
+            flag,
+            &format!(
+                "invalid value {raw:?} (expected {})",
+                std::any::type_name::<T>()
+            ),
+            usage,
+        ),
+    }
+}
+
 /// The experiment configuration a repro binary should use.
 pub fn repro_config() -> smarteryou_core::experiment::ExperimentConfig {
     if quick_mode() {
@@ -140,6 +171,14 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.981), "98.1%");
+    }
+
+    #[test]
+    fn flag_value_parses_well_formed_input() {
+        let users: usize = flag_value("--users", Some("12".to_string()), "usage");
+        assert_eq!(users, 12);
+        let noise: f64 = flag_value("--noise", Some("0.25".to_string()), "usage");
+        assert_eq!(noise, 0.25);
     }
 
     #[test]

@@ -11,12 +11,25 @@
 //! *later* tick boundary — the pipeline keeps scoring on its old model in
 //! between.
 //!
+//! # Shared-workspace retrains
+//!
+//! Retrain jobs do **not** pay a fresh negative pass plus an O(n³) refit:
+//! every job resolves its pinned [`NegativeEpoch`] through the service's
+//! [`RetrainWorkspaceCache`], so the negative-Gram block is computed once
+//! per epoch and each fit is one m×m closed-form solve. The request also
+//! carries the pipeline's per-context positive-tail factor identity
+//! ([`KrrTailState`]); when only a few buffer windows changed since the
+//! previous fit, the Cholesky factor is slid with rank-1 updates instead of
+//! refactored. The synchronous parity mode and inline retraining use the
+//! same entry point, so deferred-vs-inline bit-parity is preserved.
+//!
 //! # Determinism
 //!
 //! [`execute`] is a pure function of its request: it rebuilds the
 //! pipeline's RNG from the captured state, runs the same
-//! [`TrainingHandle::train_authenticator_epoch`] call inline retraining
-//! would have run, and carries the post-training RNG/epoch/cache state back
+//! [`TrainingHandle::train_authenticator_epoch_shared`] call inline
+//! retraining would have run, and carries the post-training
+//! RNG/epoch/cache/tail state back
 //! in the output. A service in *synchronous* mode
 //! ([`TrainingService::synchronous`]) runs submitted jobs in submission
 //! order on the caller's thread during [`TrainingService::run_pending`], so
@@ -36,21 +49,21 @@
 //!
 //! [`FleetEngine::tick`]: crate::engine::FleetEngine::tick
 //! [`TrainingHandle`]: crate::server::TrainingHandle
-//! [`TrainingHandle::train_authenticator_epoch`]:
-//!     crate::server::TrainingHandle::train_authenticator_epoch
+//! [`TrainingHandle::train_authenticator_epoch_shared`]:
+//!     crate::server::TrainingHandle::train_authenticator_epoch_shared
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 
 use rand::rngs::StdRng;
 
-use smarteryou_ml::KrrFitCache;
+use smarteryou_ml::{KrrFitCache, KrrTailState};
 
 use crate::auth::Authenticator;
 use crate::config::SystemConfig;
 use crate::error::CoreError;
 use crate::parallel::CancelToken;
-use crate::server::{NegativeEpoch, TrainingHandle};
+use crate::server::{NegativeEpoch, RetrainWorkspaceCache, TrainingHandle};
 
 /// Identifies one submitted retrain job within its [`TrainingService`].
 /// Monotonic per service; never reused.
@@ -79,6 +92,12 @@ pub struct RetrainRequest {
     /// request rebuilt with cold caches (e.g. after evict/restore) still
     /// produces a bit-identical model.
     pub(crate) fit_caches: [KrrFitCache; 2],
+    /// Per-context positive-tail factor identity from the pipeline's
+    /// previous fit: lets the job slide the cached Cholesky factor when
+    /// only a few buffer windows changed. Purely an accelerator — a
+    /// request rebuilt with cold tails still produces an
+    /// equivalent-to-epsilon model via the full closed-form refit.
+    pub(crate) retrain_tails: [Option<KrrTailState>; 2],
     /// Pipeline day at trigger time — the timestamp the eventual
     /// `Retrained` event carries.
     pub(crate) day: f64,
@@ -93,12 +112,16 @@ pub struct RetrainOutput {
     pub(crate) rng_state: [u64; 4],
     pub(crate) negative_epoch: Option<NegativeEpoch>,
     pub(crate) fit_caches: [KrrFitCache; 2],
+    pub(crate) retrain_tails: [Option<KrrTailState>; 2],
     pub(crate) day: f64,
 }
 
 /// Executes one retrain request against a training handle. Pure in the
 /// request: same request + same handle pool state → bit-identical output,
-/// on any thread.
+/// on any thread. Builds its shared workspace into a throwaway cache —
+/// callers executing more than one job against the same epoch should use
+/// [`execute_shared`] with a long-lived [`RetrainWorkspaceCache`] (the
+/// service's workers do).
 ///
 /// # Errors
 ///
@@ -107,27 +130,47 @@ pub fn execute(
     handle: &Arc<dyn TrainingHandle>,
     request: RetrainRequest,
 ) -> Result<RetrainOutput, CoreError> {
+    execute_shared(handle, request, &RetrainWorkspaceCache::new())
+}
+
+/// [`execute`] against a caller-owned [`RetrainWorkspaceCache`], so the
+/// per-epoch negative-Gram block is built once and reused across jobs. The
+/// cache never changes results — it only decides who pays the workspace
+/// construction cost.
+///
+/// # Errors
+///
+/// Propagates training failures from the handle.
+pub fn execute_shared(
+    handle: &Arc<dyn TrainingHandle>,
+    request: RetrainRequest,
+    ws_cache: &RetrainWorkspaceCache,
+) -> Result<RetrainOutput, CoreError> {
     let RetrainRequest {
         positives,
         cfg,
         rng_state,
         mut negative_epoch,
         mut fit_caches,
+        mut retrain_tails,
         day,
     } = request;
     let mut rng = StdRng::from_state(rng_state);
-    let authenticator = handle.train_authenticator_epoch(
+    let authenticator = handle.train_authenticator_epoch_shared(
         &positives,
         &cfg,
         &mut rng,
         &mut negative_epoch,
         &mut fit_caches,
+        &mut retrain_tails,
+        ws_cache,
     )?;
     Ok(RetrainOutput {
         authenticator,
         rng_state: rng.state(),
         negative_epoch,
         fit_caches,
+        retrain_tails,
         day,
     })
 }
@@ -158,6 +201,9 @@ struct Shared {
     /// Tokens of jobs submitted but not yet finished or canceled, keyed by
     /// job id — the cancel entry point.
     tokens: Mutex<HashMap<JobId, CancelToken>>,
+    /// Per-epoch shared negative-Gram workspaces, reused across every job
+    /// the service executes (worker or synchronous mode alike).
+    ws_cache: RetrainWorkspaceCache,
 }
 
 impl Shared {
@@ -171,7 +217,7 @@ impl Shared {
             request,
         } = job;
         if !token.is_canceled() {
-            let result = execute(&handle, request);
+            let result = execute_shared(&handle, request, &self.ws_cache);
             if token.try_commit() {
                 self.ready
                     .lock()
@@ -242,6 +288,7 @@ impl TrainingService {
             available: Condvar::new(),
             ready: Mutex::new(Vec::new()),
             tokens: Mutex::new(HashMap::new()),
+            ws_cache: RetrainWorkspaceCache::new(),
         });
         let workers = (0..workers)
             .map(|k| {

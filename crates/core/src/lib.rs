@@ -63,5 +63,7 @@ pub use pipeline::{
 pub use power::{BatteryRow, OverheadReport};
 pub use response::{ResponseAction, ResponseModule, ResponsePolicy};
 pub use retrain::{ConfidenceTracker, RetrainPolicy};
-pub use server::{EnrollmentWorkspace, NegativeEpoch, TrainingHandle, TrainingServer};
+pub use server::{
+    EnrollmentWorkspace, NegativeEpoch, RetrainWorkspaceCache, TrainingHandle, TrainingServer,
+};
 pub use window_features::{FeatureScratch, WindowFeatures};

@@ -59,6 +59,7 @@ use std::path::PathBuf;
 
 use serde::{Deserialize, Serialize};
 
+use smarteryou_ml::KrrTailState;
 use smarteryou_sensors::{UserId, WindowSpec};
 
 use crate::auth::Authenticator;
@@ -155,12 +156,39 @@ struct SnapshotHeader {
 /// own. A job id is deliberately not persisted: it is meaningless outside
 /// the engine that issued it, and a restored pipeline always re-enters the
 /// *pending* state for its owning engine to resubmit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PersistedRetrain {
     pub(crate) positives: [Vec<Vec<f64>>; 2],
     pub(crate) rng_state: [u64; 4],
     pub(crate) negative_epoch: Option<NegativeEpoch>,
+    /// Positive-tail factor identity captured with the request. Unlike the
+    /// fit caches, tails persist: a slid factor is not bit-identical to a
+    /// fresh one, so dropping them would break restore bit-parity for a
+    /// request resumed on another engine.
+    pub(crate) retrain_tails: [Option<KrrTailState>; 2],
     pub(crate) day: f64,
+}
+
+/// Hand-written so requests persisted before `retrain_tails` existed keep
+/// parsing (cold tails — the job simply refits from scratch); the vendored
+/// serde derive has no `#[serde(default)]`.
+impl serde::Deserialize for PersistedRetrain {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::__private::get_field;
+        let retrain_tails = match v.get("retrain_tails") {
+            Some(entry) => <[Option<KrrTailState>; 2]>::from_value(entry).map_err(|e| {
+                serde::DeError::custom(format!("PersistedRetrain.retrain_tails: {e}"))
+            })?,
+            None => [None, None],
+        };
+        Ok(PersistedRetrain {
+            positives: get_field(v, "PersistedRetrain", "positives")?,
+            rng_state: get_field(v, "PersistedRetrain", "rng_state")?,
+            negative_epoch: get_field(v, "PersistedRetrain", "negative_epoch")?,
+            retrain_tails,
+            day: get_field(v, "PersistedRetrain", "day")?,
+        })
+    }
 }
 
 impl PersistedRetrain {
@@ -170,6 +198,7 @@ impl PersistedRetrain {
             positives: request.positives.clone(),
             rng_state: request.rng_state,
             negative_epoch: request.negative_epoch.clone(),
+            retrain_tails: request.retrain_tails.clone(),
             day: request.day,
         }
     }
@@ -182,6 +211,7 @@ impl PersistedRetrain {
             rng_state: self.rng_state,
             negative_epoch: self.negative_epoch,
             fit_caches: Default::default(),
+            retrain_tails: self.retrain_tails,
             day: self.day,
         }
     }
@@ -219,6 +249,12 @@ pub struct PipelineSnapshot {
     /// (see [`NegativeEpoch`]); `None` until the first retrain drew one.
     /// Absent in pre-epoch snapshots, which restore with `None`.
     pub(crate) negative_epoch: Option<NegativeEpoch>,
+    /// Per-context positive-tail factor identity from the previous
+    /// shared-workspace retrain ([`KrrTailState`]); persisted because a
+    /// slid factor is not bit-identical to a fresh one, so restore
+    /// bit-parity depends on it. Absent in pre-tail snapshots, which
+    /// restore cold (the next retrain refits from scratch).
+    pub(crate) retrain_tails: [Option<KrrTailState>; 2],
     /// How retrain triggers execute ([`RetrainMode::Inline`] historically
     /// and by default; absent in pre-training-service snapshots).
     pub(crate) retrain_mode: RetrainMode,
@@ -261,6 +297,7 @@ impl serde::Deserialize for PipelineSnapshot {
             planned_window: get_field(v, "PipelineSnapshot", "planned_window")?,
             event_capacity: field_or(v, "event_capacity", crate::pipeline::DEFAULT_EVENT_CAPACITY)?,
             negative_epoch: field_or(v, "negative_epoch", None)?,
+            retrain_tails: field_or(v, "retrain_tails", [None, None])?,
             retrain_mode: field_or(v, "retrain_mode", RetrainMode::Inline)?,
             retrain_in_flight: field_or(v, "retrain_in_flight", None)?,
         })
@@ -810,6 +847,7 @@ mod tests {
             planned_window: Some(WindowSpec::from_seconds(6.0, 50.0)),
             event_capacity: crate::pipeline::DEFAULT_EVENT_CAPACITY,
             negative_epoch: None,
+            retrain_tails: [None, None],
             retrain_mode: RetrainMode::Inline,
             retrain_in_flight: None,
         }
@@ -893,11 +931,14 @@ mod tests {
                 "",
             )
             .replace(",\"negative_epoch\":null", "")
+            .replace(",\"retrain_tails\":[null,null]", "")
             .replace(",\"retrain_mode\":\"Inline\"", "")
             .replace(",\"retrain_in_flight\":null", "");
         assert!(legacy.len() < json.len(), "fields were not stripped");
         assert!(
-            !legacy.contains("retrain_mode") && !legacy.contains("retrain_in_flight"),
+            !legacy.contains("retrain_mode")
+                && !legacy.contains("retrain_in_flight")
+                && !legacy.contains("retrain_tails"),
             "training-service fields were not stripped"
         );
         let parsed = PipelineSnapshot::from_json(&legacy).expect("legacy v1 parses");
@@ -922,6 +963,7 @@ mod tests {
             positives: [vec![vec![3.0, 4.0]], Vec::new()],
             rng_state: [9, 8, 7, 6],
             negative_epoch: None,
+            retrain_tails: [None, None],
             day: 1.25,
         });
         let back = PipelineSnapshot::from_json(&snap.to_json()).unwrap();

@@ -3,7 +3,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use smarteryou_ml::KrrFitCache;
+use smarteryou_ml::{KrrFitCache, KrrTailState};
 use smarteryou_sensors::{DualDeviceWindow, UsageContext, WindowSpec};
 
 use crate::auth::{AuthDecision, Authenticator};
@@ -14,7 +14,7 @@ use crate::features::FeatureExtractor;
 use crate::persist::{PipelineSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 use crate::response::{ResponseAction, ResponseModule, ResponsePolicy};
 use crate::retrain::{ConfidenceTracker, RetrainPolicy};
-use crate::server::{EnrollmentWorkspace, NegativeEpoch, TrainingHandle};
+use crate::server::{EnrollmentWorkspace, NegativeEpoch, RetrainWorkspaceCache, TrainingHandle};
 use crate::window_features::FeatureScratch;
 use crate::CoreError;
 
@@ -147,6 +147,17 @@ pub struct SmarterYou {
     /// restored pipeline starts cold and simply refactors once — cache
     /// state never changes any trained model bit.
     fit_caches: [KrrFitCache; 2],
+    /// Per-context positive-tail factor identity from the previous
+    /// shared-workspace fit: retrains whose positive tail shifted by only
+    /// a few windows slide the cached Cholesky factor instead of
+    /// refactoring. **Persisted** in snapshots — unlike the fit caches, a
+    /// slid factor is not bit-identical to a fresh one, so dropping the
+    /// tail on evict/restore would break restore bit-parity.
+    retrain_tails: [Option<KrrTailState>; 2],
+    /// Per-epoch shared negative-Gram blocks for inline retrains.
+    /// Transient and cheaply rebuilt; never changes model bits (the
+    /// workspace is a pure function of the epoch and trainer config).
+    ws_cache: RetrainWorkspaceCache,
     /// Whether retrain triggers run inline or defer to a training service.
     retrain_mode: RetrainMode,
     /// Deferred-retrain state machine; always `Idle` in inline mode.
@@ -186,6 +197,8 @@ impl SmarterYou {
             shared_extractor,
             negative_epoch: None,
             fit_caches: Default::default(),
+            retrain_tails: [None, None],
+            ws_cache: RetrainWorkspaceCache::new(),
             retrain_mode: RetrainMode::Inline,
             retrain_state: RetrainState::Idle,
         })
@@ -292,6 +305,20 @@ impl SmarterYou {
         self.fit_caches
             .iter()
             .fold((0, 0), |(h, m), c| (h + c.hits(), m + c.misses()))
+    }
+
+    /// Cumulative `(shared_hits, keyed_hits, misses)` across the
+    /// per-context fit caches — the split behind
+    /// [`SmarterYou::fit_cache_stats`]. A *shared* hit means the fit came
+    /// off the per-epoch negative-Gram block (one m×m solve or a tail
+    /// slide), a *keyed* hit means an identical design matrix reused its
+    /// exact cached factorisation, and a miss means the full cubic
+    /// factorisation was paid. The retrain-storm guard keys off the miss
+    /// count alone, so shared-block fallbacks can't masquerade as hits.
+    pub fn fit_cache_detail(&self) -> (u64, u64, u64) {
+        self.fit_caches.iter().fold((0, 0, 0), |(s, k, m), c| {
+            (s + c.shared_hits(), k + c.keyed_hits(), m + c.misses())
+        })
     }
 
     /// Appends to the bounded event log, dropping the oldest entry at
@@ -407,6 +434,7 @@ impl SmarterYou {
             rng_state,
             negative_epoch,
             fit_caches,
+            retrain_tails,
             day,
         } = output;
         self.authenticator = Some(authenticator);
@@ -417,6 +445,7 @@ impl SmarterYou {
         self.rng = StdRng::from_state(rng_state);
         self.negative_epoch = negative_epoch;
         self.fit_caches = fit_caches;
+        self.retrain_tails = retrain_tails;
         self.retrain_state = RetrainState::Idle;
         self.push_event(SystemEvent::Retrained { day });
         true
@@ -439,9 +468,12 @@ impl SmarterYou {
             cfg: self.cfg.clone(),
             rng_state: self.rng.state(),
             negative_epoch: self.negative_epoch.clone(),
-            // The caches travel with the job (the worker refits through
-            // them) and are reinstalled on apply.
+            // The caches and tails travel with the job (the worker refits
+            // through them) and are reinstalled on apply. A failed or
+            // dropped job leaves them cold — an accelerator loss, never a
+            // correctness one.
             fit_caches: std::mem::take(&mut self.fit_caches),
+            retrain_tails: std::mem::take(&mut self.retrain_tails),
             day: self.day,
         }
     }
@@ -499,6 +531,7 @@ impl SmarterYou {
             day: self.day,
             planned_window,
             negative_epoch: self.negative_epoch,
+            retrain_tails: self.retrain_tails,
             retrain_mode: self.retrain_mode,
             retrain_in_flight,
         }
@@ -555,6 +588,10 @@ impl SmarterYou {
             negative_epoch: snapshot.negative_epoch,
             // Cold caches: the first post-restore retrain refactors once.
             fit_caches: Default::default(),
+            // Tails are NOT cold: a slid factor differs in bits from a
+            // fresh one, so restore bit-parity needs the persisted state.
+            retrain_tails: snapshot.retrain_tails,
+            ws_cache: RetrainWorkspaceCache::new(),
             retrain_mode: snapshot.retrain_mode,
             retrain_state,
         };
@@ -836,20 +873,25 @@ impl SmarterYou {
 
     /// Retrains from the most recent accepted windows (§V-I: "upload the
     /// legitimate user's latest authentication feature vectors") with
-    /// epoch-stable negative sampling: the frozen sample in
-    /// `negative_epoch` is reused while the server pool is unchanged, so a
-    /// retrain whose positives also did not move (e.g. the other context's
-    /// model during a one-context usage streak) presents an identical
-    /// design matrix and reuses the cached Cholesky factorisation in
-    /// `fit_caches` (observable via [`SmarterYou::fit_cache_stats`]).
+    /// epoch-stable negative sampling through the shared per-epoch
+    /// workspace: the frozen sample in `negative_epoch` is reused while
+    /// the server pool is unchanged, its negative-Gram block comes out of
+    /// `ws_cache`, and the previous fit's positive-tail factor identity in
+    /// `retrain_tails` lets a retrain whose buffer shifted by only a few
+    /// windows slide the Cholesky factor instead of refactoring
+    /// (observable via [`SmarterYou::fit_cache_detail`]). Deferred mode
+    /// runs the *same* handle entry point, which is what keeps
+    /// deferred-sync retrains bit-identical to inline ones.
     fn retrain(&mut self) -> Result<(), CoreError> {
         let positives = [self.recent[0].clone(), self.recent[1].clone()];
-        let auth = self.server.train_authenticator_epoch(
+        let auth = self.server.train_authenticator_epoch_shared(
             &positives,
             &self.cfg,
             &mut self.rng,
             &mut self.negative_epoch,
             &mut self.fit_caches,
+            &mut self.retrain_tails,
+            &self.ws_cache,
         )?;
         self.authenticator = Some(auth);
         self.tracker.mark_retrained();

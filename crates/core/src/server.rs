@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -6,7 +7,7 @@ use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
 use smarteryou_linalg::Matrix;
-use smarteryou_ml::{KernelRidge, KrrFitCache, KrrSharedWorkspace, Scaler};
+use smarteryou_ml::{KernelRidge, KrrFitCache, KrrSharedWorkspace, KrrTailState, Scaler};
 use smarteryou_sensors::UsageContext;
 
 use crate::auth::{AuthModel, Authenticator};
@@ -318,6 +319,45 @@ impl TrainingServer {
         }
     }
 
+    /// [`TrainingServer::train_authenticator_epoch`] routed through the
+    /// same shared negative-Gram blocks enrollment uses: the per-epoch
+    /// [`EnrollmentWorkspace`] is looked up in (or built into) `ws_cache`,
+    /// so each retrain resolves to one m×m closed-form solve instead of a
+    /// fresh negative pass plus an O(n³) refit. `tails` carries the
+    /// positive-tail factor identity from the previous fit per context
+    /// slot; when only a few buffer windows changed since then the
+    /// Cholesky factor is *slid* with rank-1 updates/downdates instead of
+    /// refactored (see `KernelRidge::fit_scaled_shared_tail`). A pool
+    /// change resamples the epoch and clears the tails — a slid factor is
+    /// only meaningful against the negatives it was built over.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainingServer::train_authenticator_epoch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_authenticator_epoch_shared(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+        tails: &mut [Option<KrrTailState>; 2],
+        ws_cache: &RetrainWorkspaceCache,
+    ) -> Result<Authenticator, CoreError> {
+        if epoch
+            .as_ref()
+            .is_none_or(|e| (e.pool_version, e.pool_fingerprint) != self.pool_stamp())
+        {
+            *epoch = Some(self.sample_negative_epoch(cfg, rng)?);
+            // The tails factor in the old epoch's negatives: stale.
+            *tails = [None, None];
+        }
+        let epoch = epoch.as_ref().expect("pinned above");
+        let ws = ws_cache.workspace_for(epoch, cfg)?;
+        ws.train_authenticator_tail(positives, cfg, caches, tails)
+    }
+
     /// Pins a fresh [`NegativeEpoch`] and precomputes the per-context
     /// [`KrrSharedWorkspace`] blocks over it — the shared prefix of every
     /// enrollment fit against this pool sample. Build once per enrollment
@@ -542,6 +582,76 @@ impl EnrollmentWorkspace {
         }
     }
 
+    /// Retrain variant of [`EnrollmentWorkspace::train_authenticator`]:
+    /// every model fit additionally threads the per-slot
+    /// [`KrrTailState`] through
+    /// [`KernelRidge::fit_scaled_shared_tail`], so a retrain whose
+    /// positive tail shifted by only a few buffer windows slides the
+    /// previous Cholesky factor instead of refactoring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnrollmentWorkspace::train_authenticator`].
+    pub fn train_authenticator_tail(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        caches: &mut [KrrFitCache; 2],
+        tails: &mut [Option<KrrTailState>; 2],
+    ) -> Result<Authenticator, CoreError> {
+        match cfg.context_mode() {
+            ContextMode::Unified => {
+                let all: Vec<Vec<f64>> = positives.iter().flatten().cloned().collect();
+                let model =
+                    self.train_model_shared_tail(&all, 0, cfg, &mut caches[0], &mut tails[0])?;
+                Ok(Authenticator::unified(model, cfg.accept_threshold()))
+            }
+            ContextMode::PerContext => {
+                let mut models = Vec::with_capacity(2);
+                for ctx in UsageContext::ALL {
+                    models.push(self.train_model_shared_tail(
+                        &positives[ctx.index()],
+                        ctx.index(),
+                        cfg,
+                        &mut caches[ctx.index()],
+                        &mut tails[ctx.index()],
+                    )?);
+                }
+                Authenticator::per_context(models, cfg.accept_threshold())
+            }
+        }
+    }
+
+    /// One tail-sliding shared-block fit: same design matrix as
+    /// [`EnrollmentWorkspace::train_model_shared`], solved through
+    /// [`KernelRidge::fit_scaled_shared_tail`] so consecutive retrains
+    /// with overlapping positive tails reuse the previous factorisation.
+    fn train_model_shared_tail(
+        &self,
+        positives: &[Vec<f64>],
+        slot: usize,
+        cfg: &SystemConfig,
+        cache: &mut KrrFitCache,
+        tail: &mut Option<KrrTailState>,
+    ) -> Result<AuthModel, CoreError> {
+        let ws = self.workspaces[slot].as_ref().ok_or_else(|| {
+            CoreError::InsufficientData(format!("no frozen negatives for context slot {slot}"))
+        })?;
+        if positives.is_empty() {
+            return Err(CoreError::InsufficientData(format!(
+                "positives=0, frozen negatives={}",
+                ws.num_negatives()
+            )));
+        }
+        let per_class = cfg.data_size() / 2;
+        let start = positives.len().saturating_sub(per_class);
+        let rows: Vec<&[f64]> = positives[start..].iter().map(Vec::as_slice).collect();
+        let pos = Matrix::from_rows(&rows)
+            .map_err(|e| CoreError::InsufficientData(format!("ragged features: {e}")))?;
+        let (scaler, krr) = self.trainer.fit_scaled_shared_tail(cache, ws, &pos, tail)?;
+        Ok(AuthModel::new(scaler, krr))
+    }
+
     /// One shared-block model fit: the same design matrix as
     /// `train_model_frozen` (tail positives over the epoch's negatives),
     /// solved through [`KernelRidge::fit_scaled_shared_cached`].
@@ -568,6 +678,76 @@ impl EnrollmentWorkspace {
             .map_err(|e| CoreError::InsufficientData(format!("ragged features: {e}")))?;
         let (scaler, krr) = self.trainer.fit_scaled_shared_cached(cache, ws, &pos)?;
         Ok(AuthModel::new(scaler, krr))
+    }
+}
+
+/// A small shared cache of per-[`NegativeEpoch`] enrollment workspaces for
+/// the **retrain** path. Enrollment builds its workspace once per batch and
+/// drops it; retrains arrive one job at a time, spread over ticks, and
+/// would otherwise rebuild the negative-Gram block per job. This cache
+/// keys the block on `(epoch, trainer)` so every retrain against the same
+/// pinned sample reuses the same precomputed negatives.
+///
+/// Cheaply cloneable (the entries live behind an `Arc`): the training
+/// worker, the synchronous parity mode and each pipeline's inline fallback
+/// can all share one cache. Holding it **does not** affect results — the
+/// workspace is a pure function of the epoch and the trainer config — it
+/// only changes who pays the construction cost. Bounded to a handful of
+/// epochs (fleets converge on one shared epoch per pool version); the
+/// oldest entry is evicted first.
+#[derive(Debug, Clone, Default)]
+pub struct RetrainWorkspaceCache {
+    entries: Arc<Mutex<Vec<Arc<EnrollmentWorkspace>>>>,
+}
+
+impl RetrainWorkspaceCache {
+    /// At most this many distinct `(epoch, trainer)` workspaces are kept;
+    /// a fleet mid-pool-rollover briefly needs two.
+    const MAX_ENTRIES: usize = 8;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        RetrainWorkspaceCache::default()
+    }
+
+    /// Number of cached per-epoch workspaces.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache holds no workspaces yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// The shared workspace for `epoch` under `cfg`'s trainer, building
+    /// and caching it on first sight. Construction happens under the cache
+    /// lock so concurrent retrain workers against a fresh epoch serialize
+    /// on one build instead of racing duplicate ones.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workspace-construction failures
+    /// ([`CoreError::InsufficientData`] on ragged negatives, ML errors).
+    pub fn workspace_for(
+        &self,
+        epoch: &NegativeEpoch,
+        cfg: &SystemConfig,
+    ) -> Result<Arc<EnrollmentWorkspace>, CoreError> {
+        let trainer = KernelRidge::new(cfg.rho());
+        let mut entries = self.entries.lock();
+        if let Some(hit) = entries
+            .iter()
+            .find(|ws| ws.trainer == trainer && ws.epoch == *epoch)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(EnrollmentWorkspace::over(epoch.clone(), cfg)?);
+        if entries.len() >= RetrainWorkspaceCache::MAX_ENTRIES {
+            entries.remove(0);
+        }
+        entries.push(Arc::clone(&built));
+        Ok(built)
     }
 }
 
@@ -608,6 +788,25 @@ pub trait TrainingHandle: fmt::Debug + Send + Sync {
         caches: &mut [KrrFitCache; 2],
     ) -> Result<Authenticator, CoreError>;
 
+    /// Retrains through the shared per-epoch workspace with incremental
+    /// positive-tail factor reuse (see
+    /// [`TrainingServer::train_authenticator_epoch_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    #[allow(clippy::too_many_arguments)]
+    fn train_authenticator_epoch_shared(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+        tails: &mut [Option<KrrTailState>; 2],
+        ws_cache: &RetrainWorkspaceCache,
+    ) -> Result<Authenticator, CoreError>;
+
     /// Pins a negative epoch and precomputes the shared enrollment blocks
     /// over it (see [`TrainingServer::enrollment_workspace`]) — the entry
     /// point batched fleet enrollment builds once and reuses per user.
@@ -642,6 +841,20 @@ impl TrainingHandle for Mutex<TrainingServer> {
     ) -> Result<Authenticator, CoreError> {
         self.lock()
             .train_authenticator_epoch(positives, cfg, rng, epoch, caches)
+    }
+
+    fn train_authenticator_epoch_shared(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+        tails: &mut [Option<KrrTailState>; 2],
+        ws_cache: &RetrainWorkspaceCache,
+    ) -> Result<Authenticator, CoreError> {
+        self.lock()
+            .train_authenticator_epoch_shared(positives, cfg, rng, epoch, caches, tails, ws_cache)
     }
 
     fn enrollment_workspace(
@@ -916,6 +1129,115 @@ mod tests {
         // Production config is linear/primal: the fit must come off the
         // shared block, not the fallback.
         assert_eq!((caches[0].hits(), caches[0].misses()), (1, 0));
+    }
+
+    #[test]
+    fn shared_epoch_retrain_matches_frozen_path() {
+        let (server, pos) = setup();
+        let cfg = SystemConfig::paper_default().with_data_size(40);
+        let positives = [pos.clone(), pos.clone()];
+        // Legacy frozen path pins the epoch and is the reference.
+        let mut epoch = None;
+        let mut legacy_caches: [KrrFitCache; 2] = Default::default();
+        let legacy = server
+            .train_authenticator_epoch(&positives, &cfg, &mut rng(), &mut epoch, &mut legacy_caches)
+            .unwrap();
+        // Shared path over the *same* pinned epoch: no resample, one
+        // workspace built, every fit off the shared block, tails seeded.
+        let ws_cache = RetrainWorkspaceCache::new();
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let mut tails = [None, None];
+        let shared = server
+            .train_authenticator_epoch_shared(
+                &positives,
+                &cfg,
+                &mut rng(),
+                &mut epoch,
+                &mut caches,
+                &mut tails,
+                &ws_cache,
+            )
+            .unwrap();
+        assert_eq!(ws_cache.len(), 1);
+        assert!(tails.iter().all(Option::is_some));
+        for cache in &caches {
+            assert_eq!(
+                (cache.shared_hits(), cache.keyed_hits(), cache.misses()),
+                (1, 0, 0)
+            );
+        }
+        for ctx in UsageContext::ALL {
+            for probe in [[2.1, 1.9], [-2.0, -2.2], [0.3, -0.4]] {
+                let a = legacy.authenticate(ctx, &probe).confidence;
+                let b = shared.authenticate(ctx, &probe).confidence;
+                assert!((a - b).abs() < 1e-6, "legacy {a} vs shared {b}");
+            }
+        }
+        // A second retrain with one fresh window slides the tail instead
+        // of refactoring; the workspace is a cache hit.
+        let mut shifted = pos.clone();
+        shifted.push(vec![2.3, 1.8]);
+        let positives = [shifted.clone(), shifted];
+        server
+            .train_authenticator_epoch_shared(
+                &positives,
+                &cfg,
+                &mut rng(),
+                &mut epoch,
+                &mut caches,
+                &mut tails,
+                &ws_cache,
+            )
+            .unwrap();
+        assert_eq!(ws_cache.len(), 1, "same epoch must reuse the workspace");
+        for cache in &caches {
+            assert_eq!((cache.shared_hits(), cache.misses()), (2, 0));
+        }
+    }
+
+    #[test]
+    fn shared_epoch_retrain_resample_clears_tails() {
+        let (mut server, pos) = setup();
+        let cfg = SystemConfig::paper_default().with_data_size(40);
+        let positives = [pos.clone(), pos];
+        let ws_cache = RetrainWorkspaceCache::new();
+        let mut epoch = None;
+        let mut caches: [KrrFitCache; 2] = Default::default();
+        let mut tails = [None, None];
+        server
+            .train_authenticator_epoch_shared(
+                &positives,
+                &cfg,
+                &mut rng(),
+                &mut epoch,
+                &mut caches,
+                &mut tails,
+                &ws_cache,
+            )
+            .unwrap();
+        let pinned = epoch.clone().unwrap();
+        let first_tail = tails[0].clone().unwrap();
+        // Pool change → resample → the old factor must not survive into
+        // the new epoch (its negatives changed underneath it).
+        server.contribute(UsageContext::Stationary, vec![vec![0.1, -0.1]]);
+        server
+            .train_authenticator_epoch_shared(
+                &positives,
+                &cfg,
+                &mut rng(),
+                &mut epoch,
+                &mut caches,
+                &mut tails,
+                &ws_cache,
+            )
+            .unwrap();
+        assert_ne!(epoch.as_ref(), Some(&pinned));
+        assert_ne!(
+            tails[0].as_ref(),
+            Some(&first_tail),
+            "tails must be re-based on the fresh epoch"
+        );
+        assert_eq!(ws_cache.len(), 2, "one workspace per distinct epoch");
     }
 
     #[test]

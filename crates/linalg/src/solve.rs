@@ -1,3 +1,5 @@
+use serde::Serialize;
+
 use crate::{LinalgError, Matrix};
 
 /// LU factorisation with partial pivoting: `P * A = L * U`.
@@ -148,10 +150,28 @@ impl Lu {
 /// Roughly twice as fast as LU for the ridge systems (`K + ρI`) the ML crate
 /// solves, and fails loudly when regularisation is missing (a useful
 /// diagnostic: an unregularised gram matrix of collinear features is not PD).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Cholesky {
     /// Lower-triangular factor, stored densely.
     l: Matrix,
+}
+
+/// Hand-written (rather than derived) so deserialization is shape-checked:
+/// a snapshot carrying a non-square factor — truncated, corrupted, or
+/// forged — is rejected with a typed error instead of producing a factor
+/// whose triangular solves would later panic.
+impl serde::Deserialize for Cholesky {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let l: Matrix = serde::__private::get_field(v, "Cholesky", "l")?;
+        if l.rows() != l.cols() {
+            return Err(serde::DeError::custom(format!(
+                "Cholesky factor must be square, got {}x{}",
+                l.rows(),
+                l.cols()
+            )));
+        }
+        Ok(Cholesky { l })
+    }
 }
 
 impl Cholesky {
@@ -580,6 +600,20 @@ mod tests {
             a.lu().unwrap().solve_many(&b),
             Err(LinalgError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn cholesky_serde_roundtrips_bit_exactly_and_rejects_non_square() {
+        let ch = spd3().cholesky().unwrap();
+        let json = serde_json::to_string(&ch).unwrap();
+        let back: Cholesky = serde_json::from_str(&json).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(back.l()[(i, j)].to_bits(), ch.l()[(i, j)].to_bits());
+            }
+        }
+        let forged = r#"{"l":{"rows":2,"cols":1,"data":[1.0,1.0]}}"#;
+        assert!(serde_json::from_str::<Cholesky>(forged).is_err());
     }
 
     #[test]

@@ -180,7 +180,7 @@ impl KernelRidge {
                         && key.x == *x
                 });
                 if hit {
-                    cache.hits += 1;
+                    cache.keyed_hits += 1;
                 } else {
                     cache.factored = Some(KrrFactorization::compute(self, solver, x)?);
                     cache.key = Some(KrrFitKey::new(self, solver, x));
@@ -293,11 +293,22 @@ impl KrrFitKey {
 /// Reusable state for [`KernelRidge::fit_with_cache`]: remembers the last
 /// design matrix's centring and Cholesky factorisation so label-only refits
 /// skip the cubic factorisation step.
+///
+/// Accounting distinguishes *how* the cubic factorisation was avoided:
+/// [`KrrFitCache::keyed_hits`] counts exact key matches in
+/// [`KernelRidge::fit_with_cache`], [`KrrFitCache::shared_hits`] counts
+/// fits served off a shared enrollment/retrain workspace block, and
+/// [`KrrFitCache::misses`] counts fits that paid a full factorisation —
+/// whether from a key mismatch or from a shared-workspace fallback. The
+/// split exists so a "zero misses under the production config" guard
+/// cannot be masked by fallback fits that used to be folded into one
+/// merged hit counter.
 #[derive(Debug, Clone, Default)]
 pub struct KrrFitCache {
     key: Option<KrrFitKey>,
     factored: Option<KrrFactorization>,
-    hits: u64,
+    shared_hits: u64,
+    keyed_hits: u64,
     misses: u64,
 }
 
@@ -307,12 +318,25 @@ impl KrrFitCache {
         KrrFitCache::default()
     }
 
-    /// Number of fits that reused the cached factorisation.
+    /// Number of fits that avoided a full factorisation, from either
+    /// source: `shared_hits() + keyed_hits()`.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.shared_hits + self.keyed_hits
     }
 
-    /// Number of fits that had to (re)factor.
+    /// Number of fits served off a shared workspace's precomputed block.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Number of fits that reused the keyed factorisation via an exact
+    /// `(x, kernel, ρ, solver)` match.
+    pub fn keyed_hits(&self) -> u64 {
+        self.keyed_hits
+    }
+
+    /// Number of fits that paid a full factorisation (keyed-cache miss or
+    /// shared-workspace fallback).
     pub fn misses(&self) -> u64 {
         self.misses
     }
@@ -328,12 +352,12 @@ impl KrrFitCache {
     /// rather than recomputed, which is the same economy a key match in
     /// [`KernelRidge::fit_with_cache`] buys.
     pub fn note_shared_hit(&mut self) {
-        self.hits += 1;
+        self.shared_hits += 1;
     }
 
     /// Records a shared-workspace fit that could not reuse the shared
     /// prefix (unsupported kernel/solver combination) and fell back to a
-    /// full factorisation.
+    /// full factorisation — a true miss: the full cubic cost was paid.
     pub fn note_shared_miss(&mut self) {
         self.misses += 1;
     }
@@ -658,6 +682,25 @@ mod tests {
         cache.clear();
         let _ = trainer.fit_with_cache(&mut cache, &x2, &y).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (2, 4));
+    }
+
+    #[test]
+    fn fit_cache_splits_shared_and_keyed_hits() {
+        let (x, y) = toy();
+        let trainer = KernelRidge::new(0.5);
+        let mut cache = KrrFitCache::new();
+        let _ = trainer.fit_with_cache(&mut cache, &x, &y).unwrap();
+        let _ = trainer.fit_with_cache(&mut cache, &x, &y).unwrap();
+        cache.note_shared_hit();
+        cache.note_shared_miss();
+        // One keyed hit (second fit), one shared hit, and two true misses
+        // (the cold fit plus the shared fallback) — the merged `hits()`
+        // view stays the sum of both hit kinds.
+        assert_eq!(
+            (cache.shared_hits(), cache.keyed_hits(), cache.misses()),
+            (1, 1, 2)
+        );
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use naive_bayes::{GaussianNaiveBayes, GaussianNaiveBayesModel};
 pub use svm::{Svm, SvmModel};
 pub use traits::{BinaryClassifier, BinaryTrainer};
 pub use tree::{DecisionTree, DecisionTreeModel};
-pub use workspace::KrrSharedWorkspace;
+pub use workspace::{KrrSharedWorkspace, KrrTailState};
 
 use rand::rngs::StdRng;
 use smarteryou_linalg::Matrix;

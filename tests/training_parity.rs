@@ -17,6 +17,14 @@
 //!    rehydration restores the captured request so the retrain re-issues
 //!    and applies exactly once — with the user's ownership epoch untouched
 //!    and the whole interleaving bit-reproducible.
+//! 4. **Retrain storms.** Many users resolving retrains against one pinned
+//!    negative epoch share a single [`RetrainWorkspaceCache`] workspace
+//!    with zero true fit-cache misses, and the shared-workspace results
+//!    match the legacy stack-and-fit path to 1e-6; at the engine level, a
+//!    worker-pool storm under eviction churn keeps accounting exact and
+//!    never applies a stale model.
+//!
+//! [`RetrainWorkspaceCache`]: smarteryou::core::RetrainWorkspaceCache
 //!
 //! [`TrainingService`]: smarteryou::core::engine::TrainingService
 //! [`TrainingService::synchronous`]:
@@ -30,14 +38,16 @@ use std::time::Duration;
 
 use common::{assert_outcomes_identical, build_world as build_common_world, World, WorldSeeds};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use smarteryou::core::engine::{FleetEngine, TrainingService};
 use smarteryou::core::persist::MemorySnapshotStore;
 use smarteryou::core::{
-    Authenticator, CoreError, EnrollmentWorkspace, NegativeEpoch, ProcessOutcome, ResponsePolicy,
-    RetrainMode, RetrainPolicy, SmarterYou, SystemConfig, SystemEvent, TrainingHandle,
+    Authenticator, CoreError, DeviceSet, EnrollmentWorkspace, FeatureExtractor, NegativeEpoch,
+    ProcessOutcome, ResponsePolicy, RetrainMode, RetrainPolicy, RetrainWorkspaceCache, SmarterYou,
+    SystemConfig, SystemEvent, TrainingHandle,
 };
-use smarteryou::ml::KrrFitCache;
-use smarteryou::sensors::{DualDeviceWindow, UserId};
+use smarteryou::ml::{KrrFitCache, KrrTailState};
+use smarteryou::sensors::{DualDeviceWindow, RawContext, TraceGenerator, UserId};
 
 fn build_world(num_users: usize, window_secs: f64) -> World {
     // Seeds pin this suite's window streams independently of the other
@@ -275,6 +285,31 @@ impl TrainingHandle for GatedHandle {
         result
     }
 
+    fn train_authenticator_epoch_shared(
+        &self,
+        positives: &[Vec<Vec<f64>>; 2],
+        cfg: &SystemConfig,
+        rng: &mut StdRng,
+        epoch: &mut Option<NegativeEpoch>,
+        caches: &mut [KrrFitCache; 2],
+        tails: &mut [Option<KrrTailState>; 2],
+        ws_cache: &RetrainWorkspaceCache,
+    ) -> Result<Authenticator, CoreError> {
+        // The engine's retrain jobs run through the shared-workspace entry
+        // point, so the gate lives here too.
+        *self.entered.lock().expect("entered") += 1;
+        let mut open = self.open.lock().expect("gate");
+        while !*open {
+            open = self.opened.wait(open).expect("gate");
+        }
+        drop(open);
+        let result = self
+            .inner
+            .train_authenticator_epoch_shared(positives, cfg, rng, epoch, caches, tails, ws_cache);
+        *self.finished.lock().expect("finished") += 1;
+        result
+    }
+
     fn enrollment_workspace(
         &self,
         cfg: &SystemConfig,
@@ -453,4 +488,213 @@ fn eviction_mid_retrain_cancels_and_never_applies_a_stale_model() {
     let (outcomes_b, events_b) = run_eviction_mid_retrain();
     assert_outcomes_identical(&outcomes_a, &outcomes_b, "eviction-mid-retrain reruns");
     assert_eq!(events_a, events_b, "event streams diverge across reruns");
+}
+
+/// Retrain storm, handle level: many users resolve retrains against the
+/// same pinned negative epoch through one [`RetrainWorkspaceCache`]. The
+/// shared-workspace path must agree with the legacy stack-and-fit path to
+/// 1e-6 on every probe — both on the cold fit and after a buffer slide —
+/// while the storm records **zero true fit-cache misses** and builds the
+/// negative-Gram workspace exactly once.
+#[test]
+fn retrain_storm_shared_workspace_matches_legacy_within_1e6() {
+    const NUM_USERS: usize = 6;
+    const TRAIN_WINDOWS: usize = 25;
+    const SLIDE: usize = 2;
+    let world = build_world(NUM_USERS, 2.0);
+    let extractor = FeatureExtractor::paper_default(world.cfg.sample_rate());
+    let ws_cache = RetrainWorkspaceCache::new();
+    let server = world.server.lock();
+
+    // Per-user window features per coarse context: 25 training rows plus 2
+    // held back to slide the buffer, and the first 2 doubling as probes.
+    let contexts = [RawContext::SittingStanding, RawContext::MovingAround];
+    let features: Vec<[Vec<Vec<f64>>; 2]> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| {
+            let mut gen = TraceGenerator::new(user.clone(), 77_000 + u as u64);
+            let mut per_ctx: [Vec<Vec<f64>>; 2] = [Vec::new(), Vec::new()];
+            for raw in contexts {
+                per_ctx[raw.coarse().index()] = gen
+                    .generate_windows(raw, world.spec, TRAIN_WINDOWS + SLIDE)
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined))
+                    .collect();
+            }
+            per_ctx
+        })
+        .collect();
+
+    let mut legacy_state: Vec<_> = Vec::new();
+    let mut shared_state: Vec<_> = Vec::new();
+    let mut first_epoch: Option<NegativeEpoch> = None;
+    for round in 0..2 {
+        for (u, feats) in features.iter().enumerate() {
+            // Round 0 trains on rows [0, 25); round 1 slides the buffer by
+            // two windows per context, to rows [2, 27).
+            let lo = round * SLIDE;
+            let positives: [Vec<Vec<f64>>; 2] = [
+                feats[0][lo..lo + TRAIN_WINDOWS].to_vec(),
+                feats[1][lo..lo + TRAIN_WINDOWS].to_vec(),
+            ];
+            if round == 0 {
+                // Identical retrain-RNG seeds pin every user to the same
+                // sampled negative epoch — the storm shape that lets one
+                // workspace serve the whole fleet.
+                legacy_state.push((
+                    StdRng::seed_from_u64(33),
+                    None::<NegativeEpoch>,
+                    [KrrFitCache::default(), KrrFitCache::default()],
+                ));
+                shared_state.push((
+                    StdRng::seed_from_u64(33),
+                    None::<NegativeEpoch>,
+                    [KrrFitCache::default(), KrrFitCache::default()],
+                    [None::<KrrTailState>, None],
+                ));
+            }
+            let (rng_l, epoch_l, caches_l) = &mut legacy_state[u];
+            let legacy = server
+                .train_authenticator_epoch(&positives, &world.cfg, rng_l, epoch_l, caches_l)
+                .expect("legacy fit");
+            let (rng_s, epoch_s, caches_s, tails) = &mut shared_state[u];
+            let shared = server
+                .train_authenticator_epoch_shared(
+                    &positives, &world.cfg, rng_s, epoch_s, caches_s, tails, &ws_cache,
+                )
+                .expect("shared fit");
+            assert_eq!(epoch_l, epoch_s, "user {u} round {round}: epochs diverge");
+            match &first_epoch {
+                None => first_epoch = epoch_s.clone(),
+                Some(first) => assert_eq!(
+                    first_epoch.as_ref(),
+                    Some(first),
+                    "user {u}: storm epochs not shared"
+                ),
+            }
+            assert!(
+                tails.iter().all(Option::is_some),
+                "user {u} round {round}: tail state not retained"
+            );
+
+            // Probe with the user's own held-out windows and an impostor's.
+            let impostor = &features[(u + 1) % NUM_USERS];
+            for (ci, raw) in contexts.iter().enumerate() {
+                let ctx = raw.coarse();
+                for probe in feats[ci][..SLIDE].iter().chain(&impostor[ci][..SLIDE]) {
+                    let cl = legacy.authenticate(ctx, probe).confidence;
+                    let cs = shared.authenticate(ctx, probe).confidence;
+                    assert!(
+                        (cl - cs).abs() < 1e-6,
+                        "user {u} round {round} ctx {ctx:?}: legacy {cl} vs shared {cs}"
+                    );
+                }
+            }
+        }
+    }
+
+    // The whole storm — 6 users × 2 rounds × 2 contexts — ran off one
+    // workspace build with zero true (full-cubic-cost) fit-cache misses:
+    // round 0 is a shared base fit, round 1 an incremental tail slide.
+    assert_eq!(ws_cache.len(), 1, "workspace rebuilt during the storm");
+    for (u, (_, _, caches, _)) in shared_state.iter().enumerate() {
+        for (ci, cache) in caches.iter().enumerate() {
+            assert_eq!(
+                (cache.shared_hits(), cache.keyed_hits(), cache.misses()),
+                (2, 0, 0),
+                "user {u} ctx {ci}: unexpected fit-cache traffic"
+            );
+        }
+    }
+}
+
+/// Retrain storm, engine level: many users trigger deferred retrains at
+/// the same tick boundaries against a worker-pool service while eviction
+/// churn cancels jobs mid-flight. Accounting must stay exact once drained
+/// (`started == completed + canceled`, nothing in flight) and every
+/// applied retrain corresponds to exactly one completed job — a stale or
+/// double-applied result would break the event/counter sum.
+#[test]
+fn worker_storm_with_eviction_churn_never_applies_stale_models() {
+    const NUM_USERS: usize = 6;
+    let world = build_world(NUM_USERS, 2.0);
+    let mut engine = FleetEngine::new()
+        .with_eviction(Box::new(MemorySnapshotStore::new()), 4)
+        .with_training(TrainingService::with_workers(2));
+    for u in 0..NUM_USERS {
+        engine
+            .register(
+                UserId(u),
+                pipeline(&world, u as u64 + 1, 4, RetrainMode::Deferred),
+            )
+            .expect("register");
+    }
+    let streams: Vec<Vec<DualDeviceWindow>> = world
+        .users
+        .iter()
+        .enumerate()
+        .map(|(u, user)| world.window_stream(user, 9_500 + u as u64, 16))
+        .collect();
+
+    let mut cursors = [0usize; NUM_USERS];
+    let mut max_started_one_tick = 0usize;
+    let mut total_evictions = 0usize;
+    while cursors.iter().zip(&streams).any(|(&c, s)| c < s.len()) {
+        for (u, stream) in streams.iter().enumerate() {
+            if cursors[u] < stream.len() {
+                engine
+                    .submit(UserId(u), stream[cursors[u]].clone())
+                    .expect("submit");
+                cursors[u] += 1;
+            }
+        }
+        let report = engine.tick();
+        assert!(report.errors().is_empty(), "{:?}", report.errors());
+        max_started_one_tick = max_started_one_tick.max(report.retrains_started());
+        total_evictions += report.evictions();
+    }
+    // Drain: keep ticking (no new windows, so no new triggers) until every
+    // outstanding job has been applied or canceled.
+    for _ in 0..2_000 {
+        if engine.retrains_in_flight() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let report = engine.tick();
+        assert!(report.errors().is_empty(), "{:?}", report.errors());
+    }
+    assert_eq!(engine.retrains_in_flight(), 0, "storm never drained");
+
+    let (started, completed, canceled) = engine.retrain_totals();
+    assert!(
+        started >= NUM_USERS as u64,
+        "storm too small: {started} jobs"
+    );
+    assert!(
+        max_started_one_tick >= 2,
+        "no tick ever started retrains for multiple users"
+    );
+    assert!(total_evictions > 0, "churn produced no evictions");
+    assert_eq!(started, completed + canceled, "jobs leaked");
+
+    // Count applied retrains across the fleet: exactly one Retrained event
+    // per completed job. Canceled jobs (eviction mid-flight) must have
+    // left no event behind.
+    let mut retrained_events = 0u64;
+    for u in 0..NUM_USERS {
+        engine.rehydrate(UserId(u)).expect("rehydrate");
+        retrained_events += engine
+            .pipeline(UserId(u))
+            .expect("resident")
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SystemEvent::Retrained { .. }))
+            .count() as u64;
+    }
+    assert_eq!(
+        retrained_events, completed,
+        "applied retrains diverge from completed jobs"
+    );
 }
