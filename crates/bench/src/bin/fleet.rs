@@ -39,6 +39,13 @@ struct ThroughputRow {
     windows: usize,
     secs: f64,
     windows_per_sec: f64,
+    /// Logical cores visible to this run (`available_parallelism`). The
+    /// tick loop is single-threaded, but recording the machine width makes
+    /// per-core rates comparable across differently-sized runners.
+    cores: usize,
+    /// `windows_per_sec / cores` — the per-core rate the exit guard holds
+    /// against the seed floor.
+    windows_per_sec_per_core: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -232,6 +239,28 @@ struct RetrainBench {
 }
 
 #[derive(Debug, Serialize)]
+struct KernelRow {
+    kernel: &'static str,
+    /// Operations timed per path (the per-op rates below divide by this).
+    ops: usize,
+    reference_ns_per_op: f64,
+    fast_ns_per_op: f64,
+    /// `reference / fast` — the exit guard fails the run if any fast path
+    /// is materially slower than its scalar reference.
+    speedup: f64,
+}
+
+/// Microbenches for the vectorized kernels at the deployed shapes: the
+/// fused single-pass summary and 4-lane batched spectrum at the 300-sample
+/// window, the chunked magnitude kernel, and the cache-blocked RBF Gram at
+/// the enrollment matrix shape. Each row times the scalar reference against
+/// the fast path the fleet rows above actually ran.
+#[derive(Debug, Serialize)]
+struct KernelBench {
+    rows: Vec<KernelRow>,
+}
+
+#[derive(Debug, Serialize)]
 struct SpectrumMicrobench {
     samples: usize,
     planned_spectra_per_sec: f64,
@@ -280,7 +309,18 @@ struct BenchReport {
     /// Results agree to 1e-6 (`tests/training_parity.rs`); the storm row
     /// must run with zero true fit-cache misses.
     retrain: RetrainBench,
+    /// Vectorized-kernel microbenches (fused summary, chunked magnitude,
+    /// batched spectrum, blocked Gram) — fast vs scalar reference, with an
+    /// exit guard that no fast path regressed below its reference.
+    kernels: KernelBench,
     spectrum_microbench: SpectrumMicrobench,
+}
+
+/// Logical cores visible to the process; 1 when the runtime cannot tell.
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn measure(num_users: usize) -> FleetSize {
@@ -289,28 +329,62 @@ fn measure(num_users: usize) -> FleetSize {
         FleetFixture::build_with_window(num_users, WINDOW_SECS, 0xF1EE7).expect("fixture builds");
     let build_secs = build_start.elapsed().as_secs_f64();
 
-    // Warm-up tick so first-touch allocation noise stays out of the numbers.
-    fixture.submit_tick(1);
-    fixture.tick();
+    // Warm up until the core is actually busy — first-touch allocation,
+    // branch predictors and the frequency governor all need more than one
+    // 5ms tick to settle after the memory-bound fixture build.
+    let warm = Instant::now();
+    while warm.elapsed().as_secs_f64() < 0.3 {
+        fixture.submit_tick(1);
+        fixture.tick();
+    }
 
     let mut rows = Vec::new();
     for per_user in [1usize, 4] {
-        let ticks = 5;
+        // Each pass ticks until the sample is long enough to dampen
+        // scheduler / frequency-governor noise: at least 5 ticks AND at
+        // least 0.3s of measured work (a 100-user tick is ~5ms; 5 of
+        // those alone is a coin flip). The row reports the best of five
+        // passes — interference is strictly additive, so the fastest pass
+        // is the closest estimate of what the machine can actually do.
+        const MIN_TICKS: usize = 5;
+        const MIN_SECS: f64 = 0.3;
+        const PASSES: usize = 5;
+        let mut ticks = 0usize;
         let mut windows = 0usize;
         let mut accepts = 0usize;
         let mut rejections = 0usize;
-        let start = Instant::now();
-        for _ in 0..ticks {
-            windows += fixture.submit_tick(per_user);
-            let report = fixture.tick();
-            accepts += report.accepts();
-            rejections += report.rejections();
+        let mut secs = f64::INFINITY;
+        let mut throughput = 0.0f64;
+        for _ in 0..PASSES {
+            let mut pass_ticks = 0usize;
+            let mut pass_windows = 0usize;
+            let mut pass_accepts = 0usize;
+            let mut pass_rejections = 0usize;
+            let start = Instant::now();
+            while pass_ticks < MIN_TICKS || start.elapsed().as_secs_f64() < MIN_SECS {
+                pass_windows += fixture.submit_tick(per_user);
+                let report = fixture.tick();
+                pass_accepts += report.accepts();
+                pass_rejections += report.rejections();
+                pass_ticks += 1;
+            }
+            let pass_secs = start.elapsed().as_secs_f64();
+            let pass_throughput = pass_windows as f64 / pass_secs;
+            if pass_throughput > throughput {
+                ticks = pass_ticks;
+                windows = pass_windows;
+                accepts = pass_accepts;
+                rejections = pass_rejections;
+                secs = pass_secs;
+                throughput = pass_throughput;
+            }
         }
-        let secs = start.elapsed().as_secs_f64();
-        let throughput = windows as f64 / secs;
+        let cores = cores();
+        let per_core = throughput / cores as f64;
         println!(
             "{num_users:>7} users  {per_user} win/user/tick  {windows:>7} windows in {secs:>7.3}s  \
-             {throughput:>12.0} windows/sec  (accept {accepts}, reject {rejections})"
+             {throughput:>12.0} windows/sec  ({per_core:.0}/core × {cores}, accept {accepts}, \
+             reject {rejections})"
         );
         rows.push(ThroughputRow {
             windows_per_user_per_tick: per_user,
@@ -318,6 +392,8 @@ fn measure(num_users: usize) -> FleetSize {
             windows,
             secs,
             windows_per_sec: throughput,
+            cores,
+            windows_per_sec_per_core: per_core,
         });
     }
     println!("{num_users:>7} users  fixture build (enrollment + model training): {build_secs:.2}s");
@@ -857,6 +933,158 @@ fn measure_retrain(num_users: usize, rounds: usize) -> RetrainBench {
     }
 }
 
+/// Times each vectorized kernel against its scalar reference at the
+/// deployed shapes. Every "fast" column here is the exact code the fleet
+/// rows above ran; the references are the flag-off paths the parity suites
+/// pin. A magnitude-stream-shaped signal (gravity offset + small
+/// fluctuations) keeps the fused variance in its numerically interesting
+/// regime.
+fn measure_kernels() -> KernelBench {
+    use smarteryou_dsp::{axis_magnitude, magnitude_series_into, BatchSpectrumScratch};
+    use smarteryou_linalg::Matrix;
+    use smarteryou_ml::Kernel;
+    use smarteryou_stats::Summary;
+
+    let mut rows = Vec::new();
+    let mut time =
+        |label: &'static str, ops: usize, reference: &mut dyn FnMut(), fast: &mut dyn FnMut()| {
+            // Warm both paths, then interleave measurement order (reference
+            // first) so cache state favours neither.
+            reference();
+            fast();
+            let start = Instant::now();
+            reference();
+            let reference_ns = start.elapsed().as_secs_f64() * 1e9 / ops as f64;
+            let start = Instant::now();
+            fast();
+            let fast_ns = start.elapsed().as_secs_f64() * 1e9 / ops as f64;
+            let speedup = reference_ns / fast_ns.max(1e-9);
+            println!(
+            "kernel {label:<22} reference {reference_ns:>9.1} ns/op  fast {fast_ns:>9.1} ns/op  \
+             ({speedup:.2}×)"
+        );
+            rows.push(KernelRow {
+                kernel: label,
+                ops,
+                reference_ns_per_op: reference_ns,
+                fast_ns_per_op: fast_ns,
+                speedup,
+            });
+        };
+
+    // Fused single-pass summary at the 300-sample magnitude stream.
+    let signal: Vec<f64> = (0..WINDOW_SAMPLES)
+        .map(|i| 9.81 + (i as f64 * 0.23).sin() + 0.4 * (i as f64 * 0.71).cos())
+        .collect();
+    let iters = 50_000usize;
+    time(
+        "summary_300",
+        iters,
+        &mut || {
+            for _ in 0..iters {
+                std::hint::black_box(Summary::from_slice(std::hint::black_box(&signal)));
+            }
+        },
+        &mut || {
+            for _ in 0..iters {
+                std::hint::black_box(Summary::from_slice_fused(std::hint::black_box(&signal)));
+            }
+        },
+    );
+
+    // Chunked 3-axis magnitude at 300 samples; the reference is the
+    // per-sample `axis_magnitude` map the seed ran.
+    let (x, y, z): (Vec<f64>, Vec<f64>, Vec<f64>) = (
+        signal.clone(),
+        signal.iter().map(|v| v * 0.7 + 0.1).collect(),
+        signal.iter().map(|v| v * 0.3 - 0.2).collect(),
+    );
+    let mut out_ref = Vec::with_capacity(WINDOW_SAMPLES);
+    let mut out_fast = Vec::with_capacity(WINDOW_SAMPLES);
+    time(
+        "magnitude_300",
+        iters,
+        &mut || {
+            for _ in 0..iters {
+                out_ref.clear();
+                out_ref.extend(
+                    x.iter()
+                        .zip(&y)
+                        .zip(&z)
+                        .map(|((&a, &b), &c)| axis_magnitude(a, b, c)),
+                );
+                std::hint::black_box(&out_ref);
+            }
+        },
+        &mut || {
+            for _ in 0..iters {
+                magnitude_series_into(&x, &y, &z, &mut out_fast);
+                std::hint::black_box(&out_fast);
+            }
+        },
+    );
+
+    // Batched 4-lane spectrum vs four scalar transforms; ns per spectrum.
+    let plan = SpectrumPlan::new(WINDOW_SAMPLES);
+    let lanes = [&signal, &x, &y, &z];
+    let mut scalar_scratch = SpectrumScratch::default();
+    let mut batch_scratch = BatchSpectrumScratch::default();
+    let mut outs_ref = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut outs_fast = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let spectra = 4 * 5_000usize;
+    time(
+        "spectrum_300_batch4",
+        spectra,
+        &mut || {
+            for _ in 0..spectra / 4 {
+                for (lane, out) in lanes.iter().zip(outs_ref.iter_mut()) {
+                    plan.magnitude_into(lane, &mut scalar_scratch, out);
+                }
+                std::hint::black_box(&outs_ref);
+            }
+        },
+        &mut || {
+            for _ in 0..spectra / 4 {
+                let [o0, o1, o2, o3] = &mut outs_fast;
+                plan.magnitude_batch4_into(
+                    [&signal, &x, &y, &z].map(|v| v.as_slice()),
+                    &mut batch_scratch,
+                    [o0, o1, o2, o3],
+                );
+                std::hint::black_box(&outs_fast);
+            }
+        },
+    );
+
+    // Cache-blocked RBF Gram at the enrollment shape (data_size positives
+    // per context + sampled negatives ≈ 120 rows × 28 features).
+    let (n, m) = (120usize, 28usize);
+    let data: Vec<f64> = (0..n * m)
+        .map(|i| ((i * 37 % 101) as f64 - 50.0) / 7.0)
+        .collect();
+    let xmat = Matrix::from_vec(n, m, data).expect("sized");
+    let kernel = Kernel::Rbf {
+        gamma: 1.0 / m as f64,
+    };
+    let grams = 400usize;
+    time(
+        "gram_rbf_120x28",
+        grams,
+        &mut || {
+            for _ in 0..grams {
+                std::hint::black_box(kernel.gram(std::hint::black_box(&xmat)));
+            }
+        },
+        &mut || {
+            for _ in 0..grams {
+                std::hint::black_box(kernel.gram_blocked(std::hint::black_box(&xmat)));
+            }
+        },
+    );
+
+    KernelBench { rows }
+}
+
 /// Times the planned spectrum against the O(n²) reference at the deployed
 /// 300-sample window. The reference intentionally calls [`smarteryou_dsp::dft`],
 /// so this must run *after* the fallback counter has been checked.
@@ -916,6 +1144,11 @@ fn main() {
         "fleet",
         "batched multi-user scoring throughput (FleetEngine::tick, 300-sample windows)",
     );
+    // Benchmarks run the vectorized configuration end to end: blocked Gram
+    // for every trainer built from here on (enrollment fits, retrains) and
+    // fast extraction on every fixture engine. The parity suites leave both
+    // flags off, pinning the reference paths bit-identical to the seed.
+    smarteryou_ml::set_fast_gram_default(true);
     let sizes: &[usize] = if quick {
         &[100, 1_000]
     } else {
@@ -954,6 +1187,10 @@ fn main() {
     println!();
     let fallbacks = dft_fallback_count() - baseline;
 
+    // Vectorized kernels, fast vs scalar reference.
+    let kernels = measure_kernels();
+    println!();
+
     // The microbench runs the reference DFT on purpose; check the fleet
     // fallback count first so the guard only sees production work.
     let microbench = spectrum_microbench();
@@ -991,6 +1228,7 @@ fn main() {
         ingest,
         training,
         retrain,
+        kernels,
         spectrum_microbench: microbench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -1049,6 +1287,53 @@ fn main() {
                 row.misses, row.jobs, row.shared_hits, row.keyed_hits
             );
             std::process::exit(1);
+        }
+    }
+    // Every vectorized kernel must actually beat (or at least match) its
+    // scalar reference — a fast path slower than the code it replaces is a
+    // regression however the fleet rows look. 10% headroom absorbs timer
+    // noise on the cheaper kernels.
+    for row in &report.kernels.rows {
+        if row.fast_ns_per_op > row.reference_ns_per_op * 1.10 {
+            eprintln!(
+                "FAIL: kernel {} fast path is slower than its scalar reference \
+                 ({:.1} ns/op vs {:.1} ns/op) — the vectorized path must not regress",
+                row.kernel, row.fast_ns_per_op, row.reference_ns_per_op
+            );
+            std::process::exit(1);
+        }
+    }
+    // Fleet throughput must stay above the seed per-core floor. The floors
+    // are the slowest committed pre-vectorization rows (windows/sec on the
+    // 1-core reference runner) with a 0.9× noise margin; the fast path is
+    // expected to clear them by ≥2×, so tripping this guard means the
+    // vectorized extraction stack regressed badly, not that a run was
+    // merely noisy.
+    const SEED_FLOORS: &[(usize, usize, f64)] = &[
+        (100, 1, 9_008.0),
+        (100, 4, 8_707.0),
+        (1_000, 1, 7_765.0),
+        (1_000, 4, 5_325.0),
+        (10_000, 1, 5_137.0),
+        (10_000, 4, 4_882.0),
+    ];
+    for size in &report.fleet {
+        for row in &size.rows {
+            let Some(&(_, _, floor)) = SEED_FLOORS
+                .iter()
+                .find(|&&(u, p, _)| u == size.users && p == row.windows_per_user_per_tick)
+            else {
+                continue;
+            };
+            if row.windows_per_sec_per_core < floor * 0.9 {
+                eprintln!(
+                    "FAIL: fleet row ({} users, {} win/user/tick) ran at {:.0} windows/sec/core, \
+                     below the seed floor of {:.0} — the fast path must never be slower than \
+                     the scalar seed",
+                    size.users, row.windows_per_user_per_tick, row.windows_per_sec_per_core, floor
+                );
+                std::process::exit(1);
+            }
         }
     }
     // Every submitted retrain must be accounted for after the drain:

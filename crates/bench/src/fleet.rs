@@ -109,6 +109,14 @@ fn build_world(num_users: usize, window_secs: f64, seed: u64) -> Result<FleetWor
         for ctx in [RawContext::SittingStanding, RawContext::MovingAround] {
             ticks.extend(gen.generate_windows(ctx, spec, 16));
         }
+        // The ingest tier projects authentication windows down to the two
+        // motion streams the pipeline consumes (see
+        // `DualDeviceWindow::retain_motion`): every per-tick clone and
+        // inbox hop then moves half the bytes. Enrollment streams stay
+        // full-width — they are processed once, not per tick.
+        for w in &mut ticks {
+            w.retain_motion();
+        }
         feed.push(ticks);
     }
 
@@ -290,7 +298,10 @@ impl FleetFixture {
         // harvested feature buffers through the batched entry point below.
         let buffers = harvest_enrollment_buffers(&world, seed)?;
 
-        let mut engine = FleetEngine::new();
+        // Benchmarks run the vectorized fast-extraction path (the deployed
+        // configuration); the parity suites exercise the scalar reference,
+        // which is the library default.
+        let mut engine = FleetEngine::new().with_fast_extraction(true);
         let mut profile_of = Vec::with_capacity(num_users);
         for u in 0..num_users {
             let profile = u % world.profiles;
@@ -481,11 +492,13 @@ impl ShardFixture {
         let world = build_world(num_users, window_secs, seed)?;
         let buffers = harvest_enrollment_buffers(&world, seed)?;
 
+        // Same as `FleetFixture`: benches run the fast-extraction path.
         let mut fleet = ShardedFleet::new(
             num_shards,
             Box::new(MemorySnapshotStore::new()),
             capacity_per_shard,
-        );
+        )
+        .with_fast_extraction(true);
         let mut profile_of = Vec::with_capacity(num_users);
         for u in 0..num_users {
             let profile = u % world.profiles;

@@ -234,6 +234,31 @@ impl SmarterYou {
         self.retrain_mode
     }
 
+    /// Builder form of [`SmarterYou::set_fast_extraction`].
+    pub fn with_fast_extraction(mut self, on: bool) -> Self {
+        self.set_fast_extraction(on);
+        self
+    }
+
+    /// Enables (or disables) the vectorized feature-extraction fast path
+    /// (fused 4-lane summaries + 4-stream batched spectra; see
+    /// `docs/perf.md`). Feature values — and therefore scores — move by at
+    /// most a few ulps relative to the reference; default off so parity
+    /// suites and restored snapshots keep the bit-exact scalar kernels.
+    ///
+    /// **Not persisted**: like thread counts, this is a runtime knob — a
+    /// pipeline restored from a snapshot starts with the flag off, and an
+    /// owning [`FleetEngine`](crate::FleetEngine) re-applies its own
+    /// setting on rehydration.
+    pub fn set_fast_extraction(&mut self, on: bool) {
+        self.scratch.set_fast_path(on);
+    }
+
+    /// Whether the vectorized extraction fast path is enabled.
+    pub fn fast_extraction(&self) -> bool {
+        self.scratch.fast_path()
+    }
+
     /// Whether a deferred retrain is outstanding (captured or submitted).
     /// Always `false` in inline mode.
     pub fn retrain_outstanding(&self) -> bool {
@@ -615,7 +640,33 @@ impl SmarterYou {
         &mut self,
         window: &DualDeviceWindow,
     ) -> Result<ProcessOutcome, CoreError> {
-        let (context, features) = self.detect_and_extract(window);
+        // Route through the pipeline's own scratch. `take` swaps in an
+        // empty default (a few pointer moves) so the borrow of the scratch
+        // and of `self` don't overlap.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.process_window_with_scratch(window, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`SmarterYou::process_window`] extracting through a caller-owned
+    /// scratch instead of the pipeline's own. A fleet engine ticking
+    /// thousands of pipelines passes one shared scratch so the FFT plan
+    /// tables and transform buffers stay cache-hot across users, instead of
+    /// touching a cold ~40 KB working set per pipeline. Extraction runs
+    /// with the **scratch's** fast-path setting
+    /// ([`FeatureScratch::set_fast_path`]); outcomes are bit-identical for
+    /// any scratch with the same setting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures at the enrollment→auth transition.
+    pub fn process_window_with_scratch(
+        &mut self,
+        window: &DualDeviceWindow,
+        scratch: &mut FeatureScratch,
+    ) -> Result<ProcessOutcome, CoreError> {
+        let (context, features) = self.detect_and_extract(window, scratch);
 
         match self.phase() {
             SystemPhase::Enrollment => self.enroll_window(context, features),
@@ -646,13 +697,32 @@ impl SmarterYou {
         &mut self,
         windows: &[DualDeviceWindow],
     ) -> Result<Vec<ProcessOutcome>, CoreError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.process_batch_with_scratch(windows, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`SmarterYou::process_batch`] extracting through a caller-owned
+    /// scratch — the fleet-tick entry point (see
+    /// [`SmarterYou::process_window_with_scratch`] for the sharing and
+    /// fast-path semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures, like [`SmarterYou::process_window`].
+    pub fn process_batch_with_scratch(
+        &mut self,
+        windows: &[DualDeviceWindow],
+        scratch: &mut FeatureScratch,
+    ) -> Result<Vec<ProcessOutcome>, CoreError> {
         let mut out = Vec::with_capacity(windows.len());
         let mut i = 0;
         while i < windows.len() {
             if self.phase() == SystemPhase::Enrollment {
                 // Enrollment is inherently sequential (a window may finish
                 // enrollment and train the first models).
-                out.push(self.process_window(&windows[i])?);
+                out.push(self.process_window_with_scratch(&windows[i], scratch)?);
                 i += 1;
                 continue;
             }
@@ -661,7 +731,7 @@ impl SmarterYou {
             // invalidates the *scores*, not this work.
             let mut prepared: Vec<(UsageContext, Vec<f64>)> = windows[i..]
                 .iter()
-                .map(|w| self.detect_and_extract(w))
+                .map(|w| self.detect_and_extract(w, scratch))
                 .collect();
             let mut start = 0;
             while start < prepared.len() {
@@ -710,10 +780,14 @@ impl SmarterYou {
     /// pipeline's (possible via [`SmarterYou::new`]'s `detector` argument),
     /// the cache cannot be shared and the detector extracts its own
     /// features, exactly as the uncached path always did.
-    fn detect_and_extract(&mut self, window: &DualDeviceWindow) -> (UsageContext, Vec<f64>) {
-        let features =
-            self.extractor
-                .window_features(window, self.cfg.device_set(), &mut self.scratch);
+    fn detect_and_extract(
+        &mut self,
+        window: &DualDeviceWindow,
+        scratch: &mut FeatureScratch,
+    ) -> (UsageContext, Vec<f64>) {
+        let features = self
+            .extractor
+            .window_features(window, self.cfg.device_set(), scratch);
         let context = if self.shared_extractor {
             self.detector
                 .detect_from_features(features.context_features())

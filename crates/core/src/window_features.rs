@@ -21,7 +21,7 @@
 //! **bit-identical** to the naive ones — asserted by this module's tests and
 //! relied on by the batch-parity suite.
 
-use smarteryou_dsp::{spectral_peaks, SpectrumPlan, SpectrumScratch};
+use smarteryou_dsp::{spectral_peaks, BatchSpectrumScratch, SpectrumPlan, SpectrumScratch};
 use smarteryou_sensors::{DualDeviceWindow, SensorKind, SensorWindow};
 use smarteryou_stats as stats;
 
@@ -41,9 +41,40 @@ pub struct FeatureScratch {
     spectrum_scratch: SpectrumScratch,
     magnitude: Vec<f64>,
     spectrum: Vec<f64>,
+    /// Whether extraction runs the vectorized fast path (fused 4-lane
+    /// summaries + 4-stream batched spectra). Default **off**: the fast
+    /// path is epsilon-equal, not bit-identical, to the reference (see
+    /// `docs/perf.md`), so parity suites and snapshot-replay paths keep
+    /// the scalar kernels unless a caller opts in.
+    fast_path: bool,
+    /// The four magnitude streams of one window (phone/watch ×
+    /// accel/gyro), gathered for the batched spectrum transform.
+    batch_magnitude: [Vec<f64>; 4],
+    /// The four corresponding one-sided magnitude spectra.
+    batch_spectrum: [Vec<f64>; 4],
+    batch_scratch: BatchSpectrumScratch,
 }
 
 impl FeatureScratch {
+    /// Builder form of [`FeatureScratch::set_fast_path`].
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
+    /// Enables (or disables) the vectorized extraction fast path for every
+    /// subsequent [`FeatureExtractor::window_features`] call using this
+    /// scratch. Feature values move by at most a few ulps relative to the
+    /// reference (pinned by the fast-extraction parity suite); with the
+    /// flag off, extraction is bit-identical to the seed behaviour.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Whether the vectorized fast path is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
     /// Window length (in samples) the current spectrum plan was built for,
     /// or `None` when no window has been extracted yet. This is the plan
     /// key a pipeline snapshot records so a restored pipeline can re-plan
@@ -153,11 +184,33 @@ impl FeatureExtractor {
         devices: DeviceSet,
         scratch: &mut FeatureScratch,
     ) -> WindowFeatures {
-        let phone = self.device_features_cached(&window.phone, scratch);
+        if scratch.fast_path {
+            // The deployed shape — both devices, spectral features on —
+            // batches all four magnitude streams through one 4-lane
+            // transform. Other shapes still get the fused summaries but
+            // keep per-stream spectra.
+            if devices != DeviceSet::PhoneOnly && self.feature_set().needs_spectrum() {
+                if let Some(wf) = self.window_features_batched(window, devices, scratch) {
+                    return wf;
+                }
+            }
+            let phone = self.device_features_cached(&window.phone, scratch, true);
+            let watch = if devices == DeviceSet::PhoneOnly {
+                Vec::new()
+            } else {
+                self.device_features_cached(&window.watch, scratch, true)
+            };
+            return WindowFeatures {
+                devices,
+                phone,
+                watch,
+            };
+        }
+        let phone = self.device_features_cached(&window.phone, scratch, false);
         let watch = if devices == DeviceSet::PhoneOnly {
             Vec::new()
         } else {
-            self.device_features_cached(&window.watch, scratch)
+            self.device_features_cached(&window.watch, scratch, false)
         };
         WindowFeatures {
             devices,
@@ -166,19 +219,87 @@ impl FeatureExtractor {
         }
     }
 
+    /// Fast-path extraction of both devices at once: the window's four
+    /// magnitude streams (phone/watch × accelerometer/gyroscope) are
+    /// summarised by the fused single-pass kernel and transformed by one
+    /// 4-lane batched spectrum call instead of four scalar FFTs. Returns
+    /// `None` when the devices' stream lengths disagree (the scalar path
+    /// handles that degenerate shape).
+    fn window_features_batched(
+        &self,
+        window: &DualDeviceWindow,
+        devices: DeviceSet,
+        scratch: &mut FeatureScratch,
+    ) -> Option<WindowFeatures> {
+        let n = window.phone.len();
+        if window.watch.len() != n || n == 0 {
+            return None;
+        }
+        let streams = [
+            (&window.phone, SensorKind::Accelerometer),
+            (&window.phone, SensorKind::Gyroscope),
+            (&window.watch, SensorKind::Accelerometer),
+            (&window.watch, SensorKind::Gyroscope),
+        ];
+        for (buf, (device, sensor)) in scratch.batch_magnitude.iter_mut().zip(streams) {
+            device.magnitude_into(sensor, buf);
+        }
+        let summaries = [
+            stats::Summary::from_slice_fused(&scratch.batch_magnitude[0]),
+            stats::Summary::from_slice_fused(&scratch.batch_magnitude[1]),
+            stats::Summary::from_slice_fused(&scratch.batch_magnitude[2]),
+            stats::Summary::from_slice_fused(&scratch.batch_magnitude[3]),
+        ];
+        scratch.prepare(n);
+        let FeatureScratch {
+            plan,
+            batch_magnitude,
+            batch_spectrum,
+            batch_scratch,
+            ..
+        } = scratch;
+        let plan = plan.as_ref().expect("prepared above");
+        let [m0, m1, m2, m3] = batch_magnitude;
+        let [s0, s1, s2, s3] = batch_spectrum;
+        plan.magnitude_batch4_into(
+            [m0.as_slice(), m1.as_slice(), m2.as_slice(), m3.as_slice()],
+            batch_scratch,
+            [s0, s1, s2, s3],
+        );
+        let set = self.feature_set();
+        let mut phone = Vec::with_capacity(self.features_per_device());
+        let mut watch = Vec::with_capacity(self.features_per_device());
+        for (l, summary) in summaries.iter().enumerate() {
+            let peaks = spectral_peaks(&scratch.batch_spectrum[l], self.sample_rate());
+            let out = if l < 2 { &mut phone } else { &mut watch };
+            set.extract_from_parts_into(summary, peaks, out);
+        }
+        Some(WindowFeatures {
+            devices,
+            phone,
+            watch,
+        })
+    }
+
     /// One device's feature vector (Eq. 3) through the planned, buffered
-    /// extraction path.
+    /// extraction path. `fused` selects the single-pass 4-lane summary
+    /// kernel (epsilon-equal) over the bit-exact reference.
     fn device_features_cached(
         &self,
         window: &SensorWindow,
         scratch: &mut FeatureScratch,
+        fused: bool,
     ) -> Vec<f64> {
         let set = self.feature_set();
         let needs_spectrum = set.needs_spectrum();
         let mut out = Vec::with_capacity(self.features_per_device());
         for sensor in [SensorKind::Accelerometer, SensorKind::Gyroscope] {
             window.magnitude_into(sensor, &mut scratch.magnitude);
-            let summary = stats::Summary::from_slice(&scratch.magnitude);
+            let summary = if fused {
+                stats::Summary::from_slice_fused(&scratch.magnitude)
+            } else {
+                stats::Summary::from_slice(&scratch.magnitude)
+            };
             let peaks = if needs_spectrum {
                 let n = scratch.magnitude.len();
                 scratch.prepare(n);
@@ -298,6 +419,36 @@ mod tests {
         extractor
             .window_features(w, DeviceSet::PhoneOnly, &mut scratch)
             .auth_features(DeviceSet::Combined);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_within_epsilon() {
+        // Bluestein (300) and radix-2-friendly lengths, batched and
+        // non-batched device shapes.
+        for spec in [
+            WindowSpec::from_seconds(6.0, 50.0),
+            WindowSpec::from_seconds(2.56, 50.0),
+        ] {
+            let extractor = FeatureExtractor::paper_default(spec.sample_rate);
+            let mut reference = FeatureScratch::default();
+            let mut fast = FeatureScratch::default().with_fast_path(true);
+            assert!(fast.fast_path());
+            for (i, w) in windows(spec, 6).iter().enumerate() {
+                for devices in DeviceSet::ALL {
+                    let r = extractor.window_features(w, devices, &mut reference);
+                    let f = extractor.window_features(w, devices, &mut fast);
+                    let rv = r.auth_features(devices);
+                    let fv = f.auth_features(devices);
+                    assert_eq!(rv.len(), fv.len());
+                    for (j, (a, b)) in fv.iter().zip(&rv).enumerate() {
+                        assert!(
+                            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                            "window {i} {devices:?} feature {j}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -110,6 +110,26 @@ impl FftPlan {
         }
     }
 
+    /// Forward DFT of four interleaved lanes at once (see
+    /// [`BatchSpectrumScratch`] for the layout). Per-lane arithmetic is the
+    /// scalar [`FftPlan::process`] op for op, so each lane's result is
+    /// bit-identical to transforming it alone.
+    fn process_batch4(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        aux_re: &mut Vec<f64>,
+        aux_im: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(re.len(), 4 * self.n);
+        debug_assert_eq!(im.len(), 4 * self.n);
+        match &self.strategy {
+            Strategy::Trivial => {}
+            Strategy::Radix2(plan) => plan.process_batch4(re, im),
+            Strategy::Bluestein(plan) => plan.process_batch4(re, im, aux_re, aux_im),
+        }
+    }
+
     /// Inverse DFT of `buf` in place, normalised by `1/n` so that a forward
     /// transform followed by this is the identity.
     ///
@@ -194,6 +214,58 @@ impl Radix2Plan {
             len <<= 1;
         }
     }
+
+    /// Four-lane SoA variant of [`Radix2Plan::process`]: element `k` of
+    /// lane `l` lives at index `4k + l` of `re`/`im`, so every butterfly
+    /// becomes four independent, contiguous scalar butterflies — exactly
+    /// the shape the autovectorizer turns into 4-wide vector ops, with no
+    /// shuffles and no cross-lane arithmetic. Per lane this performs the
+    /// scalar butterflies in the same order with the same operand order,
+    /// so each lane's output is bit-identical to the scalar path.
+    fn process_batch4(&self, re: &mut [f64], im: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(re.len(), 4 * n);
+        debug_assert_eq!(im.len(), 4 * n);
+        // Bit-reversal permutation, swapping whole 4-lane blocks.
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if j > i {
+                for l in 0..4 {
+                    re.swap(4 * i + l, 4 * j + l);
+                    im.swap(4 * i + l, 4 * j + l);
+                }
+            }
+        }
+        let mut offset = 0usize;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let stage = &self.twiddles[offset..offset + half];
+            for start in (0..n).step_by(len) {
+                for (k, &w) in stage.iter().enumerate() {
+                    let i = 4 * (start + k);
+                    let j = 4 * (start + k + half);
+                    let (re_lo, re_hi) = re.split_at_mut(j);
+                    let (im_lo, im_hi) = im.split_at_mut(j);
+                    let ar: &mut [f64; 4] = (&mut re_lo[i..i + 4]).try_into().expect("4 lanes");
+                    let ai: &mut [f64; 4] = (&mut im_lo[i..i + 4]).try_into().expect("4 lanes");
+                    let br: &mut [f64; 4] = (&mut re_hi[..4]).try_into().expect("4 lanes");
+                    let bi: &mut [f64; 4] = (&mut im_hi[..4]).try_into().expect("4 lanes");
+                    for l in 0..4 {
+                        let or = br[l] * w.re - bi[l] * w.im;
+                        let oi = br[l] * w.im + bi[l] * w.re;
+                        br[l] = ar[l] - or;
+                        bi[l] = ai[l] - oi;
+                        ar[l] += or;
+                        ai[l] += oi;
+                    }
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
 }
 
 /// Bluestein chirp-z decomposition of an arbitrary-length DFT.
@@ -267,6 +339,56 @@ impl BluesteinPlan {
         self.inner.process(aux);
         for (x, (&c, &w)) in buf.iter_mut().zip(aux.iter().zip(&self.chirp)) {
             *x = c.conj() * w;
+        }
+    }
+
+    /// Four-lane SoA variant of [`BluesteinPlan::process`] (layout as in
+    /// [`Radix2Plan::process_batch4`]). The chirp pre/post multiplies and
+    /// the kernel pointwise product expand [`Complex`]'s scalar formulas
+    /// per lane, so each lane stays bit-identical to the scalar path.
+    fn process_batch4(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        aux_re: &mut Vec<f64>,
+        aux_im: &mut Vec<f64>,
+    ) {
+        let n = self.chirp.len();
+        debug_assert_eq!(re.len(), 4 * n);
+        aux_re.clear();
+        aux_re.resize(4 * self.m, 0.0);
+        aux_im.clear();
+        aux_im.resize(4 * self.m, 0.0);
+        for (k, &w) in self.chirp.iter().enumerate() {
+            let i = 4 * k;
+            for l in 0..4 {
+                let xr = re[i + l];
+                let xi = im[i + l];
+                aux_re[i + l] = xr * w.re - xi * w.im;
+                aux_im[i + l] = xr * w.im + xi * w.re;
+            }
+        }
+        self.inner.process_batch4(aux_re, aux_im);
+        // `(a * k).conj()` per lane — see the scalar path's comment on the
+        // conjugation identity.
+        for (k, &kv) in self.kernel.iter().enumerate() {
+            let i = 4 * k;
+            for l in 0..4 {
+                let ar = aux_re[i + l];
+                let ai = aux_im[i + l];
+                aux_re[i + l] = ar * kv.re - ai * kv.im;
+                aux_im[i + l] = -(ar * kv.im + ai * kv.re);
+            }
+        }
+        self.inner.process_batch4(aux_re, aux_im);
+        for (k, &w) in self.chirp.iter().enumerate() {
+            let i = 4 * k;
+            for l in 0..4 {
+                let cr = aux_re[i + l];
+                let ci = -aux_im[i + l];
+                re[i + l] = cr * w.re - ci * w.im;
+                im[i + l] = cr * w.im + ci * w.re;
+            }
         }
     }
 }
@@ -385,6 +507,77 @@ impl RealFftPlan {
             }
         }
     }
+
+    /// Four-lane SoA variant of [`RealFftPlan::process_into`], reading the
+    /// interleaved centred signals from `scratch.centered` (element `t` of
+    /// lane `l` at `4t + l`) and leaving the one-sided bins in
+    /// `scratch.bins_re`/`bins_im` (bin `k` of lane `l` at `4k + l`). The
+    /// interleaved layout makes the even/odd packing a pair of contiguous
+    /// 4-element copies per packed sample and the untangle four independent
+    /// contiguous lanes per bin. Per lane, bit-identical to the scalar path.
+    fn process_batch4_interleaved(&self, scratch: &mut BatchSpectrumScratch) {
+        let n = self.n;
+        let BatchSpectrumScratch {
+            centered,
+            packed_re,
+            packed_im,
+            aux_re,
+            aux_im,
+            bins_re,
+            bins_im,
+        } = scratch;
+        debug_assert_eq!(centered.len(), 4 * n);
+        let nb = self.bins();
+        bins_re.clear();
+        bins_re.resize(4 * nb, 0.0);
+        bins_im.clear();
+        bins_im.resize(4 * nb, 0.0);
+        if n == 0 {
+            return;
+        }
+        match &self.kind {
+            RealKind::Direct(plan) => {
+                packed_re.clear();
+                packed_re.extend_from_slice(centered);
+                packed_im.clear();
+                packed_im.resize(4 * n, 0.0);
+                plan.process_batch4(packed_re, packed_im, aux_re, aux_im);
+                bins_re.copy_from_slice(&packed_re[..4 * nb]);
+                bins_im.copy_from_slice(&packed_im[..4 * nb]);
+            }
+            RealKind::Packed { inner, untangle } => {
+                let h = n / 2;
+                packed_re.clear();
+                packed_re.resize(4 * h, 0.0);
+                packed_im.clear();
+                packed_im.resize(4 * h, 0.0);
+                for k in 0..h {
+                    let src = 8 * k;
+                    packed_re[4 * k..4 * k + 4].copy_from_slice(&centered[src..src + 4]);
+                    packed_im[4 * k..4 * k + 4].copy_from_slice(&centered[src + 4..src + 8]);
+                }
+                inner.process_batch4(packed_re, packed_im, aux_re, aux_im);
+                for (k, &w) in untangle.iter().enumerate() {
+                    let zi = 4 * (k % h);
+                    let ri = 4 * ((h - k) % h);
+                    for l in 0..4 {
+                        let zk_re = packed_re[zi + l];
+                        let zk_im = packed_im[zi + l];
+                        let zr_re = packed_re[ri + l];
+                        let zr_im = -packed_im[ri + l];
+                        let even_re = (zk_re + zr_re) * 0.5;
+                        let even_im = (zk_im + zr_im) * 0.5;
+                        let diff_re = zk_re - zr_re;
+                        let diff_im = zk_im - zr_im;
+                        let odd_re = diff_im * 0.5;
+                        let odd_im = -diff_re * 0.5;
+                        bins_re[4 * k + l] = even_re + (w.re * odd_re - w.im * odd_im);
+                        bins_im[4 * k + l] = even_im + (w.re * odd_im + w.im * odd_re);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Reusable workspace for [`SpectrumPlan::magnitude_into`].
@@ -394,6 +587,30 @@ pub struct SpectrumScratch {
     packed: Vec<Complex>,
     bins: Vec<Complex>,
     centered: Vec<f64>,
+}
+
+/// Reusable SoA workspace for [`SpectrumPlan::magnitude_batch4_into`].
+///
+/// All buffers hold four lanes interleaved — element `k` of lane `l` at
+/// index `4k + l` — with separate real/imaginary arrays, so every stage of
+/// the batched transform runs contiguous 4-wide lane loops. Grows on first
+/// use, then serves steady-state windows allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSpectrumScratch {
+    /// Mean-removed input signals, interleaved (`4n` values).
+    centered: Vec<f64>,
+    /// Packed half-length (or direct full-length) transform buffer.
+    packed_re: Vec<f64>,
+    /// Imaginary counterpart of `packed_re`.
+    packed_im: Vec<f64>,
+    /// Bluestein convolution buffer (`4m` values).
+    aux_re: Vec<f64>,
+    /// Imaginary counterpart of `aux_re`.
+    aux_im: Vec<f64>,
+    /// One-sided output bins (`4(n/2 + 1)` values).
+    bins_re: Vec<f64>,
+    /// Imaginary counterpart of `bins_re`.
+    bins_im: Vec<f64>,
 }
 
 /// Planned equivalent of [`magnitude_spectrum`](crate::magnitude_spectrum):
@@ -465,6 +682,79 @@ impl SpectrumPlan {
         );
         let scale_n = n as f64;
         out.extend(scratch.bins.iter().map(|z| z.abs() * 2.0 / scale_n));
+    }
+
+    /// Batched fast path: the magnitude spectra of **four** same-length
+    /// signals in one pass — the shape of the deployed pipeline, which
+    /// transforms exactly four magnitude streams per window (phone/watch ×
+    /// accelerometer/gyroscope).
+    ///
+    /// The signals are mean-removed, interleaved into the SoA layout of
+    /// [`BatchSpectrumScratch`], and pushed through 4-lane variants of the
+    /// radix-2 / Bluestein / real-packing kernels in which every butterfly
+    /// is four independent contiguous scalar butterflies — no shuffles, no
+    /// cross-lane arithmetic — so the autovectorizer emits 4-wide vector
+    /// ops while each lane performs the scalar path's operations in the
+    /// scalar path's order.
+    ///
+    /// **Parity contract:** every transform stage is bit-identical per lane
+    /// to [`SpectrumPlan::magnitude_into`]; the single deviation is the
+    /// final magnitude, computed as `sqrt(re² + im²)` instead of `hypot`
+    /// (≈1 ulp relative; `hypot`'s over/underflow guards are unreachable
+    /// for centred sensor magnitudes, and `hypot` costs ~5× as much). The
+    /// batch-parity proptests pin the agreement bound. Callers needing
+    /// bit-exact spectra (the flag-off parity suites) use the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any signal's length differs from the planned length.
+    pub fn magnitude_batch4_into(
+        &self,
+        signals: [&[f64]; 4],
+        scratch: &mut BatchSpectrumScratch,
+        outs: [&mut Vec<f64>; 4],
+    ) {
+        let n = self.len();
+        for s in signals {
+            assert_eq!(
+                s.len(),
+                n,
+                "SpectrumPlan::magnitude_batch4_into: length mismatch"
+            );
+        }
+        let [o0, o1, o2, o3] = outs;
+        o0.clear();
+        o1.clear();
+        o2.clear();
+        o3.clear();
+        if n == 0 {
+            return;
+        }
+        // Per-lane scalar mean in slice order — bit-identical to the
+        // scalar path's mean removal.
+        let mut means = [0.0f64; 4];
+        for (m, sig) in means.iter_mut().zip(&signals) {
+            *m = sig.iter().sum::<f64>() / n as f64;
+        }
+        scratch.centered.clear();
+        scratch.centered.resize(4 * n, 0.0);
+        for (l, sig) in signals.iter().enumerate() {
+            let m = means[l];
+            for (t, &v) in sig.iter().enumerate() {
+                scratch.centered[4 * t + l] = v - m;
+            }
+        }
+        self.real.process_batch4_interleaved(scratch);
+        let scale = 2.0 / n as f64;
+        let nb = self.bins();
+        for (l, o) in [o0, o1, o2, o3].into_iter().enumerate() {
+            o.reserve(nb);
+            for k in 0..nb {
+                let re = scratch.bins_re[4 * k + l];
+                let im = scratch.bins_im[4 * k + l];
+                o.push((re * re + im * im).sqrt() * scale);
+            }
+        }
     }
 }
 
@@ -546,6 +836,91 @@ mod tests {
         let mut out = vec![Complex::ONE];
         plan.process_into(&[], &mut Vec::new(), &mut FftScratch::default(), &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batched_spectrum_matches_scalar_path() {
+        // Radix-2, Bluestein (incl. the paper's 300), odd (direct) and
+        // trivial lengths; four distinct lanes each.
+        for n in [0usize, 1, 2, 4, 9, 10, 64, 150, 151, 300] {
+            let plan = SpectrumPlan::new(n);
+            let lanes: Vec<Vec<f64>> = (0..4)
+                .map(|l| {
+                    (0..n)
+                        .map(|i| {
+                            9.81 * (l == 0) as u64 as f64
+                                + (i as f64 * (0.21 + 0.13 * l as f64)).sin()
+                                + 0.4 * (i as f64 * (1.7 + 0.31 * l as f64)).cos()
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut scalar_scratch = SpectrumScratch::default();
+            let mut expect = vec![Vec::new(); 4];
+            for (l, sig) in lanes.iter().enumerate() {
+                plan.magnitude_into(sig, &mut scalar_scratch, &mut expect[l]);
+            }
+            let mut batch_scratch = BatchSpectrumScratch::default();
+            let mut got = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+            let [g0, g1, g2, g3] = &mut got;
+            plan.magnitude_batch4_into(
+                [&lanes[0], &lanes[1], &lanes[2], &lanes[3]],
+                &mut batch_scratch,
+                [g0, g1, g2, g3],
+            );
+            for l in 0..4 {
+                assert_eq!(got[l].len(), expect[l].len(), "n={n} lane {l}");
+                for (k, (a, b)) in got[l].iter().zip(&expect[l]).enumerate() {
+                    // Only the final |z| differs (sqrt vs hypot): ≈1 ulp.
+                    assert!(
+                        (a - b).abs() <= 1e-12 * b.abs().max(1e-9),
+                        "n={n} lane {l} bin {k}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_spectrum_reuses_buffers_without_reallocating() {
+        let plan = SpectrumPlan::new(300);
+        let mut scratch = BatchSpectrumScratch::default();
+        let sigs: Vec<Vec<f64>> = (0..4)
+            .map(|l| {
+                (0..300)
+                    .map(|i| (i as f64 * (0.2 + l as f64)).sin())
+                    .collect()
+            })
+            .collect();
+        let mut outs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        let run = |scratch: &mut BatchSpectrumScratch, outs: &mut [Vec<f64>; 4]| {
+            let [o0, o1, o2, o3] = outs;
+            plan.magnitude_batch4_into(
+                [&sigs[0], &sigs[1], &sigs[2], &sigs[3]],
+                scratch,
+                [o0, o1, o2, o3],
+            );
+        };
+        run(&mut scratch, &mut outs);
+        let caps = (
+            scratch.centered.capacity(),
+            scratch.packed_re.capacity(),
+            scratch.aux_re.capacity(),
+            scratch.bins_re.capacity(),
+        );
+        for _ in 0..10 {
+            run(&mut scratch, &mut outs);
+        }
+        assert_eq!(
+            caps,
+            (
+                scratch.centered.capacity(),
+                scratch.packed_re.capacity(),
+                scratch.aux_re.capacity(),
+                scratch.bins_re.capacity(),
+            ),
+            "steady-state batched spectra must not reallocate"
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Parity proptests pinning the cache-blocked fused Gram kernels to the
+//! scalar reference: `Kernel::gram_blocked` / `Kernel::against_into_blocked`
+//! / `KrrModel::decision_batch_blocked` must agree with their reference
+//! counterparts within epsilon across tile edges and ragged feature counts,
+//! and a `fast_gram` fit must land on the same model up to epsilon. The
+//! flag-off path is pinned bit-identical separately (the Gram with
+//! `fast_gram` off is byte-for-byte the seed's `Kernel::gram`).
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use smarteryou_linalg::Matrix;
+use smarteryou_ml::{Kernel, KernelRidge};
+
+/// Random matrix with `n` rows (chosen to straddle the 32-row tile edge)
+/// and `m` features (chosen to leave a ragged 4-lane tail).
+fn matrix() -> impl Strategy<Value = Matrix> {
+    (
+        2usize..=70,
+        1usize..=30,
+        prop::collection::vec(-10.0..10.0f64, 70 * 30),
+    )
+        .prop_map(|(n, m, pool)| Matrix::from_vec(n, m, pool[..n * m].to_vec()).expect("sized"))
+}
+
+fn kernels() -> [Kernel; 3] {
+    [
+        Kernel::Linear,
+        Kernel::Rbf { gamma: 0.35 },
+        Kernel::Polynomial {
+            degree: 3,
+            coef: 1.0,
+        },
+    ]
+}
+
+fn assert_close(a: f64, b: f64, what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+        "{}: blocked {} vs reference {}",
+        what,
+        a,
+        b
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gram_blocked_matches_reference(x in matrix()) {
+        for kernel in kernels() {
+            let reference = kernel.gram(&x);
+            let blocked = kernel.gram_blocked(&x);
+            prop_assert_eq!(blocked.rows(), reference.rows());
+            prop_assert_eq!(blocked.cols(), reference.cols());
+            for i in 0..x.rows() {
+                for j in 0..x.rows() {
+                    assert_close(blocked[(i, j)], reference[(i, j)], "gram entry")?;
+                    // The blocked kernel fills the lower triangle by
+                    // mirroring: symmetry must be exact.
+                    prop_assert!(blocked[(i, j)].to_bits() == blocked[(j, i)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn against_blocked_matches_reference(x in matrix(), q in prop::collection::vec(-10.0..10.0f64, 30)) {
+        let q = &q[..x.cols()];
+        for kernel in kernels() {
+            let reference = kernel.against(&x, q);
+            let mut blocked = Vec::new();
+            kernel.against_into_blocked(&x, q, &mut blocked);
+            prop_assert_eq!(blocked.len(), reference.len());
+            for (a, b) in blocked.iter().zip(&reference) {
+                assert_close(*a, *b, "against entry")?;
+            }
+        }
+    }
+
+    /// End-to-end: a `fast_gram` RBF fit must produce the same decisions as
+    /// the reference fit up to epsilon, and the blocked batch scorer must
+    /// agree with the reference scorer on the same model.
+    #[test]
+    fn fast_gram_fit_matches_reference_fit(x in matrix(), flips in prop::collection::vec(-1.0..1.0f64, 70)) {
+        let n = x.rows();
+        let mut y: Vec<f64> = flips[..n].iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        y[0] = 1.0;
+        y[n - 1] = -1.0;
+        let kernel = Kernel::Rbf { gamma: 0.2 };
+        let reference = KernelRidge::new(1e-2)
+            .with_kernel(kernel)
+            .fit(&x, &y)
+            .expect("reference fit");
+        let fast = KernelRidge::new(1e-2)
+            .with_kernel(kernel)
+            .with_fast_gram(true)
+            .fit(&x, &y)
+            .expect("fast fit");
+        let want = reference.decision_batch(&x);
+        let got = fast.decision_batch(&x);
+        let got_blocked = fast.decision_batch_blocked(&x);
+        for i in 0..n {
+            prop_assert!(
+                (got[i] - want[i]).abs() <= 1e-7 * want[i].abs().max(1.0),
+                "decision {}: fast {} vs reference {}",
+                i,
+                got[i],
+                want[i]
+            );
+            assert_close(got_blocked[i], got[i], "blocked batch decision")?;
+        }
+    }
+}
+
+/// Tile-edge row counts pinned explicitly: exactly one tile (32), one past
+/// it (33), a multiple (64), and the deployed negative-pool scale, at the
+/// paper's 28-feature width (ragged 4-lane tail).
+#[test]
+fn gram_blocked_covers_tile_edges() {
+    for (n, m) in [(31usize, 28usize), (32, 28), (33, 28), (64, 27), (100, 28)] {
+        let data: Vec<f64> = (0..n * m)
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 7.0)
+            .collect();
+        let x = Matrix::from_vec(n, m, data).expect("sized");
+        let kernel = Kernel::Rbf { gamma: 0.5 };
+        let reference = kernel.gram(&x);
+        let blocked = kernel.gram_blocked(&x);
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (blocked[(i, j)], reference[(i, j)]);
+                assert!(
+                    (a - b).abs() <= 1e-10 * b.abs().max(1.0),
+                    "({n},{m}) entry ({i},{j}): blocked {a} vs reference {b}"
+                );
+            }
+        }
+    }
+}

@@ -145,6 +145,20 @@ impl SensorWindow {
         };
         smarteryou_dsp::magnitude_series_into(x, y, z, out);
     }
+
+    /// Drops every stream except the accelerometer and gyroscope, freeing
+    /// their buffers.
+    ///
+    /// The production feature pipeline consumes only the two motion sensors
+    /// (the §V-B Fisher/KS screening eliminated magnetometer, orientation
+    /// and light), so an ingest tier can project windows down to the motion
+    /// streams once at parse time and halve the per-window bytes that every
+    /// downstream queue, clone and cache level has to carry.
+    pub fn retain_motion(&mut self) {
+        self.mag = Default::default();
+        self.orientation = Default::default();
+        self.light = Vec::new();
+    }
 }
 
 /// Synchronized windows from the smartphone and the smartwatch.
@@ -163,6 +177,12 @@ impl DualDeviceWindow {
             DeviceKind::Smartphone => &self.phone,
             DeviceKind::Smartwatch => &self.watch,
         }
+    }
+
+    /// [`SensorWindow::retain_motion`] on both devices.
+    pub fn retain_motion(&mut self) {
+        self.phone.retain_motion();
+        self.watch.retain_motion();
     }
 }
 

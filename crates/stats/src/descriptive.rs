@@ -100,13 +100,106 @@ pub struct Summary {
 impl Summary {
     /// Computes the summary of `data`. Mean/variance/min/max are `NaN` when
     /// undefined for the sample size.
+    ///
+    /// This is the **reference path**: two passes over `data` (one fused
+    /// sum/min/max pass, one centred sum-of-squares pass), each accumulator
+    /// folding elements in the same order as the single-statistic free
+    /// functions above — so every field is bit-identical to calling
+    /// [`mean`]/[`variance`]/[`min`]/[`max`] separately, at half the memory
+    /// traffic. See [`Summary::from_slice_fused`] for the reassociating
+    /// single-pass fast path.
     pub fn from_slice(data: &[f64]) -> Self {
+        let n = data.len();
+        // Pass 1: sum, min and max. Each accumulator is independent and
+        // visits elements in slice order, matching `mean`'s sequential
+        // `iter().sum()` and the NaN-seeded folds of `min`/`max` exactly.
+        let mut sum = 0.0f64;
+        let mut mn = f64::NAN;
+        let mut mx = f64::NAN;
+        for &v in data {
+            sum += v;
+            mn = if mn.is_nan() { v } else { mn.min(v) };
+            mx = if mx.is_nan() { v } else { mx.max(v) };
+        }
+        let mean = if n == 0 { f64::NAN } else { sum / n as f64 };
+        // Pass 2: centred sum of squares — the same expression, element
+        // order and sequential sum as the free `variance`.
+        let variance = if n < 2 {
+            f64::NAN
+        } else {
+            data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
         Summary {
-            count: data.len(),
-            mean: mean(data),
-            variance: variance(data),
-            min: min(data),
-            max: max(data),
+            count: n,
+            mean,
+            variance,
+            min: mn,
+            max: mx,
+        }
+    }
+
+    /// Single-pass fused summary: 4-lane chunked accumulation of sum,
+    /// shifted sum-of-squares, min and max (`chunks_exact(4)` with four
+    /// independent accumulators per statistic and a scalar tail), so the
+    /// whole summary costs one pass and autovectorizes on stable Rust.
+    ///
+    /// The running sums are shifted by the first element
+    /// (`s = Σ(x−x₀)`, `ss = Σ(x−x₀)²`; `var = (ss − s²/n)/(n−1)`), which
+    /// keeps the one-pass variance numerically stable for streams with a
+    /// large mean — exactly the regime of gravity-dominated accelerometer
+    /// magnitudes. Lane accumulation **reassociates** the float sums, so
+    /// mean and variance differ from [`Summary::from_slice`] by a few ulps
+    /// (the parity proptests pin the bound); min/max are exact for finite
+    /// inputs. Inputs containing NaN should use the reference path, whose
+    /// NaN-seeded fold semantics this fast path does not reproduce.
+    ///
+    /// Results are deterministic: the lane count and reduction order are
+    /// fixed, so equal inputs always produce equal outputs.
+    pub fn from_slice_fused(data: &[f64]) -> Self {
+        let n = data.len();
+        if n < 8 {
+            // Short windows gain nothing from lanes; reference semantics
+            // also cover the empty/short NaN contracts.
+            return Summary::from_slice(data);
+        }
+        let shift = data[0];
+        let mut s = [0.0f64; 4];
+        let mut ss = [0.0f64; 4];
+        let mut mn = [f64::INFINITY; 4];
+        let mut mx = [f64::NEG_INFINITY; 4];
+        let chunks = data.chunks_exact(4);
+        let tail = chunks.remainder();
+        for c in chunks {
+            for l in 0..4 {
+                let d = c[l] - shift;
+                s[l] += d;
+                ss[l] += d * d;
+                mn[l] = mn[l].min(c[l]);
+                mx[l] = mx[l].max(c[l]);
+            }
+        }
+        let mut s_t = (s[0] + s[1]) + (s[2] + s[3]);
+        let mut ss_t = (ss[0] + ss[1]) + (ss[2] + ss[3]);
+        let mut mn_t = mn[0].min(mn[1]).min(mn[2].min(mn[3]));
+        let mut mx_t = mx[0].max(mx[1]).max(mx[2].max(mx[3]));
+        for &v in tail {
+            let d = v - shift;
+            s_t += d;
+            ss_t += d * d;
+            mn_t = mn_t.min(v);
+            mx_t = mx_t.max(v);
+        }
+        let nf = n as f64;
+        let mean = shift + s_t / nf;
+        // Constant streams can leave `ss − s²/n` a few ulps below zero;
+        // clamp so std_dev stays real, matching the reference's 0.
+        let variance = ((ss_t - s_t * s_t / nf) / (nf - 1.0)).max(0.0);
+        Summary {
+            count: n,
+            mean,
+            variance,
+            min: mn_t,
+            max: mx_t,
         }
     }
 
@@ -169,6 +262,42 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn quantile_rejects_out_of_range() {
         quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn fused_summary_matches_reference_on_a_window() {
+        // A gravity-offset sinusoid like a real accelerometer magnitude
+        // stream, at the paper's 300-sample window and a ragged tail length.
+        for n in [300usize, 301, 302, 303, 8, 11] {
+            let data: Vec<f64> = (0..n).map(|i| 9.81 + (i as f64 * 0.37).sin()).collect();
+            let r = Summary::from_slice(&data);
+            let f = Summary::from_slice_fused(&data);
+            assert_eq!(f.count, r.count);
+            assert_eq!(f.min.to_bits(), r.min.to_bits(), "min is exact");
+            assert_eq!(f.max.to_bits(), r.max.to_bits(), "max is exact");
+            assert!((f.mean - r.mean).abs() <= 1e-12 * r.mean.abs());
+            assert!((f.variance - r.variance).abs() <= 1e-9 * r.variance.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn fused_summary_short_input_contracts() {
+        // < 8 samples falls through to the reference path, inheriting its
+        // NaN contracts verbatim.
+        let e = Summary::from_slice_fused(&[]);
+        assert!(e.mean.is_nan() && e.variance.is_nan() && e.min.is_nan() && e.max.is_nan());
+        let one = Summary::from_slice_fused(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert!(one.variance.is_nan());
+    }
+
+    #[test]
+    fn fused_summary_constant_stream_has_zero_variance() {
+        let data = vec![42.0; 300];
+        let f = Summary::from_slice_fused(&data);
+        assert_eq!(f.variance, 0.0);
+        assert_eq!(f.mean, 42.0);
+        assert_eq!((f.min, f.max), (42.0, 42.0));
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Parity proptests pinning the fused (4-lane) summary path to the scalar
+//! reference: [`Summary::from_slice_fused`] must agree with
+//! [`Summary::from_slice`] within epsilon for arbitrary inputs, and the
+//! reference itself must stay bit-identical to the free per-statistic
+//! functions — the contract the flag-off pipeline relies on.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use smarteryou_stats::{max, mean, min, variance, Summary};
+
+/// A random length together with a signal of that length, covering the
+/// short-input fallback, ragged tails (length not a multiple of 4), and
+/// the paper's deployed 300-sample window via the fixed cases below.
+fn sized_buf() -> impl Strategy<Value = Vec<f64>> {
+    (1usize..=512, prop::collection::vec(-100.0..100.0f64, 512))
+        .prop_map(|(len, v)| v.into_iter().take(len).collect())
+}
+
+/// Accelerometer-magnitude-shaped data: a large common offset (gravity)
+/// with small fluctuations, the regime where a naive one-pass variance
+/// loses the most precision.
+fn offset_buf() -> impl Strategy<Value = Vec<f64>> {
+    (
+        4usize..=512,
+        500.0..1000.0f64,
+        prop::collection::vec(-1.0..1.0f64, 512),
+    )
+        .prop_map(|(len, base, v)| v.into_iter().take(len).map(|x| base + x).collect())
+}
+
+fn assert_close(a: f64, b: f64, rel: f64, abs: f64) -> Result<(), TestCaseError> {
+    if a.is_nan() && b.is_nan() {
+        return Ok(());
+    }
+    prop_assert!(
+        (a - b).abs() <= rel * b.abs().max(abs),
+        "fused {a} vs reference {b}"
+    );
+    Ok(())
+}
+
+fn check_fused_matches_reference(data: &[f64]) -> Result<(), TestCaseError> {
+    let fast = Summary::from_slice_fused(data);
+    let slow = Summary::from_slice(data);
+    // Min/max are exact comparisons in both paths: bit-equal.
+    prop_assert!(
+        fast.min.to_bits() == slow.min.to_bits() || (fast.min.is_nan() && slow.min.is_nan())
+    );
+    prop_assert!(
+        fast.max.to_bits() == slow.max.to_bits() || (fast.max.is_nan() && slow.max.is_nan())
+    );
+    assert_close(fast.mean, slow.mean, 1e-12, 1e-12)?;
+    // Variance subtracts large near-equal quantities in the fused form;
+    // the first-element shift keeps it stable but not bit-equal.
+    assert_close(fast.variance, slow.variance, 1e-9, 1e-9)?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fused_summary_matches_reference(data in sized_buf()) {
+        check_fused_matches_reference(&data)?;
+    }
+
+    #[test]
+    fn fused_summary_matches_reference_on_offset_data(data in offset_buf()) {
+        check_fused_matches_reference(&data)?;
+    }
+
+    #[test]
+    fn fused_summary_on_deployed_window(data in prop::collection::vec(-20.0..20.0f64, 300)) {
+        check_fused_matches_reference(&data)?;
+    }
+
+    /// The reference constructor is the flag-off path: it must stay
+    /// bit-identical to the free per-statistic functions so disabling the
+    /// fast path reproduces the seed output exactly.
+    #[test]
+    fn reference_summary_is_bit_identical_to_free_functions(data in sized_buf()) {
+        let s = Summary::from_slice(&data);
+        for (got, want) in [
+            (s.mean, mean(&data)),
+            (s.variance, variance(&data)),
+            (s.min, min(&data)),
+            (s.max, max(&data)),
+        ] {
+            prop_assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "summary field {got} != free function {want}"
+            );
+        }
+    }
+}
+
+/// Ragged tails around the 4-lane boundary, pinned explicitly so the
+/// chunked loop's scalar remainder is always exercised.
+#[test]
+fn fused_summary_covers_every_tail_length() {
+    for n in [8usize, 9, 10, 11, 12, 299, 300, 301, 302, 303] {
+        let data: Vec<f64> = (0..n).map(|i| 9.81 + (i as f64 * 0.7).sin()).collect();
+        check_fused_matches_reference(&data).unwrap();
+    }
+}
