@@ -1,0 +1,598 @@
+//! Two-process ownership demo: live OS processes migrating users over one
+//! shared [`FileSnapshotStore`] directory.
+//!
+//! The orchestrator (this process) seeds a store with enrolled pipelines,
+//! computes an uncrashed baseline decision stream, then drives two real
+//! node processes (`--node` mode of this same binary) over stdin/stdout:
+//!
+//! * **Scenario 1 — live handoff:** node A adopts a user through the epoch
+//!   CAS, scores and checkpoints half the windows, and drops the user;
+//!   node B adopts at the next epoch and finishes the stream. A's attempt
+//!   to re-adopt with its stale knowledge is a typed rejection — no forked
+//!   pipeline — and the concatenated A+B decisions are bit-identical to
+//!   the baseline — no lost windows.
+//! * **Scenario 2 — crash handoff:** node A is armed with an abort-mode
+//!   kill point (`save.data@2`) and dies mid-checkpoint. The orchestrator
+//!   reopens the directory (sweeping the dead node's lock and resolving
+//!   its write-ahead journal), walks through the recovery verdict, and
+//!   node B adopts and replays the remainder — again bit-identical.
+//!
+//! Run `--smoke` for the CI-sized version (same protocol, fewer windows).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smarteryou_bench::{flag_error, flag_value, header};
+use smarteryou_core::fault::{FaultPlan, CRASH_POINT_ENV};
+use smarteryou_core::persist::{FileSnapshotStore, JournalResolution, PersistError, SnapshotStore};
+use smarteryou_core::{
+    ContextDetector, ContextDetectorConfig, DeviceSet, FeatureExtractor, ProcessOutcome,
+    ResponsePolicy, RetrainPolicy, SmarterYou, SystemConfig, TrainingServer,
+};
+use smarteryou_sensors::{
+    DualDeviceWindow, Population, RawContext, TraceGenerator, UserId, WindowSpec,
+};
+
+const USAGE: &str = "crossproc [--smoke] | crossproc --node --dir <dir> --windows <n>";
+
+/// Device owners migrated between the nodes.
+const NUM_USERS: usize = 2;
+/// Seeds pinning the demo's population, pool, detector, and streams — the
+/// orchestrator and both nodes derive identical worlds from these.
+const POPULATION_SEED: u64 = 58_013;
+const POOL_GEN_SEED: u64 = 17;
+const DETECTOR_RNG_SEED: u64 = 31;
+const STREAM_SEED: u64 = 81_000;
+const PIPELINE_SEED: u64 = 1;
+
+/// The world both sides rebuild deterministically. The context-detector
+/// forest is only needed to *construct* pipelines, so nodes (which only
+/// restore) skip training it.
+struct Fixture {
+    cfg: SystemConfig,
+    spec: WindowSpec,
+    population: Population,
+    server: Arc<Mutex<TrainingServer>>,
+    /// Reserve users' windows per raw context, kept for detector training.
+    reserve_windows: Vec<(RawContext, Vec<DualDeviceWindow>)>,
+}
+
+fn fixture() -> Fixture {
+    let population = Population::generate(NUM_USERS + 4, POPULATION_SEED);
+    let cfg = SystemConfig::paper_default()
+        .with_window_secs(2.0)
+        .with_data_size(40);
+    let spec = WindowSpec::from_seconds(cfg.window_secs(), cfg.sample_rate());
+    let extractor = FeatureExtractor::paper_default(cfg.sample_rate());
+    let mut server = TrainingServer::new();
+    let mut reserve_windows = Vec::new();
+    for user in &population.users()[NUM_USERS..] {
+        let mut gen = TraceGenerator::new(user.clone(), POOL_GEN_SEED);
+        for raw in [RawContext::SittingStanding, RawContext::MovingAround] {
+            let windows = gen.generate_windows(raw, spec, 25);
+            server.contribute(
+                raw.coarse(),
+                windows
+                    .iter()
+                    .map(|w| extractor.auth_features(w, DeviceSet::Combined)),
+            );
+            reserve_windows.push((raw, windows));
+        }
+    }
+    Fixture {
+        cfg,
+        spec,
+        population,
+        server: Arc::new(Mutex::new(server)),
+        reserve_windows,
+    }
+}
+
+impl Fixture {
+    /// Enrollment prefix + `auth` windows for one device owner — identical
+    /// in every process.
+    fn stream(&self, user: usize, auth: usize) -> Vec<DualDeviceWindow> {
+        let profile = self.population.users()[user].clone();
+        let mut gen = TraceGenerator::new(profile, STREAM_SEED + user as u64);
+        let mut windows = Vec::new();
+        for round in 0..26 {
+            let ctx = if round % 2 == 0 {
+                RawContext::SittingStanding
+            } else {
+                RawContext::MovingAround
+            };
+            windows.extend(gen.generate_windows(ctx, self.spec, 2));
+        }
+        for round in 0..auth.div_ceil(4) {
+            let ctx = if round % 2 == 0 {
+                RawContext::MovingAround
+            } else {
+                RawContext::SittingStanding
+            };
+            windows.extend(gen.generate_windows(ctx, self.spec, 4));
+        }
+        windows
+    }
+
+    /// Trains the user-agnostic detector (orchestrator only).
+    fn detector(&self) -> ContextDetector {
+        let extractor = FeatureExtractor::paper_default(self.cfg.sample_rate());
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for (raw, windows) in &self.reserve_windows {
+            for w in windows {
+                features.push(extractor.context_features(w));
+                labels.push(raw.coarse());
+            }
+        }
+        let mut rng: StdRng = SeedableRng::seed_from_u64(DETECTOR_RNG_SEED);
+        ContextDetector::train(
+            extractor,
+            &features,
+            &labels,
+            ContextDetectorConfig {
+                num_trees: 16,
+                max_depth: 8,
+            },
+            &mut rng,
+        )
+        .expect("detector trains")
+    }
+}
+
+/// Confidence travels as raw bits so cross-process comparison is exact.
+fn encode_outcome(out: &ProcessOutcome) -> String {
+    match out {
+        ProcessOutcome::Decision {
+            decision,
+            action,
+            retrained,
+        } => format!(
+            "D:{:016x}:{}:{:?}:{:?}:{}",
+            decision.confidence.to_bits(),
+            decision.accepted,
+            decision.context,
+            action,
+            retrained
+        ),
+        ProcessOutcome::Enrolling { stationary, moving } => format!("E:{stationary}:{moving}"),
+    }
+}
+
+// ── Node mode ───────────────────────────────────────────────────────────
+
+/// A fleet node: owns a [`FileSnapshotStore`] handle on the shared
+/// directory and a map of resident pipelines, driven by line commands on
+/// stdin. Every reply is a single flushed stdout line.
+fn run_node(dir: PathBuf, auth_windows: usize) {
+    let fx = fixture();
+    let streams: Vec<Vec<DualDeviceWindow>> = (0..NUM_USERS)
+        .map(|u| {
+            let s = fx.stream(u, auth_windows);
+            s[s.len() - auth_windows..].to_vec()
+        })
+        .collect();
+    // The orchestrator arms crash scenarios via SMARTERYOU_CRASH_POINT.
+    let mut store = match FaultPlan::from_env() {
+        Some(plan) => FileSnapshotStore::with_fault_plan(&dir, plan),
+        None => FileSnapshotStore::new(&dir),
+    }
+    .expect("node opens store");
+    let mut resident: HashMap<usize, (SmarterYou, u64)> = HashMap::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let mut reply = |line: String| {
+        writeln!(out, "{line}")
+            .and_then(|()| out.flush())
+            .expect("node stdout");
+    };
+    reply(format!("ready {}", std::process::id()));
+    for line in stdin.lock().lines() {
+        let line = line.expect("node stdin");
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("adopt") => {
+                let u: usize = parts.next().unwrap().parse().unwrap();
+                let expected: u64 = parts.next().unwrap().parse().unwrap();
+                match store.acquire_cas(UserId(u), expected) {
+                    Ok(epoch) => {
+                        let snapshot = store
+                            .load(UserId(u))
+                            .expect("node load")
+                            .expect("adopted user has a snapshot");
+                        let pipeline =
+                            SmarterYou::restore(snapshot, fx.server.clone()).expect("node restore");
+                        resident.insert(u, (pipeline, epoch));
+                        reply(format!("adopted {u} {epoch}"));
+                    }
+                    Err(PersistError::StaleEpoch { stored, .. }) => {
+                        reply(format!("stale {u} {stored}"));
+                    }
+                    Err(e) => panic!("node adopt failed: {e}"),
+                }
+            }
+            Some("feed") => {
+                let u: usize = parts.next().unwrap().parse().unwrap();
+                let start: usize = parts.next().unwrap().parse().unwrap();
+                let count: usize = parts.next().unwrap().parse().unwrap();
+                let (pipeline, held) = resident.get_mut(&u).expect("feed of a resident user");
+                for (i, window) in streams[u].iter().enumerate().skip(start).take(count) {
+                    let outcome = pipeline.process_window(window).expect("node window");
+                    reply(format!("decision {u} {i} {}", encode_outcome(&outcome)));
+                    store
+                        .save_fenced(UserId(u), *held, &pipeline.snapshot())
+                        .expect("node checkpoint");
+                    reply(format!("saved {u} {i}"));
+                }
+            }
+            Some("drop") => {
+                let u: usize = parts.next().unwrap().parse().unwrap();
+                resident.remove(&u);
+                reply(format!("dropped {u}"));
+            }
+            Some("quit") => break,
+            _ => panic!("node got unknown command {line:?}"),
+        }
+    }
+}
+
+// ── Orchestrator ────────────────────────────────────────────────────────
+
+struct Node {
+    name: &'static str,
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Node {
+    fn spawn(
+        name: &'static str,
+        dir: &std::path::Path,
+        auth_windows: usize,
+        crash_point: Option<&str>,
+    ) -> Node {
+        let exe = std::env::current_exe().expect("crossproc path");
+        let mut cmd = Command::new(exe);
+        cmd.args([
+            "--node",
+            "--dir",
+            &dir.display().to_string(),
+            "--windows",
+            &auth_windows.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped());
+        match crash_point {
+            Some(point) => cmd.env(CRASH_POINT_ENV, point),
+            None => cmd.env_remove(CRASH_POINT_ENV),
+        };
+        let mut child = cmd.spawn().expect("spawn node");
+        let stdin = child.stdin.take().unwrap();
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut ready = String::new();
+        stdout.read_line(&mut ready).expect("node ready line");
+        let pid = ready.trim().strip_prefix("ready ").expect("ready line");
+        println!("  [{name}] node up (pid {pid})");
+        Node {
+            name,
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn send(&mut self, command: &str) {
+        writeln!(self.stdin, "{command}").expect("node command");
+        self.stdin.flush().expect("node command flush");
+    }
+
+    fn read_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.stdout.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim().to_string()),
+            Err(e) => panic!("node {} stdout: {e}", self.name),
+        }
+    }
+
+    /// Sends `command` and returns reply lines up to (and including) the
+    /// first whose head matches one of `until`.
+    fn transact(&mut self, command: &str, until: &[&str]) -> Vec<String> {
+        self.send(command);
+        let mut lines = Vec::new();
+        loop {
+            let line = self
+                .read_line()
+                .unwrap_or_else(|| panic!("node {} died mid-transaction", self.name));
+            let head = line.split_whitespace().next().unwrap_or("").to_string();
+            lines.push(line);
+            if until.contains(&head.as_str()) {
+                return lines;
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        self.send("quit");
+        let _ = self.child.wait();
+    }
+}
+
+/// Collects `decision <u> <i> <enc>` lines into `per_window[i] = enc`.
+fn harvest_decisions(lines: &[String], user: usize, into: &mut Vec<(usize, String)>) {
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        if parts.next() == Some("decision") {
+            let u: usize = parts.next().unwrap().parse().unwrap();
+            if u == user {
+                let i: usize = parts.next().unwrap().parse().unwrap();
+                into.push((i, parts.next().unwrap().to_string()));
+            }
+        }
+    }
+}
+
+fn orchestrate(smoke: bool) {
+    let auth_windows = if smoke { 8 } else { 12 };
+    let handoff_at = auth_windows / 2;
+    header(
+        "crossproc",
+        "two OS processes migrating users over one FileSnapshotStore",
+    );
+    println!("auth windows per user: {auth_windows}, handoff after {handoff_at}");
+
+    let fx = fixture();
+    let detector = fx.detector();
+
+    // Enroll each owner's pipeline in-process and compute the uncrashed
+    // baseline stream the nodes must reproduce bit for bit.
+    let mut enrolled: Vec<SmarterYou> = Vec::new();
+    let mut baselines: Vec<Vec<String>> = Vec::new();
+    for u in 0..NUM_USERS {
+        let stream = fx.stream(u, auth_windows);
+        let auth_start = stream.len() - auth_windows;
+        let mut pipeline = SmarterYou::new(
+            fx.cfg.clone(),
+            detector.clone(),
+            fx.server.clone(),
+            PIPELINE_SEED + u as u64,
+        )
+        .expect("valid config")
+        .with_response_policy(ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        })
+        .with_retrain_policy(RetrainPolicy {
+            threshold: 1e9,
+            period: 5,
+            max_reject_fraction: 1.0,
+        });
+        for window in &stream[..auth_start] {
+            pipeline.process_window(window).expect("enrollment");
+        }
+        assert!(pipeline.snapshot().is_enrolled(), "user {u} enrolls");
+        let mut reference = pipeline.clone();
+        baselines.push(
+            stream[auth_start..]
+                .iter()
+                .map(|w| encode_outcome(&reference.process_window(w).expect("baseline")))
+                .collect(),
+        );
+        enrolled.push(pipeline);
+    }
+
+    // ── Scenario 1: live handoff ────────────────────────────────────────
+    println!();
+    println!("scenario 1: live handoff A -> B (epoch CAS, no fork, no lost windows)");
+    let dir = std::env::temp_dir().join(format!("smarteryou-crossproc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut store = FileSnapshotStore::new(&dir).expect("seed store");
+        for (u, pipeline) in enrolled.iter().enumerate() {
+            store
+                .save(UserId(u), &pipeline.snapshot())
+                .expect("seed save");
+        }
+    }
+    let mut node_a = Node::spawn("A", &dir, auth_windows, None);
+    let mut node_b = Node::spawn("B", &dir, auth_windows, None);
+    for (u, baseline) in baselines.iter().enumerate() {
+        let mut decisions: Vec<(usize, String)> = Vec::new();
+        let adopt = node_a.transact(&format!("adopt {u} 0"), &["adopted", "stale"]);
+        assert_eq!(adopt.last().unwrap(), &format!("adopted {u} 1"));
+        let fed = node_a.transact(&format!("feed {u} 0 {handoff_at}"), &["saved"]);
+        // `feed` emits saved per window; read the remaining acks.
+        let mut lines = fed;
+        while lines
+            .iter()
+            .filter(|l| l.starts_with(&format!("saved {u}")))
+            .count()
+            < handoff_at
+        {
+            lines.push(node_a.read_line().expect("node A ack"));
+        }
+        harvest_decisions(&lines, u, &mut decisions);
+        node_a.transact(&format!("drop {u}"), &["dropped"]);
+
+        // B adopts at the epoch it observes (A holds 1); CAS succeeds and
+        // fences A out.
+        let adopt_b = node_b.transact(&format!("adopt {u} 1"), &["adopted", "stale"]);
+        assert_eq!(adopt_b.last().unwrap(), &format!("adopted {u} 2"));
+        // A's stale knowledge (it last saw epoch 1) can no longer win the
+        // user back: a typed rejection, not a forked pipeline.
+        let stale = node_a.transact(&format!("adopt {u} 1"), &["adopted", "stale"]);
+        assert_eq!(stale.last().unwrap(), &format!("stale {u} 2"));
+        println!(
+            "  [A] re-adopt of user {u} rejected: {}",
+            stale.last().unwrap()
+        );
+
+        let rest = auth_windows - handoff_at;
+        let mut lines = node_b.transact(&format!("feed {u} {handoff_at} {rest}"), &["saved"]);
+        while lines
+            .iter()
+            .filter(|l| l.starts_with(&format!("saved {u}")))
+            .count()
+            < rest
+        {
+            lines.push(node_b.read_line().expect("node B ack"));
+        }
+        harvest_decisions(&lines, u, &mut decisions);
+        node_b.transact(&format!("drop {u}"), &["dropped"]);
+
+        decisions.sort_by_key(|(i, _)| *i);
+        assert_eq!(
+            decisions.len(),
+            auth_windows,
+            "user {u}: no window lost across the handoff"
+        );
+        for (i, enc) in &decisions {
+            assert_eq!(
+                enc, &baseline[*i],
+                "user {u} window {i}: cross-process decision diverges from baseline"
+            );
+        }
+        println!("  user {u}: {auth_windows} decisions bit-identical across A -> B handoff");
+    }
+    node_a.shutdown();
+    node_b.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("scenario 1 passed");
+
+    // ── Scenario 2: crash handoff ───────────────────────────────────────
+    println!();
+    println!("scenario 2: node A killed mid-checkpoint (save.data@2), B recovers");
+    let dir =
+        std::env::temp_dir().join(format!("smarteryou-crossproc-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let crash_user = 0usize;
+    {
+        let mut store = FileSnapshotStore::new(&dir).expect("seed store");
+        store
+            .save(UserId(crash_user), &enrolled[crash_user].snapshot())
+            .expect("seed save");
+    }
+    let mut node_a = Node::spawn("A", &dir, auth_windows, Some("save.data@2"));
+    let adopt = node_a.transact(&format!("adopt {crash_user} 0"), &["adopted", "stale"]);
+    assert_eq!(adopt.last().unwrap(), &format!("adopted {crash_user} 1"));
+    // Feed everything; the armed fault kills A at the second checkpoint's
+    // data-written-commit-pending point. Drain its stdout until EOF.
+    node_a.send(&format!("feed {crash_user} 0 {auth_windows}"));
+    let mut a_lines = Vec::new();
+    while let Some(line) = node_a.read_line() {
+        a_lines.push(line);
+    }
+    let status = node_a.child.wait().expect("node A status");
+    assert!(!status.success(), "node A must die at its kill point");
+    let mut a_decisions: Vec<(usize, String)> = Vec::new();
+    harvest_decisions(&a_lines, crash_user, &mut a_decisions);
+    let acked_saves = a_lines
+        .iter()
+        .filter(|l| l.starts_with(&format!("saved {crash_user}")))
+        .count();
+    println!(
+        "  [A] died after acking {acked_saves} checkpoint(s), {} decision(s)",
+        a_decisions.len()
+    );
+
+    // Recovery walk-through: reopening the directory steals the dead
+    // node's lock and resolves its journal.
+    let mut survivor_store = FileSnapshotStore::new(&dir).expect("survivor store");
+    let report = survivor_store.recovery_report().clone();
+    println!(
+        "  [recovery] swept_temps={} stale_locks={} journals={:?}",
+        report.swept_temps, report.stale_locks, report.journals
+    );
+    assert_eq!(report.stale_locks, 1, "dead node's lock is reaped");
+    assert!(
+        matches!(
+            report.journals.as_slice(),
+            [(_, JournalResolution::SaveCommitted { .. })]
+        ),
+        "save.data crash resolves as a committed save (data landed)"
+    );
+    // The journal proves the in-flight checkpoint landed even though its
+    // ack never arrived: resume after the last decision, not the last ack.
+    let resume_from = a_decisions.iter().map(|(i, _)| i + 1).max().unwrap_or(0);
+    assert_eq!(resume_from, acked_saves + 1);
+    for (i, enc) in &a_decisions {
+        assert_eq!(
+            enc, &baselines[crash_user][*i],
+            "window {i} before the crash"
+        );
+    }
+    // A zombie holding the dead node's epoch cannot write.
+    assert!(
+        matches!(
+            survivor_store.save_fenced(UserId(crash_user), 0, &enrolled[crash_user].snapshot()),
+            Err(PersistError::StaleEpoch { .. })
+        ),
+        "pre-crash epoch is fenced out"
+    );
+    drop(survivor_store);
+
+    let mut node_b = Node::spawn("B", &dir, auth_windows, None);
+    let adopt_b = node_b.transact(&format!("adopt {crash_user} 1"), &["adopted", "stale"]);
+    assert_eq!(adopt_b.last().unwrap(), &format!("adopted {crash_user} 2"));
+    let rest = auth_windows - resume_from;
+    let mut lines = node_b.transact(
+        &format!("feed {crash_user} {resume_from} {rest}"),
+        &["saved"],
+    );
+    while lines
+        .iter()
+        .filter(|l| l.starts_with(&format!("saved {crash_user}")))
+        .count()
+        < rest
+    {
+        lines.push(node_b.read_line().expect("node B ack"));
+    }
+    let mut b_decisions: Vec<(usize, String)> = Vec::new();
+    harvest_decisions(&lines, crash_user, &mut b_decisions);
+    assert_eq!(b_decisions.len(), rest);
+    for (i, enc) in &b_decisions {
+        assert_eq!(
+            enc, &baselines[crash_user][*i],
+            "window {i}: survivor decision diverges from baseline"
+        );
+    }
+    node_b.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "  user {crash_user}: windows 0..{resume_from} from the dead node + {resume_from}..{auth_windows} \
+         from the survivor, all bit-identical to the uncrashed run"
+    );
+    println!("scenario 2 passed");
+    println!();
+    println!("crossproc: OK");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut node = false;
+    let mut smoke = false;
+    let mut dir: Option<PathBuf> = None;
+    let mut windows: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--node" => node = true,
+            "--smoke" => smoke = true,
+            "--dir" => dir = Some(flag_value("--dir", args.next(), USAGE)),
+            "--windows" => windows = Some(flag_value("--windows", args.next(), USAGE)),
+            other => flag_error(other, "unknown flag", USAGE),
+        }
+    }
+    if node {
+        let dir = dir.unwrap_or_else(|| flag_error("--node", "requires --dir", USAGE));
+        let windows = windows.unwrap_or_else(|| flag_error("--node", "requires --windows", USAGE));
+        run_node(dir, windows);
+    } else {
+        orchestrate(smoke);
+    }
+}

@@ -519,6 +519,38 @@ impl FleetEngine {
         id: UserId,
         server: Arc<dyn TrainingHandle>,
     ) -> Result<(), CoreError> {
+        self.register_parked_with(id, server, None)
+    }
+
+    /// [`FleetEngine::register_parked`] with a compare-and-swap ownership
+    /// claim: adoption succeeds only if the store's epoch for `id` is still
+    /// exactly `expected` — the epoch the caller observed when it decided
+    /// to adopt. Between observing and adopting, another engine (possibly
+    /// in another process) may have claimed the user; an unconditional
+    /// acquire would then silently fence *that* owner out and fork the
+    /// pipeline, while the CAS turns the race into a typed
+    /// [`PersistError::StaleEpoch`] the caller can re-plan from.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetEngine::register_parked`], plus
+    /// [`CoreError::Persist`]\([`PersistError::StaleEpoch`]\) when the
+    /// claim loses the ownership race (nothing is registered).
+    pub fn register_parked_at(
+        &mut self,
+        id: UserId,
+        server: Arc<dyn TrainingHandle>,
+        expected: u64,
+    ) -> Result<(), CoreError> {
+        self.register_parked_with(id, server, Some(expected))
+    }
+
+    fn register_parked_with(
+        &mut self,
+        id: UserId,
+        server: Arc<dyn TrainingHandle>,
+        expected: Option<u64>,
+    ) -> Result<(), CoreError> {
         if self.users.contains_key(&id) {
             return Err(CoreError::AlreadyRegistered(id));
         }
@@ -527,7 +559,10 @@ impl FleetEngine {
                 "register_parked requires a snapshot store — enable eviction first".into(),
             )
         })?;
-        let epoch = eviction.store.acquire(id)?;
+        let epoch = match expected {
+            Some(expected) => eviction.store.acquire_cas(id, expected)?,
+            None => eviction.store.acquire(id)?,
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.users.insert(

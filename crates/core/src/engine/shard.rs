@@ -498,10 +498,20 @@ impl ShardedFleet {
         if source == target {
             return Ok(());
         }
+        // The source's held epoch is what the store will read after its
+        // fenced release save — the target adopts with a CAS against it,
+        // so an interloper (another process sharing the store) claiming
+        // the user between release and adoption surfaces as a typed
+        // `StaleEpoch` instead of silently fencing that claimant out.
+        let source_epoch = self.shards[source]
+            .epoch_of(id)
+            .expect("owner map and shard registration agree");
         let (windows, server) = self.shards[source].release(id)?;
         // From here the user is registered nowhere; adopt on the target
         // (or, failing that, re-adopt on the source) before returning.
-        if let Err(adopt_error) = self.shards[target].register_parked(id, server.clone()) {
+        if let Err(adopt_error) =
+            self.shards[target].register_parked_at(id, server.clone(), source_epoch)
+        {
             self.shards[source]
                 .register_parked(id, server)
                 .expect("re-claiming a just-released user on its own shard cannot fail twice");

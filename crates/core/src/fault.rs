@@ -1,0 +1,227 @@
+//! Kill-point fault injection for the crash-safety test matrix.
+//!
+//! A [`FaultPlan`] names one labeled point inside the persistence protocol
+//! (see [`points`]) and fires — aborting or panicking the process — the
+//! n-th time execution reaches it. [`FileSnapshotStore`] accepts a plan at
+//! construction and calls [`FaultPlan::hit`] at every labeled point of its
+//! save/acquire/remove protocols; harness-level code (a migration driver)
+//! can call `hit` directly for points the store cannot see.
+//!
+//! Two modes:
+//!
+//! * [`FaultMode::Abort`] — `std::process::abort()`. No unwinding, no
+//!   destructors: the process dies exactly as a `kill -9` would, leaving
+//!   lock files held and journals unresolved. This is the crash-faithful
+//!   mode the child-process kill-point matrix uses.
+//! * [`FaultMode::Panic`] — a plain `panic!`, catchable with
+//!   `catch_unwind`. Unwinding runs destructors (the per-user lock guard
+//!   releases), so this mode exercises journal recovery *without* lock
+//!   stealing — right for in-process unit tests of journal states.
+//!
+//! Plans are cheap, lock-free (`AtomicU32` hit counter), and deliberately
+//! single-shot in shape: one label, one trigger ordinal. A test matrix
+//! wanting N kill points runs N processes, which is also what keeps each
+//! crash scenario independent.
+//!
+//! [`FileSnapshotStore`]: crate::persist::FileSnapshotStore
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Labeled kill points in the persistence and migration protocols. The
+/// label strings are stable — they are test-matrix and CI vocabulary, and
+/// travel through the [`FaultPlan::from_env`] environment variable.
+pub mod points {
+    /// Entry to a (fenced or unfenced) save, before the per-user lock or
+    /// the fence check: nothing written yet.
+    pub const SAVE_ENTER: &str = "save.enter";
+    /// Save intent journaled (lock held); the snapshot data not yet
+    /// written. Recovery must roll back.
+    pub const SAVE_INTENT: &str = "save.intent";
+    /// Snapshot data written; the commit record not yet journaled.
+    /// Recovery must detect the landed data and roll forward.
+    pub const SAVE_DATA: &str = "save.data";
+    /// Commit record journaled but the journal file not yet removed.
+    /// Recovery must treat the save as complete.
+    pub const SAVE_COMMIT: &str = "save.commit";
+    /// Entry to an epoch acquire, before the lock or the CAS check.
+    pub const ACQUIRE_ENTER: &str = "acquire.enter";
+    /// Acquire intent journaled; the epoch sidecar not yet bumped.
+    pub const ACQUIRE_INTENT: &str = "acquire.intent";
+    /// Epoch sidecar bumped; the commit record not yet journaled.
+    pub const ACQUIRE_EPOCH: &str = "acquire.epoch";
+    /// Commit record journaled but the journal file not yet removed.
+    pub const ACQUIRE_COMMIT: &str = "acquire.commit";
+    /// Entry to a remove, before the lock: nothing deleted yet.
+    pub const REMOVE_ENTER: &str = "remove.enter";
+    /// Snapshot file deleted (epoch tombstone retained); the commit record
+    /// not yet journaled.
+    pub const REMOVE_DATA: &str = "remove.data";
+    /// Harness-level point: a migration source has released (final fenced
+    /// save done) but the target has not yet claimed. Fired by migration
+    /// drivers via [`FaultPlan::hit`](super::FaultPlan::hit), not by the
+    /// store.
+    pub const MIGRATE_AFTER_RELEASE: &str = "migrate.after-release";
+
+    /// Every store-internal point, in protocol order — the kill-point
+    /// matrix iterates this.
+    pub const STORE_POINTS: &[&str] = &[
+        SAVE_ENTER,
+        SAVE_INTENT,
+        SAVE_DATA,
+        SAVE_COMMIT,
+        ACQUIRE_ENTER,
+        ACQUIRE_INTENT,
+        ACQUIRE_EPOCH,
+        ACQUIRE_COMMIT,
+        REMOVE_ENTER,
+        REMOVE_DATA,
+    ];
+
+    /// All labeled points, store-internal and harness-level.
+    pub const ALL: &[&str] = &[
+        SAVE_ENTER,
+        SAVE_INTENT,
+        SAVE_DATA,
+        SAVE_COMMIT,
+        ACQUIRE_ENTER,
+        ACQUIRE_INTENT,
+        ACQUIRE_EPOCH,
+        ACQUIRE_COMMIT,
+        REMOVE_ENTER,
+        REMOVE_DATA,
+        MIGRATE_AFTER_RELEASE,
+    ];
+}
+
+/// Environment variable naming the kill point for [`FaultPlan::from_env`]:
+/// `"save.data"` (fire on the first hit) or `"save.data@3"` (fire on the
+/// third).
+pub const CRASH_POINT_ENV: &str = "SMARTERYOU_CRASH_POINT";
+
+/// How a triggered fault takes the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// `std::process::abort()` — crash-faithful, no unwinding.
+    Abort,
+    /// `panic!` — catchable, destructors run.
+    Panic,
+}
+
+/// One scheduled crash: fire `mode` the `trigger_at`-th time execution
+/// reaches the labeled `point`. Hits of other labels are counted but never
+/// fire.
+#[derive(Debug)]
+pub struct FaultPlan {
+    point: String,
+    trigger_at: u32,
+    mode: FaultMode,
+    hits: AtomicU32,
+}
+
+impl FaultPlan {
+    /// A plan that aborts the process on the `trigger_at`-th (1-based) hit
+    /// of `point`.
+    pub fn abort_at(point: &str, trigger_at: u32) -> Arc<Self> {
+        Arc::new(FaultPlan {
+            point: point.to_string(),
+            trigger_at: trigger_at.max(1),
+            mode: FaultMode::Abort,
+            hits: AtomicU32::new(0),
+        })
+    }
+
+    /// A plan that panics on the `trigger_at`-th (1-based) hit of `point`.
+    pub fn panic_at(point: &str, trigger_at: u32) -> Arc<Self> {
+        Arc::new(FaultPlan {
+            point: point.to_string(),
+            trigger_at: trigger_at.max(1),
+            mode: FaultMode::Panic,
+            hits: AtomicU32::new(0),
+        })
+    }
+
+    /// Builds an aborting plan from [`CRASH_POINT_ENV`] (`"label"` or
+    /// `"label@n"`), or `None` when the variable is unset. Child processes
+    /// of the kill-point matrix and the two-process demo arm themselves
+    /// through this.
+    pub fn from_env() -> Option<Arc<Self>> {
+        let spec = std::env::var(CRASH_POINT_ENV).ok()?;
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return None;
+        }
+        let (point, ordinal) = match spec.split_once('@') {
+            Some((p, n)) => (p, n.parse::<u32>().unwrap_or(1)),
+            None => (spec, 1),
+        };
+        Some(FaultPlan::abort_at(point, ordinal))
+    }
+
+    /// The labeled point this plan fires at.
+    pub fn point(&self) -> &str {
+        &self.point
+    }
+
+    /// How many times the plan's own point has been reached so far.
+    pub fn hits(&self) -> u32 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Registers that execution reached `label`. When `label` matches the
+    /// plan's point and this is the `trigger_at`-th match, the fault fires:
+    /// [`FaultMode::Abort`] never returns, [`FaultMode::Panic`] unwinds.
+    pub fn hit(&self, label: &str) {
+        if label != self.point {
+            return;
+        }
+        let n = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        if n != self.trigger_at {
+            return;
+        }
+        match self.mode {
+            FaultMode::Abort => {
+                // Flush an operator-visible breadcrumb before dying; the
+                // abort itself flushes nothing.
+                eprintln!("fault injected: abort at {label} (hit {n})");
+                std::process::abort();
+            }
+            FaultMode::Panic => panic!("fault injected: panic at {label} (hit {n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_plan_fires_on_the_right_ordinal() {
+        let plan = FaultPlan::panic_at(points::SAVE_DATA, 2);
+        plan.hit(points::SAVE_INTENT); // other labels never fire
+        plan.hit(points::SAVE_DATA); // first hit: below the ordinal
+        assert_eq!(plan.hits(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.hit(points::SAVE_DATA);
+        }));
+        assert!(result.is_err(), "second hit must fire");
+        assert_eq!(plan.hits(), 2);
+        // Past the trigger the plan is spent: further hits are counted but
+        // never fire again.
+        plan.hit(points::SAVE_DATA);
+        assert_eq!(plan.hits(), 3);
+    }
+
+    #[test]
+    fn env_spec_parses_label_and_ordinal() {
+        // Constructed directly (not via the process environment — tests
+        // share a process) to pin the `label@n` split.
+        let (point, ordinal) = match "save.data@3".split_once('@') {
+            Some((p, n)) => (p, n.parse::<u32>().unwrap_or(1)),
+            None => ("save.data", 1),
+        };
+        assert_eq!((point, ordinal), ("save.data", 3));
+        let plan = FaultPlan::abort_at(point, ordinal);
+        assert_eq!(plan.point(), points::SAVE_DATA);
+    }
+}

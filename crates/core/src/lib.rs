@@ -33,6 +33,7 @@ mod context_detect;
 pub mod engine;
 mod error;
 pub mod experiment;
+pub mod fault;
 mod features;
 pub mod parallel;
 pub mod persist;
@@ -52,10 +53,11 @@ pub use engine::{
     TickReport, TrainingService, UserOutcomes, WindowQueue,
 };
 pub use error::{CoreError, IngestError};
+pub use fault::{FaultMode, FaultPlan, CRASH_POINT_ENV};
 pub use features::{DeviceSet, FeatureExtractor, FeatureKind, FeatureSet};
 pub use persist::{
-    FileSnapshotStore, MemorySnapshotStore, PersistError, PipelineSnapshot, SharedSnapshotStore,
-    SnapshotStore, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+    FileSnapshotStore, JournalResolution, MemorySnapshotStore, PersistError, PipelineSnapshot,
+    RecoveryReport, SharedSnapshotStore, SnapshotStore, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };
 pub use pipeline::{
     ProcessOutcome, RetrainMode, SmarterYou, SystemEvent, SystemPhase, DEFAULT_EVENT_CAPACITY,

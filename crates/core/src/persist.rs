@@ -55,9 +55,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+
+use crate::fault::{points, FaultPlan};
 
 use smarteryou_ml::KrrTailState;
 use smarteryou_sensors::{UserId, WindowSpec};
@@ -481,8 +485,12 @@ pub trait SnapshotStore: fmt::Debug + Send {
     /// Propagates storage and decode failures.
     fn load(&mut self, id: UserId) -> Result<Option<PipelineSnapshot>, PersistError>;
 
-    /// Drops the snapshot stored under `id` **and its epoch metadata**
-    /// (no-op when absent) — the store forgets the user entirely.
+    /// Drops the snapshot stored under `id` (no-op when absent) — but
+    /// **retains the ownership epoch as a tombstone**. Deleting the epoch
+    /// would reset the fence to 0, letting an engine that still holds a
+    /// stale claim pass [`SnapshotStore::save_fenced`] and resurrect a
+    /// deregistered user; keeping it means such a save stays a typed
+    /// [`PersistError::StaleEpoch`] even across remove + re-register.
     ///
     /// # Errors
     ///
@@ -504,6 +512,35 @@ pub trait SnapshotStore: fmt::Debug + Send {
     ///
     /// [`PersistError::Io`] on storage failure.
     fn acquire(&mut self, id: UserId) -> Result<u64, PersistError>;
+
+    /// Compare-and-swap form of [`SnapshotStore::acquire`]: claims epoch
+    /// `expected + 1` **iff** the persisted epoch is exactly `expected`,
+    /// returning the newly held epoch. A mismatch is a typed
+    /// [`PersistError::StaleEpoch`] carrying the actual stored epoch — the
+    /// caller lost an ownership race (or holds outdated knowledge) and
+    /// must not adopt the user.
+    ///
+    /// The default implementation is check-then-acquire, which is atomic
+    /// only for stores driven from one thread at a time; a store shared
+    /// across threads or processes must make the CAS genuinely atomic
+    /// ([`SharedSnapshotStore`] holds its mutex across the compound call,
+    /// [`FileSnapshotStore`] serializes through a per-user lock file).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::StaleEpoch`] when the stored epoch is not
+    /// `expected`; [`PersistError::Io`] on storage failure.
+    fn acquire_cas(&mut self, id: UserId, expected: u64) -> Result<u64, PersistError> {
+        let stored = self.epoch(id)?;
+        if stored != expected {
+            return Err(PersistError::StaleEpoch {
+                id,
+                held: expected,
+                stored,
+            });
+        }
+        self.acquire(id)
+    }
 
     /// [`SnapshotStore::save`] guarded by the ownership fence: rejected
     /// with [`PersistError::StaleEpoch`] when `epoch` is older than the
@@ -530,8 +567,21 @@ pub trait SnapshotStore: fmt::Debug + Send {
         self.save(id, snapshot)
     }
 
-    /// Number of snapshots currently stored.
+    /// Number of snapshots currently stored. A convenience view that may
+    /// report 0 when the backing storage is unreadable — callers that must
+    /// distinguish "empty" from "broken" use [`SnapshotStore::try_len`].
     fn len(&self) -> usize;
+
+    /// Number of snapshots currently stored, with storage failures
+    /// surfaced instead of swallowed: an unreadable store directory is
+    /// [`PersistError::Io`], never a silent `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the backing storage cannot be enumerated.
+    fn try_len(&self) -> Result<usize, PersistError> {
+        Ok(self.len())
+    }
 
     /// Whether the store holds no snapshots.
     fn is_empty(&self) -> bool {
@@ -575,8 +625,8 @@ impl SnapshotStore for MemorySnapshotStore {
     }
 
     fn remove(&mut self, id: UserId) -> Result<(), PersistError> {
+        // The epoch stays behind as a tombstone — see the trait docs.
         self.entries.remove(&id.0);
-        self.epochs.remove(&id.0);
         Ok(())
     }
 
@@ -595,48 +645,254 @@ impl SnapshotStore for MemorySnapshotStore {
     }
 }
 
+/// One write-ahead-journal record: the intent (or commit) of a compound
+/// store operation, persisted *before* the operation's data write so a
+/// crash in between leaves evidence instead of ambiguity. One record per
+/// journal file; the journal itself is written atomically, so recovery
+/// only ever sees a whole record or no journal at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalRecord {
+    /// `"save"`, `"acquire"`, or `"remove"`.
+    op: String,
+    /// `"intent"` (data write may or may not have landed) or `"commit"`
+    /// (data write landed; only the journal cleanup remained).
+    state: String,
+    /// For saves: the fence epoch the save carried (0 when unfenced).
+    /// For acquires: the epoch being claimed.
+    epoch: u64,
+    /// For saves: FNV-1a hash of the snapshot JSON being written, so
+    /// recovery can tell whether the data write landed.
+    hash: u64,
+    /// For saves: byte length of the snapshot JSON (a cheap pre-filter for
+    /// the hash comparison).
+    len: u64,
+}
+
+/// How a stranded write-ahead journal was resolved during recovery — the
+/// store's verdict on what a crashed process's in-flight operation
+/// amounted to. Survivors use this to pick the correct replay point: a
+/// committed save means the crashed owner's last window checkpoint landed;
+/// a rolled-back save means it did not and the window must be re-derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalResolution {
+    /// The interrupted save's data write landed (or the save had already
+    /// committed); the stored snapshot is the journaled one.
+    SaveCommitted {
+        /// Fence epoch the save carried (0 when unfenced).
+        epoch: u64,
+    },
+    /// The interrupted save never wrote its data; the stored snapshot is
+    /// the previous committed one.
+    SaveRolledBack {
+        /// Fence epoch the save carried (0 when unfenced).
+        epoch: u64,
+    },
+    /// The interrupted acquire's epoch bump landed: the (now dead) claimant
+    /// holds `to` on disk, and the next CAS must expect it.
+    AcquireCommitted {
+        /// The epoch the crashed claimant had claimed.
+        to: u64,
+    },
+    /// The interrupted acquire never bumped the epoch; the previous owner's
+    /// claim stands.
+    AcquireRolledBack {
+        /// The epoch the crashed claimant was trying to claim.
+        to: u64,
+    },
+    /// The interrupted remove deleted the snapshot (tombstoned epoch
+    /// retained either way).
+    RemoveCommitted,
+    /// The interrupted remove never deleted the snapshot.
+    RemoveRolledBack,
+}
+
+/// What [`FileSnapshotStore::new`] cleaned up while opening a directory —
+/// the crash debris of whatever process died over it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Orphaned `*.tmp` files swept (a crash between temp-write and
+    /// rename). Never counted by `len()` and never loadable.
+    pub swept_temps: usize,
+    /// Per-user lock files whose holding process is provably dead.
+    pub stale_locks: usize,
+    /// Stranded journals resolved, as `(file stem, resolution)` pairs.
+    pub journals: Vec<(String, JournalResolution)>,
+}
+
+/// RAII guard for a per-user lock file: the path exists for exactly as
+/// long as the guard lives. Dropped on unwind too — which is why the
+/// crash-faithful fault mode is `abort` (no unwinding), leaving the lock
+/// held for the survivor's staleness check to reap.
+#[derive(Debug)]
+struct StemLock {
+    path: PathBuf,
+}
+
+impl Drop for StemLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// FNV-1a over the snapshot wire bytes: cheap, dependency-free, and stable
+/// across processes — exactly what the journal needs to decide whether an
+/// interrupted data write landed (this is integrity evidence against a
+/// *crash*, not an adversary).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// How long a lock attempt spins against a *live* holder before giving up
+/// with a typed error. Compound store ops are milliseconds; seconds of
+/// contention means something is wedged.
+const LOCK_PATIENCE: Duration = Duration::from_secs(5);
+/// Sleep between lock attempts while a live holder works.
+const LOCK_RETRY_SLEEP: Duration = Duration::from_millis(2);
+/// Age past which a lock file with no readable holder PID (the holder died
+/// between creating the file and writing its PID, or the platform has no
+/// liveness probe) is considered abandoned.
+const LOCK_UNKNOWN_HOLDER_GRACE: Duration = Duration::from_secs(10);
+/// Bound on unconditional-acquire CAS retries; beyond this the store
+/// reports contention instead of livelocking.
+const ACQUIRE_RETRY_LIMIT: u32 = 64;
+
 /// File-backed [`SnapshotStore`]: one `<user>.snapshot.json` per user in a
 /// directory, written atomically (temp file + rename) so a crash mid-save
 /// never leaves a truncated snapshot under the user's name.
+///
+/// # Cross-process crash safety
+///
+/// This store is safe to share between OS processes over one directory:
+///
+/// * Every compound operation (fenced save, epoch acquire, remove) is
+///   serialized by a per-user **lock file** (`<user>.lock`, created with
+///   `O_EXCL`, holding the owner's PID). A lock whose holder is provably
+///   dead is stolen and the dead holder's debris recovered first.
+/// * Each compound operation runs under a per-user **write-ahead journal**
+///   (`<user>.journal`): intent record → data write → commit record →
+///   journal removal, every step an atomic rename. A process killed at any
+///   point leaves a journal that [`FileSnapshotStore::new`] (or the next
+///   lock winner) resolves to a consistent snapshot+epoch pair — see
+///   [`JournalResolution`].
+/// * [`SnapshotStore::acquire_cas`] is a true compare-and-swap under the
+///   lock: of N processes racing to claim epoch `e+1`, exactly one wins
+///   and the rest get typed [`PersistError::StaleEpoch`].
+///
+/// A [`FaultPlan`] can be injected at construction to kill the process at
+/// any labeled protocol point ([`crate::fault::points`]); production code
+/// paths pay one branch per point.
 #[derive(Debug)]
 pub struct FileSnapshotStore {
     dir: PathBuf,
+    fault: Option<Arc<FaultPlan>>,
+    recovery: RecoveryReport,
 }
 
 impl FileSnapshotStore {
-    /// Opens (creating if needed) a snapshot directory.
+    /// Opens (creating if needed) a snapshot directory, then runs crash
+    /// recovery over it: sweeps orphaned `*.tmp` files, reaps lock files
+    /// whose holders are dead, and resolves stranded write-ahead journals.
+    /// The findings are available from
+    /// [`FileSnapshotStore::recovery_report`].
     ///
     /// # Errors
     ///
-    /// [`PersistError::Io`] when the directory cannot be created.
+    /// [`PersistError::Io`] when the directory cannot be created or
+    /// enumerated; [`PersistError::Malformed`] when a stranded journal is
+    /// unparseable.
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
-        let dir = dir.into();
+        Self::open(dir.into(), None)
+    }
+
+    /// [`FileSnapshotStore::new`] with a kill-point [`FaultPlan`] armed —
+    /// the crash-recovery test matrix's entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileSnapshotStore::new`].
+    pub fn with_fault_plan(
+        dir: impl Into<PathBuf>,
+        plan: Arc<FaultPlan>,
+    ) -> Result<Self, PersistError> {
+        Self::open(dir.into(), Some(plan))
+    }
+
+    fn open(dir: PathBuf, fault: Option<Arc<FaultPlan>>) -> Result<Self, PersistError> {
         std::fs::create_dir_all(&dir)
             .map_err(|e| PersistError::Io(format!("create {}: {e}", dir.display())))?;
-        Ok(FileSnapshotStore { dir })
+        let mut store = FileSnapshotStore {
+            dir,
+            fault,
+            recovery: RecoveryReport::default(),
+        };
+        store.recovery = store.recover_all()?;
+        Ok(store)
     }
 
     /// The directory snapshots are stored in.
-    pub fn dir(&self) -> &std::path::Path {
+    pub fn dir(&self) -> &Path {
         &self.dir
     }
 
-    fn path_for(&self, id: UserId) -> PathBuf {
-        self.dir.join(format!("{id}.snapshot.json"))
+    /// What opening this store cleaned up (crash debris of a previous
+    /// process). Survivor logic reads the journal resolutions here to pick
+    /// its replay point after adopting a crashed node's users.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Runs crash recovery for one user on demand: takes the per-user lock
+    /// (stealing it from a dead holder if needed) and resolves any
+    /// stranded journal. Returns the resolution, or `None` when there was
+    /// nothing to recover. Useful when adopting a user from a node that
+    /// died *after* this store was opened.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on lock contention against a live holder or
+    /// storage failure; [`PersistError::Malformed`] for an unparseable
+    /// journal.
+    pub fn recover_user(&mut self, id: UserId) -> Result<Option<JournalResolution>, PersistError> {
+        let stem = id.to_string();
+        let (_lock, resolution) = self.lock_stem(&stem)?;
+        Ok(resolution)
+    }
+
+    fn snapshot_path_of(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.snapshot.json"))
     }
 
     /// Sidecar carrying the ownership epoch — separate from the snapshot so
     /// pre-epoch snapshot files keep loading (a missing sidecar reads as
     /// epoch 0) and an [`SnapshotStore::acquire`] never rewrites the (much
     /// larger) snapshot body.
-    fn epoch_path_for(&self, id: UserId) -> PathBuf {
-        self.dir.join(format!("{id}.epoch"))
+    fn epoch_path_of(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.epoch"))
+    }
+
+    fn lock_path_of(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.lock"))
+    }
+
+    fn journal_path_of(&self, stem: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.journal"))
+    }
+
+    fn fault_hit(&self, label: &str) {
+        if let Some(plan) = &self.fault {
+            plan.hit(label);
+        }
     }
 
     /// Atomically writes `content` to `path` (temp file + fsync + rename +
     /// directory sync), so a crash mid-write never leaves a truncated file
     /// under the final name.
-    fn write_atomic(&self, path: &std::path::Path, content: &str) -> Result<(), PersistError> {
+    fn write_atomic(&self, path: &Path, content: &str) -> Result<(), PersistError> {
         use std::io::Write;
         let tmp = path.with_extension(
             path.extension()
@@ -663,16 +919,311 @@ impl FileSnapshotStore {
             .and_then(|dir| dir.sync_all())
             .map_err(|e| PersistError::Io(format!("sync {}: {e}", self.dir.display())))
     }
+
+    /// Whether the process named in a lock file is provably no longer
+    /// running. Conservative: "unknown" means *not* dead (except for very
+    /// old locks with no readable PID).
+    fn lock_holder_dead(path: &Path) -> bool {
+        let content = std::fs::read_to_string(path).unwrap_or_default();
+        match content.trim().parse::<u32>() {
+            Ok(pid) if pid == std::process::id() => false,
+            Ok(pid) => {
+                if cfg!(target_os = "linux") {
+                    // PID liveness via procfs. A recycled PID reads as
+                    // alive — the safe direction (we wait instead of
+                    // stealing a live holder's lock).
+                    !Path::new("/proc").join(pid.to_string()).exists()
+                } else {
+                    Self::lock_older_than(path, LOCK_UNKNOWN_HOLDER_GRACE)
+                }
+            }
+            // The holder died between creating the lock and writing its
+            // PID (or the file is unreadable): only age can convict it.
+            Err(_) => Self::lock_older_than(path, LOCK_UNKNOWN_HOLDER_GRACE),
+        }
+    }
+
+    fn lock_older_than(path: &Path, age: Duration) -> bool {
+        path.metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .map(|elapsed| elapsed > age)
+            .unwrap_or(false)
+    }
+
+    /// One attempt to take the per-user lock: `Ok(Some(..))` on success
+    /// (with any stranded journal already resolved), `Ok(None)` when a
+    /// live process holds it. Dead holders are reaped inline.
+    fn try_lock_stem(
+        &self,
+        stem: &str,
+    ) -> Result<Option<(StemLock, Option<JournalResolution>)>, PersistError> {
+        use std::io::Write;
+        let path = self.lock_path_of(stem);
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    // Best-effort PID stamp: failing to write it only
+                    // degrades a future staleness check to the age rule.
+                    let _ = write!(file, "{}", std::process::id());
+                    let _ = file.sync_all();
+                    let guard = StemLock { path };
+                    // Whoever wins the lock inherits the duty of resolving
+                    // the previous (possibly crashed) holder's journal
+                    // before building on the files it governs.
+                    let resolution = self.resolve_journal(stem)?;
+                    return Ok(Some((guard, resolution)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if Self::lock_holder_dead(&path) {
+                        // Reap and retry; racing survivors may both
+                        // remove (idempotent) — exactly one wins the
+                        // subsequent create_new.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                Err(e) => {
+                    return Err(PersistError::Io(format!(
+                        "create lock {}: {e}",
+                        path.display()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Takes the per-user lock, waiting out a live holder up to
+    /// [`LOCK_PATIENCE`]. Returns the guard plus any journal resolution
+    /// performed on the way in.
+    fn lock_stem(&self, stem: &str) -> Result<(StemLock, Option<JournalResolution>), PersistError> {
+        let deadline = std::time::Instant::now() + LOCK_PATIENCE;
+        loop {
+            if let Some(locked) = self.try_lock_stem(stem)? {
+                return Ok(locked);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(PersistError::Io(format!(
+                    "lock {}: held by a live process past {:?}",
+                    self.lock_path_of(stem).display(),
+                    LOCK_PATIENCE
+                )));
+            }
+            std::thread::sleep(LOCK_RETRY_SLEEP);
+        }
+    }
+
+    /// Resolves the stranded journal for `stem`, if any. Caller must hold
+    /// the per-user lock (or otherwise have exclusive access). See
+    /// [`JournalResolution`] for the verdicts; the journal file is removed
+    /// once resolved.
+    fn resolve_journal(&self, stem: &str) -> Result<Option<JournalResolution>, PersistError> {
+        let jpath = self.journal_path_of(stem);
+        let text = match std::fs::read_to_string(&jpath) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(PersistError::Io(format!("read {}: {e}", jpath.display()))),
+        };
+        let record: JournalRecord = serde_json::from_str(&text)
+            .map_err(|e| PersistError::Malformed(format!("journal {}: {e}", jpath.display())))?;
+        let resolution = match (record.op.as_str(), record.state.as_str()) {
+            ("save", "commit") => JournalResolution::SaveCommitted {
+                epoch: record.epoch,
+            },
+            ("save", "intent") => {
+                // Did the interrupted data write land? The snapshot file
+                // is only ever replaced by a whole atomic rename, so its
+                // content is either the journaled write or the previous
+                // committed one — the hash decides which.
+                let landed = match std::fs::read(self.snapshot_path_of(stem)) {
+                    Ok(bytes) => bytes.len() as u64 == record.len && fnv1a(&bytes) == record.hash,
+                    Err(_) => false,
+                };
+                if landed {
+                    JournalResolution::SaveCommitted {
+                        epoch: record.epoch,
+                    }
+                } else {
+                    JournalResolution::SaveRolledBack {
+                        epoch: record.epoch,
+                    }
+                }
+            }
+            ("acquire", "commit") => JournalResolution::AcquireCommitted { to: record.epoch },
+            ("acquire", "intent") => {
+                let stored = self.read_epoch(stem)?;
+                if stored >= record.epoch {
+                    JournalResolution::AcquireCommitted { to: record.epoch }
+                } else {
+                    JournalResolution::AcquireRolledBack { to: record.epoch }
+                }
+            }
+            ("remove", "commit") => JournalResolution::RemoveCommitted,
+            ("remove", "intent") => {
+                if self.snapshot_path_of(stem).exists() {
+                    JournalResolution::RemoveRolledBack
+                } else {
+                    JournalResolution::RemoveCommitted
+                }
+            }
+            (op, state) => {
+                return Err(PersistError::Malformed(format!(
+                    "journal {}: unknown op/state `{op}`/`{state}`",
+                    jpath.display()
+                )));
+            }
+        };
+        self.remove_journal(stem)?;
+        Ok(Some(resolution))
+    }
+
+    /// Removes the journal file (the final step of every compound op) and
+    /// makes the removal durable.
+    fn remove_journal(&self, stem: &str) -> Result<(), PersistError> {
+        let jpath = self.journal_path_of(stem);
+        match std::fs::remove_file(&jpath) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(PersistError::Io(format!("remove {}: {e}", jpath.display()))),
+        }
+        std::fs::File::open(&self.dir)
+            .and_then(|dir| dir.sync_all())
+            .map_err(|e| PersistError::Io(format!("sync {}: {e}", self.dir.display())))
+    }
+
+    /// Reads the epoch sidecar for `stem` (0 when absent). A corrupt
+    /// sidecar is on-disk corruption, not transient I/O — typed
+    /// [`PersistError::Malformed`] so recovery policy can tell them apart.
+    fn read_epoch(&self, stem: &str) -> Result<u64, PersistError> {
+        let path = self.epoch_path_of(stem);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text.trim().parse::<u64>().map_err(|e| {
+                PersistError::Malformed(format!("corrupt epoch file {}: {e}", path.display()))
+            }),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(PersistError::Io(format!("read {}: {e}", path.display()))),
+        }
+    }
+
+    /// The open-time sweep: orphaned temps, dead holders' locks, stranded
+    /// journals. Users whose lock is held by a *live* process are skipped
+    /// entirely — that holder owns their cleanup.
+    fn recover_all(&mut self) -> Result<RecoveryReport, PersistError> {
+        let mut report = RecoveryReport::default();
+        let mut temps = Vec::new();
+        let mut locks = Vec::new();
+        let mut journal_stems = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| PersistError::Io(format!("read dir {}: {e}", self.dir.display())))?;
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| PersistError::Io(format!("read dir {}: {e}", self.dir.display())))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                temps.push(entry.path());
+            } else if name.ends_with(".lock") {
+                locks.push(entry.path());
+            } else if let Some(stem) = name.strip_suffix(".journal") {
+                journal_stems.push(stem.to_string());
+            }
+        }
+        // Temps first: a half-written journal or snapshot temp must be gone
+        // before journals are interpreted. Sweeping can race a live
+        // writer's in-flight temp; the writer's rename then fails with a
+        // typed Io error and its engine keeps the pipeline resident —
+        // never a corrupt file. (Fleet deployments open stores before
+        // serving, so in practice the directory is quiet here.)
+        for tmp in temps {
+            if std::fs::remove_file(&tmp).is_ok() {
+                report.swept_temps += 1;
+            }
+        }
+        for lock in locks {
+            if Self::lock_holder_dead(&lock) && std::fs::remove_file(&lock).is_ok() {
+                report.stale_locks += 1;
+            }
+        }
+        for stem in journal_stems {
+            // A journal under a live holder's lock is that holder's to
+            // finish; try once and move on.
+            match self.try_lock_stem(&stem)? {
+                Some((_lock, Some(resolution))) => report.journals.push((stem, resolution)),
+                Some((_lock, None)) => {}
+                None => {}
+            }
+        }
+        Ok(report)
+    }
+
+    /// The shared body of [`SnapshotStore::save`] and
+    /// [`SnapshotStore::save_fenced`]: fence check (when `fence` is given),
+    /// then journaled atomic write, all under the per-user lock.
+    fn save_journaled(
+        &mut self,
+        id: UserId,
+        snapshot: &PipelineSnapshot,
+        fence: Option<u64>,
+    ) -> Result<(), PersistError> {
+        self.fault_hit(points::SAVE_ENTER);
+        let stem = id.to_string();
+        let (_lock, _prior) = self.lock_stem(&stem)?;
+        if let Some(held) = fence {
+            let stored = self.read_epoch(&stem)?;
+            if held < stored {
+                return Err(PersistError::StaleEpoch { id, held, stored });
+            }
+        }
+        let json = snapshot.to_json();
+        let mut record = JournalRecord {
+            op: "save".to_string(),
+            state: "intent".to_string(),
+            epoch: fence.unwrap_or(0),
+            hash: fnv1a(json.as_bytes()),
+            len: json.len() as u64,
+        };
+        let jpath = self.journal_path_of(&stem);
+        self.write_atomic(
+            &jpath,
+            &serde_json::to_string(&record).expect("journal record serializes"),
+        )?;
+        self.fault_hit(points::SAVE_INTENT);
+        self.write_atomic(&self.snapshot_path_of(&stem), &json)?;
+        self.fault_hit(points::SAVE_DATA);
+        record.state = "commit".to_string();
+        self.write_atomic(
+            &jpath,
+            &serde_json::to_string(&record).expect("journal record serializes"),
+        )?;
+        self.fault_hit(points::SAVE_COMMIT);
+        self.remove_journal(&stem)
+    }
 }
 
 impl SnapshotStore for FileSnapshotStore {
     fn save(&mut self, id: UserId, snapshot: &PipelineSnapshot) -> Result<(), PersistError> {
-        let path = self.path_for(id);
-        self.write_atomic(&path, &snapshot.to_json())
+        self.save_journaled(id, snapshot, None)
+    }
+
+    fn save_fenced(
+        &mut self,
+        id: UserId,
+        epoch: u64,
+        snapshot: &PipelineSnapshot,
+    ) -> Result<(), PersistError> {
+        // Unlike the trait's default check-then-save, the check and the
+        // write share one per-user lock hold — a concurrent cross-process
+        // acquire cannot slip between them.
+        self.save_journaled(id, snapshot, Some(epoch))
     }
 
     fn load(&mut self, id: UserId) -> Result<Option<PipelineSnapshot>, PersistError> {
-        let path = self.path_for(id);
+        let path = self.snapshot_path_of(&id.to_string());
         match std::fs::read_to_string(&path) {
             Ok(json) => PipelineSnapshot::from_json(&json).map(Some),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
@@ -681,43 +1232,111 @@ impl SnapshotStore for FileSnapshotStore {
     }
 
     fn remove(&mut self, id: UserId) -> Result<(), PersistError> {
-        for path in [self.path_for(id), self.epoch_path_for(id)] {
-            match std::fs::remove_file(&path) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(PersistError::Io(format!("remove {}: {e}", path.display()))),
-            }
+        self.fault_hit(points::REMOVE_ENTER);
+        let stem = id.to_string();
+        let (_lock, _prior) = self.lock_stem(&stem)?;
+        let record = JournalRecord {
+            op: "remove".to_string(),
+            state: "intent".to_string(),
+            epoch: 0,
+            hash: 0,
+            len: 0,
+        };
+        let jpath = self.journal_path_of(&stem);
+        self.write_atomic(
+            &jpath,
+            &serde_json::to_string(&record).expect("journal record serializes"),
+        )?;
+        let path = self.snapshot_path_of(&stem);
+        match std::fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(PersistError::Io(format!("remove {}: {e}", path.display()))),
         }
-        Ok(())
+        self.fault_hit(points::REMOVE_DATA);
+        // The `.epoch` sidecar is deliberately left behind as a tombstone —
+        // see the trait docs on `remove`.
+        self.remove_journal(&stem)
     }
 
     fn epoch(&mut self, id: UserId) -> Result<u64, PersistError> {
-        let path = self.epoch_path_for(id);
-        match std::fs::read_to_string(&path) {
-            Ok(text) => text.trim().parse::<u64>().map_err(|e| {
-                PersistError::Io(format!("corrupt epoch file {}: {e}", path.display()))
-            }),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
-            Err(e) => Err(PersistError::Io(format!("read {}: {e}", path.display()))),
-        }
+        self.read_epoch(&id.to_string())
     }
 
     fn acquire(&mut self, id: UserId) -> Result<u64, PersistError> {
-        let next = self.epoch(id)? + 1;
-        let path = self.epoch_path_for(id);
-        self.write_atomic(&path, &next.to_string())?;
+        // Unconditional claim as a bounded CAS retry loop: each round reads
+        // the current epoch and race-safely claims the next; losing a round
+        // just means someone else moved the epoch first.
+        for _ in 0..ACQUIRE_RETRY_LIMIT {
+            let current = self.epoch(id)?;
+            match self.acquire_cas(id, current) {
+                Err(PersistError::StaleEpoch { .. }) => continue,
+                outcome => return outcome,
+            }
+        }
+        Err(PersistError::Io(format!(
+            "acquire {id}: CAS retry limit ({ACQUIRE_RETRY_LIMIT}) exhausted under contention"
+        )))
+    }
+
+    fn acquire_cas(&mut self, id: UserId, expected: u64) -> Result<u64, PersistError> {
+        self.fault_hit(points::ACQUIRE_ENTER);
+        let stem = id.to_string();
+        let (_lock, _prior) = self.lock_stem(&stem)?;
+        let stored = self.read_epoch(&stem)?;
+        if stored != expected {
+            return Err(PersistError::StaleEpoch {
+                id,
+                held: expected,
+                stored,
+            });
+        }
+        let next = expected + 1;
+        let mut record = JournalRecord {
+            op: "acquire".to_string(),
+            state: "intent".to_string(),
+            epoch: next,
+            hash: 0,
+            len: 0,
+        };
+        let jpath = self.journal_path_of(&stem);
+        self.write_atomic(
+            &jpath,
+            &serde_json::to_string(&record).expect("journal record serializes"),
+        )?;
+        self.fault_hit(points::ACQUIRE_INTENT);
+        self.write_atomic(&self.epoch_path_of(&stem), &next.to_string())?;
+        self.fault_hit(points::ACQUIRE_EPOCH);
+        record.state = "commit".to_string();
+        self.write_atomic(
+            &jpath,
+            &serde_json::to_string(&record).expect("journal record serializes"),
+        )?;
+        self.fault_hit(points::ACQUIRE_COMMIT);
+        self.remove_journal(&stem)?;
         Ok(next)
     }
 
     fn len(&self) -> usize {
-        std::fs::read_dir(&self.dir)
-            .map(|entries| {
-                entries
-                    .filter_map(Result::ok)
-                    .filter(|e| e.file_name().to_string_lossy().ends_with(".snapshot.json"))
-                    .count()
-            })
-            .unwrap_or(0)
+        self.try_len().unwrap_or(0)
+    }
+
+    fn try_len(&self) -> Result<usize, PersistError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| PersistError::Io(format!("read dir {}: {e}", self.dir.display())))?;
+        let mut count = 0;
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| PersistError::Io(format!("read dir {}: {e}", self.dir.display())))?;
+            if entry
+                .file_name()
+                .to_string_lossy()
+                .ends_with(".snapshot.json")
+            {
+                count += 1;
+            }
+        }
+        Ok(count)
     }
 }
 
@@ -769,28 +1388,33 @@ impl SnapshotStore for SharedSnapshotStore {
         self.inner.lock().acquire(id)
     }
 
+    fn acquire_cas(&mut self, id: UserId, expected: u64) -> Result<u64, PersistError> {
+        // One mutex hold across the whole compound CAS — in-process racers
+        // serialize here; the inner store's own protocol (if any) handles
+        // cross-process racers.
+        self.inner.lock().acquire_cas(id, expected)
+    }
+
     fn save_fenced(
         &mut self,
         id: UserId,
         epoch: u64,
         snapshot: &PipelineSnapshot,
     ) -> Result<(), PersistError> {
-        // One lock hold across check + write: the fence must not interleave
-        // with another shard's acquire.
-        let mut store = self.inner.lock();
-        let stored = store.epoch(id)?;
-        if epoch < stored {
-            return Err(PersistError::StaleEpoch {
-                id,
-                held: epoch,
-                stored,
-            });
-        }
-        store.save(id, snapshot)
+        // One mutex hold across check + write: the fence must not
+        // interleave with another shard's acquire. Delegating (rather than
+        // re-implementing check-then-save here) also preserves the inner
+        // store's own compound protocol — a file-backed store fences under
+        // its cross-process per-user lock.
+        self.inner.lock().save_fenced(id, epoch, snapshot)
     }
 
     fn len(&self) -> usize {
         self.inner.lock().len()
+    }
+
+    fn try_len(&self) -> Result<usize, PersistError> {
+        self.inner.lock().try_len()
     }
 }
 
@@ -1007,9 +1631,16 @@ mod tests {
             })
         );
         store.save_fenced(id, newer, &snap).unwrap();
-        // Removal forgets the user entirely, epoch included.
+        // Removal drops the snapshot but tombstones the epoch: a stale
+        // owner's save after remove + re-register is still fenced out.
         store.remove(id).unwrap();
-        assert_eq!(store.epoch(id).unwrap(), 0);
+        assert_eq!(store.epoch(id).unwrap(), newer);
+        let reregistered = store.acquire(id).unwrap();
+        assert_eq!(reregistered, newer + 1);
+        assert!(matches!(
+            store.save_fenced(id, held, &snap),
+            Err(PersistError::StaleEpoch { .. })
+        ));
     }
 
     #[test]
@@ -1039,9 +1670,14 @@ mod tests {
         ));
         // The epoch sidecar is not mistaken for a snapshot.
         assert_eq!(store.len(), 1);
+        // Remove tombstones the epoch: the fence survives deregistration.
         store.remove(id).unwrap();
-        assert_eq!(store.epoch(id).unwrap(), 0);
+        assert_eq!(store.epoch(id).unwrap(), held + 1);
         assert_eq!(store.load(id).unwrap(), None);
+        assert!(matches!(
+            store.save_fenced(id, held, &snap),
+            Err(PersistError::StaleEpoch { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,420 @@
+//! Kill-point crash-recovery matrix: a simulated fleet node (a child OS
+//! process of this test binary) adopts a user from a shared
+//! [`FileSnapshotStore`] directory, checkpoints after every window, and is
+//! killed — by an abort-mode [`FaultPlan`] — at each labeled point of the
+//! save/acquire/migrate protocols in turn. For every kill point, the
+//! survivor (this process) must recover the directory to a consistent
+//! snapshot+epoch pair, adopt the user through the epoch CAS, and replay
+//! the remaining windows such that the **full decision stream (child
+//! prefix + survivor suffix) is bit-identical to an uncrashed run**.
+//!
+//! The child dies by `abort()` — no unwinding, no destructors — so every
+//! scenario also exercises the survivor's lock stealing and journal
+//! resolution exactly as a `kill -9` or power loss would.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+use common::{assert_outcomes_identical, build_world, World, WorldSeeds};
+use smarteryou::core::fault::{points, FaultPlan, CRASH_POINT_ENV};
+use smarteryou::core::persist::{
+    FileSnapshotStore, JournalResolution, PersistError, SnapshotStore,
+};
+use smarteryou::core::{ProcessOutcome, ResponsePolicy, RetrainPolicy, SmarterYou};
+use smarteryou::sensors::{DualDeviceWindow, UserId};
+
+/// Directory the child's store lives in.
+const DIR_ENV: &str = "SY_CRASH_DIR";
+/// How many authentication windows the child attempts.
+const WINDOWS_ENV: &str = "SY_CRASH_WINDOWS";
+/// After this many windows the child performs its "release" (final fenced
+/// save already done) and fires the migrate-level kill point.
+const MIGRATE_AT_ENV: &str = "SY_CRASH_MIGRATE_AT";
+
+const USER: UserId = UserId(0);
+/// Auth windows in every run (two of `window_stream`'s 4-window bursts).
+const TOTAL_WINDOWS: usize = 8;
+/// Window index after which the migrate-level point fires.
+const MIGRATE_AT: usize = 4;
+
+fn crash_world() -> World {
+    // Seeds pin this suite's window streams independently of the other
+    // parity suites'. One device owner; window_secs 2.0 keeps the per-child
+    // world build cheap.
+    build_world(
+        1,
+        2.0,
+        WorldSeeds {
+            population: 47_001,
+            pool_gen: 13,
+            detector_rng: 29,
+        },
+    )
+}
+
+/// The deterministic windows both processes derive independently:
+/// enrollment prefix + `TOTAL_WINDOWS` auth windows.
+fn full_stream(world: &World) -> Vec<DualDeviceWindow> {
+    world.window_stream(&world.users[0], 71_000, TOTAL_WINDOWS)
+}
+
+/// The suite's pipeline: keeps scoring after rejections and retrains every
+/// 5 windows, so checkpoints carry mid-retrain tracker and RNG state — the
+/// state the journal protocol must keep consistent.
+fn crash_pipeline(world: &World, seed: u64) -> SmarterYou {
+    world.pipeline_with(
+        seed,
+        ResponsePolicy {
+            rejects_to_lock: usize::MAX,
+        },
+        Some(RetrainPolicy {
+            threshold: 1e9,
+            period: 5,
+            max_reject_fraction: 1.0,
+        }),
+    )
+}
+
+/// Feeds the enrollment prefix, returning the enrolled pipeline and the
+/// remaining auth windows.
+fn enrolled_pipeline(world: &World) -> (SmarterYou, Vec<DualDeviceWindow>) {
+    let stream = full_stream(world);
+    let auth_start = stream.len() - TOTAL_WINDOWS;
+    let mut pipeline = crash_pipeline(world, 51);
+    for window in &stream[..auth_start] {
+        pipeline.process_window(window).expect("enrollment window");
+    }
+    assert!(
+        pipeline.snapshot().is_enrolled(),
+        "fixture must finish enrollment before the crash scenarios start"
+    );
+    (pipeline, stream[auth_start..].to_vec())
+}
+
+/// Stable textual encoding of an outcome for the child → parent ack
+/// channel; confidence travels as raw bits so the comparison is exact.
+fn encode_outcome(out: &ProcessOutcome) -> String {
+    match out {
+        ProcessOutcome::Decision {
+            decision,
+            action,
+            retrained,
+        } => format!(
+            "D:{:016x}:{}:{:?}:{:?}:{}",
+            decision.confidence.to_bits(),
+            decision.accepted,
+            decision.context,
+            action,
+            retrained
+        ),
+        ProcessOutcome::Enrolling { stationary, moving } => format!("E:{stationary}:{moving}"),
+    }
+}
+
+/// The crashing node. A no-op under a normal test run; when spawned by the
+/// matrix with [`CRASH_POINT_ENV`] set it adopts the seeded user through
+/// the epoch CAS, processes windows with a fenced checkpoint after each —
+/// acking `decision i ...` / `saved i` over stdout — and is killed by its
+/// armed [`FaultPlan`] at the scenario's labeled point.
+#[test]
+fn child_crash_node() {
+    let Ok(dir) = std::env::var(DIR_ENV) else {
+        return;
+    };
+    let plan = FaultPlan::from_env().expect("child runs with a crash point armed");
+    let windows: usize = std::env::var(WINDOWS_ENV).unwrap().parse().unwrap();
+    let migrate_at: usize = std::env::var(MIGRATE_AT_ENV).unwrap().parse().unwrap();
+
+    let world = crash_world();
+    let stream = full_stream(&world);
+    let auth = &stream[stream.len() - windows..];
+
+    let mut store =
+        FileSnapshotStore::with_fault_plan(&dir, Arc::clone(&plan)).expect("child opens store");
+    let observed = store.epoch(USER).expect("read epoch");
+    let held = store
+        .acquire_cas(USER, observed)
+        .expect("child adoption CAS");
+    let snapshot = store
+        .load(USER)
+        .expect("child loads seed")
+        .expect("seed snapshot present");
+    let mut pipeline = SmarterYou::restore(snapshot, world.server.clone()).expect("child restores");
+
+    for (i, window) in auth.iter().enumerate() {
+        let outcome = pipeline.process_window(window).expect("child window");
+        println!("decision {i} {}", encode_outcome(&outcome));
+        store
+            .save_fenced(USER, held, &pipeline.snapshot())
+            .expect("child checkpoint");
+        println!("saved {i}");
+        if i + 1 == migrate_at {
+            // The checkpoint above doubles as the release's final fenced
+            // save; a migration driver hands off ownership here.
+            plan.hit(points::MIGRATE_AFTER_RELEASE);
+            println!("released");
+        }
+    }
+    println!("done");
+}
+
+struct ChildRun {
+    /// `i → encoded outcome` acked by the child before dying.
+    decisions: BTreeMap<usize, String>,
+    /// Highest window index the child acked as saved.
+    last_saved: Option<usize>,
+    exited_cleanly: bool,
+}
+
+fn spawn_crashing_child(dir: &std::path::Path, point_spec: &str) -> ChildRun {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["child_crash_node", "--exact", "--nocapture"])
+        .env(DIR_ENV, dir)
+        .env(CRASH_POINT_ENV, point_spec)
+        .env(WINDOWS_ENV, TOTAL_WINDOWS.to_string())
+        .env(MIGRATE_AT_ENV, MIGRATE_AT.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn crashing node");
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .expect("read child stdout");
+    let status = child.wait().expect("child exit status");
+
+    let mut decisions = BTreeMap::new();
+    let mut last_saved = None;
+    let mut done = false;
+    for line in stdout.lines() {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("decision") => {
+                let i: usize = parts.next().unwrap().parse().unwrap();
+                decisions.insert(i, parts.next().unwrap().to_string());
+            }
+            Some("saved") => last_saved = Some(parts.next().unwrap().parse().unwrap()),
+            Some("done") => done = true,
+            _ => {}
+        }
+    }
+    ChildRun {
+        decisions,
+        last_saved,
+        exited_cleanly: status.success() && done,
+    }
+}
+
+/// One matrix row: where the child dies and what debris the survivor must
+/// find.
+struct KillPoint {
+    /// `label` or `label@n` for [`CRASH_POINT_ENV`].
+    spec: &'static str,
+    /// Whether the child dies holding the per-user lock (the survivor must
+    /// steal it).
+    leaves_lock: bool,
+    /// Journal resolution the survivor's recovery must report, if any.
+    resolution: Option<fn(&JournalResolution) -> bool>,
+}
+
+#[test]
+fn kill_point_matrix_survivor_replay_is_bit_identical() {
+    let world = crash_world();
+    let (enrolled, auth_windows) = enrolled_pipeline(&world);
+    assert_eq!(auth_windows.len(), TOTAL_WINDOWS);
+
+    // The uncrashed run every scenario must be bit-identical to.
+    let mut reference = enrolled.clone();
+    let baseline: Vec<ProcessOutcome> = auth_windows
+        .iter()
+        .map(|w| reference.process_window(w).expect("baseline window"))
+        .collect();
+
+    let matrix: Vec<KillPoint> = vec![
+        // The third save is mid-stream: two windows checkpointed, the
+        // third decision made but its checkpoint interrupted.
+        KillPoint {
+            spec: "save.enter@3",
+            leaves_lock: false,
+            resolution: None,
+        },
+        KillPoint {
+            spec: "save.intent@3",
+            leaves_lock: true,
+            resolution: Some(|r| matches!(r, JournalResolution::SaveRolledBack { .. })),
+        },
+        KillPoint {
+            spec: "save.data@3",
+            leaves_lock: true,
+            resolution: Some(|r| matches!(r, JournalResolution::SaveCommitted { .. })),
+        },
+        KillPoint {
+            spec: "save.commit@3",
+            leaves_lock: true,
+            resolution: Some(|r| matches!(r, JournalResolution::SaveCommitted { .. })),
+        },
+        // Adoption-time kills: the child dies claiming ownership, before
+        // any window.
+        KillPoint {
+            spec: "acquire.enter",
+            leaves_lock: false,
+            resolution: None,
+        },
+        KillPoint {
+            spec: "acquire.intent",
+            leaves_lock: true,
+            resolution: Some(|r| matches!(r, JournalResolution::AcquireRolledBack { .. })),
+        },
+        KillPoint {
+            spec: "acquire.epoch",
+            leaves_lock: true,
+            resolution: Some(|r| matches!(r, JournalResolution::AcquireCommitted { .. })),
+        },
+        KillPoint {
+            spec: "acquire.commit",
+            leaves_lock: true,
+            resolution: Some(|r| matches!(r, JournalResolution::AcquireCommitted { .. })),
+        },
+        // Mid-migration kill: the source finished its release (final
+        // fenced save durable) and died before the target claimed.
+        KillPoint {
+            spec: "migrate.after-release",
+            leaves_lock: false,
+            resolution: None,
+        },
+    ];
+
+    for point in &matrix {
+        let dir = std::env::temp_dir().join(format!(
+            "smarteryou-crash-{}-{}",
+            std::process::id(),
+            point.spec.replace(['.', '@'], "-")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        // Seed the shared directory with the enrolled pipeline at epoch 0
+        // — the parked user the crashing node adopts.
+        {
+            let mut seed_store = FileSnapshotStore::new(&dir).expect("seed store");
+            seed_store
+                .save(USER, &enrolled.snapshot())
+                .expect("seed save");
+        }
+
+        let run = spawn_crashing_child(&dir, point.spec);
+        assert!(
+            !run.exited_cleanly,
+            "{}: the armed fault must kill the child",
+            point.spec
+        );
+
+        // ── Survivor ────────────────────────────────────────────────────
+        // Opening the directory performs recovery: orphan sweep, stale
+        // lock reaping, journal resolution.
+        let mut store = FileSnapshotStore::new(&dir).expect("survivor opens store");
+        let report = store.recovery_report().clone();
+        assert_eq!(
+            report.stale_locks,
+            usize::from(point.leaves_lock),
+            "{}: stale-lock expectation (report: {report:?})",
+            point.spec
+        );
+        match point.resolution {
+            Some(matches_expected) => {
+                assert_eq!(
+                    report.journals.len(),
+                    1,
+                    "{}: expected one resolved journal (report: {report:?})",
+                    point.spec
+                );
+                let (stem, resolution) = &report.journals[0];
+                assert_eq!(stem, &USER.to_string(), "{}", point.spec);
+                assert!(
+                    matches_expected(resolution),
+                    "{}: unexpected resolution {resolution:?}",
+                    point.spec
+                );
+            }
+            None => assert!(
+                report.journals.is_empty(),
+                "{}: no journal expected (report: {report:?})",
+                point.spec
+            ),
+        }
+
+        // Replay point: everything the child durably checkpointed is kept;
+        // a save the journal proves committed counts even though its ack
+        // never arrived. (The ack stream stands in for the ingest layer's
+        // knowledge of which windows were handed to the dead node.)
+        let acked = run.last_saved.map_or(0, |s| s + 1);
+        let committed_in_flight = report
+            .journals
+            .iter()
+            .any(|(_, r)| matches!(r, JournalResolution::SaveCommitted { .. }));
+        let resume_from = if committed_in_flight {
+            run.decisions
+                .keys()
+                .max()
+                .map_or(acked, |d| (d + 1).max(acked))
+        } else {
+            acked
+        };
+
+        // Every decision the child made — acked or dying-breath — must
+        // already match the uncrashed run bit for bit.
+        for (i, encoded) in &run.decisions {
+            assert_eq!(
+                encoded,
+                &encode_outcome(&baseline[*i]),
+                "{}: child window {i} diverges from baseline",
+                point.spec
+            );
+        }
+
+        // Adopt through the CAS (the epoch is whatever the crash left —
+        // 0 if the child never claimed, its claim if it did), rehydrate,
+        // and finish the stream.
+        let observed = store.epoch(USER).expect("survivor reads epoch");
+        let adopted = store
+            .acquire_cas(USER, observed)
+            .expect("survivor adoption CAS");
+        assert_eq!(adopted, observed + 1);
+        let snapshot = store
+            .load(USER)
+            .expect("survivor load")
+            .expect("snapshot survives every crash point");
+        let mut pipeline =
+            SmarterYou::restore(snapshot, world.server.clone()).expect("survivor restores");
+        let survivor_outcomes: Vec<ProcessOutcome> = auth_windows[resume_from..]
+            .iter()
+            .map(|w| pipeline.process_window(w).expect("survivor window"))
+            .collect();
+        assert_outcomes_identical(
+            &survivor_outcomes,
+            &baseline[resume_from..],
+            &format!("survivor after {}", point.spec),
+        );
+
+        // And any pre-adoption epoch stays fenced out: a zombie holding
+        // the dead node's (or any older) claim cannot fork the pipeline.
+        {
+            let mut zombie = FileSnapshotStore::new(&dir).expect("zombie handle");
+            assert!(
+                matches!(
+                    zombie.save_fenced(USER, adopted - 1, &enrolled.snapshot()),
+                    Err(PersistError::StaleEpoch { .. })
+                ),
+                "{}: pre-adoption epochs must be fenced out",
+                point.spec
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
